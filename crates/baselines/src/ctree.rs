@@ -1,0 +1,655 @@
+//! C-Tree (closure-tree) — He & Singh, ICDE 2006.
+//!
+//! The R-tree-like graph index the paper compares TALE against on the
+//! ASTRAL experiment (§VI-B.2, Fig. 5). Each tree node summarizes its
+//! subtree with a *closure* — an upper-bounding union of the member
+//! graphs; queries descend best-first, pruning subtrees whose closure
+//! cannot beat the current k-th best similarity, and score leaf graphs
+//! exactly with a neighbor-biased greedy mapping.
+//!
+//! Faithful simplifications (documented in DESIGN.md):
+//! * the closure keeps label-count, degree and size upper bounds rather
+//!   than the full vertex-aligned union — the same pruning logic with a
+//!   cheaper (still admissible) bound;
+//! * leaf scoring uses the neighbor-biased mapping of the original paper
+//!   in its greedy form.
+//!
+//! Like the authors' implementation, the tree is **memory-resident** —
+//! exactly the limitation §VI-B.2 contrasts with the disk-based NH-Index
+//! ("as the database size increases, the index will soon grow out of
+//! memory"). It also does not support node mismatches (§VI-B.1 disqualifies
+//! it from the PIN comparison for that reason): labels are compared raw.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use tale_graph::{Graph, NodeId};
+
+/// Tree shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CTreeConfig {
+    /// Maximum children per node before a split (`M`).
+    pub max_children: usize,
+}
+
+impl Default for CTreeConfig {
+    fn default() -> Self {
+        CTreeConfig { max_children: 8 }
+    }
+}
+
+/// Closure summary of a set of graphs: admissible upper bounds for
+/// similarity estimation.
+#[derive(Debug, Clone, Default)]
+struct Closure {
+    /// per-label max node count over members
+    label_counts: HashMap<u32, u32>,
+    /// max edge count
+    max_edges: u32,
+    /// min (nodes + edges) over members — lower-bounds the target size in
+    /// the similarity denominator
+    min_size: u32,
+}
+
+impl Closure {
+    fn of_graph(g: &Graph) -> Closure {
+        let mut label_counts: HashMap<u32, u32> = HashMap::new();
+        for n in g.nodes() {
+            *label_counts.entry(g.label(n).0).or_insert(0) += 1;
+        }
+        Closure {
+            label_counts,
+            max_edges: g.edge_count() as u32,
+            min_size: (g.node_count() + g.edge_count()) as u32,
+        }
+    }
+
+    fn merge(&mut self, other: &Closure) {
+        for (&l, &c) in &other.label_counts {
+            let e = self.label_counts.entry(l).or_insert(0);
+            *e = (*e).max(c);
+        }
+        self.max_edges = self.max_edges.max(other.max_edges);
+        self.min_size = self.min_size.min(other.min_size);
+    }
+
+    /// Growth in total label-count mass if `other` were merged — the
+    /// "least enlargement" insertion heuristic.
+    fn enlargement(&self, other: &Closure) -> u64 {
+        let mut grow = 0u64;
+        for (&l, &c) in &other.label_counts {
+            let cur = self.label_counts.get(&l).copied().unwrap_or(0);
+            if c > cur {
+                grow += (c - cur) as u64;
+            }
+        }
+        grow
+    }
+
+    /// Admissible upper bound on the C-Tree similarity of `query` to any
+    /// member: `2·(ubN + ubE) / (q_size + min member size)`.
+    fn sim_upper_bound(&self, q_hist: &HashMap<u32, u32>, q_edges: u32, q_size: u32) -> f64 {
+        let ub_nodes: u32 = q_hist
+            .iter()
+            .map(|(l, &c)| c.min(self.label_counts.get(l).copied().unwrap_or(0)))
+            .sum();
+        let ub_edges = q_edges.min(self.max_edges);
+        let denom = (q_size + self.min_size) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        2.0 * (ub_nodes + ub_edges) as f64 / denom
+    }
+}
+
+enum CNode {
+    Leaf {
+        entries: Vec<usize>,
+        closure: Closure,
+    },
+    Internal {
+        children: Vec<usize>,
+        closure: Closure,
+    },
+}
+
+impl CNode {
+    fn closure(&self) -> &Closure {
+        match self {
+            CNode::Leaf { closure, .. } | CNode::Internal { closure, .. } => closure,
+        }
+    }
+}
+
+/// The closure-tree.
+pub struct CTree {
+    config: CTreeConfig,
+    nodes: Vec<CNode>,
+    root: usize,
+    graphs: Vec<Graph>,
+    graph_closures: Vec<Closure>,
+}
+
+#[derive(PartialEq)]
+struct Frontier {
+    bound: f64,
+    node: usize,
+}
+impl Eq for Frontier {}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CTree {
+    /// An empty tree.
+    pub fn new(config: CTreeConfig) -> Self {
+        let root = CNode::Leaf {
+            entries: Vec::new(),
+            closure: Closure::default(),
+        };
+        CTree {
+            config,
+            nodes: vec![root],
+            root: 0,
+            graphs: Vec::new(),
+            graph_closures: Vec::new(),
+        }
+    }
+
+    /// Builds a tree by inserting every graph.
+    pub fn build(config: CTreeConfig, graphs: impl IntoIterator<Item = Graph>) -> Self {
+        let mut t = CTree::new(config);
+        for g in graphs {
+            t.insert(g);
+        }
+        t
+    }
+
+    /// Number of indexed graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The indexed graph for an id returned by [`CTree::knn`].
+    pub fn graph(&self, idx: usize) -> &Graph {
+        &self.graphs[idx]
+    }
+
+    /// Rough in-memory footprint in bytes (the paper's point: this grows
+    /// with the database and cannot spill to disk).
+    pub fn approx_memory_bytes(&self) -> usize {
+        let closures: usize = self
+            .graph_closures
+            .iter()
+            .chain(self.nodes.iter().map(|n| n.closure()))
+            .map(|c| 16 + c.label_counts.len() * 16)
+            .sum();
+        let graphs: usize = self
+            .graphs
+            .iter()
+            .map(|g| g.node_count() * 8 + g.edge_count() * 24)
+            .sum();
+        closures + graphs
+    }
+
+    /// Inserts a graph, returning its id.
+    pub fn insert(&mut self, g: Graph) -> usize {
+        let gid = self.graphs.len();
+        let gc = Closure::of_graph(&g);
+        self.graphs.push(g);
+        self.graph_closures.push(gc.clone());
+
+        // descend to the leaf with least enlargement
+        let mut path = vec![self.root];
+        loop {
+            let cur = *path.last().expect("non-empty path");
+            match &self.nodes[cur] {
+                CNode::Leaf { .. } => break,
+                CNode::Internal { children, .. } => {
+                    let best = children
+                        .iter()
+                        .copied()
+                        .min_by_key(|&c| self.nodes[c].closure().enlargement(&gc))
+                        .expect("internal node has children");
+                    path.push(best);
+                }
+            }
+        }
+        let leaf = *path.last().expect("path has leaf");
+        if let CNode::Leaf { entries, closure } = &mut self.nodes[leaf] {
+            entries.push(gid);
+            closure.merge(&gc);
+        }
+        // update closures along the path
+        for &nid in path.iter().rev().skip(1) {
+            match &mut self.nodes[nid] {
+                CNode::Internal { closure, .. } | CNode::Leaf { closure, .. } => {
+                    closure.merge(&gc)
+                }
+            }
+        }
+        self.split_if_needed(&path);
+        gid
+    }
+
+    fn split_if_needed(&mut self, path: &[usize]) {
+        let mut child_split: Option<(usize, usize, usize)> = None; // (old, new, parent_path_pos)
+        for (pos, &nid) in path.iter().enumerate().rev() {
+            // apply a pending split from the child level
+            if let Some((_, new_child, _)) = child_split.take() {
+                if let CNode::Internal { children, .. } = &mut self.nodes[nid] {
+                    children.push(new_child);
+                }
+            }
+            let over = match &self.nodes[nid] {
+                CNode::Leaf { entries, .. } => entries.len() > self.config.max_children,
+                CNode::Internal { children, .. } => children.len() > self.config.max_children,
+            };
+            if !over {
+                break;
+            }
+            let new_node = self.split_node(nid);
+            if pos == 0 {
+                // splitting the root: grow a new root
+                let closure = {
+                    let mut c = self.nodes[nid].closure().clone();
+                    c.merge(self.nodes[new_node].closure());
+                    c
+                };
+                let new_root = self.nodes.len();
+                self.nodes.push(CNode::Internal {
+                    children: vec![nid, new_node],
+                    closure,
+                });
+                self.root = new_root;
+                return;
+            }
+            child_split = Some((nid, new_node, pos - 1));
+        }
+        if let Some((_, new_child, parent_pos)) = child_split {
+            let parent = path[parent_pos];
+            if let CNode::Internal { children, .. } = &mut self.nodes[parent] {
+                children.push(new_child);
+            }
+            // parent may now be over; recurse up from there
+            let prefix: Vec<usize> = path[..=parent_pos].to_vec();
+            self.split_if_needed(&prefix);
+        }
+    }
+
+    /// Splits an overfull node, returning the new sibling's id. Quadratic
+    /// seed picking (most mutually enlarging pair), greedy distribution.
+    fn split_node(&mut self, nid: usize) -> usize {
+        enum Item {
+            Graph(usize),
+            Node(usize),
+        }
+        let items: Vec<Item> = match &self.nodes[nid] {
+            CNode::Leaf { entries, .. } => entries.iter().map(|&g| Item::Graph(g)).collect(),
+            CNode::Internal { children, .. } => children.iter().map(|&c| Item::Node(c)).collect(),
+        };
+        let closure_of = |s: &Self, it: &Item| -> Closure {
+            match it {
+                Item::Graph(g) => s.graph_closures[*g].clone(),
+                Item::Node(n) => s.nodes[*n].closure().clone(),
+            }
+        };
+        // pick the two items whose mutual enlargement is largest
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, 0u64);
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let ci = closure_of(self, &items[i]);
+                let cj = closure_of(self, &items[j]);
+                let d = ci.enlargement(&cj) + cj.enlargement(&ci);
+                if d >= worst {
+                    worst = d;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        let mut cl = closure_of(self, &items[s1]);
+        let mut cr = closure_of(self, &items[s2]);
+        for (i, it) in items.iter().enumerate() {
+            let c = closure_of(self, it);
+            let idx = match it {
+                Item::Graph(g) => *g,
+                Item::Node(n) => *n,
+            };
+            if i == s1 {
+                left.push(idx);
+                continue;
+            }
+            if i == s2 {
+                right.push(idx);
+                continue;
+            }
+            // keep groups balanced-ish, else least enlargement
+            if left.len() * 2 > items.len() {
+                cr.merge(&c);
+                right.push(idx);
+            } else if right.len() * 2 > items.len() || cl.enlargement(&c) <= cr.enlargement(&c) {
+                cl.merge(&c);
+                left.push(idx);
+            } else {
+                cr.merge(&c);
+                right.push(idx);
+            }
+        }
+        let is_leaf = matches!(self.nodes[nid], CNode::Leaf { .. });
+        let new_id = self.nodes.len();
+        if is_leaf {
+            self.nodes[nid] = CNode::Leaf {
+                entries: left,
+                closure: cl,
+            };
+            self.nodes.push(CNode::Leaf {
+                entries: right,
+                closure: cr,
+            });
+        } else {
+            self.nodes[nid] = CNode::Internal {
+                children: left,
+                closure: cl,
+            };
+            self.nodes.push(CNode::Internal {
+                children: right,
+                closure: cr,
+            });
+        }
+        new_id
+    }
+
+    /// k-nearest-neighbor search: the `k` most similar graphs to `query`
+    /// under the C-Tree similarity, best-first with closure-bound pruning.
+    /// Returns `(graph id, similarity)` sorted descending.
+    pub fn knn(&self, query: &Graph, k: usize) -> Vec<(usize, f64)> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut q_hist: HashMap<u32, u32> = HashMap::new();
+        for n in query.nodes() {
+            *q_hist.entry(query.label(n).0).or_insert(0) += 1;
+        }
+        let q_edges = query.edge_count() as u32;
+        let q_size = (query.node_count() + query.edge_count()) as u32;
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Frontier {
+            bound: f64::INFINITY,
+            node: self.root,
+        });
+        // results: min at front via sorted Vec (k is small)
+        let mut best: Vec<(usize, f64)> = Vec::new();
+        let kth = |best: &Vec<(usize, f64)>| -> f64 {
+            if best.len() < k {
+                f64::NEG_INFINITY
+            } else {
+                best.last().expect("k > 0").1
+            }
+        };
+        while let Some(Frontier { bound, node }) = heap.pop() {
+            if bound <= kth(&best) {
+                break; // nothing left can improve the top-k
+            }
+            match &self.nodes[node] {
+                CNode::Internal { children, .. } => {
+                    for &c in children {
+                        let b =
+                            self.nodes[c]
+                                .closure()
+                                .sim_upper_bound(&q_hist, q_edges, q_size);
+                        if b > kth(&best) {
+                            heap.push(Frontier { bound: b, node: c });
+                        }
+                    }
+                }
+                CNode::Leaf { entries, .. } => {
+                    for &g in entries {
+                        let gb = self.graph_closures[g].sim_upper_bound(&q_hist, q_edges, q_size);
+                        if gb <= kth(&best) {
+                            continue;
+                        }
+                        let sim = self.score(query, &self.graphs[g]);
+                        if best.len() < k || sim > kth(&best) {
+                            best.push((g, sim));
+                            best.sort_by(|a, b| {
+                                b.1.partial_cmp(&a.1)
+                                    .unwrap_or(Ordering::Equal)
+                                    .then(a.0.cmp(&b.0))
+                            });
+                            best.truncate(k);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact (well, greedy neighbor-biased) similarity between the query
+    /// and one database graph, in the C-Tree similarity scale.
+    pub fn score(&self, query: &Graph, target: &Graph) -> f64 {
+        let (mn, me) = nbm_match(query, target);
+        let denom =
+            (query.node_count() + query.edge_count() + target.node_count() + target.edge_count())
+                as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        2.0 * (mn + me) as f64 / denom
+    }
+}
+
+/// Neighbor-biased greedy mapping: seeds the best label-equal pair, then
+/// repeatedly extends matched pairs through their neighborhoods, reseeding
+/// for disconnected remainders. Returns `(matched nodes, matched edges)`.
+pub fn nbm_match(query: &Graph, target: &Graph) -> (usize, usize) {
+    let mut q_used = vec![false; query.node_count()];
+    let mut t_used = vec![false; target.node_count()];
+    let mut map: Vec<Option<NodeId>> = vec![None; query.node_count()];
+    // target nodes grouped by label for seeding
+    let mut by_label: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for t in target.nodes() {
+        by_label.entry(target.label(t).0).or_default().push(t);
+    }
+    // seed order: query nodes by degree descending
+    let mut seeds: Vec<NodeId> = query.nodes().collect();
+    seeds.sort_by_key(|q| std::cmp::Reverse(query.degree(*q)));
+
+    let mut frontier: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut matched = 0usize;
+    let pair = |q: NodeId,
+                    t: NodeId,
+                    q_used: &mut Vec<bool>,
+                    t_used: &mut Vec<bool>,
+                    map: &mut Vec<Option<NodeId>>,
+                    frontier: &mut Vec<(NodeId, NodeId)>,
+                    matched: &mut usize| {
+        q_used[q.idx()] = true;
+        t_used[t.idx()] = true;
+        map[q.idx()] = Some(t);
+        frontier.push((q, t));
+        *matched += 1;
+    };
+
+    for &seed_q in &seeds {
+        if q_used[seed_q.idx()] {
+            continue;
+        }
+        // best unused target with same label, degree-closest from above
+        let cand = by_label
+            .get(&query.label(seed_q).0)
+            .into_iter()
+            .flatten()
+            .filter(|t| !t_used[t.idx()])
+            .max_by_key(|t| {
+                let qd = query.degree(seed_q);
+                let td = target.degree(**t);
+                (td.min(qd), std::cmp::Reverse(td.abs_diff(qd)))
+            })
+            .copied();
+        let Some(seed_t) = cand else { continue };
+        pair(
+            seed_q, seed_t, &mut q_used, &mut t_used, &mut map, &mut frontier, &mut matched,
+        );
+        // BFS extension
+        while let Some((q, t)) = frontier.pop() {
+            for qn in query.neighbors(q) {
+                if q_used[qn.idx()] {
+                    continue;
+                }
+                let ql = query.label(qn).0;
+                let best = target
+                    .neighbors(t)
+                    .filter(|tn| !t_used[tn.idx()] && target.label(*tn).0 == ql)
+                    .max_by_key(|tn| {
+                        let qd = query.degree(qn);
+                        let td = target.degree(*tn);
+                        (td.min(qd), std::cmp::Reverse(td.abs_diff(qd)))
+                    });
+                if let Some(tn) = best {
+                    pair(
+                        qn, tn, &mut q_used, &mut t_used, &mut map, &mut frontier, &mut matched,
+                    );
+                }
+            }
+        }
+    }
+    // matched edges under the mapping
+    let me = query
+        .edges()
+        .filter(|&(u, v, _)| {
+            matches!(
+                (map[u.idx()], map[v.idx()]),
+                (Some(mu), Some(mv)) if target.has_edge(mu, mv)
+            )
+        })
+        .count();
+    (matched, me)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tale_graph::generate::{gnm, mutate, MutationRates};
+    use tale_graph::labels::NodeLabel;
+
+    fn path(labels: &[u32]) -> Graph {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = labels.iter().map(|&l| g.add_node(NodeLabel(l))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn nbm_identical_graphs_full_score() {
+        let g = path(&[0, 1, 2, 3]);
+        let (mn, me) = nbm_match(&g, &g);
+        assert_eq!((mn, me), (4, 3));
+    }
+
+    #[test]
+    fn nbm_disjoint_labels_zero() {
+        let a = path(&[0, 1]);
+        let b = path(&[5, 6]);
+        assert_eq!(nbm_match(&a, &b), (0, 0));
+    }
+
+    #[test]
+    fn insert_and_knn_self_retrieval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let graphs: Vec<Graph> = (0..30).map(|_| gnm(&mut rng, 20, 35, 6)).collect();
+        let tree = CTree::build(CTreeConfig::default(), graphs.clone());
+        assert_eq!(tree.len(), 30);
+        for (i, g) in graphs.iter().enumerate().step_by(7) {
+            let res = tree.knn(g, 3);
+            assert!(!res.is_empty());
+            assert_eq!(res[0].0, i, "self should be the 1-NN");
+            // greedy NBM on repeated labels may not find the identity
+            // mapping, but the self-match should still score highly
+            assert!(res[0].1 > 0.7, "self sim too low: {}", res[0].1);
+        }
+    }
+
+    #[test]
+    fn knn_prefers_mutated_sibling() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let base = gnm(&mut rng, 40, 80, 5);
+        let (sibling, _) = mutate(&mut rng, &base, &MutationRates::mild(), 5);
+        let mut graphs = vec![sibling];
+        for _ in 0..20 {
+            graphs.push(gnm(&mut rng, 40, 80, 5));
+        }
+        let tree = CTree::build(CTreeConfig::default(), graphs);
+        let res = tree.knn(&base, 1);
+        assert_eq!(res[0].0, 0, "mutated sibling should win");
+    }
+
+    #[test]
+    fn split_preserves_membership() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        // many graphs force multiple splits with max_children = 3
+        let graphs: Vec<Graph> = (0..50).map(|_| gnm(&mut rng, 10, 15, 4)).collect();
+        let tree = CTree::build(CTreeConfig { max_children: 3 }, graphs.clone());
+        assert_eq!(tree.len(), 50);
+        // every graph still retrievable as its own 1-NN
+        for (i, g) in graphs.iter().enumerate().step_by(11) {
+            let res = tree.knn(g, 1);
+            assert_eq!(res[0].0, i, "graph {i} lost: {res:?}");
+        }
+    }
+
+    #[test]
+    fn knn_k_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let graphs: Vec<Graph> = (0..5).map(|_| gnm(&mut rng, 8, 10, 3)).collect();
+        let tree = CTree::build(CTreeConfig::default(), graphs.clone());
+        assert!(tree.knn(&graphs[0], 0).is_empty());
+        let all = tree.knn(&graphs[0], 100);
+        assert_eq!(all.len(), 5);
+        // sorted descending
+        assert!(all.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = CTree::new(CTreeConfig::default());
+        assert!(tree.is_empty());
+        assert!(tree.knn(&path(&[0]), 3).is_empty());
+    }
+
+    #[test]
+    fn memory_grows_with_db() {
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        let small = CTree::build(
+            CTreeConfig::default(),
+            (0..5).map(|_| gnm(&mut rng, 20, 30, 4)).collect::<Vec<_>>(),
+        );
+        let big = CTree::build(
+            CTreeConfig::default(),
+            (0..50).map(|_| gnm(&mut rng, 20, 30, 4)).collect::<Vec<_>>(),
+        );
+        assert!(big.approx_memory_bytes() > 5 * small.approx_memory_bytes());
+    }
+}

@@ -1,0 +1,31 @@
+//! Baselines TALE is evaluated against in the paper.
+//!
+//! * [`ullmann`] — Ullmann's exact subgraph-isomorphism algorithm
+//!   (§II cites it as the classical state-space search). Used here both as
+//!   a correctness oracle for TALE at `ρ = 0` and as the exact-matching
+//!   reference point.
+//! * [`ctree`] — a closure-tree (C-Tree, He & Singh, ICDE 2006): the
+//!   R-tree-like graph index the paper compares against on ASTRAL
+//!   (§VI-B.2, Fig. 5). Memory-resident, exactly the limitation the paper
+//!   highlights.
+//! * [`aligner`] — a Graemlin-like seed-and-extend pairwise network
+//!   aligner standing in for Graemlin in the Table II comparison (the real
+//!   Graemlin is a closed pipeline requiring phylogeny and trained
+//!   scoring; see DESIGN.md §4 for the substitution argument).
+//! * [`saga`] — a SAGA-like fragment index (the authors' earlier matcher;
+//!   §II: efficient for small queries, expensive for large ones — the
+//!   asymmetry the `saga_vs_tale` experiment reproduces).
+//! * [`pathindex`] — a GraphGrep-style path index (§II's classical
+//!   filter-and-verify exact containment pipeline).
+
+pub mod aligner;
+pub mod ctree;
+pub mod pathindex;
+pub mod saga;
+pub mod ullmann;
+
+pub use aligner::{Alignment, SeedExtendAligner};
+pub use ctree::{CTree, CTreeConfig};
+pub use pathindex::PathIndex;
+pub use saga::{FragmentIndex, SagaMatch};
+pub use ullmann::{count_embeddings, find_embedding};

@@ -1,0 +1,358 @@
+//! Ullmann's subgraph-isomorphism algorithm (J. ACM 1976).
+//!
+//! The classical exact matcher the paper's related work starts from
+//! ("a state space search method with backtracking", §II). We use it as
+//! the ground-truth oracle in tests — TALE at `ρ = 0` on a planted exact
+//! subgraph must agree with Ullmann — and as a baseline for the exact-vs-
+//! approximate benches.
+//!
+//! Implementation: candidate lists per query node (label equality + degree
+//! feasibility), most-constrained-first ordering (prefer query nodes
+//! adjacent to already-placed ones, then higher degree), and the standard
+//! refinement that every placed neighbor must stay adjacent.
+
+use tale_graph::{Graph, NodeId};
+
+struct Search<'a> {
+    query: &'a Graph,
+    target: &'a Graph,
+    order: Vec<NodeId>,
+    candidates: Vec<Vec<NodeId>>,
+    assignment: Vec<Option<NodeId>>,
+    used: Vec<bool>,
+    found: Vec<Vec<NodeId>>,
+    limit: usize,
+    node_budget: Option<u64>,
+}
+
+impl Search<'_> {
+    fn run(&mut self, depth: usize) -> bool {
+        // returns true when the search should stop (limit hit / budget out)
+        if depth == self.order.len() {
+            let emb: Vec<NodeId> = self
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete assignment"))
+                .collect();
+            self.found.push(emb);
+            return self.found.len() >= self.limit;
+        }
+        if let Some(b) = self.node_budget.as_mut() {
+            if *b == 0 {
+                return true;
+            }
+            *b -= 1;
+        }
+        let q = self.order[depth];
+        // iterate candidates; reuse the precomputed per-node list
+        let cands = self.candidates[q.idx()].clone();
+        for t in cands {
+            if self.used[t.idx()] {
+                continue;
+            }
+            if !self.feasible(q, t) {
+                continue;
+            }
+            self.assignment[q.idx()] = Some(t);
+            self.used[t.idx()] = true;
+            if self.run(depth + 1) {
+                return true;
+            }
+            self.assignment[q.idx()] = None;
+            self.used[t.idx()] = false;
+        }
+        false
+    }
+
+    /// Every already-placed query neighbor of `q` must map to a target
+    /// neighbor of `t` (and, for directed graphs, respect direction).
+    fn feasible(&self, q: NodeId, t: NodeId) -> bool {
+        for qn in self.query.neighbors(q) {
+            if let Some(tn) = self.assignment[qn.idx()] {
+                if !self.target.has_edge(t, tn) {
+                    return false;
+                }
+            }
+        }
+        if self.query.is_directed() {
+            for qn in self.query.in_neighbors(q) {
+                if let Some(tn) = self.assignment[qn.idx()] {
+                    if !self.target.has_edge(tn, t) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+fn build_search<'a>(
+    query: &'a Graph,
+    target: &'a Graph,
+    q_label: &'a dyn Fn(NodeId) -> u32,
+    t_label: &'a dyn Fn(NodeId) -> u32,
+    limit: usize,
+    node_budget: Option<u64>,
+) -> Option<Search<'a>> {
+    // Candidate sets: label equality, degree feasibility.
+    let mut candidates: Vec<Vec<NodeId>> = Vec::with_capacity(query.node_count());
+    for q in query.nodes() {
+        let ql = q_label(q);
+        let qd = query.degree(q);
+        let c: Vec<NodeId> = target
+            .nodes()
+            .filter(|&t| t_label(t) == ql && target.degree(t) >= qd)
+            .collect();
+        if c.is_empty() {
+            return None;
+        }
+        candidates.push(c);
+    }
+    // Most-constrained-first ordering: start from the node with the fewest
+    // candidates, then grow through the query graph preferring placed
+    // adjacency (keeps the refinement effective).
+    let n = query.node_count();
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    if n > 0 {
+        let first = query
+            .nodes()
+            .min_by_key(|q| (candidates[q.idx()].len(), std::cmp::Reverse(query.degree(*q))))
+            .expect("non-empty");
+        order.push(first);
+        placed[first.idx()] = true;
+        while order.len() < n {
+            let next = query
+                .nodes()
+                .filter(|q| !placed[q.idx()])
+                .min_by_key(|q| {
+                    let adj_placed = query.neighbors(*q).filter(|nb| placed[nb.idx()]).count();
+                    (
+                        std::cmp::Reverse(adj_placed),
+                        candidates[q.idx()].len(),
+                        q.0,
+                    )
+                })
+                .expect("remaining node");
+            order.push(next);
+            placed[next.idx()] = true;
+        }
+    }
+    Some(Search {
+        query,
+        target,
+        order,
+        candidates,
+        assignment: vec![None; n],
+        used: vec![false; target.node_count()],
+        found: Vec::new(),
+        limit,
+        node_budget,
+    })
+}
+
+/// Finds one exact subgraph embedding of `query` in `target`, if any.
+/// Returns the target node for each query node (indexed by query id).
+///
+/// ```
+/// use tale_baselines::ullmann::find_embedding;
+/// use tale_graph::{Graph, NodeLabel, NodeId};
+///
+/// let mut host = Graph::new_undirected();
+/// let a = host.add_node(NodeLabel(0));
+/// let b = host.add_node(NodeLabel(1));
+/// let c = host.add_node(NodeLabel(2));
+/// host.add_edge(a, b).unwrap();
+/// host.add_edge(b, c).unwrap();
+///
+/// let mut q = Graph::new_undirected();
+/// let x = q.add_node(NodeLabel(1));
+/// let y = q.add_node(NodeLabel(2));
+/// q.add_edge(x, y).unwrap();
+///
+/// let ql = |n: NodeId| q.label(n).0;
+/// let hl = |n: NodeId| host.label(n).0;
+/// let emb = find_embedding(&q, &host, &ql, &hl).unwrap();
+/// assert_eq!(emb, vec![b, c]);
+/// ```
+pub fn find_embedding(
+    query: &Graph,
+    target: &Graph,
+    q_label: &dyn Fn(NodeId) -> u32,
+    t_label: &dyn Fn(NodeId) -> u32,
+) -> Option<Vec<NodeId>> {
+    if query.node_count() == 0 {
+        return Some(Vec::new());
+    }
+    let mut s = build_search(query, target, q_label, t_label, 1, None)?;
+    s.run(0);
+    s.found.into_iter().next()
+}
+
+/// Counts exact embeddings, stopping at `limit` (embeddings, not search
+/// nodes). `node_budget` caps explored search-tree nodes to keep worst
+/// cases bounded; `None` = unbounded.
+pub fn count_embeddings(
+    query: &Graph,
+    target: &Graph,
+    q_label: &dyn Fn(NodeId) -> u32,
+    t_label: &dyn Fn(NodeId) -> u32,
+    limit: usize,
+    node_budget: Option<u64>,
+) -> usize {
+    if query.node_count() == 0 {
+        return 1;
+    }
+    match build_search(query, target, q_label, t_label, limit, node_budget) {
+        Some(mut s) => {
+            s.run(0);
+            s.found.len()
+        }
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tale_graph::labels::NodeLabel;
+
+    fn raw(g: &Graph) -> impl Fn(NodeId) -> u32 + '_ {
+        move |n| g.label(n).0
+    }
+
+    fn path(labels: &[u32]) -> Graph {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = labels.iter().map(|&l| g.add_node(NodeLabel(l))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn cycle(labels: &[u32]) -> Graph {
+        let mut g = path(labels);
+        g.add_edge(NodeId(0), NodeId(labels.len() as u32 - 1)).unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_planted_subgraph() {
+        let q = path(&[0, 1, 2]);
+        let t = cycle(&[0, 1, 2, 3, 4, 5]);
+        let ql = raw(&q);
+        let tl = raw(&t);
+        let emb = find_embedding(&q, &t, &ql, &tl).unwrap();
+        // verify it is a genuine embedding
+        for (u, v, _) in q.edges() {
+            assert!(t.has_edge(emb[u.idx()], emb[v.idx()]));
+        }
+        for (i, e) in emb.iter().enumerate() {
+            assert_eq!(t.label(*e).0, q.label(NodeId(i as u32)).0);
+        }
+    }
+
+    #[test]
+    fn rejects_absent_subgraph() {
+        let q = cycle(&[0, 0, 0]); // triangle
+        let t = path(&[0, 0, 0, 0]); // no triangle
+        let ql = raw(&q);
+        let tl = raw(&t);
+        assert!(find_embedding(&q, &t, &ql, &tl).is_none());
+    }
+
+    #[test]
+    fn label_constraint_matters() {
+        let q = path(&[7, 8]);
+        let t = path(&[7, 9]);
+        let ql = raw(&q);
+        let tl = raw(&t);
+        assert!(find_embedding(&q, &t, &ql, &tl).is_none());
+    }
+
+    #[test]
+    fn counts_automorphisms_of_triangle() {
+        let q = cycle(&[0, 0, 0]);
+        let t = cycle(&[0, 0, 0]);
+        let ql = raw(&q);
+        let tl = raw(&t);
+        // 3! = 6 embeddings of a triangle onto itself
+        assert_eq!(count_embeddings(&q, &t, &ql, &tl, 100, None), 6);
+    }
+
+    #[test]
+    fn count_respects_limit() {
+        let q = path(&[0, 0]);
+        let t = cycle(&[0, 0, 0, 0]); // many embeddings
+        let ql = raw(&q);
+        let tl = raw(&t);
+        assert_eq!(count_embeddings(&q, &t, &ql, &tl, 3, None), 3);
+    }
+
+    #[test]
+    fn node_budget_bounds_search() {
+        let q = path(&[0; 8]);
+        let t = cycle(&[0; 30]);
+        let ql = raw(&q);
+        let tl = raw(&t);
+        // tiny budget: may find nothing, must not hang or overcount
+        let n = count_embeddings(&q, &t, &ql, &tl, usize::MAX, Some(5));
+        assert!(n <= 5);
+    }
+
+    #[test]
+    fn empty_query_trivially_embeds() {
+        let q = Graph::new_undirected();
+        let t = path(&[0]);
+        let ql = raw(&q);
+        let tl = raw(&t);
+        assert_eq!(find_embedding(&q, &t, &ql, &tl), Some(vec![]));
+        assert_eq!(count_embeddings(&q, &t, &ql, &tl, 10, None), 1);
+    }
+
+    #[test]
+    fn directed_edges_respected() {
+        let mut q = Graph::new_directed();
+        let a = q.add_node(NodeLabel(0));
+        let b = q.add_node(NodeLabel(0));
+        q.add_edge(a, b).unwrap();
+        let mut t = Graph::new_directed();
+        let x = t.add_node(NodeLabel(0));
+        let y = t.add_node(NodeLabel(0));
+        t.add_edge(y, x).unwrap(); // reversed
+        let ql = raw(&q);
+        let tl = raw(&t);
+        let emb = find_embedding(&q, &t, &ql, &tl).unwrap();
+        // only valid embedding maps a→y, b→x
+        assert_eq!(emb, vec![y, x]);
+        // triangle direction check: directed 3-cycle does not embed in
+        // a directed path
+        let mut q2 = Graph::new_directed();
+        let n: Vec<_> = (0..3).map(|_| q2.add_node(NodeLabel(0))).collect();
+        q2.add_edge(n[0], n[1]).unwrap();
+        q2.add_edge(n[1], n[2]).unwrap();
+        q2.add_edge(n[2], n[0]).unwrap();
+        let mut t2 = Graph::new_directed();
+        let m: Vec<_> = (0..3).map(|_| t2.add_node(NodeLabel(0))).collect();
+        t2.add_edge(m[0], m[1]).unwrap();
+        t2.add_edge(m[1], m[2]).unwrap();
+        t2.add_edge(m[0], m[2]).unwrap(); // not a cycle
+        let q2l = raw(&q2);
+        let t2l = raw(&t2);
+        assert!(find_embedding(&q2, &t2, &q2l, &t2l).is_none());
+    }
+
+    #[test]
+    fn bigger_random_instance_agrees_with_self_embedding() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let g = tale_graph::generate::gnm(&mut rng, 25, 40, 5);
+        let gl = raw(&g);
+        // a graph always embeds into itself
+        let emb = find_embedding(&g, &g, &gl, &gl).unwrap();
+        for (u, v, _) in g.edges() {
+            assert!(g.has_edge(emb[u.idx()], emb[v.idx()]));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Design-choice ablations called out in DESIGN.md §7:
+//! importance measures (§VI-D generalized), Hungarian vs greedy anchor
+//! assignment, 1-hop vs 2-hop extension, and buffer-pool sensitivity
+//! (the disk-residency claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tale::{ImportanceMeasure, QueryOptions, TaleDatabase, TaleParams};
+use tale_datasets::contact::{ContactDataset, ContactSpec};
+
+fn setup() -> (TaleDatabase, tale_graph::Graph) {
+    let spec = ContactSpec {
+        families: 12,
+        domains_per_family: 10,
+        mean_nodes: 100.0,
+        mean_edges: 380.0,
+    };
+    let ds = ContactDataset::generate(20080407, &spec);
+    let q = ds.db.graph(ds.pick_queries(5, 1)[0]).clone();
+    let tale_db = TaleDatabase::build_in_temp(ds.db, &TaleParams::astral()).expect("build");
+    (tale_db, q)
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let (tale_db, q) = setup();
+    let mut group = c.benchmark_group("ablation/importance");
+    group.sample_size(10);
+    for (name, m) in [
+        ("degree", ImportanceMeasure::Degree),
+        ("closeness", ImportanceMeasure::Closeness),
+        ("betweenness", ImportanceMeasure::Betweenness),
+        ("eigenvector", ImportanceMeasure::Eigenvector),
+        ("random", ImportanceMeasure::Random(7)),
+    ] {
+        let opts = QueryOptions::astral().with_top_k(20).with_importance(m);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| tale_db.query(&q, &opts).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_anchor_assignment(c: &mut Criterion) {
+    let (tale_db, q) = setup();
+    let mut group = c.benchmark_group("ablation/anchors");
+    group.sample_size(10);
+    for greedy in [false, true] {
+        let opts = QueryOptions {
+            greedy_anchors: greedy,
+            top_k: Some(20),
+            ..QueryOptions::astral()
+        };
+        let name = if greedy { "greedy" } else { "hungarian" };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| tale_db.query(&q, &opts).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hops(c: &mut Criterion) {
+    let (tale_db, q) = setup();
+    let mut group = c.benchmark_group("ablation/hops");
+    group.sample_size(10);
+    for hops in [1u8, 2] {
+        let opts = QueryOptions {
+            hops,
+            top_k: Some(20),
+            ..QueryOptions::astral()
+        };
+        group.bench_function(BenchmarkId::from_parameter(hops), |b| {
+            b.iter(|| tale_db.query(&q, &opts).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let spec = ContactSpec {
+        families: 12,
+        domains_per_family: 10,
+        mean_nodes: 100.0,
+        mean_edges: 380.0,
+    };
+    let ds = ContactDataset::generate(20080407, &spec);
+    let q = ds.db.graph(ds.pick_queries(5, 1)[0]).clone();
+    let mut group = c.benchmark_group("ablation/buffer_frames");
+    group.sample_size(10);
+    for &frames in &[16usize, 256, 4096] {
+        let params = TaleParams {
+            buffer_frames: frames,
+            ..TaleParams::astral()
+        };
+        let tale_db = TaleDatabase::build_in_temp(ds.db.clone(), &params).expect("build");
+        let opts = QueryOptions::astral().with_top_k(20);
+        group.bench_function(BenchmarkId::from_parameter(frames), |b| {
+            b.iter(|| tale_db.query(&q, &opts).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_importance,
+    bench_anchor_assignment,
+    bench_hops,
+    bench_buffer_pool
+);
+criterion_main!(benches);

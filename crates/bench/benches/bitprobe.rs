@@ -1,0 +1,33 @@
+//! E-ALG1 criterion bench: Algorithm 1 vs naive bitmap probe vs the
+//! word-parallel row scan, across the paper's bitmap sizes (§IV-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tale_bench::experiments::alg1::{random_bitmap, random_query};
+use tale_nhindex::bitprobe::{probe_bitsliced, probe_naive, probe_rowscan};
+
+fn bench_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitprobe");
+    group.sample_size(20);
+    let sbit = 32u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for &rows in &[16usize, 256, 4096, 32768] {
+        let bm = random_bitmap(&mut rng, rows, sbit);
+        let rows_major: Vec<Vec<u64>> = (0..rows).map(|r| bm.row(r)).collect();
+        let q = random_query(&mut rng, sbit);
+        group.bench_with_input(BenchmarkId::new("algorithm1", rows), &rows, |b, _| {
+            b.iter(|| probe_bitsliced(&bm, &q, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", rows), &rows, |b, _| {
+            b.iter(|| probe_naive(&bm, &q, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("rowscan", rows), &rows, |b, _| {
+            b.iter(|| probe_rowscan(&rows_major, &q, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probes);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E-T3 / E-F7 / E-F8 criterion bench: NH-Index construction cost and
+//! size as the database grows (Table III, Figs. 7–8), plus a
+//! deterministic-vs-Bloom neighbor-array ablation via `Sbit`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tale::{TaleDatabase, TaleParams};
+use tale_datasets::contact::{ContactDataset, ContactSpec};
+
+fn contact_db(families: usize) -> tale_graph::GraphDb {
+    let spec = ContactSpec {
+        families,
+        domains_per_family: 10,
+        mean_nodes: 90.0,
+        mean_edges: 340.0,
+    };
+    ContactDataset::generate(9, &spec).db
+}
+
+fn bench_build_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build/db_size");
+    group.sample_size(10);
+    for &fams in &[2usize, 8, 24] {
+        let db = contact_db(fams);
+        group.bench_with_input(BenchmarkId::from_parameter(fams * 10), &db, |b, db| {
+            b.iter(|| {
+                TaleDatabase::build_in_temp(db.clone(), &TaleParams::astral()).expect("build")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sbit_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build/sbit");
+    group.sample_size(10);
+    let db = contact_db(8);
+    // 20 labels: sbit ≥ 20 = deterministic arrays, sbit < 20 = Bloom
+    for &sbit in &[8u32, 16, 32, 96] {
+        let params = TaleParams {
+            sbit,
+            ..TaleParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(sbit), &params, |b, p| {
+            b.iter(|| TaleDatabase::build_in_temp(db.clone(), p).expect("build"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_scaling, bench_sbit_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E-F5 / E-F9 criterion bench: ASTRAL-style top-K queries — TALE vs
+//! C-Tree latency on the family-retrieval workload (Figs. 5 and 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_baselines::ctree::{CTree, CTreeConfig};
+use tale_datasets::contact::{ContactDataset, ContactSpec};
+
+fn bench_tale_vs_ctree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_astral");
+    group.sample_size(10);
+    let spec = ContactSpec {
+        families: 20,
+        domains_per_family: 10,
+        mean_nodes: 120.0,
+        mean_edges: 460.0,
+    };
+    let ds = ContactDataset::generate(20080407, &spec);
+    let q = ds.db.graph(ds.pick_queries(3, 1)[0]).clone();
+
+    let tale_db = TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::astral()).expect("build");
+    let opts = QueryOptions::astral().with_top_k(20);
+    group.bench_function(BenchmarkId::new("tale", "top20"), |b| {
+        b.iter(|| tale_db.query(&q, &opts).expect("query"))
+    });
+
+    let ctree = CTree::build(
+        CTreeConfig::default(),
+        ds.db.iter().map(|(_, _, g)| g.clone()).collect::<Vec<_>>(),
+    );
+    group.bench_function(BenchmarkId::new("ctree", "top20"), |b| {
+        b.iter(|| ctree.knn(&q, 20))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tale_vs_ctree);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E-F6 criterion bench: BIND-style query latency as the database grows
+//! (Fig. 6) — PIN queries against the nested D1..D4 datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_datasets::pin::PinCorpus;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_bind/fig6");
+    group.sample_size(10);
+    let corpus = PinCorpus::generate(20080407, 16, 0.04);
+    let queries = corpus.queries(None);
+    let small_q = corpus.db.graph(queries[0]).clone();
+    let big_q = corpus.db.graph(*queries.last().expect("queries")).clone();
+    for (di, ids) in corpus.datasets.iter().enumerate() {
+        let mut sub = tale_graph::GraphDb::new();
+        for (_, name) in corpus.db.node_vocab().iter() {
+            sub.intern_node_label(name);
+        }
+        for &id in ids {
+            sub.insert(corpus.db.name(id).to_owned(), corpus.db.graph(id).clone());
+        }
+        let tale_db = TaleDatabase::build_in_temp(sub, &TaleParams::bind()).expect("build");
+        let opts = QueryOptions::bind();
+        group.bench_with_input(BenchmarkId::new("small_query", di + 1), &tale_db, |b, t| {
+            b.iter(|| t.query(&small_q, &opts).expect("query"))
+        });
+        group.bench_with_input(BenchmarkId::new("large_query", di + 1), &tale_db, |b, t| {
+            b.iter(|| t.query(&big_q, &opts).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

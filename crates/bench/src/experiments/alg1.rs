@@ -1,0 +1,130 @@
+//! E-ALG1 — §IV-D's in-text simulation: Algorithm 1 (bit-sliced probe)
+//! vs the naive per-row bitmap scan.
+//!
+//! Paper setup: "12 bitmap indexes with increasing sizes … 16 up to 32768
+//! nodes. Each neighbor array … 32 bits. 50 randomly generated query
+//! neighbor arrays." Reported result: speedups from 2× (smallest) to
+//! more than 12× (largest).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tale_nhindex::bitprobe::{probe_bitsliced, probe_naive, ColumnBitmap};
+
+/// One bitmap size's timing comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Alg1Row {
+    /// Rows in the bitmap (database nodes sharing the key).
+    pub rows: usize,
+    /// Mean bit-sliced probe time (ns) over the query set.
+    pub bitsliced_ns: f64,
+    /// Mean naive scan time (ns).
+    pub naive_ns: f64,
+    /// `naive / bitsliced`.
+    pub speedup: f64,
+}
+
+/// Builds a random bitmap with `rows` rows × 32 bits.
+pub fn random_bitmap(rng: &mut ChaCha8Rng, rows: usize, sbit: u32) -> ColumnBitmap {
+    let mut bm = ColumnBitmap::new(rows, sbit);
+    for r in 0..rows {
+        for j in 0..sbit {
+            // ~25% fill: neighbor arrays are sparse in practice
+            if rng.gen_bool(0.25) {
+                bm.set(r, j);
+            }
+        }
+    }
+    bm
+}
+
+/// Random 32-bit query array as words.
+pub fn random_query(rng: &mut ChaCha8Rng, sbit: u32) -> Vec<u64> {
+    let words = (sbit as usize).div_ceil(64);
+    let mask = if sbit.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (sbit % 64)) - 1
+    };
+    (0..words)
+        .map(|w| {
+            let v: u64 = rng.gen::<u64>() & rng.gen::<u64>(); // ~25% fill
+            if w == words - 1 {
+                v & mask
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Runs the §IV-D simulation: 12 bitmap sizes 16..32768, 50 queries each.
+pub fn run_alg1(seed: u64, n_queries: usize) -> Vec<Alg1Row> {
+    let sbit = 32u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sizes: Vec<usize> = (4..=15).map(|p| 1usize << p).collect(); // 16..32768
+    let queries: Vec<Vec<u64>> = (0..n_queries).map(|_| random_query(&mut rng, sbit)).collect();
+    let nbmiss = 2u32; // ρ·d for a typical query node
+
+    sizes
+        .into_iter()
+        .map(|rows| {
+            let bm = random_bitmap(&mut rng, rows, sbit);
+            // warm up + verify agreement, then time
+            for q in &queries {
+                let a = probe_bitsliced(&bm, q, nbmiss);
+                let b = probe_naive(&bm, q, nbmiss);
+                assert_eq!(a.rows, b.rows, "probe implementations disagree");
+            }
+            let reps = (200_000 / rows).clamp(3, 2000);
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                for q in &queries {
+                    std::hint::black_box(probe_bitsliced(&bm, q, nbmiss));
+                }
+            }
+            let bitsliced_ns =
+                t0.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64;
+            let t1 = std::time::Instant::now();
+            for _ in 0..reps {
+                for q in &queries {
+                    std::hint::black_box(probe_naive(&bm, q, nbmiss));
+                }
+            }
+            let naive_ns = t1.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64;
+            Alg1Row {
+                rows,
+                bitsliced_ns,
+                naive_ns,
+                speedup: naive_ns / bitsliced_ns,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_paper_sizes() {
+        let rows = run_alg1(1, 3);
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0].rows, 16);
+        assert_eq!(rows[11].rows, 32768);
+    }
+
+    #[test]
+    fn speedup_grows_with_bitmap_size() {
+        let rows = run_alg1(2, 5);
+        // the paper's shape: larger bitmaps favor the bit-sliced probe;
+        // compare the largest against the smallest
+        assert!(
+            rows[11].speedup > rows[0].speedup,
+            "speedup small={:.2} large={:.2}",
+            rows[0].speedup,
+            rows[11].speedup
+        );
+        // and at the top end the bit-sliced probe must win clearly
+        assert!(rows[11].speedup > 2.0, "large speedup {:.2}", rows[11].speedup);
+    }
+}

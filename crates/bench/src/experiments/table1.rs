@@ -1,0 +1,71 @@
+//! E-T1 — Table I: PINs of human, mouse and rat (node/edge counts).
+//!
+//! With synthetic data the table is reproduced by construction; this
+//! experiment materializes the generator output and reports the actual
+//! counts so EXPERIMENTS.md can show paper-vs-measured side by side.
+
+use crate::Scale;
+use tale_datasets::pin::{SpeciesPins, HUMAN, MOUSE, RAT};
+
+/// One species row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Species name.
+    pub species: String,
+    /// Paper's node count.
+    pub paper_nodes: usize,
+    /// Paper's edge count.
+    pub paper_edges: usize,
+    /// Generated node count.
+    pub nodes: usize,
+    /// Generated edge count.
+    pub edges: usize,
+}
+
+/// Generates the mammal PINs and reports their statistics. Returns the
+/// rows and the generated dataset (reused by Table II / ablation).
+pub fn run_table1(seed: u64, scale: Scale) -> (Vec<Table1Row>, SpeciesPins) {
+    let specs = [HUMAN, MOUSE, RAT].map(|s| tale_datasets::pin::PinSpec {
+        name: s.name,
+        nodes: ((s.nodes as f64 * scale.0).round() as usize).max(30),
+        edges: ((s.edges as f64 * scale.0).round() as usize).max(40),
+    });
+    let pins = SpeciesPins::generate(seed, &specs, 60, 12);
+    let rows = [HUMAN, MOUSE, RAT]
+        .iter()
+        .map(|paper| {
+            let gid = pins.species[paper.name];
+            let g = pins.db.graph(gid);
+            Table1Row {
+                species: paper.name.to_owned(),
+                paper_nodes: paper.nodes,
+                paper_edges: paper.edges,
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+            }
+        })
+        .collect();
+    (rows, pins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_counts() {
+        let (rows, _) = run_table1(1, Scale(1.0));
+        for r in &rows {
+            assert_eq!(r.nodes, r.paper_nodes, "{}", r.species);
+            let err = (r.edges as f64 - r.paper_edges as f64).abs() / r.paper_edges as f64;
+            assert!(err <= 0.05, "{} edges {} vs {}", r.species, r.edges, r.paper_edges);
+        }
+    }
+
+    #[test]
+    fn scaled_down_proportional() {
+        let (rows, _) = run_table1(1, Scale(0.1));
+        let human = &rows[0];
+        assert_eq!(human.nodes, 847);
+    }
+}

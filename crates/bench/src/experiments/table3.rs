@@ -1,0 +1,142 @@
+//! E-T3 + E-F6 — Table III (index size/build time for the nested BIND
+//! datasets D1–D4) and Fig. 6 (query time for the 10 D1 queries on each
+//! dataset).
+//!
+//! Paper shapes: index size grows near-linearly with the database; index
+//! construction time grows steadily; queries run in under a second even
+//! for the largest query on D4, with near-linear growth in database size
+//! and non-monotonic wiggles explained by result cardinality (Q2–Q4).
+
+use crate::{timed, Scale};
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_datasets::pin::PinCorpus;
+use tale_graph::{GraphDb, GraphId};
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Dataset name ("D1".."D4").
+    pub dataset: String,
+    /// Graph count.
+    pub graphs: usize,
+    /// Average node count.
+    pub avg_nodes: f64,
+    /// Average edge count.
+    pub avg_edges: f64,
+    /// Index size in bytes.
+    pub index_bytes: u64,
+    /// Index construction seconds.
+    pub build_secs: f64,
+}
+
+/// One Fig. 6 bar: query `q` on dataset `d`.
+#[derive(Debug, Clone)]
+pub struct Fig6Cell {
+    /// Query index (Q1..Q10, ascending size).
+    pub query: usize,
+    /// Query size (nodes, edges).
+    pub query_nodes: usize,
+    /// Query edge count.
+    pub query_edges: usize,
+    /// Dataset index (0..4 = D1..D4).
+    pub dataset: usize,
+    /// Query seconds (unrestricted result count, as in the paper).
+    pub seconds: f64,
+    /// Number of graphs matched.
+    pub results: usize,
+}
+
+/// Combined report.
+#[derive(Debug, Clone)]
+pub struct Table3Fig6Report {
+    /// Table III rows.
+    pub table3: Vec<Table3Row>,
+    /// Fig. 6 cells (query-major).
+    pub fig6: Vec<Fig6Cell>,
+}
+
+/// Builds the nested datasets, indexes each, times the queries.
+pub fn run_table3_fig6(seed: u64, scale: Scale) -> Table3Fig6Report {
+    let corpus = PinCorpus::generate(seed, 40, scale.0);
+    // the paper's queries stop at 3059 nodes; scale the cap with the corpus
+    let cap = ((3100.0 * scale.0) as usize).max(20);
+    let queries = corpus.queries(Some(cap));
+
+    let mut table3 = Vec::new();
+    let mut fig6 = Vec::new();
+    for (di, ids) in corpus.datasets.iter().enumerate() {
+        // materialize this dataset as its own GraphDb (same vocabulary)
+        let sub = subset_db(&corpus.db, ids);
+        let n = sub.len();
+        let avg_nodes = sub.total_nodes() as f64 / n as f64;
+        let avg_edges = sub.total_edges() as f64 / n as f64;
+        let (tale_db, build_secs) = timed(|| {
+            TaleDatabase::build_in_temp(sub, &TaleParams::bind()).expect("build")
+        });
+        table3.push(Table3Row {
+            dataset: format!("D{}", di + 1),
+            graphs: n,
+            avg_nodes,
+            avg_edges,
+            index_bytes: tale_db.index_size_bytes(),
+            build_secs,
+        });
+        let opts = QueryOptions::bind(); // unrestricted results
+        for (qi, &qid) in queries.iter().enumerate() {
+            let q = corpus.db.graph(qid);
+            let (res, secs) = timed(|| tale_db.query(q, &opts).expect("query"));
+            fig6.push(Fig6Cell {
+                query: qi + 1,
+                query_nodes: q.node_count(),
+                query_edges: q.edge_count(),
+                dataset: di,
+                seconds: secs,
+                results: res.len(),
+            });
+        }
+    }
+    Table3Fig6Report { table3, fig6 }
+}
+
+/// Copies the chosen graphs into a fresh db sharing the label names.
+fn subset_db(db: &GraphDb, ids: &[GraphId]) -> GraphDb {
+    let mut out = GraphDb::new();
+    // re-intern the full vocabulary so label ids stay aligned
+    for (_, name) in db.node_vocab().iter() {
+        out.intern_node_label(name);
+    }
+    for &id in ids {
+        out.insert(db.name(id).to_owned(), db.graph(id).clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_claims() {
+        let r = run_table3_fig6(3, Scale(0.04));
+        assert_eq!(r.table3.len(), 4);
+        // nested datasets: 10, 20, 30, 40 graphs
+        let counts: Vec<usize> = r.table3.iter().map(|t| t.graphs).collect();
+        assert_eq!(counts, vec![10, 20, 30, 40]);
+        // near-linear index growth: D4 index is roughly 4× D1 (within 2×
+        // slack for posting-granularity effects)
+        let ratio = r.table3[3].index_bytes as f64 / r.table3[0].index_bytes as f64;
+        assert!(
+            (1.5..=10.0).contains(&ratio),
+            "index growth ratio {ratio:.2}"
+        );
+        // every query ran on every dataset (the paper-style size cap can
+        // trim the largest D1 members, so count queries dynamically)
+        let n_queries = r.fig6.iter().map(|c| c.query).max().unwrap();
+        assert!(n_queries >= 5, "too few queries: {n_queries}");
+        assert_eq!(r.fig6.len(), n_queries * 4);
+        // queries ascend in size
+        let first = r.fig6.iter().find(|c| c.query == 1).unwrap();
+        let last = r.fig6.iter().find(|c| c.query == n_queries).unwrap();
+        assert!(first.query_nodes <= last.query_nodes);
+    }
+}

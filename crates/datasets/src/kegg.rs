@@ -1,0 +1,259 @@
+//! KEGG-like metabolic pathway graphs (§VI-A: "We also evaluated TALE on
+//! the biological pathways from the KEGG database. The results … are
+//! similar to the other two datasets and omitted in the interest
+//! of space." — reproduced here instead of omitted).
+//!
+//! A metabolic pathway is naturally a **directed** graph alternating
+//! compounds and reactions: substrates point into a reaction node, the
+//! reaction points at its products. Pathways are small-to-medium graphs
+//! (tens to a couple hundred nodes) organized in homologous families
+//! across species — the same retrieval structure as ASTRAL's families,
+//! over directed graphs with a larger label alphabet.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KeggSpec {
+    /// Pathway families (homologous pathways across species).
+    pub families: usize,
+    /// Species variants per family.
+    pub variants_per_family: usize,
+    /// Mean compound count per pathway.
+    pub mean_compounds: usize,
+    /// Distinct compound labels (KEGG compound ids are a large alphabet).
+    pub compound_alphabet: u32,
+    /// Distinct reaction-class labels (EC-number-like).
+    pub reaction_alphabet: u32,
+}
+
+impl Default for KeggSpec {
+    fn default() -> Self {
+        KeggSpec {
+            families: 150,
+            variants_per_family: 8,
+            mean_compounds: 40,
+            compound_alphabet: 600,
+            reaction_alphabet: 80,
+        }
+    }
+}
+
+/// Generated dataset: directed pathway graphs plus family ground truth.
+pub struct KeggDataset {
+    /// One directed graph per pathway variant.
+    pub db: GraphDb,
+    /// `family_of[graph.idx()]` = family id.
+    pub family_of: Vec<u32>,
+}
+
+/// Builds one seed pathway: a backbone chain
+/// `compound → reaction → compound → …` with branch reactions and a few
+/// cycle-closing edges (cofactor regeneration).
+fn seed_pathway(
+    rng: &mut ChaCha8Rng,
+    spec: &KeggSpec,
+    compound_label: &mut dyn FnMut(&mut ChaCha8Rng) -> u32,
+    reaction_label: &mut dyn FnMut(&mut ChaCha8Rng) -> u32,
+) -> (Graph, Vec<bool>) {
+    // returns (graph, is_reaction flags)
+    let n_compounds = (spec.mean_compounds as f64 * (0.7 + rng.gen_range(0.0..0.6))) as usize;
+    let n_compounds = n_compounds.max(4);
+    let mut g = Graph::new_directed();
+    let mut is_reaction = Vec::new();
+    let mut compounds: Vec<NodeId> = Vec::new();
+
+    // backbone chain
+    let mut prev = {
+        let c = g.add_node(tale_graph::NodeLabel(compound_label(rng)));
+        is_reaction.push(false);
+        compounds.push(c);
+        c
+    };
+    while compounds.len() < n_compounds {
+        let r = g.add_node(tale_graph::NodeLabel(reaction_label(rng)));
+        is_reaction.push(true);
+        let c = g.add_node(tale_graph::NodeLabel(compound_label(rng)));
+        is_reaction.push(false);
+        g.add_edge(prev, r).unwrap();
+        g.add_edge(r, c).unwrap();
+        compounds.push(c);
+        prev = c;
+    }
+    // branches: extra substrates/products on random reactions
+    let reactions: Vec<NodeId> = g
+        .nodes()
+        .filter(|n| is_reaction[n.idx()])
+        .collect();
+    let branches = reactions.len() / 2;
+    for _ in 0..branches {
+        let r = reactions[rng.gen_range(0..reactions.len())];
+        let c = g.add_node(tale_graph::NodeLabel(compound_label(rng)));
+        is_reaction.push(false);
+        if rng.gen_bool(0.5) {
+            g.add_edge(c, r).unwrap(); // extra substrate
+        } else {
+            g.add_edge(r, c).unwrap(); // extra product
+        }
+        compounds.push(c);
+    }
+    // a couple of regeneration cycles: product feeds an earlier reaction
+    for _ in 0..2 {
+        let r = reactions[rng.gen_range(0..reactions.len())];
+        let c = compounds[rng.gen_range(0..compounds.len())];
+        let _ = g.add_edge(c, r); // may duplicate; ignore
+    }
+    (g, is_reaction)
+}
+
+impl KeggDataset {
+    /// Generates the dataset.
+    pub fn generate(seed: u64, spec: &KeggSpec) -> KeggDataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut db = GraphDb::new();
+        // intern the vocabularies up front so ids are stable
+        for c in 0..spec.compound_alphabet {
+            db.intern_node_label(&format!("C{c:05}"));
+        }
+        for r in 0..spec.reaction_alphabet {
+            db.intern_node_label(&format!("EC{r:03}"));
+        }
+        let compound_base = 0u32;
+        let reaction_base = spec.compound_alphabet;
+
+        let mut family_of = Vec::new();
+        for fam in 0..spec.families {
+            let mut compound_label =
+                |rng: &mut ChaCha8Rng| compound_base + rng.gen_range(0..spec.compound_alphabet);
+            let mut reaction_label =
+                |rng: &mut ChaCha8Rng| reaction_base + rng.gen_range(0..spec.reaction_alphabet);
+            let (seed_graph, _) =
+                seed_pathway(&mut rng, spec, &mut compound_label, &mut reaction_label);
+            for v in 0..spec.variants_per_family {
+                let variant = if v == 0 {
+                    seed_graph.clone()
+                } else {
+                    // species variation: enzymes swapped, side compounds
+                    // gained/lost — modeled with the standard mutator
+                    tale_graph::generate::mutate(
+                        &mut rng,
+                        &seed_graph,
+                        &tale_graph::generate::MutationRates {
+                            node_delete: 0.08,
+                            node_insert: 0.08,
+                            edge_delete: 0.10,
+                            edge_insert: 0.06,
+                            relabel: 0.06,
+                        },
+                        spec.compound_alphabet + spec.reaction_alphabet,
+                    )
+                    .0
+                };
+                db.insert(format!("path{fam:03}.{v}"), variant);
+                family_of.push(fam as u32);
+            }
+        }
+        KeggDataset { db, family_of }
+    }
+
+    /// Family of a graph.
+    pub fn family(&self, g: GraphId) -> u32 {
+        self.family_of[g.idx()]
+    }
+
+    /// Picks `k` queries from distinct families (deterministic per seed).
+    pub fn pick_queries(&self, seed: u64, k: usize) -> Vec<GraphId> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut fams = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let n = self.db.len();
+        let mut guard = 0;
+        while out.len() < k && guard < n * 4 {
+            guard += 1;
+            let g = GraphId(rng.gen_range(0..n as u32));
+            if fams.insert(self.family(g)) {
+                out.push(g);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KeggSpec {
+        KeggSpec {
+            families: 10,
+            variants_per_family: 5,
+            mean_compounds: 25,
+            compound_alphabet: 120,
+            reaction_alphabet: 20,
+        }
+    }
+
+    #[test]
+    fn generates_directed_pathways() {
+        let ds = KeggDataset::generate(3, &small());
+        assert_eq!(ds.db.len(), 50);
+        for (_, _, g) in ds.db.iter() {
+            assert!(g.is_directed());
+            assert!(g.node_count() >= 8, "pathway too small: {}", g.node_count());
+            assert!(
+                g.edge_count() * 10 >= g.node_count() * 7,
+                "too sparse: {}/{} (mutated variants may drop edges)",
+                g.edge_count(),
+                g.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_structure_mostly_bipartite() {
+        let ds = KeggDataset::generate(4, &small());
+        // seed variants (index % 5 == 0) are exactly the generated seeds:
+        // every edge connects a compound (label < 120) and a reaction
+        let g = ds.db.graph(GraphId(0));
+        for (u, v, _) in g.edges() {
+            let cu = g.label(u).0 < 120;
+            let cv = g.label(v).0 < 120;
+            assert_ne!(cu, cv, "compound-compound or reaction-reaction edge");
+        }
+    }
+
+    #[test]
+    fn families_retrievable_by_tale_like_similarity() {
+        // intra-family variants share most labels; inter-family share few
+        let ds = KeggDataset::generate(5, &small());
+        let labels = |gid: GraphId| -> std::collections::HashSet<u32> {
+            let g = ds.db.graph(gid);
+            g.nodes().map(|n| g.label(n).0).collect()
+        };
+        let base = labels(GraphId(0));
+        let sibling = labels(GraphId(1));
+        let stranger = labels(GraphId(10));
+        let overlap = |a: &std::collections::HashSet<u32>, b: &std::collections::HashSet<u32>| {
+            a.intersection(b).count() as f64 / a.len().max(1) as f64
+        };
+        assert!(
+            overlap(&base, &sibling) > overlap(&base, &stranger) + 0.2,
+            "sibling {:.2} vs stranger {:.2}",
+            overlap(&base, &sibling),
+            overlap(&base, &stranger)
+        );
+    }
+
+    #[test]
+    fn queries_distinct_families_deterministic() {
+        let ds = KeggDataset::generate(6, &small());
+        let q = ds.pick_queries(9, 6);
+        assert_eq!(q.len(), 6);
+        assert_eq!(q, ds.pick_queries(9, 6));
+        let fams: std::collections::HashSet<u32> = q.iter().map(|&g| ds.family(g)).collect();
+        assert_eq!(fams.len(), 6);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic equivalents of the paper's evaluation datasets.
+//!
+//! The paper evaluates on three licensed biological resources we cannot
+//! ship: BIND protein-interaction networks (Table I–III, Fig. 6), ASTRAL
+//! protein-domain contact graphs (Fig. 5, 7–9) and KEGG pathways (the
+//! effectiveness metrics of Table II). Each generator here reproduces the
+//! *published statistics* and the *structural properties the algorithms
+//! exercise* — power-law PINs with ortholog groups and conserved modules,
+//! locally clustered 20-label contact graphs organized into families —
+//! so every experiment runs the same code paths on data of the same shape
+//! and scale. See DESIGN.md §4 for the substitution rationale.
+//!
+//! * [`pin`] — BIND-like PINs: cross-species families derived from a
+//!   common ancestor network, with planted conserved pathways.
+//! * [`contact`] — ASTRAL-like contact graphs in structural families.
+//! * [`kegg`] — KEGG-like directed metabolic pathways in homologous
+//!   families (the third dataset §VI-A mentions and omits for space).
+//! * [`metrics`] — KEGG hit / coverage (Table II) and precision/recall
+//!   (Fig. 5) evaluation.
+
+pub mod contact;
+pub mod kegg;
+pub mod metrics;
+pub mod pin;
+
+pub use contact::{ContactDataset, ContactSpec};
+pub use kegg::{KeggDataset, KeggSpec};
+pub use metrics::{kegg_metrics, precision_recall_curve, KeggReport};
+pub use pin::{PinCorpus, PinSpec, SpeciesPins};

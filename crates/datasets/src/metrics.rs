@@ -1,0 +1,217 @@
+//! Evaluation metrics from the paper.
+//!
+//! * **KEGG hit / coverage** (Table II, footnotes 1–2): "The number of
+//!   KEGGs hit is the number of pathways … aligned between 2 species. A
+//!   KEGG pathway is considered as a hit if at least 3 proteins in the
+//!   pathway are aligned to their counterparts in the pathway of the
+//!   other species. KEGG coverage is the fraction of proteins aligned
+//!   within a pathway."
+//! * **Precision / recall** (Fig. 5): graded result lists against family
+//!   ground truth, averaged over queries.
+
+use crate::pin::Pathway;
+use std::collections::HashSet;
+use tale_graph::NodeId;
+
+/// Table II row: pathway-level effectiveness of a pairwise alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeggReport {
+    /// Pathways with ≥ 3 aligned counterpart pairs.
+    pub hits: usize,
+    /// Pathways evaluated (present with ≥ 3 members in both species).
+    pub evaluated: usize,
+    /// Mean fraction of pathway proteins aligned to a counterpart in the
+    /// same pathway (averaged over evaluated pathways).
+    pub avg_coverage: f64,
+}
+
+/// Scores a pairwise alignment (`pairs`: nodes of `species_a` mapped to
+/// nodes of `species_b`) against the planted pathways.
+///
+/// A pair counts for a pathway when the `species_a` endpoint is a member
+/// and its image is a member of the same pathway in `species_b` — the
+/// paper's "aligned to their counterparts in the pathway of the other
+/// species".
+pub fn kegg_metrics(
+    pathways: &[Pathway],
+    species_a: &str,
+    species_b: &str,
+    pairs: &[(NodeId, NodeId)],
+) -> KeggReport {
+    let mut hits = 0;
+    let mut evaluated = 0;
+    let mut coverage_sum = 0.0;
+    for pw in pathways {
+        let (Some(ma), Some(mb)) = (pw.members.get(species_a), pw.members.get(species_b)) else {
+            continue;
+        };
+        if ma.len() < 3 || mb.len() < 3 {
+            continue;
+        }
+        evaluated += 1;
+        let a_set: HashSet<NodeId> = ma.iter().copied().collect();
+        let b_set: HashSet<NodeId> = mb.iter().copied().collect();
+        let aligned = pairs
+            .iter()
+            .filter(|(a, b)| a_set.contains(a) && b_set.contains(b))
+            .count();
+        if aligned >= 3 {
+            hits += 1;
+        }
+        coverage_sum += aligned as f64 / ma.len() as f64;
+    }
+    KeggReport {
+        hits,
+        evaluated,
+        avg_coverage: if evaluated == 0 {
+            0.0
+        } else {
+            coverage_sum / evaluated as f64
+        },
+    }
+}
+
+/// One point on a Fig. 5-style ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Results returned so far (the sweep variable).
+    pub k: usize,
+    /// Mean precision at `k` over all queries.
+    pub precision: f64,
+    /// Mean recall at `k` over all queries.
+    pub recall: f64,
+}
+
+/// Computes the mean precision/recall curve for ranked retrieval.
+///
+/// `results[q]` is query `q`'s ranked list of `(item, relevant)` flags;
+/// `relevant_total[q]` is the ground-truth relevant count (e.g. family
+/// size − 1). The curve sweeps `k = 1..=max_k`.
+pub fn precision_recall_curve(
+    results: &[Vec<bool>],
+    relevant_total: &[usize],
+    max_k: usize,
+) -> Vec<PrPoint> {
+    assert_eq!(results.len(), relevant_total.len());
+    let nq = results.len().max(1);
+    (1..=max_k)
+        .map(|k| {
+            let mut p_sum = 0.0;
+            let mut r_sum = 0.0;
+            for (ranked, &total) in results.iter().zip(relevant_total.iter()) {
+                let upto = k.min(ranked.len());
+                let rel = ranked[..upto].iter().filter(|&&r| r).count();
+                if upto > 0 {
+                    p_sum += rel as f64 / upto as f64;
+                }
+                if total > 0 {
+                    r_sum += rel as f64 / total as f64;
+                }
+            }
+            PrPoint {
+                k,
+                precision: p_sum / nq as f64,
+                recall: r_sum / nq as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn pathway(name: &str, a: &[u32], b: &[u32]) -> Pathway {
+        let mut members = HashMap::new();
+        members.insert("a".to_owned(), a.iter().map(|&i| NodeId(i)).collect());
+        members.insert("b".to_owned(), b.iter().map(|&i| NodeId(i)).collect());
+        Pathway {
+            name: name.to_owned(),
+            groups: Vec::new(),
+            members,
+        }
+    }
+
+    #[test]
+    fn kegg_hit_requires_three_counterparts() {
+        let pws = vec![pathway("p", &[0, 1, 2, 3], &[10, 11, 12, 13])];
+        // two aligned pairs: no hit
+        let two = vec![(NodeId(0), NodeId(10)), (NodeId(1), NodeId(11))];
+        let r = kegg_metrics(&pws, "a", "b", &two);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.evaluated, 1);
+        assert!((r.avg_coverage - 0.5).abs() < 1e-12);
+        // three aligned pairs: hit
+        let three = vec![
+            (NodeId(0), NodeId(10)),
+            (NodeId(1), NodeId(11)),
+            (NodeId(2), NodeId(12)),
+        ];
+        let r = kegg_metrics(&pws, "a", "b", &three);
+        assert_eq!(r.hits, 1);
+        assert!((r.avg_coverage - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_outside_pathway_does_not_count() {
+        let pws = vec![pathway("p", &[0, 1, 2], &[10, 11, 12])];
+        // aligned, but images are not pathway members in b
+        let pairs = vec![
+            (NodeId(0), NodeId(99)),
+            (NodeId(1), NodeId(98)),
+            (NodeId(2), NodeId(97)),
+        ];
+        let r = kegg_metrics(&pws, "a", "b", &pairs);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.avg_coverage, 0.0);
+    }
+
+    #[test]
+    fn small_pathways_not_evaluated() {
+        let pws = vec![pathway("tiny", &[0, 1], &[10, 11])];
+        let r = kegg_metrics(&pws, "a", "b", &[(NodeId(0), NodeId(10))]);
+        assert_eq!(r.evaluated, 0);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.avg_coverage, 0.0);
+    }
+
+    #[test]
+    fn missing_species_skipped() {
+        let mut pw = pathway("p", &[0, 1, 2], &[9, 8, 7]);
+        pw.members.remove("b");
+        let r = kegg_metrics(&[pw], "a", "b", &[]);
+        assert_eq!(r.evaluated, 0);
+    }
+
+    #[test]
+    fn pr_curve_perfect_ranking() {
+        // 1 query, 3 relevant of 5 returned, relevant first
+        let results = vec![vec![true, true, true, false, false]];
+        let curve = precision_recall_curve(&results, &[3], 5);
+        assert!((curve[0].precision - 1.0).abs() < 1e-12);
+        assert!((curve[2].precision - 1.0).abs() < 1e-12);
+        assert!((curve[2].recall - 1.0).abs() < 1e-12);
+        assert!((curve[4].precision - 0.6).abs() < 1e-12);
+        assert!((curve[4].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_averages_queries() {
+        let results = vec![vec![true, false], vec![false, true]];
+        let curve = precision_recall_curve(&results, &[1, 1], 2);
+        assert!((curve[0].precision - 0.5).abs() < 1e-12);
+        assert!((curve[0].recall - 0.5).abs() < 1e-12);
+        assert!((curve[1].precision - 0.5).abs() < 1e-12);
+        assert!((curve[1].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_short_result_lists() {
+        // query returned only 1 result; k beyond list length reuses it
+        let results = vec![vec![true]];
+        let curve = precision_recall_curve(&results, &[2], 3);
+        assert!((curve[2].precision - 1.0).abs() < 1e-12);
+        assert!((curve[2].recall - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,359 @@
+//! Node-importance measures (§V-A, Observation 1).
+//!
+//! TALE's matching paradigm "distinguishes nodes by their importance in the
+//! graph structure". The paper uses **degree centrality** and explicitly
+//! says the definition is customizable — naming closeness, betweenness and
+//! eigenvector centralities as candidates. All four are implemented here,
+//! plus a seeded random ranking used for the §VI-D TALE-Random ablation.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which importance measure ranks query nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ImportanceMeasure {
+    /// Degree centrality — the paper's default (§V-A).
+    #[default]
+    Degree,
+    /// Closeness centrality: inverse of summed BFS distances.
+    Closeness,
+    /// Betweenness centrality (Brandes' algorithm, unweighted).
+    Betweenness,
+    /// Eigenvector centrality via power iteration.
+    Eigenvector,
+    /// Uniform random ranking with the given seed — the §VI-D
+    /// "TALE-Random" ablation baseline.
+    Random(u64),
+}
+
+/// Computes the importance score of every node under `measure`.
+/// Higher means more important.
+pub fn scores(g: &Graph, measure: ImportanceMeasure) -> Vec<f64> {
+    match measure {
+        ImportanceMeasure::Degree => degree(g),
+        ImportanceMeasure::Closeness => closeness(g),
+        ImportanceMeasure::Betweenness => betweenness(g),
+        ImportanceMeasure::Eigenvector => eigenvector(g, 100, 1e-9),
+        ImportanceMeasure::Random(seed) => random_scores(g, seed),
+    }
+}
+
+/// Ranks nodes by importance (descending), breaking ties by ascending node
+/// id so the selection is deterministic — the paper sorts nodes and takes
+/// the top `Pimp` fraction (§V-B).
+///
+/// ```
+/// use tale_graph::{Graph, NodeLabel};
+/// use tale_graph::centrality::{rank, ImportanceMeasure};
+///
+/// let mut g = Graph::new_undirected();
+/// let hub = g.add_node(NodeLabel(0));
+/// for _ in 0..3 {
+///     let leaf = g.add_node(NodeLabel(1));
+///     g.add_edge(hub, leaf).unwrap();
+/// }
+/// assert_eq!(rank(&g, ImportanceMeasure::Degree)[0], hub);
+/// ```
+pub fn rank(g: &Graph, measure: ImportanceMeasure) -> Vec<NodeId> {
+    let s = scores(g, measure);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by(|a, b| {
+        s[b.idx()]
+            .partial_cmp(&s[a.idx()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    order
+}
+
+/// Selects the top `p_imp` fraction of nodes (at least one when the graph
+/// is non-empty), as in §V-B's important-node selection.
+pub fn select_important(g: &Graph, measure: ImportanceMeasure, p_imp: f64) -> Vec<NodeId> {
+    if g.node_count() == 0 {
+        return Vec::new();
+    }
+    let k = ((g.node_count() as f64 * p_imp).round() as usize).clamp(1, g.node_count());
+    let mut top = rank(g, measure);
+    top.truncate(k);
+    top
+}
+
+/// Degree centrality.
+pub fn degree(g: &Graph) -> Vec<f64> {
+    g.nodes().map(|n| g.degree(n) as f64).collect()
+}
+
+/// Closeness centrality: `(reached) / (sum of distances)` per node, with
+/// the Wasserman–Faust correction for disconnected graphs; isolated nodes
+/// score 0.
+pub fn closeness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    if n <= 1 {
+        return out;
+    }
+    for src in g.nodes() {
+        let dist = g.bfs_distances(src);
+        let mut sum = 0u64;
+        let mut reached = 0u64;
+        for &d in &dist {
+            if d != u32::MAX && d > 0 {
+                sum += d as u64;
+                reached += 1;
+            }
+        }
+        if sum > 0 {
+            // scale by the reachable fraction so small components don't win
+            let r = reached as f64;
+            out[src.idx()] = (r / (n as f64 - 1.0)) * (r / sum as f64);
+        }
+    }
+    out
+}
+
+/// Betweenness centrality, Brandes (2001), unweighted. Undirected pair
+/// counting (each shortest path counted once per unordered pair).
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut cb = vec![0.0f64; n];
+    let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut queue = VecDeque::new();
+
+    for s in g.nodes() {
+        stack.clear();
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        sigma.fill(0.0);
+        dist.fill(i64::MAX);
+        delta.fill(0.0);
+        sigma[s.idx()] = 1.0;
+        dist[s.idx()] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for w in g.neighbors(v) {
+                if dist[w.idx()] == i64::MAX {
+                    dist[w.idx()] = dist[v.idx()] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w.idx()] == dist[v.idx()] + 1 {
+                    sigma[w.idx()] += sigma[v.idx()];
+                    preds[w.idx()].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w.idx()] {
+                delta[v.idx()] += (sigma[v.idx()] / sigma[w.idx()]) * (1.0 + delta[w.idx()]);
+            }
+            if w != s {
+                cb[w.idx()] += delta[w.idx()];
+            }
+        }
+    }
+    if !g.is_directed() {
+        for c in cb.iter_mut() {
+            *c /= 2.0;
+        }
+    }
+    cb
+}
+
+/// Eigenvector centrality via power iteration on the adjacency matrix,
+/// normalized to unit max. Converges for connected non-bipartite graphs;
+/// elsewhere it still yields a usable ranking after `max_iter`.
+pub fn eigenvector(g: &Graph, max_iter: usize, tol: f64) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut x = vec![1.0f64 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iter {
+        next.fill(0.0);
+        for u in g.nodes() {
+            let xu = x[u.idx()];
+            for v in g.neighbors(u) {
+                next[v.idx()] += xu;
+            }
+            if g.is_directed() {
+                // keep directed graphs ergodic-ish with a tiny self weight
+                next[u.idx()] += 1e-12 * xu;
+            }
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return next; // edgeless graph: all zeros
+        }
+        for v in next.iter_mut() {
+            *v /= norm;
+        }
+        let diff: f64 = x
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut x, &mut next);
+        if diff < tol {
+            break;
+        }
+    }
+    x
+}
+
+fn random_scores(g: &Graph, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..g.node_count()).collect();
+    order.shuffle(&mut rng);
+    let mut s = vec![0.0; g.node_count()];
+    for (rank, idx) in order.into_iter().enumerate() {
+        s[idx] = (g.node_count() - rank) as f64;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::NodeLabel;
+
+    /// Path a-b-c-d-e: center c has max closeness & betweenness.
+    fn path5() -> Graph {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(NodeLabel(0))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn star(n: usize) -> Graph {
+        let mut g = Graph::new_undirected();
+        let c = g.add_node(NodeLabel(0));
+        for _ in 0..n {
+            let l = g.add_node(NodeLabel(1));
+            g.add_edge(c, l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn degree_centrality_star() {
+        let g = star(4);
+        let s = degree(&g);
+        assert_eq!(s[0], 4.0);
+        assert!(s[1..].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn closeness_peaks_at_path_center() {
+        let g = path5();
+        let s = closeness(&g);
+        let best = (0..5).max_by(|&a, &b| s[a].partial_cmp(&s[b]).unwrap()).unwrap();
+        assert_eq!(best, 2);
+        assert!((s[0] - s[4]).abs() < 1e-12); // symmetry
+    }
+
+    #[test]
+    fn closeness_disconnected_penalized() {
+        // two components: an edge pair and a path of 3
+        let mut g = Graph::new_undirected();
+        let a = g.add_node(NodeLabel(0));
+        let b = g.add_node(NodeLabel(0));
+        g.add_edge(a, b).unwrap();
+        let c = g.add_node(NodeLabel(0));
+        let d = g.add_node(NodeLabel(0));
+        let e = g.add_node(NodeLabel(0));
+        g.add_edge(c, d).unwrap();
+        g.add_edge(d, e).unwrap();
+        let s = closeness(&g);
+        // d reaches 2 nodes at distance 1; a reaches only 1 node
+        assert!(s[d.idx()] > s[a.idx()]);
+    }
+
+    #[test]
+    fn betweenness_path_center() {
+        let g = path5();
+        let s = betweenness(&g);
+        // exact values on a path of 5: [0, 3, 4, 3, 0]
+        assert_eq!(s, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn betweenness_star_center_only() {
+        let g = star(4);
+        let s = betweenness(&g);
+        assert_eq!(s[0], 6.0); // C(4,2) pairs all route through center
+        assert!(s[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn eigenvector_star_center_max() {
+        let g = star(5);
+        let s = eigenvector(&g, 200, 1e-12);
+        assert!(s[0] > s[1]);
+        for i in 2..=5 {
+            assert!((s[1] - s[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rank_is_deterministic_with_ties() {
+        let g = star(3);
+        let r1 = rank(&g, ImportanceMeasure::Degree);
+        let r2 = rank(&g, ImportanceMeasure::Degree);
+        assert_eq!(r1, r2);
+        assert_eq!(r1[0], NodeId(0));
+    }
+
+    #[test]
+    fn select_important_takes_fraction() {
+        let g = path5();
+        let sel = select_important(&g, ImportanceMeasure::Degree, 0.4);
+        assert_eq!(sel.len(), 2);
+        // middle nodes (degree 2) first
+        assert!(sel.iter().all(|n| g.degree(*n) == 2));
+    }
+
+    #[test]
+    fn select_important_at_least_one() {
+        let g = path5();
+        let sel = select_important(&g, ImportanceMeasure::Degree, 0.0);
+        assert_eq!(sel.len(), 1);
+        let none = select_important(&Graph::new_undirected(), ImportanceMeasure::Degree, 0.5);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn random_is_seed_stable() {
+        let g = path5();
+        let a = rank(&g, ImportanceMeasure::Random(42));
+        let b = rank(&g, ImportanceMeasure::Random(42));
+        let c = rank(&g, ImportanceMeasure::Random(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely for 5! permutations
+    }
+
+    #[test]
+    fn empty_graph_all_measures() {
+        let g = Graph::new_undirected();
+        for m in [
+            ImportanceMeasure::Degree,
+            ImportanceMeasure::Closeness,
+            ImportanceMeasure::Betweenness,
+            ImportanceMeasure::Eigenvector,
+            ImportanceMeasure::Random(1),
+        ] {
+            assert!(scores(&g, m).is_empty());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The graph database: a collection of labeled graphs sharing vocabularies.
+//!
+//! TALE queries run against "a database of large graphs" (§I). A [`GraphDb`]
+//! owns the node/edge label vocabularies (so labels are comparable across
+//! graphs — essential for the NH-Index, whose B+-tree keys start with the
+//! label) and assigns stable [`GraphId`]s.
+//!
+//! §IV-E's node-mismatch model replaces node labels with *group* labels
+//! (e.g. orthologous groups). [`GraphDb`] supports this directly via
+//! [`GraphDb::set_group`] / [`GraphDb::effective_label`]: when a group map
+//! is installed, every consumer that should see group semantics asks for
+//! the effective label.
+
+use crate::graph::{Graph, NodeId};
+use crate::labels::{LabelInterner, NodeLabel};
+use crate::{GraphError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a graph within a [`GraphDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GraphId(pub u32);
+
+impl GraphId {
+    /// Index form, for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named collection of graphs with shared label vocabularies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+    names: Vec<String>,
+    node_labels: LabelInterner,
+    edge_labels: LabelInterner,
+    /// Optional node-label → group-label map (§IV-E). Group labels live in
+    /// their own dense space starting at 0.
+    group_of_label: Option<Vec<u32>>,
+    group_count: u32,
+}
+
+impl GraphDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a node label string, usable across all graphs in the db.
+    pub fn intern_node_label(&mut self, name: &str) -> NodeLabel {
+        NodeLabel(self.node_labels.intern(name))
+    }
+
+    /// Interns an edge label string.
+    pub fn intern_edge_label(&mut self, name: &str) -> crate::labels::EdgeLabel {
+        crate::labels::EdgeLabel(self.edge_labels.intern(name))
+    }
+
+    /// Node-label vocabulary (`Σv`).
+    pub fn node_vocab(&self) -> &LabelInterner {
+        &self.node_labels
+    }
+
+    /// Edge-label vocabulary (`Σe`).
+    pub fn edge_vocab(&self) -> &LabelInterner {
+        &self.edge_labels
+    }
+
+    /// Inserts a graph under `name`, returning its id.
+    pub fn insert(&mut self, name: impl Into<String>, g: Graph) -> GraphId {
+        let id = GraphId(self.graphs.len() as u32);
+        self.graphs.push(g);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the database holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Borrow a graph. Panics if out of range (ids come from this db).
+    #[inline]
+    pub fn graph(&self, id: GraphId) -> &Graph {
+        &self.graphs[id.idx()]
+    }
+
+    /// Fallible graph lookup.
+    pub fn try_graph(&self, id: GraphId) -> Result<&Graph> {
+        self.graphs
+            .get(id.idx())
+            .ok_or(GraphError::GraphOutOfBounds(id))
+    }
+
+    /// The name the graph was inserted under.
+    pub fn name(&self, id: GraphId) -> &str {
+        &self.names[id.idx()]
+    }
+
+    /// Looks a graph up by name (linear scan; db-level metadata operation).
+    pub fn find_by_name(&self, name: &str) -> Option<GraphId> {
+        self.names.iter().position(|n| n == name).map(|i| GraphId(i as u32))
+    }
+
+    /// Iterates `(id, name, graph)`.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (GraphId, &str, &Graph)> {
+        self.graphs
+            .iter()
+            .zip(self.names.iter())
+            .enumerate()
+            .map(|(i, (g, n))| (GraphId(i as u32), n.as_str(), g))
+    }
+
+    /// Total node count across all graphs — the NH-Index has exactly this
+    /// many indexing units (§IV-A's linear-size claim).
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(Graph::node_count).sum()
+    }
+
+    /// Total edge count across all graphs.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(Graph::edge_count).sum()
+    }
+
+    /// Installs the §IV-E group-label map: `groups[label] = group id`.
+    ///
+    /// `groups` must cover every interned node label. Group ids need not be
+    /// dense; `group_count` is derived as `max + 1`.
+    pub fn set_group(&mut self, groups: Vec<u32>) -> Result<()> {
+        if groups.len() < self.node_labels.len() {
+            return Err(GraphError::Parse {
+                line: 0,
+                msg: format!(
+                    "group map covers {} labels but vocabulary has {}",
+                    groups.len(),
+                    self.node_labels.len()
+                ),
+            });
+        }
+        self.group_count = groups.iter().copied().max().map_or(0, |m| m + 1);
+        self.group_of_label = Some(groups);
+        Ok(())
+    }
+
+    /// Convenience for building group maps by name: pairs of
+    /// `(label name, group name)`; group names are interned densely.
+    pub fn set_group_by_names(&mut self, pairs: &[(String, String)]) -> Result<()> {
+        let mut group_ids: HashMap<&str, u32> = HashMap::new();
+        let mut groups = vec![0u32; self.node_labels.len()];
+        let mut next = 0u32;
+        let mut assigned = vec![false; self.node_labels.len()];
+        for (label, group) in pairs {
+            let lid = self.node_labels.get(label).ok_or_else(|| GraphError::Parse {
+                line: 0,
+                msg: format!("unknown label {label:?} in group map"),
+            })?;
+            let gid = *group_ids.entry(group.as_str()).or_insert_with(|| {
+                let g = next;
+                next += 1;
+                g
+            });
+            groups[lid as usize] = gid;
+            assigned[lid as usize] = true;
+        }
+        // Unassigned labels each get their own singleton group, preserving
+        // exact-label semantics for them.
+        for (i, done) in assigned.iter().enumerate() {
+            if !done {
+                groups[i] = next;
+                next += 1;
+            }
+        }
+        self.group_count = next;
+        self.group_of_label = Some(groups);
+        Ok(())
+    }
+
+    /// True when a group map is installed.
+    pub fn has_groups(&self) -> bool {
+        self.group_of_label.is_some()
+    }
+
+    /// The raw label → group map, if installed (indexed by label id).
+    pub fn group_map(&self) -> Option<&[u32]> {
+        self.group_of_label.as_deref()
+    }
+
+    /// Number of distinct effective labels: group count if groups are
+    /// installed, else `|Σv|`.
+    pub fn effective_vocab_size(&self) -> usize {
+        match &self.group_of_label {
+            Some(_) => self.group_count as usize,
+            None => self.node_labels.len(),
+        }
+    }
+
+    /// The label the index/matcher should see for `node` of `graph`:
+    /// the group label when groups are installed, the raw label otherwise.
+    #[inline]
+    pub fn effective_label(&self, graph: GraphId, node: NodeId) -> u32 {
+        let raw = self.graphs[graph.idx()].label(node).0;
+        match &self.group_of_label {
+            Some(map) => map[raw as usize],
+            None => raw,
+        }
+    }
+
+    /// Maps a raw label to its effective (group) label. Raw labels outside
+    /// the vocabulary (e.g. a query authored against a different interner)
+    /// map to a reserved no-match label past the group space.
+    #[inline]
+    pub fn effective_of_raw(&self, raw: NodeLabel) -> u32 {
+        match &self.group_of_label {
+            Some(map) => map
+                .get(raw.0 as usize)
+                .copied()
+                .unwrap_or(self.group_count.saturating_add(raw.0)),
+            None => raw.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> (GraphDb, GraphId) {
+        let mut db = GraphDb::new();
+        let a = db.intern_node_label("A");
+        let b = db.intern_node_label("B");
+        let mut g = Graph::new_undirected();
+        let n0 = g.add_node(a);
+        let n1 = g.add_node(b);
+        g.add_edge(n0, n1).unwrap();
+        let id = db.insert("g0", g);
+        (db, id)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (db, id) = tiny_db();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.name(id), "g0");
+        assert_eq!(db.graph(id).node_count(), 2);
+        assert_eq!(db.find_by_name("g0"), Some(id));
+        assert_eq!(db.find_by_name("nope"), None);
+        assert_eq!(db.total_nodes(), 2);
+        assert_eq!(db.total_edges(), 1);
+    }
+
+    #[test]
+    fn try_graph_out_of_bounds() {
+        let (db, _) = tiny_db();
+        assert!(db.try_graph(GraphId(9)).is_err());
+    }
+
+    #[test]
+    fn effective_label_without_groups_is_raw() {
+        let (db, id) = tiny_db();
+        assert_eq!(db.effective_label(id, NodeId(0)), 0);
+        assert_eq!(db.effective_label(id, NodeId(1)), 1);
+        assert_eq!(db.effective_vocab_size(), 2);
+        assert!(!db.has_groups());
+    }
+
+    #[test]
+    fn group_map_collapses_labels() {
+        let (mut db, id) = tiny_db();
+        db.set_group(vec![5, 5]).unwrap();
+        assert!(db.has_groups());
+        assert_eq!(db.effective_label(id, NodeId(0)), 5);
+        assert_eq!(db.effective_label(id, NodeId(1)), 5);
+        assert_eq!(db.effective_vocab_size(), 6);
+    }
+
+    #[test]
+    fn group_map_must_cover_vocab() {
+        let (mut db, _) = tiny_db();
+        assert!(db.set_group(vec![0]).is_err());
+    }
+
+    #[test]
+    fn group_by_names_assigns_singletons() {
+        let mut db = GraphDb::new();
+        db.intern_node_label("p1");
+        db.intern_node_label("p2");
+        db.intern_node_label("lonely");
+        db.set_group_by_names(&[
+            ("p1".into(), "orth1".into()),
+            ("p2".into(), "orth1".into()),
+        ])
+        .unwrap();
+        assert_eq!(db.effective_of_raw(NodeLabel(0)), db.effective_of_raw(NodeLabel(1)));
+        assert_ne!(db.effective_of_raw(NodeLabel(0)), db.effective_of_raw(NodeLabel(2)));
+    }
+
+    #[test]
+    fn group_by_names_unknown_label_errors() {
+        let mut db = GraphDb::new();
+        db.intern_node_label("x");
+        let err = db.set_group_by_names(&[("missing".into(), "g".into())]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn iter_order_is_insertion() {
+        let (mut db, _) = tiny_db();
+        db.insert("g1", Graph::new_undirected());
+        let names: Vec<_> = db.iter().map(|(_, n, _)| n.to_owned()).collect();
+        assert_eq!(names, vec!["g0", "g1"]);
+    }
+}

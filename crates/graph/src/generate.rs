@@ -1,0 +1,364 @@
+//! Random graph generators and perturbation operators.
+//!
+//! These are the building blocks the `tale-datasets` crate uses to
+//! synthesize BIND-like protein interaction networks (power-law graphs) and
+//! ASTRAL-like contact graphs (locally clustered graphs), and to model the
+//! paper's "noisy and incomplete" real data (§I) via node/edge
+//! insertion/deletion mutations.
+//!
+//! All generators take an explicit RNG so every dataset is reproducible
+//! from a seed.
+
+use crate::graph::{Graph, NodeId};
+use crate::labels::NodeLabel;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, m)`: `n` nodes, `m` distinct random edges, labels drawn
+/// uniformly from `0..label_count`.
+pub fn gnm<R: Rng>(rng: &mut R, n: usize, m: usize, label_count: u32) -> Graph {
+    let mut g = Graph::new_undirected();
+    for _ in 0..n {
+        g.add_node(NodeLabel(rng.gen_range(0..label_count.max(1))));
+    }
+    if n < 2 {
+        return g;
+    }
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut added = 0;
+    while added < m {
+        let u = NodeId(rng.gen_range(0..n as u32));
+        let v = NodeId(rng.gen_range(0..n as u32));
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        g.add_edge(u, v).expect("checked for loop/dup");
+        added += 1;
+    }
+    g
+}
+
+/// Barabási–Albert-style preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes chosen proportionally to degree. Produces the
+/// power-law degree distribution typical of protein interaction networks —
+/// a few hub proteins, many peripheral ones — which is exactly the structure
+/// TALE's importance-first matching exploits (§V-A, Fig. 1).
+///
+/// `edge_factor` tunes the average degree below `m_per_node` by skipping
+/// attachments with probability `1 - edge_factor`, letting us hit the
+/// paper's sparse PIN edge/node ratios (e.g. human 11260/8470 ≈ 1.33).
+pub fn preferential_attachment<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    m_per_node: usize,
+    edge_factor: f64,
+    label_count: u32,
+) -> Graph {
+    let mut g = Graph::new_undirected();
+    if n == 0 {
+        return g;
+    }
+    // repeated-endpoints list: node i appears degree(i)+1 times so isolated
+    // early nodes can still be chosen.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_per_node);
+    for i in 0..n {
+        let node = g.add_node(NodeLabel(rng.gen_range(0..label_count.max(1))));
+        endpoints.push(node.0);
+        if i == 0 {
+            continue;
+        }
+        // BTreeSet: deterministic iteration order (a HashSet here would
+        // leak per-instance hash seeds into the generated topology).
+        let mut targets = std::collections::BTreeSet::new();
+        let tries = m_per_node * 4 + 8;
+        for _ in 0..tries {
+            if targets.len() >= m_per_node.min(i) {
+                break;
+            }
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != node.0 {
+                targets.insert(t);
+            }
+        }
+        for t in targets {
+            if rng.gen_bool(edge_factor.clamp(0.0, 1.0)) && !g.has_edge(node, NodeId(t)) {
+                g.add_edge(node, NodeId(t)).expect("checked");
+                endpoints.push(node.0);
+                endpoints.push(t);
+            }
+        }
+    }
+    g
+}
+
+/// Locally clustered "contact graph" generator: nodes are placed along a
+/// backbone chain (consecutive nodes connected, like a protein's amino-acid
+/// sequence) and additionally connected to close-by nodes with probability
+/// decaying in sequence distance, plus a few long-range contacts. This
+/// mimics the 7Å-threshold contact graphs of §VI-A: high local clustering,
+/// ~4 average degree, 20 amino-acid labels.
+pub fn contact_graph<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    target_edges: usize,
+    label_count: u32,
+) -> Graph {
+    let mut g = Graph::new_undirected();
+    for _ in 0..n {
+        g.add_node(NodeLabel(rng.gen_range(0..label_count.max(1))));
+    }
+    if n < 2 {
+        return g;
+    }
+    // backbone
+    for i in 0..n - 1 {
+        g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1)).unwrap();
+    }
+    let mut edges = n - 1;
+    let max_edges = n * (n - 1) / 2;
+    let target = target_edges.min(max_edges);
+    let mut guard = 0usize;
+    while edges < target && guard < target * 50 {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        // short-range contact with 85% probability, long-range otherwise
+        let v = if rng.gen_bool(0.85) {
+            let span = rng.gen_range(2..=8u32);
+            if rng.gen_bool(0.5) && u >= span {
+                u - span
+            } else {
+                (u + span).min(n as u32 - 1)
+            }
+        } else {
+            rng.gen_range(0..n as u32)
+        };
+        if u == v {
+            continue;
+        }
+        let (u, v) = (NodeId(u), NodeId(v));
+        if g.has_edge(u, v) {
+            continue;
+        }
+        g.add_edge(u, v).unwrap();
+        edges += 1;
+    }
+    g
+}
+
+/// Parameters for [`mutate`]: each rate is the expected fraction of the
+/// corresponding population affected.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationRates {
+    /// Fraction of nodes deleted (with incident edges).
+    pub node_delete: f64,
+    /// Fraction (of original node count) of fresh nodes inserted, each wired
+    /// to 1–3 random survivors.
+    pub node_insert: f64,
+    /// Fraction of surviving edges deleted.
+    pub edge_delete: f64,
+    /// Fraction (of original edge count) of random new edges inserted.
+    pub edge_insert: f64,
+    /// Fraction of surviving nodes whose label is resampled.
+    pub relabel: f64,
+}
+
+impl MutationRates {
+    /// A mild distortion preset used in tests and examples.
+    pub fn mild() -> Self {
+        MutationRates {
+            node_delete: 0.05,
+            node_insert: 0.05,
+            edge_delete: 0.05,
+            edge_insert: 0.05,
+            relabel: 0.02,
+        }
+    }
+}
+
+/// Applies node/edge insertions, deletions and relabels — the approximate
+/// matching model's noise operations (§III) — returning the mutated graph
+/// and, for each surviving original node, its new id
+/// (`None` = deleted).
+pub fn mutate<R: Rng>(
+    rng: &mut R,
+    g: &Graph,
+    rates: &MutationRates,
+    label_count: u32,
+) -> (Graph, Vec<Option<NodeId>>) {
+    let n = g.node_count();
+    // 1. choose survivors
+    let mut survivors: Vec<NodeId> = g.nodes().collect();
+    survivors.shuffle(rng);
+    let keep = n - ((n as f64) * rates.node_delete).round() as usize;
+    survivors.truncate(keep.max(1).min(n));
+    survivors.sort_unstable();
+
+    let mut out = Graph::new(g.direction());
+    let mut map: Vec<Option<NodeId>> = vec![None; n];
+    for &s in &survivors {
+        let label = if rng.gen_bool(rates.relabel.clamp(0.0, 1.0)) {
+            NodeLabel(rng.gen_range(0..label_count.max(1)))
+        } else {
+            g.label(s)
+        };
+        map[s.idx()] = Some(out.add_node(label));
+    }
+    // 2. copy surviving edges, dropping some
+    for (u, v, l) in g.edges() {
+        if let (Some(nu), Some(nv)) = (map[u.idx()], map[v.idx()]) {
+            if rng.gen_bool(rates.edge_delete.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let r = match l {
+                Some(l) => out.add_edge_labeled(nu, nv, l),
+                None => out.add_edge(nu, nv),
+            };
+            r.expect("copying simple edges stays simple");
+        }
+    }
+    // 3. insert fresh nodes
+    let inserts = ((n as f64) * rates.node_insert).round() as usize;
+    for _ in 0..inserts {
+        let nn = out.add_node(NodeLabel(rng.gen_range(0..label_count.max(1))));
+        let wires = rng.gen_range(1..=3usize);
+        for _ in 0..wires {
+            if out.node_count() < 2 {
+                break;
+            }
+            let t = NodeId(rng.gen_range(0..out.node_count() as u32));
+            if t != nn && !out.has_edge(nn, t) {
+                out.add_edge(nn, t).unwrap();
+            }
+        }
+    }
+    // 4. insert random edges
+    let new_edges = ((g.edge_count() as f64) * rates.edge_insert).round() as usize;
+    let mut added = 0;
+    let mut guard = 0;
+    while added < new_edges && guard < new_edges * 30 + 30 && out.node_count() >= 2 {
+        guard += 1;
+        let u = NodeId(rng.gen_range(0..out.node_count() as u32));
+        let v = NodeId(rng.gen_range(0..out.node_count() as u32));
+        if u == v || out.has_edge(u, v) {
+            continue;
+        }
+        out.add_edge(u, v).unwrap();
+        added += 1;
+    }
+    (out, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn gnm_respects_counts() {
+        let g = gnm(&mut rng(), 50, 120, 5);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 120);
+        for n in g.nodes() {
+            assert!(g.label(n).0 < 5);
+        }
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = gnm(&mut rng(), 5, 100, 2);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn gnm_degenerate() {
+        let g = gnm(&mut rng(), 0, 10, 3);
+        assert_eq!(g.node_count(), 0);
+        let g1 = gnm(&mut rng(), 1, 10, 3);
+        assert_eq!(g1.edge_count(), 0);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let g = preferential_attachment(&mut rng(), 500, 2, 0.8, 10);
+        assert_eq!(g.node_count(), 500);
+        assert!(g.edge_count() > 300);
+        let mut degs: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // hubs exist: the max degree should far exceed the median
+        assert!(degs[0] >= 3 * degs[250].max(1));
+    }
+
+    #[test]
+    fn contact_graph_hits_edge_target() {
+        let g = contact_graph(&mut rng(), 200, 740, 20);
+        assert_eq!(g.node_count(), 200);
+        assert!(g.edge_count() >= 700, "got {}", g.edge_count());
+        // backbone connectivity
+        let d = g.bfs_distances(NodeId(0));
+        assert!(d.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn mutate_identity_rates_is_isomorphic_copy() {
+        let g = gnm(&mut rng(), 30, 60, 4);
+        let zero = MutationRates {
+            node_delete: 0.0,
+            node_insert: 0.0,
+            edge_delete: 0.0,
+            edge_insert: 0.0,
+            relabel: 0.0,
+        };
+        let (m, map) = mutate(&mut rng(), &g, &zero, 4);
+        assert_eq!(m.node_count(), 30);
+        assert_eq!(m.edge_count(), 60);
+        for n in g.nodes() {
+            let nn = map[n.idx()].unwrap();
+            assert_eq!(m.label(nn), g.label(n));
+        }
+        for (u, v, _) in g.edges() {
+            assert!(m.has_edge(map[u.idx()].unwrap(), map[v.idx()].unwrap()));
+        }
+    }
+
+    #[test]
+    fn mutate_deletes_and_inserts() {
+        let g = gnm(&mut rng(), 100, 200, 4);
+        let rates = MutationRates {
+            node_delete: 0.2,
+            node_insert: 0.1,
+            edge_delete: 0.1,
+            edge_insert: 0.1,
+            relabel: 0.0,
+        };
+        let (m, map) = mutate(&mut rng(), &g, &rates, 4);
+        let survivors = map.iter().filter(|x| x.is_some()).count();
+        assert_eq!(survivors, 80);
+        assert_eq!(m.node_count(), 80 + 10);
+        // surviving nodes keep labels when relabel = 0
+        for n in g.nodes() {
+            if let Some(nn) = map[n.idx()] {
+                assert_eq!(m.label(nn), g.label(n));
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_keeps_at_least_one_node() {
+        let g = gnm(&mut rng(), 3, 2, 2);
+        let rates = MutationRates {
+            node_delete: 1.0,
+            node_insert: 0.0,
+            edge_delete: 0.0,
+            edge_insert: 0.0,
+            relabel: 0.0,
+        };
+        let (m, _) = mutate(&mut rng(), &g, &rates, 2);
+        assert!(m.node_count() >= 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Graph database persistence.
+//!
+//! Two formats:
+//! * **JSON** via serde — lossless round trip of a whole [`GraphDb`]
+//!   including vocabularies and group maps.
+//! * A **line-oriented text format** for human-editable fixtures, one block
+//!   per graph:
+//!
+//!   ```text
+//!   graph <name> [directed]
+//!   v <label-name> ...            # one line per node, id = position
+//!   e <u> <v> [edge-label]        # one line per edge
+//!   ```
+
+use crate::db::GraphDb;
+use crate::graph::{Direction, Graph, NodeId};
+use crate::{GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serializes a [`GraphDb`] as JSON to `w`.
+pub fn write_json<W: Write>(db: &GraphDb, w: W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    serde_json::to_writer(&mut w, db)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a [`GraphDb`] from JSON.
+pub fn read_json<R: Read>(r: R) -> Result<GraphDb> {
+    Ok(serde_json::from_reader(BufReader::new(r))?)
+}
+
+/// Saves a db as JSON at `path`.
+pub fn save_json(db: &GraphDb, path: &Path) -> Result<()> {
+    write_json(db, std::fs::File::create(path)?)
+}
+
+/// Loads a JSON db from `path`.
+pub fn load_json(path: &Path) -> Result<GraphDb> {
+    read_json(std::fs::File::open(path)?)
+}
+
+/// Writes the text format described in the module docs.
+pub fn write_text<W: Write>(db: &GraphDb, w: W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    for (id, name, g) in db.iter() {
+        let _ = id;
+        if g.is_directed() {
+            writeln!(w, "graph {name} directed")?;
+        } else {
+            writeln!(w, "graph {name}")?;
+        }
+        for n in g.nodes() {
+            let lbl = db
+                .node_vocab()
+                .name(g.label(n).0)
+                .unwrap_or("?");
+            writeln!(w, "v {lbl}")?;
+        }
+        for (u, v, l) in g.edges() {
+            match l.and_then(|l| db.edge_vocab().name(l.0)) {
+                Some(el) => writeln!(w, "e {} {} {}", u.0, v.0, el)?,
+                None => writeln!(w, "e {} {}", u.0, v.0)?,
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses the text format into a fresh [`GraphDb`].
+pub fn read_text<R: Read>(r: R) -> Result<GraphDb> {
+    let mut db = GraphDb::new();
+    let mut current: Option<(String, Graph)> = None;
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "graph" => {
+                if let Some((name, g)) = current.take() {
+                    db.insert(name, g);
+                }
+                let name = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lineno,
+                        msg: "graph line needs a name".into(),
+                    })?
+                    .to_owned();
+                let dir = match parts.next() {
+                    Some("directed") => Direction::Directed,
+                    Some(other) => {
+                        return Err(GraphError::Parse {
+                            line: lineno,
+                            msg: format!("unknown graph modifier {other:?}"),
+                        })
+                    }
+                    None => Direction::Undirected,
+                };
+                current = Some((name, Graph::new(dir)));
+            }
+            "v" => {
+                let (_, g) = current.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "node before any graph header".into(),
+                })?;
+                let lbl = parts.next().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "v line needs a label".into(),
+                })?;
+                let lbl = db.intern_node_label(lbl);
+                g.add_node(lbl);
+            }
+            "e" => {
+                let (_, g) = current.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "edge before any graph header".into(),
+                })?;
+                let parse_id = |s: Option<&str>| -> Result<NodeId> {
+                    let s = s.ok_or_else(|| GraphError::Parse {
+                        line: lineno,
+                        msg: "e line needs two node ids".into(),
+                    })?;
+                    let v: u32 = s.parse().map_err(|_| GraphError::Parse {
+                        line: lineno,
+                        msg: format!("bad node id {s:?}"),
+                    })?;
+                    Ok(NodeId(v))
+                };
+                let u = parse_id(parts.next())?;
+                let v = parse_id(parts.next())?;
+                match parts.next() {
+                    Some(el) => {
+                        let el = db.intern_edge_label(el);
+                        g.add_edge_labeled(u, v, el)
+                    }
+                    None => g.add_edge(u, v),
+                }
+                .map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    msg: e.to_string(),
+                })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: format!("unknown line tag {other:?}"),
+                })
+            }
+        }
+    }
+    if let Some((name, g)) = current.take() {
+        db.insert(name, g);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::NodeLabel;
+
+    fn sample_db() -> GraphDb {
+        let mut db = GraphDb::new();
+        let a = db.intern_node_label("ALA");
+        let b = db.intern_node_label("GLY");
+        let strong = db.intern_edge_label("strong");
+        let mut g = Graph::new_undirected();
+        let n0 = g.add_node(a);
+        let n1 = g.add_node(b);
+        let n2 = g.add_node(a);
+        g.add_edge_labeled(n0, n1, strong).unwrap();
+        g.add_edge(n1, n2).unwrap();
+        db.insert("g0", g);
+        let mut d = Graph::new_directed();
+        let x = d.add_node(b);
+        let y = d.add_node(a);
+        d.add_edge(x, y).unwrap();
+        db.insert("g1", d);
+        db
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_json(&db, &mut buf).unwrap();
+        let back = read_json(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.name(crate::GraphId(0)), "g0");
+        let g = back.graph(crate::GraphId(0));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(NodeId(0)), NodeLabel(0));
+        assert!(back.graph(crate::GraphId(1)).is_directed());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_text(&db, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        let g0 = back.graph(crate::GraphId(0));
+        assert_eq!(g0.node_count(), 3);
+        assert_eq!(g0.edge_count(), 2);
+        assert_eq!(back.node_vocab().name(g0.label(NodeId(0)).0), Some("ALA"));
+        let e = g0.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let el = g0.edge_label(e).unwrap();
+        assert_eq!(back.edge_vocab().name(el.0), Some("strong"));
+        assert!(back.graph(crate::GraphId(1)).is_directed());
+    }
+
+    #[test]
+    fn text_parse_errors_carry_line_numbers() {
+        let bad = "graph g\nv A\ne 0 5\n";
+        let err = read_text(bad.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn text_rejects_orphan_lines() {
+        assert!(read_text("v A\n".as_bytes()).is_err());
+        assert!(read_text("e 0 1\n".as_bytes()).is_err());
+        assert!(read_text("wat\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let src = "# fixture\n\ngraph g\nv A\nv B\n\ne 0 1\n";
+        let db = read_text(src.as_bytes()).unwrap();
+        assert_eq!(db.graph(crate::GraphId(0)).edge_count(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db.json");
+        save_json(&db, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.len(), db.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Label vocabularies (`Σv`, `Σe`) and string interning.
+//!
+//! The paper's graphs carry node labels drawn from a vocabulary `Σv` and
+//! optional edge labels from `Σe` (§III). The NH-Index cares about the
+//! *size* of `Σv` (it switches between a deterministic neighbor array and a
+//! Bloom-hashed one, §IV-A), so labels are interned to dense `u32` ids and
+//! the interner exposes the vocabulary size.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense interned node label. `NodeLabel(0)` is the first label registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeLabel(pub u32);
+
+/// Dense interned edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeLabel(pub u32);
+
+/// Interns label strings to dense ids and back.
+///
+/// The same interner type serves both node and edge vocabularies; a
+/// [`crate::GraphDb`] owns one of each.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl LabelInterner {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its dense id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if self.index.is_empty() && !self.names.is_empty() {
+            self.rebuild_index();
+        }
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        if self.index.is_empty() && !self.names.is_empty() {
+            // Deserialized interners arrive without the side index; fall back
+            // to a linear scan rather than requiring &mut self here.
+            return self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| i as u32);
+        }
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name for a dense id, if in range.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned so far (`|Σ|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Rebuilds the name→id map after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("ALA");
+        let b = li.intern("GLY");
+        assert_eq!(li.intern("ALA"), a);
+        assert_eq!(li.intern("GLY"), b);
+        assert_ne!(a, b);
+        assert_eq!(li.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut li = LabelInterner::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(li.intern(name), i as u32);
+        }
+        assert_eq!(li.name(2), Some("c"));
+        assert_eq!(li.name(4), None);
+    }
+
+    #[test]
+    fn get_without_index_after_deserialize() {
+        let mut li = LabelInterner::new();
+        li.intern("x");
+        li.intern("y");
+        let json = serde_json::to_string(&li).unwrap();
+        let de: LabelInterner = serde_json::from_str(&json).unwrap();
+        // index is skipped by serde; lookup must still work.
+        assert_eq!(de.get("y"), Some(1));
+        assert_eq!(de.get("z"), None);
+        assert_eq!(de.name(0), Some("x"));
+    }
+
+    #[test]
+    fn intern_after_deserialize_rebuilds() {
+        let mut li = LabelInterner::new();
+        li.intern("x");
+        let json = serde_json::to_string(&li).unwrap();
+        let mut de: LabelInterner = serde_json::from_str(&json).unwrap();
+        assert_eq!(de.intern("x"), 0);
+        assert_eq!(de.intern("new"), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut li = LabelInterner::new();
+        li.intern("p");
+        li.intern("q");
+        let v: Vec<_> = li.iter().collect();
+        assert_eq!(v, vec![(0, "p"), (1, "q")]);
+    }
+}

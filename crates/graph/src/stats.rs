@@ -1,0 +1,218 @@
+//! Descriptive graph statistics.
+//!
+//! Used by the dataset generators to validate that synthetic graphs have
+//! the structural properties the paper's data exhibits (power-law PIN
+//! degrees, high local clustering in contact graphs), and by the examples
+//! to describe databases. Pure read-only helpers over [`Graph`].
+
+use crate::graph::Graph;
+
+/// Summary statistics of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Median degree.
+    pub median_degree: usize,
+    /// Global clustering coefficient (transitivity):
+    /// `3·triangles / connected triples`.
+    pub clustering: f64,
+    /// Number of connected components (undirected sense).
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn stats(g: &Graph) -> GraphStats {
+    let nodes = g.node_count();
+    let edges = g.edge_count();
+    let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+    degrees.sort_unstable();
+    let (min_degree, max_degree, median_degree, mean_degree) = if nodes == 0 {
+        (0, 0, 0, 0.0)
+    } else {
+        (
+            degrees[0],
+            degrees[nodes - 1],
+            degrees[nodes / 2],
+            degrees.iter().sum::<usize>() as f64 / nodes as f64,
+        )
+    };
+    let (comps, largest) = components(g);
+    GraphStats {
+        nodes,
+        edges,
+        min_degree,
+        max_degree,
+        mean_degree,
+        median_degree,
+        clustering: clustering_coefficient(g),
+        components: comps,
+        largest_component: largest,
+    }
+}
+
+/// Global clustering coefficient: closed triples / all connected triples.
+/// 0.0 for graphs without any connected triple. Treats directed graphs as
+/// undirected neighborhoods (out-edges).
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let mut triangles = 0u64; // counted 3× (once per corner)
+    let mut triples = 0u64;
+    for n in g.nodes() {
+        let d = g.degree(n);
+        if d >= 2 {
+            triples += (d * (d - 1) / 2) as u64;
+        }
+        // triangles at corner n = edges among its neighbors
+        triangles += g.neighbor_connection(n) as u64;
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        triangles as f64 / triples as f64
+    }
+}
+
+/// `(component count, largest component size)` via BFS over undirected
+/// reachability (directed edges are traversed both ways).
+pub fn components(g: &Graph) -> (usize, usize) {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut count = 0;
+    let mut largest = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for start in g.nodes() {
+        if seen[start.idx()] {
+            continue;
+        }
+        count += 1;
+        let mut size = 0;
+        seen[start.idx()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for v in g.neighbors(u).chain(g.in_neighbors(u)) {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    (count, largest)
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.nodes().map(|n| g.degree(n)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for n in g.nodes() {
+        hist[g.degree(n)] += 1;
+    }
+    hist
+}
+
+/// A crude power-law indicator: the ratio of the 99th-percentile degree to
+/// the median degree. Power-law-ish graphs (PINs) score high; homogeneous
+/// graphs (lattices, G(n,m)) score near 1.
+pub fn degree_skew(g: &Graph) -> f64 {
+    let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    degrees.sort_unstable();
+    let p99 = degrees[(degrees.len() - 1) * 99 / 100];
+    let median = degrees[degrees.len() / 2].max(1);
+    p99 as f64 / median as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::NodeLabel;
+
+    fn triangle_plus_isolated() -> Graph {
+        let mut g = Graph::new_undirected();
+        let a = g.add_node(NodeLabel(0));
+        let b = g.add_node(NodeLabel(0));
+        let c = g.add_node(NodeLabel(0));
+        g.add_node(NodeLabel(0)); // isolated
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(a, c).unwrap();
+        g
+    }
+
+    #[test]
+    fn stats_of_triangle_plus_isolated() {
+        let g = triangle_plus_isolated();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.clustering - 1.0).abs() < 1e-12, "triangle is fully clustered");
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let mut g = Graph::new_undirected();
+        let c = g.add_node(NodeLabel(0));
+        for _ in 0..5 {
+            let l = g.add_node(NodeLabel(0));
+            g.add_edge(c, l).unwrap();
+        }
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::new_undirected();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.clustering, 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = triangle_plus_isolated();
+        assert_eq!(degree_histogram(&g), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn directed_components_ignore_direction() {
+        let mut g = Graph::new_directed();
+        let a = g.add_node(NodeLabel(0));
+        let b = g.add_node(NodeLabel(0));
+        g.add_edge(a, b).unwrap();
+        let (comps, largest) = components(&g);
+        assert_eq!((comps, largest), (1, 2));
+    }
+
+    #[test]
+    fn pin_generator_is_skewed_contact_is_clustered() {
+        use crate::generate::{contact_graph, preferential_attachment};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let pin = preferential_attachment(&mut rng, 800, 2, 0.9, 50);
+        let contact = contact_graph(&mut rng, 200, 760, 20);
+        assert!(degree_skew(&pin) >= 3.0, "PIN skew {}", degree_skew(&pin));
+        assert!(
+            clustering_coefficient(&contact) > clustering_coefficient(&pin),
+            "contact graphs should cluster more"
+        );
+    }
+}

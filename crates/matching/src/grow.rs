@@ -1,0 +1,804 @@
+//! Growing graph matches from anchors — §V-C, Algorithms 2, 3 and 4.
+//!
+//! [`grow_match`] is Algorithm 2 (`GrowMatch`): anchors go into a priority
+//! queue ordered by node-match quality; the best is popped, committed, and
+//! `ExamineNodesNearBy` (Algorithm 3) tries to match nodes near the popped
+//! pair — query nodes one or two hops out against database nodes one or
+//! two hops out, in the paper's three pairings (1q×1db, 1q×2db, 2q×1db).
+//! `MatchNodes` (Algorithm 4) picks, for each query node, the best
+//! *satisfiable* database node, replacing queued candidates when a better
+//! match appears.
+//!
+//! "Satisfiable" follows the index conditions (IV.1–IV.4) evaluated
+//! exactly on the two graphs (no bitmaps needed here): same effective
+//! label, degree and neighbor-connection within the `ρ` budgets, and
+//! neighbor-label misses within `nbmiss`. Match quality is Eq. IV.5.
+
+use serde::Serialize;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tale_graph::neighborhood::node_match_quality;
+use tale_graph::{Graph, NodeId};
+
+/// An anchor match produced by step 1 (index probe + bipartite matching).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anchor {
+    /// Query node.
+    pub query: NodeId,
+    /// Matched database node.
+    pub target: NodeId,
+    /// Node-match quality (Eq. IV.5).
+    pub quality: f64,
+}
+
+/// One committed node match in the final graph match.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MatchPair {
+    /// Query node.
+    pub query: NodeId,
+    /// Database node.
+    pub target: NodeId,
+    /// Node-match quality at commit time.
+    pub quality: f64,
+}
+
+/// A grown approximate subgraph match.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct GraphMatch {
+    /// Committed one-to-one node matches, in commit (quality) order.
+    pub pairs: Vec<MatchPair>,
+}
+
+impl GraphMatch {
+    /// Number of matched nodes.
+    pub fn matched_nodes(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of query edges preserved by the mapping: `(u,v) ∈ Eq` with
+    /// both endpoints matched and `(λu, λv) ∈ Edb`.
+    pub fn matched_edges(&self, query: &Graph, target: &Graph) -> usize {
+        let mut map = vec![None; query.node_count()];
+        for p in &self.pairs {
+            map[p.query.idx()] = Some(p.target);
+        }
+        query
+            .edges()
+            .filter(|&(u, v, _)| {
+                matches!((map[u.idx()], map[v.idx()]), (Some(mu), Some(mv)) if target.has_edge(mu, mv))
+            })
+            .count()
+    }
+
+    /// The target node matched to a query node, if any.
+    pub fn target_of(&self, q: NodeId) -> Option<NodeId> {
+        self.pairs.iter().find(|p| p.query == q).map(|p| p.target)
+    }
+
+    /// Sum of node qualities (a cheap default ranking signal).
+    pub fn quality_sum(&self) -> f64 {
+        self.pairs.iter().map(|p| p.quality).sum()
+    }
+}
+
+/// Configuration for the growth phase.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowConfig {
+    /// Approximation ratio ρ (fraction of query neighbors allowed missing).
+    pub rho: f64,
+    /// Examine nodes up to this many hops away. The paper fixes 2 and
+    /// notes the algorithm generalizes to more hops "to allow more
+    /// approximation (at the expense of an increased computational
+    /// cost)"; 1 is the cheaper ablation, 3+ the generalized variant.
+    pub hops: u8,
+    /// Compare (neighbor label, edge label) pairs instead of bare
+    /// neighbor labels in condition IV.3's exact evaluation — the
+    /// extended paper's labeled-edge matching.
+    pub match_edge_labels: bool,
+}
+
+impl Default for GrowConfig {
+    fn default() -> Self {
+        GrowConfig {
+            rho: 0.25,
+            hops: 2,
+            match_edge_labels: false,
+        }
+    }
+}
+
+/// Everything the growth phase needs to know about the two graphs.
+/// Label closures return *effective* labels so the §IV-E group model works.
+pub struct GrowInput<'a> {
+    /// The query graph.
+    pub query: &'a Graph,
+    /// The database graph being matched.
+    pub target: &'a Graph,
+    /// Effective label of a query node.
+    pub q_label: &'a dyn Fn(NodeId) -> u32,
+    /// Effective label of a target node.
+    pub t_label: &'a dyn Fn(NodeId) -> u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    quality: f64,
+    generation: u64,
+    query: NodeId,
+    target: NodeId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap by quality; deterministic tie-breaks (older generation,
+        // then smaller ids first).
+        self.quality
+            .partial_cmp(&other.quality)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.generation.cmp(&self.generation))
+            .then_with(|| other.query.cmp(&self.query))
+            .then_with(|| other.target.cmp(&self.target))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-node neighborhood statistics, memoized for the duration of one
+/// growth: neighbor connection is O(Σ neighbor degrees) to compute and
+/// `MatchNodes` evaluates the same nodes against many candidates, so a
+/// lazy cache turns the growth phase's hot path into table lookups.
+struct StatsCache {
+    nbc: Vec<Option<u32>>,
+    labels: Vec<Option<Box<[u64]>>>,
+}
+
+impl StatsCache {
+    fn new(n: usize) -> Self {
+        StatsCache {
+            nbc: vec![None; n],
+            labels: vec![None; n],
+        }
+    }
+
+    fn nbc(&mut self, g: &Graph, n: NodeId) -> u32 {
+        *self.nbc[n.idx()].get_or_insert_with(|| g.neighbor_connection(n) as u32)
+    }
+
+    fn labels(
+        &mut self,
+        g: &Graph,
+        label_of: &dyn Fn(NodeId) -> u32,
+        n: NodeId,
+        with_edges: bool,
+    ) -> &[u64] {
+        self.labels[n.idx()].get_or_insert_with(|| {
+            let mut v: Vec<u64> = if with_edges {
+                g.neighbor_edges(n)
+                    .map(|(nb, eid)| {
+                        ((label_of(nb) as u64) << 32)
+                            | g.edge_label(eid).map(|l| l.0 as u64 + 1).unwrap_or(0)
+                    })
+                    .collect()
+            } else {
+                g.neighbors(n).map(|nb| label_of(nb) as u64).collect()
+            };
+            v.sort_unstable();
+            v.dedup();
+            v.into_boxed_slice()
+        })
+    }
+}
+
+/// Count of sorted-deduped `q` entries absent from sorted-deduped `t`.
+fn sorted_misses(q: &[u64], t: &[u64]) -> u32 {
+    let mut misses = 0;
+    let mut ti = 0;
+    for &l in q {
+        while ti < t.len() && t[ti] < l {
+            ti += 1;
+        }
+        if ti >= t.len() || t[ti] != l {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+/// Evaluates whether mapping `nq → nt` is satisfiable under the `ρ` budget
+/// and, if so, its quality — the exact-graph analogue of the index probe
+/// conditions IV.1–IV.4 plus Eq. IV.5.
+pub fn candidate_quality(input: &GrowInput<'_>, config: &GrowConfig, nq: NodeId, nt: NodeId) -> Option<f64> {
+    let mut qc = StatsCache::new(input.query.node_count());
+    let mut tc = StatsCache::new(input.target.node_count());
+    candidate_quality_cached(input, config, nq, nt, &mut qc, &mut tc)
+}
+
+fn candidate_quality_cached(
+    input: &GrowInput<'_>,
+    config: &GrowConfig,
+    nq: NodeId,
+    nt: NodeId,
+    qc: &mut StatsCache,
+    tc: &mut StatsCache,
+) -> Option<f64> {
+    if (input.q_label)(nq) != (input.t_label)(nt) {
+        return None; // IV.1
+    }
+    let q_deg = input.query.degree(nq) as u32;
+    let t_deg = input.target.degree(nt) as u32;
+    let nbmiss = (config.rho.max(0.0) * q_deg as f64).floor() as u32;
+    let nbmiss = nbmiss.min(q_deg);
+    if t_deg + nbmiss < q_deg {
+        return None; // IV.2
+    }
+    let q_nbc = qc.nbc(input.query, nq);
+    let t_nbc = tc.nbc(input.target, nt);
+    let nbcmiss = nbmiss * nbmiss.saturating_sub(1) / 2 + (q_deg - nbmiss) * nbmiss;
+    if t_nbc + nbcmiss < q_nbc {
+        return None; // IV.4
+    }
+    // IV.3 evaluated exactly on neighbor (label[, edge label]) sets.
+    // Borrow-split: take the query list out, compare, put it back.
+    let with_edges = config.match_edge_labels;
+    let q_labels = qc.labels[nq.idx()].take().unwrap_or_else(|| {
+        let mut v: Vec<u64> = if with_edges {
+            input
+                .query
+                .neighbor_edges(nq)
+                .map(|(nb, eid)| {
+                    (((input.q_label)(nb) as u64) << 32)
+                        | input.query.edge_label(eid).map(|l| l.0 as u64 + 1).unwrap_or(0)
+                })
+                .collect()
+        } else {
+            input.query.neighbors(nq).map(|nb| (input.q_label)(nb) as u64).collect()
+        };
+        v.sort_unstable();
+        v.dedup();
+        v.into_boxed_slice()
+    });
+    let t_labels = tc.labels(input.target, input.t_label, nt, with_edges);
+    let label_misses = sorted_misses(&q_labels, t_labels);
+    qc.labels[nq.idx()] = Some(q_labels);
+    if label_misses > nbmiss {
+        return None;
+    }
+    let nb_miss = label_misses.max(q_deg.saturating_sub(t_deg));
+    let nbc_miss = q_nbc.saturating_sub(t_nbc);
+    Some(node_match_quality(q_deg, q_nbc, nb_miss, nbc_miss))
+}
+
+struct GrowState {
+    /// query → committed target
+    q_matched: Vec<Option<NodeId>>,
+    /// target → committed query
+    t_matched: Vec<Option<NodeId>>,
+    /// query → queued candidate (target, quality, conservation bonus,
+    /// generation)
+    q_queued: Vec<Option<(NodeId, f64, f64, u64)>>,
+    /// target nodes referenced by the queue
+    t_queued: Vec<bool>,
+    heap: BinaryHeap<QueueEntry>,
+    generation: u64,
+}
+
+impl GrowState {
+    fn new(nq: usize, nt: usize) -> Self {
+        GrowState {
+            q_matched: vec![None; nq],
+            t_matched: vec![None; nt],
+            q_queued: vec![None; nq],
+            t_queued: vec![false; nt],
+            heap: BinaryHeap::new(),
+            generation: 0,
+        }
+    }
+
+    fn push(&mut self, q: NodeId, t: NodeId, quality: f64, bonus: f64) {
+        self.generation += 1;
+        self.q_queued[q.idx()] = Some((t, quality, bonus, self.generation));
+        self.t_queued[t.idx()] = true;
+        self.heap.push(QueueEntry {
+            quality,
+            generation: self.generation,
+            query: q,
+            target: t,
+        });
+    }
+
+    /// Replaces q's queued candidate with a better one (Algorithm 4,
+    /// lines 9–13). The stale heap entry is invalidated lazily via the
+    /// generation stamp.
+    fn replace(&mut self, q: NodeId, t: NodeId, quality: f64, bonus: f64) {
+        if let Some((old_t, _, _, _)) = self.q_queued[q.idx()] {
+            self.t_queued[old_t.idx()] = false;
+        }
+        self.push(q, t, quality, bonus);
+    }
+}
+
+/// Algorithm 2 (`GrowMatch`): grows a full graph match from the anchors.
+///
+/// Anchors must reference valid nodes; conflicting anchors (duplicate query
+/// or target nodes) are resolved in favor of higher quality.
+pub fn grow_match(input: &GrowInput<'_>, config: &GrowConfig, anchors: &[Anchor]) -> GraphMatch {
+    let mut st = GrowState::new(input.query.node_count(), input.target.node_count());
+    let mut qc = StatsCache::new(input.query.node_count());
+    let mut tc = StatsCache::new(input.target.node_count());
+
+    // Line 1: seed the priority queue (dedup anchors best-first).
+    let mut seeds: Vec<&Anchor> = anchors.iter().collect();
+    seeds.sort_by(|a, b| {
+        b.quality
+            .partial_cmp(&a.quality)
+            .unwrap_or(Ordering::Equal)
+            .then(a.query.cmp(&b.query))
+            .then(a.target.cmp(&b.target))
+    });
+    for a in seeds {
+        if st.q_queued[a.query.idx()].is_none() && !st.t_queued[a.target.idx()] {
+            st.push(a.query, a.target, a.quality, 0.0);
+        }
+    }
+
+    let mut result = GraphMatch::default();
+    // Lines 2–6: drain the queue.
+    while let Some(entry) = st.heap.pop() {
+        // lazy invalidation of replaced entries
+        match st.q_queued[entry.query.idx()] {
+            Some((t, _, _, gen)) if t == entry.target && gen == entry.generation => {}
+            _ => continue,
+        }
+        st.q_queued[entry.query.idx()] = None;
+        if st.q_matched[entry.query.idx()].is_some() || st.t_matched[entry.target.idx()].is_some() {
+            continue;
+        }
+        st.q_matched[entry.query.idx()] = Some(entry.target);
+        st.t_matched[entry.target.idx()] = Some(entry.query);
+        result.pairs.push(MatchPair {
+            query: entry.query,
+            target: entry.target,
+            quality: entry.quality,
+        });
+        examine_nodes_nearby(input, config, entry.query, entry.target, &mut st, &mut qc, &mut tc);
+    }
+    result
+}
+
+/// Algorithm 3 (`ExamineNodesNearBy`).
+#[allow(clippy::too_many_arguments)]
+fn examine_nodes_nearby(
+    input: &GrowInput<'_>,
+    config: &GrowConfig,
+    nq: NodeId,
+    nt: NodeId,
+    st: &mut GrowState,
+    qc: &mut StatsCache,
+    tc: &mut StatsCache,
+) {
+    // NB1q/NB2q: query nodes 1 / 2 hops out without committed matches.
+    // The frontier is over the underlying undirected graph (upstream and
+    // downstream are both "nearby"); direction re-enters through the
+    // candidate conditions and edge-preservation scoring.
+    let nb1q: Vec<NodeId> = input
+        .query
+        .undirected_neighbors(nq)
+        .into_iter()
+        .filter(|n| st.q_matched[n.idx()].is_none())
+        .collect();
+    // NB1db/NB2db: target nodes without committed *or queued* matches.
+    let nb1t: Vec<NodeId> = input
+        .target
+        .undirected_neighbors(nt)
+        .into_iter()
+        .filter(|n| st.t_matched[n.idx()].is_none() && !st.t_queued[n.idx()])
+        .collect();
+    if config.hops < 2 {
+        match_nodes(input, config, &nb1q, &nb1t, st, qc, tc);
+        return;
+    }
+    // Frontier past 1 hop: exactly the 2-hop ring at the paper's default
+    // radius, extended to `2..=hops` for the generalized variant.
+    let nb2q: Vec<NodeId> = input
+        .query
+        .neighbors_within(nq, config.hops)
+        .into_iter()
+        .filter(|n| st.q_matched[n.idx()].is_none())
+        .collect();
+    let nb2t: Vec<NodeId> = input
+        .target
+        .neighbors_within(nt, config.hops)
+        .into_iter()
+        .filter(|n| st.t_matched[n.idx()].is_none() && !st.t_queued[n.idx()])
+        .collect();
+    // The paper's three pairings (lines 5–7): 1×1, 1×2, 2×1.
+    match_nodes(input, config, &nb1q, &nb1t, st, qc, tc);
+    match_nodes(input, config, &nb1q, &nb2t, st, qc, tc);
+    match_nodes(input, config, &nb2q, &nb1t, st, qc, tc);
+}
+
+/// Conserved-edge bonus: among `q`'s already-committed neighbors, the
+/// fraction whose images are adjacent to `t`. Breaks paralog ties in favor
+/// of the candidate that preserves the edges the match already committed
+/// to — the structural signal Eq. IV.5's purely local stats cannot see.
+fn conservation_bonus(input: &GrowInput<'_>, st: &GrowState, q: NodeId, t: NodeId) -> f64 {
+    let mut committed = 0u32;
+    let mut conserved = 0u32;
+    for qn in input.query.neighbors(q) {
+        if let Some(tm) = st.q_matched[qn.idx()] {
+            committed += 1;
+            if input.target.has_edge(t, tm) {
+                conserved += 1;
+            }
+        }
+    }
+    // directed graphs: incoming edges are conserved structure too
+    if input.query.is_directed() {
+        for qn in input.query.in_neighbors(q) {
+            if let Some(tm) = st.q_matched[qn.idx()] {
+                committed += 1;
+                if input.target.has_edge(tm, t) {
+                    conserved += 1;
+                }
+            }
+        }
+    }
+    if committed == 0 {
+        0.0
+    } else {
+        conserved as f64 / committed as f64
+    }
+}
+
+/// Algorithm 4 (`MatchNodes`).
+#[allow(clippy::too_many_arguments)]
+fn match_nodes(
+    input: &GrowInput<'_>,
+    config: &GrowConfig,
+    sq: &[NodeId],
+    st_nodes: &[NodeId],
+    st: &mut GrowState,
+    qc: &mut StatsCache,
+    tc: &mut StatsCache,
+) {
+    let mut available: Vec<NodeId> = st_nodes
+        .iter()
+        .copied()
+        .filter(|t| st.t_matched[t.idx()].is_none() && !st.t_queued[t.idx()])
+        .collect();
+    for &q in sq {
+        if st.q_matched[q.idx()].is_some() {
+            continue;
+        }
+        // Best mapping of q among the available target nodes: Eq. IV.5
+        // quality first, conserved-edge fraction as the tie-breaker
+        // (distinguishes paralogs with identical local statistics), node
+        // id last for determinism.
+        let mut best: Option<(NodeId, f64, f64)> = None;
+        for &t in &available {
+            if let Some(w) = candidate_quality_cached(input, config, q, t, qc, tc) {
+                let bonus = conservation_bonus(input, st, q, t);
+                let better = match best {
+                    None => true,
+                    Some((bt, bw, bb)) => {
+                        w > bw || (w == bw && (bonus > bb || (bonus == bb && t < bt)))
+                    }
+                };
+                if better {
+                    best = Some((t, w, bonus));
+                }
+            }
+        }
+        let Some((t, w, bonus)) = best else { continue };
+        match st.q_queued[q.idx()] {
+            None => {
+                st.push(q, t, w, bonus);
+                available.retain(|&x| x != t);
+            }
+            // Algorithm 4's "is a better node match": quality first, then
+            // conserved-edge fraction — so a queued anchor whose quality
+            // ties with the true counterpart (superset imposters score a
+            // perfect 2.0 too) yields once the growth frontier shows the
+            // true node conserves committed edges.
+            Some((_, old_w, old_b, _)) if w > old_w || (w == old_w && bonus > old_b) => {
+                st.replace(q, t, w, bonus);
+                available.retain(|&x| x != t);
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tale_graph::labels::NodeLabel;
+
+    fn raw_label(g: &Graph) -> impl Fn(NodeId) -> u32 + '_ {
+        move |n| g.label(n).0
+    }
+
+    /// Path graph with the given label sequence.
+    fn path(labels: &[u32]) -> Graph {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = labels.iter().map(|&l| g.add_node(NodeLabel(l))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_fully_match() {
+        let q = path(&[0, 1, 2, 3, 4]);
+        let t = path(&[0, 1, 2, 3, 4]);
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let cfg = GrowConfig { rho: 0.0, hops: 2, match_edge_labels: false };
+        let anchors = [Anchor {
+            query: NodeId(2),
+            target: NodeId(2),
+            quality: 2.0,
+        }];
+        let m = grow_match(&input, &cfg, &anchors);
+        assert_eq!(m.matched_nodes(), 5);
+        assert_eq!(m.matched_edges(&q, &t), 4);
+        for p in &m.pairs {
+            assert_eq!(p.query, p.target); // unique labels force identity
+        }
+    }
+
+    #[test]
+    fn injective_mapping_invariant() {
+        let q = path(&[0, 0, 0, 0, 0, 0]);
+        let t = path(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let cfg = GrowConfig { rho: 0.5, hops: 2, match_edge_labels: false };
+        let anchors = [Anchor {
+            query: NodeId(0),
+            target: NodeId(3),
+            quality: 2.0,
+        }];
+        let m = grow_match(&input, &cfg, &anchors);
+        let mut qs: Vec<_> = m.pairs.iter().map(|p| p.query).collect();
+        let mut ts: Vec<_> = m.pairs.iter().map(|p| p.target).collect();
+        qs.sort();
+        qs.dedup();
+        ts.sort();
+        ts.dedup();
+        assert_eq!(qs.len(), m.pairs.len(), "query side not injective");
+        assert_eq!(ts.len(), m.pairs.len(), "target side not injective");
+    }
+
+    #[test]
+    fn grows_across_missing_node_via_two_hops() {
+        // Query: path A-B-C. Target: A-X-B-C with an extra inserted node X
+        // (different label) breaking adjacency. 2-hop extension should
+        // still reach B from A.
+        let q = path(&[0, 1, 2]);
+        let mut t = Graph::new_undirected();
+        let a = t.add_node(NodeLabel(0));
+        let x = t.add_node(NodeLabel(9));
+        let b = t.add_node(NodeLabel(1));
+        let c = t.add_node(NodeLabel(2));
+        t.add_edge(a, x).unwrap();
+        t.add_edge(x, b).unwrap();
+        t.add_edge(b, c).unwrap();
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let cfg = GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false };
+        let anchors = [Anchor {
+            query: NodeId(0),
+            target: a,
+            quality: 1.0,
+        }];
+        let m = grow_match(&input, &cfg, &anchors);
+        assert_eq!(m.matched_nodes(), 3);
+        assert_eq!(m.target_of(NodeId(1)), Some(b));
+        assert_eq!(m.target_of(NodeId(2)), Some(c));
+
+        // with hops = 1 the inserted node blocks the extension
+        let cfg1 = GrowConfig { rho: 1.0, hops: 1, match_edge_labels: false };
+        let m1 = grow_match(&input, &cfg1, &anchors);
+        assert_eq!(m1.matched_nodes(), 1);
+    }
+
+    #[test]
+    fn three_hop_extension_bridges_two_insertions() {
+        // Query: A-B. Target: A-X-Y-B — two inserted nodes in a row; only
+        // the generalized 3-hop radius reaches B from A.
+        let q = path(&[0, 1]);
+        let mut t = Graph::new_undirected();
+        let a = t.add_node(NodeLabel(0));
+        let x = t.add_node(NodeLabel(8));
+        let y = t.add_node(NodeLabel(9));
+        let b = t.add_node(NodeLabel(1));
+        t.add_edge(a, x).unwrap();
+        t.add_edge(x, y).unwrap();
+        t.add_edge(y, b).unwrap();
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let anchors = [Anchor {
+            query: NodeId(0),
+            target: a,
+            quality: 1.0,
+        }];
+        let two = grow_match(&input, &GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false }, &anchors);
+        assert_eq!(two.matched_nodes(), 1, "2-hop radius cannot bridge");
+        let three = grow_match(&input, &GrowConfig { rho: 1.0, hops: 3, match_edge_labels: false }, &anchors);
+        assert_eq!(three.matched_nodes(), 2);
+        assert_eq!(three.target_of(NodeId(1)), Some(b));
+    }
+
+    #[test]
+    fn anchor_conflicts_resolved_by_quality() {
+        let q = path(&[0, 1]);
+        let t = path(&[0, 1]);
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let cfg = GrowConfig::default();
+        // two anchors for the same query node; higher quality wins
+        let anchors = [
+            Anchor {
+                query: NodeId(0),
+                target: NodeId(0),
+                quality: 1.0,
+            },
+            Anchor {
+                query: NodeId(0),
+                target: NodeId(0),
+                quality: 1.8,
+            },
+        ];
+        let m = grow_match(&input, &cfg, &anchors);
+        assert_eq!(m.pairs[0].quality, 1.8);
+        assert_eq!(m.matched_nodes(), 2);
+    }
+
+    #[test]
+    fn label_mismatch_blocks_extension() {
+        let q = path(&[0, 1]);
+        let t = path(&[0, 5]);
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let cfg = GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false };
+        let anchors = [Anchor {
+            query: NodeId(0),
+            target: NodeId(0),
+            quality: 2.0,
+        }];
+        let m = grow_match(&input, &cfg, &anchors);
+        assert_eq!(m.matched_nodes(), 1);
+    }
+
+    #[test]
+    fn empty_anchors_empty_match() {
+        let q = path(&[0, 1]);
+        let t = path(&[0, 1]);
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let m = grow_match(&input, &GrowConfig::default(), &[]);
+        assert_eq!(m.matched_nodes(), 0);
+        assert_eq!(m.quality_sum(), 0.0);
+    }
+
+    #[test]
+    fn candidate_quality_respects_rho() {
+        // query node with degree 4, target with degree 3: needs rho ≥ 0.25
+        let mut q = Graph::new_undirected();
+        let qc = q.add_node(NodeLabel(0));
+        for _ in 0..4 {
+            let l = q.add_node(NodeLabel(1));
+            q.add_edge(qc, l).unwrap();
+        }
+        let mut t = Graph::new_undirected();
+        let tc = t.add_node(NodeLabel(0));
+        for _ in 0..3 {
+            let l = t.add_node(NodeLabel(1));
+            t.add_edge(tc, l).unwrap();
+        }
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let strict = GrowConfig { rho: 0.0, hops: 2, match_edge_labels: false };
+        assert!(candidate_quality(&input, &strict, qc, tc).is_none());
+        let loose = GrowConfig { rho: 0.25, hops: 2, match_edge_labels: false };
+        let w = candidate_quality(&input, &loose, qc, tc).unwrap();
+        assert!(w > 0.0 && w < 2.0);
+    }
+
+    #[test]
+    fn better_candidate_replaces_queued() {
+        // Query center 0 adjacent to node 1 (label 1, degree 2 in query).
+        // Target has two label-1 nodes: one low degree, one exact; exact
+        // appears through a later pairing and must replace the first.
+        // Construct: query path 0(l0)-1(l1)-2(l2).
+        let q = path(&[0, 1, 2]);
+        // target: 0(l0) - 1(l1 leaf, degree 1) and 0 - 3(l9) - 2(l1) - 4(l2)
+        let mut t = Graph::new_undirected();
+        let t0 = t.add_node(NodeLabel(0));
+        let t1 = t.add_node(NodeLabel(1)); // weak candidate (leaf)
+        let t3 = t.add_node(NodeLabel(9));
+        let t2 = t.add_node(NodeLabel(1)); // strong candidate
+        let t4 = t.add_node(NodeLabel(2));
+        let t5 = t.add_node(NodeLabel(0)); // gives t2 a label-0 neighbor
+        t.add_edge(t0, t1).unwrap();
+        t.add_edge(t0, t3).unwrap();
+        t.add_edge(t3, t2).unwrap();
+        t.add_edge(t2, t4).unwrap();
+        t.add_edge(t2, t5).unwrap();
+        let ql = raw_label(&q);
+        let tl = raw_label(&t);
+        let input = GrowInput {
+            query: &q,
+            target: &t,
+            q_label: &ql,
+            t_label: &tl,
+        };
+        let cfg = GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false };
+        let anchors = [Anchor {
+            query: NodeId(0),
+            target: t0,
+            quality: 2.0,
+        }];
+        let m = grow_match(&input, &cfg, &anchors);
+        // q1 should end up on the strong candidate t2 (degree 2 with an
+        // l2 neighbor), enabling q2 → t4.
+        assert_eq!(m.target_of(NodeId(1)), Some(t2));
+        assert_eq!(m.target_of(NodeId(2)), Some(t4));
+    }
+}

@@ -1,0 +1,898 @@
+//! The NH-Index proper: build, persist, reopen, probe.
+//!
+//! Layout on disk (one directory per index):
+//! * `nh.btree` — first-level B+-tree pages.
+//! * `nh.blobs` — second-level posting pages.
+//! * `nh.meta.json` — root pointer, scheme, counters.
+//!
+//! Build is bulk: extract one indexing unit per database node (optionally
+//! in parallel across graphs with crossbeam), sort by composite key, write
+//! one posting blob per distinct key, then bulk-load the B+-tree. This
+//! mirrors how the paper materializes the index as a relation + B+-tree in
+//! PostgreSQL (§IV-C) and gives the near-linear build times of Table III /
+//! Fig. 7.
+//!
+//! Probe implements §IV-B + §IV-D: compute `nbmiss` and `nbcmiss` from the
+//! user's approximation ratio `ρ`, range-scan the B+-tree for conditions
+//! IV.1/IV.2/IV.4, then run Algorithm 1 on each posting's bitmap for
+//! condition IV.3.
+
+use crate::bitprobe::probe_bitsliced;
+use crate::posting::{NodeRef, Posting};
+use crate::scheme::NeighborArrayScheme;
+use crate::{NhError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tale_graph::{Graph, GraphDb, NodeId};
+use tale_storage::{BTree, BlobRef, BlobStore, BufferPool, CompositeKey, DiskManager};
+
+const BTREE_FILE: &str = "nh.btree";
+const BLOB_FILE: &str = "nh.blobs";
+const META_FILE: &str = "nh.meta.json";
+
+/// Build/open options.
+#[derive(Debug, Clone)]
+pub struct NhIndexConfig {
+    /// Neighbor array width in bits (`Sbit`). The paper uses 96 for BIND
+    /// and 32 for ASTRAL.
+    pub sbit: u32,
+    /// Buffer pool frames per page file (8 KiB each). 4096 frames = 32 MiB.
+    pub buffer_frames: usize,
+    /// Extract indexing units in parallel across graphs.
+    pub parallel_build: bool,
+    /// Bloom hash functions per neighbor label (§IV-A precision
+    /// extension; 1 = the paper's default, ignored in the deterministic
+    /// regime).
+    pub bloom_hashes: u8,
+    /// Fold incident edge labels into the neighborhood signature (the
+    /// extended paper's labeled-edge adaptation). Forces the Bloom regime.
+    pub use_edge_labels: bool,
+}
+
+impl Default for NhIndexConfig {
+    fn default() -> Self {
+        NhIndexConfig {
+            sbit: 64,
+            buffer_frames: 4096,
+            parallel_build: true,
+            bloom_hashes: 1,
+            use_edge_labels: false,
+        }
+    }
+}
+
+fn default_hashes() -> u8 {
+    1
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct MetaFile {
+    sbit: u32,
+    deterministic: bool,
+    #[serde(default = "default_hashes")]
+    hashes: u8,
+    #[serde(default)]
+    edge_labels: bool,
+    root_page: u64,
+    height: u32,
+    blob_cursor: u64,
+    node_count: u64,
+    key_count: u64,
+    vocab_size: u64,
+    #[serde(default)]
+    tombstones: Vec<u32>,
+}
+
+/// A query node's probe signature, built against the index's array scheme.
+#[derive(Debug, Clone)]
+pub struct QuerySignature {
+    /// Effective label of the query node.
+    pub label: u32,
+    /// Degree of the query node.
+    pub degree: u32,
+    /// Neighbor connection of the query node.
+    pub nb_connection: u32,
+    /// Neighbor array under the index's scheme.
+    pub nb_array: Vec<u64>,
+}
+
+/// One index hit: a database node satisfying conditions IV.1–IV.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCandidate {
+    /// The matching database node.
+    pub node: NodeRef,
+    /// Missing query neighbors in this match (bit-array misses, floored by
+    /// the degree shortfall).
+    pub nb_miss: u32,
+    /// The database node's degree.
+    pub db_degree: u32,
+    /// The database node's neighbor connection.
+    pub db_nb_connection: u32,
+}
+
+/// Probe-side counters for introspection and the index-explorer example.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// B+-tree keys visited by the range scan.
+    pub keys_scanned: u64,
+    /// Keys surviving the neighbor-connection filter (postings fetched).
+    pub postings_fetched: u64,
+    /// Bitmap rows examined by Algorithm 1.
+    pub rows_examined: u64,
+    /// Candidates returned.
+    pub rows_returned: u64,
+}
+
+/// The disk-resident neighborhood index.
+pub struct NhIndex {
+    btree: BTree,
+    bt_pool: Arc<BufferPool>,
+    blobs: BlobStore,
+    scheme: NeighborArrayScheme,
+    dir: PathBuf,
+    node_count: u64,
+    key_count: u64,
+    /// Graphs logically removed; their posting rows are filtered at probe
+    /// time until the next full rebuild reclaims the space.
+    tombstones: std::collections::HashSet<u32>,
+    /// Neighbor arrays are over (label, edge label) pairs.
+    edge_labels: bool,
+}
+
+/// One extracted indexing unit (pre-grouping).
+struct Unit {
+    key: CompositeKey,
+    node: NodeRef,
+    array: Vec<u64>,
+}
+
+impl NhIndex {
+    /// Builds the index for `db` into `dir` (created if needed).
+    pub fn build(dir: &Path, db: &GraphDb, config: &NhIndexConfig) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let scheme = if config.use_edge_labels {
+            // pair space is too large for the deterministic regime
+            NeighborArrayScheme {
+                sbit: config.sbit,
+                deterministic: false,
+                hashes: config.bloom_hashes.max(1),
+            }
+        } else {
+            NeighborArrayScheme::choose_with_hashes(
+                config.sbit,
+                db.effective_vocab_size(),
+                config.bloom_hashes,
+            )
+        };
+
+        let mut units = if config.parallel_build && db.len() > 1 {
+            Self::extract_parallel(db, scheme, config.use_edge_labels)
+        } else {
+            Self::extract_serial(db, scheme, config.use_edge_labels)
+        };
+        // Group by key; within a key keep (graph, node) order for
+        // deterministic postings.
+        units.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.node.cmp(&b.node)));
+
+        let bt_disk = Arc::new(DiskManager::create(&dir.join(BTREE_FILE))?);
+        let bt_pool = Arc::new(BufferPool::new(bt_disk, config.buffer_frames));
+        let blob_disk = Arc::new(DiskManager::create(&dir.join(BLOB_FILE))?);
+        let blob_pool = Arc::new(BufferPool::new(blob_disk, config.buffer_frames));
+        let blobs = BlobStore::create(blob_pool);
+
+        let mut pairs: Vec<(CompositeKey, u64)> = Vec::new();
+        let mut i = 0;
+        while i < units.len() {
+            let key = units[i].key;
+            let mut j = i;
+            while j < units.len() && units[j].key == key {
+                j += 1;
+            }
+            let group = &units[i..j];
+            let refs: Vec<NodeRef> = group.iter().map(|u| u.node).collect();
+            let rows: Vec<Vec<u64>> = group.iter().map(|u| u.array.clone()).collect();
+            let posting = Posting::from_rows(refs, scheme.sbit, &rows);
+            let r = blobs.put(&posting.encode())?;
+            pairs.push((key, r.pack()));
+            i = j;
+        }
+        let btree = BTree::bulk_load(Arc::clone(&bt_pool), &pairs)?;
+
+        let idx = NhIndex {
+            btree,
+            bt_pool,
+            blobs,
+            scheme,
+            dir: dir.to_owned(),
+            node_count: units.len() as u64,
+            key_count: pairs.len() as u64,
+            tombstones: std::collections::HashSet::new(),
+            edge_labels: config.use_edge_labels,
+        };
+        idx.flush(db.effective_vocab_size() as u64)?;
+        Ok(idx)
+    }
+
+    /// Incrementally indexes one more graph of `db` (by id) — the growing-
+    /// database path the paper's introduction motivates (BIND "grew about
+    /// 10 folds…"). Each affected posting is rewritten as a fresh blob and
+    /// its B+-tree entry repointed; superseded blobs become dead space
+    /// until the next full rebuild (the read-optimized trade-off of an
+    /// append-only posting store).
+    ///
+    /// The caller must have inserted the graph into the same `GraphDb` the
+    /// index was built over (vocabulary and group map unchanged — the
+    /// neighbor-array scheme is fixed at build time).
+    pub fn insert_graph(&mut self, db: &GraphDb, graph: tale_graph::GraphId) -> Result<()> {
+        let g = db.try_graph(graph)?;
+        let mut units = Vec::with_capacity(g.node_count());
+        Self::extract_graph(db, graph.0, g, self.scheme, self.edge_labels, &mut units);
+        units.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.node.cmp(&b.node)));
+
+        let mut i = 0;
+        while i < units.len() {
+            let key = units[i].key;
+            let mut j = i;
+            while j < units.len() && units[j].key == key {
+                j += 1;
+            }
+            let group = &units[i..j];
+            // merge with the existing posting for this key, if any
+            let (mut refs, mut rows) = match self.btree.get(key)? {
+                Some(packed) => {
+                    let bytes = self.blobs.get(BlobRef::unpack(packed))?;
+                    let posting = Posting::decode(&bytes)?;
+                    let rows: Vec<Vec<u64>> = (0..posting.refs.len())
+                        .map(|r| posting.bitmap.row(r))
+                        .collect();
+                    (posting.refs, rows)
+                }
+                None => (Vec::new(), Vec::new()),
+            };
+            for u in group {
+                refs.push(u.node);
+                rows.push(u.array.clone());
+            }
+            let posting = Posting::from_rows(refs, self.scheme.sbit, &rows);
+            let r = self.blobs.put(&posting.encode())?;
+            if self.btree.get(key)?.is_none() {
+                self.key_count += 1;
+            }
+            self.btree.insert(key, r.pack())?;
+            i = j;
+        }
+        self.node_count += units.len() as u64;
+        self.flush(db.effective_vocab_size() as u64)
+    }
+
+    /// Logically removes a graph: its posting rows stop matching probes
+    /// immediately; the space is reclaimed at the next full rebuild (the
+    /// standard tombstone trade-off for an append-only, read-optimized
+    /// index). Idempotent. `vocab_size` is persisted metadata — pass
+    /// `db.effective_vocab_size()`.
+    pub fn remove_graph(&mut self, graph: tale_graph::GraphId, vocab_size: u64) -> Result<()> {
+        self.tombstones.insert(graph.0);
+        self.flush(vocab_size)
+    }
+
+    /// True when `graph` has been removed.
+    pub fn is_removed(&self, graph: tale_graph::GraphId) -> bool {
+        self.tombstones.contains(&graph.0)
+    }
+
+    fn extract_serial(db: &GraphDb, scheme: NeighborArrayScheme, edge_labels: bool) -> Vec<Unit> {
+        let mut units = Vec::with_capacity(db.total_nodes());
+        for (gid, _, g) in db.iter() {
+            Self::extract_graph(db, gid.0, g, scheme, edge_labels, &mut units);
+        }
+        units
+    }
+
+    fn extract_parallel(db: &GraphDb, scheme: NeighborArrayScheme, edge_labels: bool) -> Vec<Unit> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(db.len());
+        let ids: Vec<u32> = (0..db.len() as u32).collect();
+        let chunks: Vec<&[u32]> = ids.chunks(ids.len().div_ceil(threads)).collect();
+        let mut parts: Vec<Vec<Unit>> = Vec::new();
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for &gid in *chunk {
+                            let g = db.graph(tale_graph::GraphId(gid));
+                            Self::extract_graph(db, gid, g, scheme, edge_labels, &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("extraction thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        parts.into_iter().flatten().collect()
+    }
+
+    fn extract_graph(
+        db: &GraphDb,
+        gid: u32,
+        g: &Graph,
+        scheme: NeighborArrayScheme,
+        edge_labels: bool,
+        out: &mut Vec<Unit>,
+    ) {
+        let graph_id = tale_graph::GraphId(gid);
+        for n in g.nodes() {
+            let degree = g.degree(n) as u32;
+            let nbc = g.neighbor_connection(n) as u32;
+            let label = db.effective_label(graph_id, n);
+            let array = if edge_labels {
+                scheme.array_of_pairs(g.neighbor_edges(n).map(|(nb, eid)| {
+                    (
+                        db.effective_label(graph_id, nb),
+                        g.edge_label(eid).map(|l| l.0 + 1).unwrap_or(0),
+                    )
+                }))
+            } else {
+                scheme.array_of(g.neighbors(n).map(|nb| db.effective_label(graph_id, nb)))
+            };
+            out.push(Unit {
+                key: CompositeKey::new(label, degree, nbc),
+                node: NodeRef {
+                    graph: gid,
+                    node: n.0,
+                },
+                array,
+            });
+        }
+    }
+
+    fn flush(&self, vocab_size: u64) -> Result<()> {
+        self.blobs.flush()?;
+        self.bt_pool.flush_all()?;
+        let mut tombstones: Vec<u32> = self.tombstones.iter().copied().collect();
+        tombstones.sort_unstable();
+        let meta = MetaFile {
+            sbit: self.scheme.sbit,
+            deterministic: self.scheme.deterministic,
+            hashes: self.scheme.hashes,
+            edge_labels: self.edge_labels,
+            root_page: self.btree.root().0,
+            height: self.btree.height(),
+            blob_cursor: self.blobs.cursor(),
+            node_count: self.node_count,
+            key_count: self.key_count,
+            vocab_size,
+            tombstones,
+        };
+        let json = serde_json::to_string_pretty(&meta)
+            .map_err(|e| NhError::Meta(format!("serialize: {e}")))?;
+        std::fs::write(self.dir.join(META_FILE), json)?;
+        self.sync()?;
+        Ok(())
+    }
+
+    /// Forces all pages to durable storage (flush + fsync both files).
+    pub fn sync(&self) -> Result<()> {
+        self.bt_pool.flush_all()?;
+        self.bt_pool.disk().sync()?;
+        self.blobs.sync()?;
+        Ok(())
+    }
+
+    /// Reopens an index previously built in `dir`.
+    pub fn open(dir: &Path, buffer_frames: usize) -> Result<Self> {
+        let meta_raw = std::fs::read_to_string(dir.join(META_FILE))?;
+        let meta: MetaFile =
+            serde_json::from_str(&meta_raw).map_err(|e| NhError::Meta(format!("parse: {e}")))?;
+        let bt_disk = Arc::new(DiskManager::open(&dir.join(BTREE_FILE))?);
+        let bt_pool = Arc::new(BufferPool::new(bt_disk, buffer_frames));
+        let blob_disk = Arc::new(DiskManager::open(&dir.join(BLOB_FILE))?);
+        let blob_pool = Arc::new(BufferPool::new(blob_disk, buffer_frames));
+        Ok(NhIndex {
+            btree: BTree::open(Arc::clone(&bt_pool), tale_storage::PageId(meta.root_page), meta.height),
+            bt_pool,
+            blobs: BlobStore::open(blob_pool, meta.blob_cursor),
+            scheme: NeighborArrayScheme {
+                sbit: meta.sbit,
+                deterministic: meta.deterministic,
+                hashes: meta.hashes,
+            },
+            dir: dir.to_owned(),
+            node_count: meta.node_count,
+            key_count: meta.key_count,
+            tombstones: meta.tombstones.into_iter().collect(),
+            edge_labels: meta.edge_labels,
+        })
+    }
+
+    /// The neighbor-array scheme (query signatures must use it).
+    pub fn scheme(&self) -> NeighborArrayScheme {
+        self.scheme
+    }
+
+    /// Directory holding the index files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Indexed node count (one unit per database node, §IV-A).
+    pub fn node_count(&self) -> u64 {
+        self.node_count
+    }
+
+    /// Distinct `(label, degree, nbConnection)` keys.
+    pub fn key_count(&self) -> u64 {
+        self.key_count
+    }
+
+    /// Total on-disk footprint in bytes (both page files).
+    pub fn size_bytes(&self) -> u64 {
+        // Page files may not be fully extended until flush; compute from
+        // allocation counters.
+        let bt = self.dir.join(BTREE_FILE);
+        let bl = self.dir.join(BLOB_FILE);
+        let fs = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        fs(&bt) + fs(&bl)
+    }
+
+    /// Builds the probe signature for a query node. `label_of` maps query
+    /// node ids to *effective* labels (group labels under §IV-E) — use
+    /// [`GraphDb::effective_of_raw`] against the database vocabulary.
+    /// When the index was built with edge labels, the query's incident
+    /// edge labels enter the signature the same way.
+    pub fn signature(&self, g: &Graph, node: NodeId, label_of: &dyn Fn(NodeId) -> u32) -> QuerySignature {
+        let nb_array = if self.edge_labels {
+            self.scheme.array_of_pairs(g.neighbor_edges(node).map(|(nb, eid)| {
+                (label_of(nb), g.edge_label(eid).map(|l| l.0 + 1).unwrap_or(0))
+            }))
+        } else {
+            self.scheme.array_of(g.neighbors(node).map(label_of))
+        };
+        QuerySignature {
+            label: label_of(node),
+            degree: g.degree(node) as u32,
+            nb_connection: g.neighbor_connection(node) as u32,
+            nb_array,
+        }
+    }
+
+    /// The miss budgets `(nbmiss, nbcmiss)` for a query node under `ρ`
+    /// (§IV-B): `nbmiss = ⌊ρ·degree⌋` and the worst-case connection loss
+    /// `nbcmiss = nbmiss(nbmiss−1)/2 + (degree−nbmiss)·nbmiss`.
+    pub fn miss_budgets(degree: u32, rho: f64) -> (u32, u32) {
+        let nbmiss = (rho.max(0.0) * degree as f64).floor() as u32;
+        let nbmiss = nbmiss.min(degree);
+        let nbcmiss = nbmiss * nbmiss.saturating_sub(1) / 2 + (degree - nbmiss) * nbmiss;
+        (nbmiss, nbcmiss)
+    }
+
+    /// Probes the index for database nodes approximately matching `sig`
+    /// under approximation ratio `rho` (conditions IV.1–IV.4).
+    pub fn probe(&self, sig: &QuerySignature, rho: f64) -> Result<Vec<NodeCandidate>> {
+        Ok(self.probe_with_stats(sig, rho)?.0)
+    }
+
+    /// [`NhIndex::probe`] plus pruning counters.
+    pub fn probe_with_stats(
+        &self,
+        sig: &QuerySignature,
+        rho: f64,
+    ) -> Result<(Vec<NodeCandidate>, ProbeStats)> {
+        let (nbmiss, nbcmiss) = Self::miss_budgets(sig.degree, rho);
+        let deg_min = sig.degree - nbmiss; // condition IV.2
+        let nbc_min = sig.nb_connection.saturating_sub(nbcmiss); // IV.4
+
+        let lo = CompositeKey::new(sig.label, deg_min, 0);
+        let hi = CompositeKey::new(sig.label, u32::MAX, u32::MAX);
+        let mut stats = ProbeStats::default();
+        let mut hits: Vec<(CompositeKey, BlobRef)> = Vec::new();
+        self.btree
+            .range_with(lo, hi, |k, v| {
+                stats.keys_scanned += 1;
+                if k.nb_connection >= nbc_min {
+                    stats.postings_fetched += 1;
+                    hits.push((k, BlobRef::unpack(v)));
+                }
+                true
+            })?;
+
+        let mut out = Vec::new();
+        // condition IV.3 threshold lives in bit space: with k Bloom hashes
+        // a missing neighbor can clear up to k bits.
+        let bit_budget = self.scheme.bit_budget(nbmiss);
+        for (key, blob_ref) in hits {
+            let bytes = self.blobs.get(blob_ref)?;
+            let posting = Posting::decode(&bytes)?;
+            stats.rows_examined += posting.refs.len() as u64;
+            let ph = probe_bitsliced(&posting.bitmap, &sig.nb_array, bit_budget);
+            let k = if self.scheme.deterministic {
+                1
+            } else {
+                self.scheme.hashes.max(1) as u32
+            };
+            for (row, &miss) in ph.rows.iter().zip(ph.misses.iter()) {
+                if self.tombstones.contains(&posting.refs[*row as usize].graph) {
+                    continue;
+                }
+                // Bit misses over-count by up to k per missing label under
+                // multi-hash Bloom (divide, rounding up) and can undercount
+                // when several query neighbors share a bit; the degree
+                // shortfall is a second lower bound on missing neighbors.
+                let label_misses = miss.div_ceil(k);
+                let shortfall = sig.degree.saturating_sub(key.degree);
+                out.push(NodeCandidate {
+                    node: posting.refs[*row as usize],
+                    nb_miss: label_misses.max(shortfall),
+                    db_degree: key.degree,
+                    db_nb_connection: key.nb_connection,
+                });
+            }
+        }
+        stats.rows_returned = out.len() as u64;
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    /// db with two graphs:
+    /// g0: triangle A-B-C plus pendant A-D(A)
+    /// g1: star center A with leaves B, B, C
+    fn sample_db() -> GraphDb {
+        let mut db = GraphDb::new();
+        let a = db.intern_node_label("A");
+        let b = db.intern_node_label("B");
+        let c = db.intern_node_label("C");
+
+        let mut g0 = Graph::new_undirected();
+        let n0 = g0.add_node(a);
+        let n1 = g0.add_node(b);
+        let n2 = g0.add_node(c);
+        let n3 = g0.add_node(a);
+        g0.add_edge(n0, n1).unwrap();
+        g0.add_edge(n1, n2).unwrap();
+        g0.add_edge(n0, n2).unwrap();
+        g0.add_edge(n0, n3).unwrap();
+        db.insert("g0", g0);
+
+        let mut g1 = Graph::new_undirected();
+        let m0 = g1.add_node(a);
+        let m1 = g1.add_node(b);
+        let m2 = g1.add_node(b);
+        let m3 = g1.add_node(c);
+        g1.add_edge(m0, m1).unwrap();
+        g1.add_edge(m0, m2).unwrap();
+        g1.add_edge(m0, m3).unwrap();
+        db.insert("g1", g1);
+        db
+    }
+
+    fn build_sample(config: &NhIndexConfig) -> (tempfile::TempDir, GraphDb, NhIndex) {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db();
+        let idx = NhIndex::build(dir.path(), &db, config).unwrap();
+        (dir, db, idx)
+    }
+
+    fn cfg() -> NhIndexConfig {
+        NhIndexConfig {
+            sbit: 32,
+            buffer_frames: 64,
+            parallel_build: false,
+            bloom_hashes: 1,
+            use_edge_labels: false,
+        }
+    }
+
+    #[test]
+    fn build_counts() {
+        let (_d, db, idx) = build_sample(&cfg());
+        assert_eq!(idx.node_count(), db.total_nodes() as u64);
+        assert!(idx.key_count() > 0 && idx.key_count() <= idx.node_count());
+        assert!(idx.size_bytes() > 0);
+    }
+
+    #[test]
+    fn exact_probe_finds_equal_neighborhood() {
+        let (_d, db, idx) = build_sample(&cfg());
+        // Query = the g1 star center: label A, degree 3, nbc 0,
+        // neighbors {B, B, C}.
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let hits = idx.probe(&sig, 0.0).unwrap();
+        // g0's n0 has label A, degree 3, neighbors {B, C, A}: misses B? No:
+        // query needs {B, C} present; n0's neighbors are {B, C, A} → 0
+        // misses, degree 3 ≥ 3, nbc 1 ≥ 0. So both centers hit.
+        let nodes: Vec<NodeRef> = hits.iter().map(|h| h.node).collect();
+        assert!(nodes.contains(&NodeRef { graph: 1, node: 0 }));
+        assert!(nodes.contains(&NodeRef { graph: 0, node: 0 }));
+        // the exact self-hit has zero misses
+        let self_hit = hits
+            .iter()
+            .find(|h| h.node == NodeRef { graph: 1, node: 0 })
+            .unwrap();
+        assert_eq!(self_hit.nb_miss, 0);
+    }
+
+    #[test]
+    fn rho_zero_rejects_smaller_degree() {
+        let (_d, db, idx) = build_sample(&cfg());
+        // Query node of degree 3 must not match db nodes of degree < 3
+        // when ρ = 0.
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let hits = idx.probe(&sig, 0.0).unwrap();
+        assert!(hits.iter().all(|h| h.db_degree >= 3));
+    }
+
+    #[test]
+    fn rho_relaxes_matches() {
+        let (_d, db, idx) = build_sample(&cfg());
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let strict = idx.probe(&sig, 0.0).unwrap();
+        let loose = idx.probe(&sig, 0.5).unwrap();
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn miss_budget_formula() {
+        // degree 8, ρ = 25% → nbmiss 2; nbcmiss = 1 + 6*2 = 13
+        assert_eq!(NhIndex::miss_budgets(8, 0.25), (2, 13));
+        // ρ = 0 → no misses
+        assert_eq!(NhIndex::miss_budgets(8, 0.0), (0, 0));
+        // degenerate degree 0
+        assert_eq!(NhIndex::miss_budgets(0, 0.5), (0, 0));
+        // ρ ≥ 1 caps at degree
+        assert_eq!(NhIndex::miss_budgets(4, 2.0).0, 4);
+    }
+
+    #[test]
+    fn probe_stats_populated() {
+        let (_d, db, idx) = build_sample(&cfg());
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let (hits, stats) = idx.probe_with_stats(&sig, 0.25).unwrap();
+        assert_eq!(stats.rows_returned as usize, hits.len());
+        assert!(stats.keys_scanned >= stats.postings_fetched);
+        assert!(stats.rows_examined >= stats.rows_returned);
+    }
+
+    #[test]
+    fn reopen_probes_identically() {
+        let (dir, db, idx) = build_sample(&cfg());
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let before = idx.probe(&sig, 0.25).unwrap();
+        drop(idx);
+        let idx2 = NhIndex::open(dir.path(), 64).unwrap();
+        let mut after = idx2.probe(&sig, 0.25).unwrap();
+        let mut before = before;
+        before.sort_by_key(|h| h.node);
+        after.sort_by_key(|h| h.node);
+        assert_eq!(before, after);
+        assert_eq!(idx2.node_count(), db.total_nodes() as u64);
+    }
+
+    #[test]
+    fn parallel_build_equals_serial() {
+        let dir_a = tempfile::tempdir().unwrap();
+        let dir_b = tempfile::tempdir().unwrap();
+        let db = sample_db();
+        let mut ca = cfg();
+        ca.parallel_build = false;
+        let mut cb = cfg();
+        cb.parallel_build = true;
+        let ia = NhIndex::build(dir_a.path(), &db, &ca).unwrap();
+        let ib = NhIndex::build(dir_b.path(), &db, &cb).unwrap();
+        assert_eq!(ia.node_count(), ib.node_count());
+        assert_eq!(ia.key_count(), ib.key_count());
+        let g1 = db.graph(tale_graph::GraphId(1));
+        for n in g1.nodes() {
+            let sig = ia.signature(g1, n, &|x| db.effective_label(tale_graph::GraphId(1), x));
+            let mut a = ia.probe(&sig, 0.3).unwrap();
+            let mut b = ib.probe(&sig, 0.3).unwrap();
+            a.sort_by_key(|h| h.node);
+            b.sort_by_key(|h| h.node);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn group_labels_enable_mismatches() {
+        // Two nodes with different raw labels but the same group must
+        // match each other (§IV-E).
+        let mut db = GraphDb::new();
+        let p1 = db.intern_node_label("prot1");
+        let p2 = db.intern_node_label("prot2");
+        let q = db.intern_node_label("other");
+        let mut g = Graph::new_undirected();
+        let n0 = g.add_node(p1);
+        let n1 = g.add_node(q);
+        g.add_edge(n0, n1).unwrap();
+        db.insert("g", g);
+        // prot1 and prot2 share an ortholog group
+        db.set_group_by_names(&[
+            ("prot1".into(), "orthA".into()),
+            ("prot2".into(), "orthA".into()),
+        ])
+        .unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let idx = NhIndex::build(dir.path(), &db, &cfg()).unwrap();
+        // Query graph uses prot2 — different raw label, same group.
+        let mut qg = Graph::new_undirected();
+        let m0 = qg.add_node(p2);
+        let m1 = qg.add_node(q);
+        qg.add_edge(m0, m1).unwrap();
+        let sig = idx.signature(&qg, NodeId(0), &|n| db.effective_of_raw(qg.label(n)));
+        let hits = idx.probe(&sig, 0.0).unwrap();
+        assert!(hits.iter().any(|h| h.node == NodeRef { graph: 0, node: 0 }));
+        let _ = p1;
+    }
+
+    #[test]
+    fn insert_graph_extends_index() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut db = sample_db();
+        let idx_before;
+        let mut idx = {
+            // build over the original two graphs
+            let i = NhIndex::build(dir.path(), &db, &cfg()).unwrap();
+            idx_before = (i.node_count(), i.key_count());
+            i
+        };
+        // grow the database: a third graph, a fresh A-B edge pair
+        let a = db.intern_node_label("A"); // existing label
+        let b = db.intern_node_label("B");
+        let mut g2 = Graph::new_undirected();
+        let x = g2.add_node(a);
+        let y = g2.add_node(b);
+        g2.add_edge(x, y).unwrap();
+        let gid = db.insert("g2", g2);
+        idx.insert_graph(&db, gid).unwrap();
+        assert_eq!(idx.node_count(), idx_before.0 + 2);
+        assert!(idx.key_count() >= idx_before.1);
+
+        // the new node is findable through a probe
+        let g2ref = db.graph(gid);
+        let sig = idx.signature(g2ref, NodeId(0), &|n| db.effective_label(gid, n));
+        let hits = idx.probe(&sig, 0.5).unwrap();
+        assert!(
+            hits.iter().any(|h| h.node == NodeRef { graph: gid.0, node: 0 }),
+            "inserted node not probeable: {hits:?}"
+        );
+        // pre-existing nodes still probeable
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
+        let hits = idx.probe(&sig, 0.0).unwrap();
+        assert!(hits.iter().any(|h| h.node == NodeRef { graph: 1, node: 0 }));
+    }
+
+    #[test]
+    fn insert_graph_then_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut db = sample_db();
+        let mut idx = NhIndex::build(dir.path(), &db, &cfg()).unwrap();
+        let a = db.intern_node_label("A");
+        let mut g2 = Graph::new_undirected();
+        g2.add_node(a);
+        let gid = db.insert("solo", g2);
+        idx.insert_graph(&db, gid).unwrap();
+        let total = idx.node_count();
+        drop(idx);
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert_eq!(idx.node_count(), total);
+        let g2ref = db.graph(gid);
+        let sig = idx.signature(g2ref, NodeId(0), &|n| db.effective_label(gid, n));
+        assert!(!idx.probe(&sig, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_graph_bad_id_errors() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db();
+        let mut idx = NhIndex::build(dir.path(), &db, &cfg()).unwrap();
+        assert!(idx.insert_graph(&db, tale_graph::GraphId(99)).is_err());
+    }
+
+    #[test]
+    fn multi_hash_bloom_index_probes_correctly() {
+        // Force the Bloom regime (sbit below vocab) with 3 hashes; probes
+        // must still find every true match (no false negatives).
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db();
+        let config = NhIndexConfig {
+            sbit: 2, // vocabulary has 3 labels → Bloom
+            buffer_frames: 64,
+            parallel_build: false,
+            bloom_hashes: 3,
+            use_edge_labels: false,
+        };
+        let idx = NhIndex::build(dir.path(), &db, &config).unwrap();
+        assert!(!idx.scheme().deterministic);
+        assert_eq!(idx.scheme().hashes, 3);
+        for gid in [tale_graph::GraphId(0), tale_graph::GraphId(1)] {
+            let g = db.graph(gid);
+            for n in g.nodes() {
+                let sig = idx.signature(g, n, &|x| db.effective_label(gid, x));
+                let hits = idx.probe(&sig, 0.0).unwrap();
+                assert!(
+                    hits.iter().any(|h| h.node == NodeRef { graph: gid.0, node: n.0 }),
+                    "self-match lost under multi-hash bloom: {gid:?} {n:?}"
+                );
+            }
+        }
+        // persists and reopens with the hash count intact
+        drop(idx);
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert_eq!(idx.scheme().hashes, 3);
+    }
+
+    #[test]
+    fn remove_graph_hides_rows_and_persists() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db();
+        let mut idx = NhIndex::build(dir.path(), &db, &cfg()).unwrap();
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
+        assert!(idx
+            .probe(&sig, 0.25)
+            .unwrap()
+            .iter()
+            .any(|h| h.node.graph == 1));
+        idx.remove_graph(tale_graph::GraphId(1), db.effective_vocab_size() as u64)
+            .unwrap();
+        assert!(idx.is_removed(tale_graph::GraphId(1)));
+        assert!(idx
+            .probe(&sig, 0.25)
+            .unwrap()
+            .iter()
+            .all(|h| h.node.graph != 1));
+        // graph 0's rows are untouched
+        let g0 = db.graph(tale_graph::GraphId(0));
+        let sig0 = idx.signature(g0, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(0), n)
+        });
+        assert!(idx
+            .probe(&sig0, 0.25)
+            .unwrap()
+            .iter()
+            .any(|h| h.node.graph == 0));
+        // persists across reopen
+        drop(idx);
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert!(idx.is_removed(tale_graph::GraphId(1)));
+        assert!(idx
+            .probe(&sig, 0.25)
+            .unwrap()
+            .iter()
+            .all(|h| h.node.graph != 1));
+    }
+
+    #[test]
+    fn probe_label_absent_returns_empty() {
+        let (_d, db, idx) = build_sample(&cfg());
+        let _ = db;
+        let sig = QuerySignature {
+            label: 999,
+            degree: 1,
+            nb_connection: 0,
+            nb_array: vec![0u64; idx.scheme().words()],
+        };
+        assert!(idx.probe(&sig, 0.5).unwrap().is_empty());
+    }
+}

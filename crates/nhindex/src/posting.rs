@@ -1,0 +1,338 @@
+//! Second-level posting layout (§IV-C, Fig. 2).
+//!
+//! Each distinct `(label, degree, nbConnection)` B+-tree key owns one
+//! posting blob with two components, mirroring the paper's "relation with
+//! two attributes":
+//!
+//! 1. the list of database node ids sharing the key, and
+//! 2. a bitmap index over their neighbor arrays, stored **column-major**
+//!    (one bit-column per array position `B_j`, as drawn in Fig. 2) so
+//!    Algorithm 1's column operations are contiguous word scans.
+//!
+//! Binary layout (little-endian):
+//! ```text
+//! u32 n             — number of nodes
+//! u32 sbit_and_flag — neighbor array width; high bit set = row-major
+//! n × (u32 graph, u32 node)
+//! then either
+//!   sbit × ceil(n/64) × u64   — bit columns (column-major, n ≥ sbit)
+//! or
+//!   n × ceil(sbit/64) × u64   — neighbor arrays (row-major, n < sbit)
+//! ```
+//!
+//! Small postings (fewer rows than bits) would waste a full word per
+//! column in the bit-sliced layout — 32× overhead for a singleton key —
+//! so they are stored row-major and converted on decode. This keeps the
+//! on-disk index size linear in the node count (Table III / Fig. 8's
+//! shape); Algorithm 1 still runs on the decoded column form.
+
+use crate::bitprobe::ColumnBitmap;
+use crate::{NhError, Result};
+use serde::{Deserialize, Serialize};
+
+/// High bit of the sbit header word marks the row-major layout.
+const ROW_MAJOR_FLAG: u32 = 1 << 31;
+/// Bit 30 marks WAH-compressed column-major (chosen when it is smaller).
+const WAH_FLAG: u32 = 1 << 30;
+
+/// A database node: which graph, which node within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeRef {
+    /// Graph id within the database.
+    pub graph: u32,
+    /// Node id within the graph.
+    pub node: u32,
+}
+
+/// A decoded posting: node refs plus the neighbor-array bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Nodes sharing the B+-tree key, in the order of bitmap rows.
+    pub refs: Vec<NodeRef>,
+    /// Column-major neighbor-array bitmap; row `i` belongs to `refs[i]`.
+    pub bitmap: ColumnBitmap,
+}
+
+impl Posting {
+    /// Builds a posting from node refs and their (row-major) neighbor
+    /// arrays. Each array must have `scheme.words()` words.
+    pub fn from_rows(refs: Vec<NodeRef>, sbit: u32, rows: &[Vec<u64>]) -> Self {
+        debug_assert_eq!(refs.len(), rows.len());
+        let mut bitmap = ColumnBitmap::new(refs.len(), sbit);
+        for (i, row) in rows.iter().enumerate() {
+            for b in 0..sbit {
+                if row[(b / 64) as usize] >> (b % 64) & 1 == 1 {
+                    bitmap.set(i, b);
+                }
+            }
+        }
+        Posting { refs, bitmap }
+    }
+
+    /// True when a posting of `n` rows stores row-major (small postings).
+    fn row_major(n: usize, sbit: u32) -> bool {
+        n < sbit as usize
+    }
+
+    /// Serialized byte size for `n` nodes at width `sbit` in the *raw*
+    /// layouts (the WAH layout's size is data-dependent; [`Posting::encode`]
+    /// picks it only when strictly smaller than this).
+    pub fn encoded_len(n: usize, sbit: u32) -> usize {
+        let payload_words = if Self::row_major(n, sbit) {
+            n * (sbit as usize).div_ceil(64)
+        } else {
+            sbit as usize * n.div_ceil(64)
+        };
+        8 + n * 8 + payload_words * 8
+    }
+
+    /// Encodes into the blob layout, picking the smallest of the three
+    /// forms: row-major (small postings), raw column-major, or
+    /// WAH-compressed column-major (sparse columns of big postings).
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.refs.len();
+        let sbit = self.bitmap.sbit();
+        let row_major = Self::row_major(n, sbit);
+        if !row_major {
+            // consider the compressed layout: per column a u32 word count
+            // followed by the WAH words
+            let wpc = n.div_ceil(64);
+            let raw_payload = sbit as usize * wpc * 8;
+            let cols: Vec<Vec<u64>> = (0..sbit)
+                .map(|j| tale_storage::wah::compress(self.bitmap.column(j), n))
+                .collect();
+            let wah_payload = 4 * sbit as usize + 8 * cols.iter().map(Vec::len).sum::<usize>();
+            if wah_payload < raw_payload {
+                let mut out = Vec::with_capacity(8 + n * 8 + wah_payload);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend_from_slice(&(sbit | WAH_FLAG).to_le_bytes());
+                for r in &self.refs {
+                    out.extend_from_slice(&r.graph.to_le_bytes());
+                    out.extend_from_slice(&r.node.to_le_bytes());
+                }
+                for col in &cols {
+                    out.extend_from_slice(&(col.len() as u32).to_le_bytes());
+                }
+                for col in &cols {
+                    for w in col {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                return out;
+            }
+        }
+        let mut out = Vec::with_capacity(Self::encoded_len(n, sbit));
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        let flagged = if row_major { sbit | ROW_MAJOR_FLAG } else { sbit };
+        out.extend_from_slice(&flagged.to_le_bytes());
+        for r in &self.refs {
+            out.extend_from_slice(&r.graph.to_le_bytes());
+            out.extend_from_slice(&r.node.to_le_bytes());
+        }
+        if row_major {
+            for r in 0..n {
+                for w in self.bitmap.row(r) {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        } else {
+            for w in self.bitmap.words() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a blob produced by [`Posting::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let fail = |m: &str| NhError::Meta(format!("posting decode: {m}"));
+        if bytes.len() < 8 {
+            return Err(fail("short header"));
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let flagged = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let row_major = flagged & ROW_MAJOR_FLAG != 0;
+        let wah = flagged & WAH_FLAG != 0;
+        let sbit = flagged & !(ROW_MAJOR_FLAG | WAH_FLAG);
+        if row_major && wah {
+            return Err(fail("conflicting layout flags"));
+        }
+        if !wah && row_major != Self::row_major(n, sbit) {
+            return Err(fail("layout flag inconsistent with size"));
+        }
+        if !wah {
+            let expect = Self::encoded_len(n, sbit);
+            if bytes.len() != expect {
+                return Err(fail("length mismatch"));
+            }
+        } else if bytes.len() < 8 + n * 8 + 4 * sbit as usize {
+            return Err(fail("short WAH header"));
+        }
+        let mut refs = Vec::with_capacity(n);
+        let mut off = 8;
+        for _ in 0..n {
+            let graph = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let node = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            refs.push(NodeRef { graph, node });
+            off += 8;
+        }
+        if wah {
+            let wpc = n.div_ceil(64);
+            let mut lens = Vec::with_capacity(sbit as usize);
+            for _ in 0..sbit {
+                lens.push(u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize);
+                off += 4;
+            }
+            let total: usize = lens.iter().sum();
+            if bytes.len() != off + total * 8 {
+                return Err(fail("WAH length mismatch"));
+            }
+            let mut words = Vec::with_capacity(sbit as usize * wpc);
+            for &len in &lens {
+                let mut col_wah = Vec::with_capacity(len);
+                for _ in 0..len {
+                    col_wah.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+                    off += 8;
+                }
+                words.extend(tale_storage::wah::decompress(&col_wah, n));
+            }
+            return Ok(Posting {
+                refs,
+                bitmap: ColumnBitmap::from_words(n, sbit, words),
+            });
+        }
+        let read_word = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let bitmap = if row_major {
+            let words_per_row = (sbit as usize).div_ceil(64);
+            let mut bm = ColumnBitmap::new(n, sbit);
+            for r in 0..n {
+                for w in 0..words_per_row {
+                    let word = read_word(off + (r * words_per_row + w) * 8);
+                    let mut rem = word;
+                    while rem != 0 {
+                        let bit = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        let col = (w * 64 + bit) as u32;
+                        if col < sbit {
+                            bm.set(r, col);
+                        }
+                    }
+                }
+            }
+            bm
+        } else {
+            let wpc = n.div_ceil(64);
+            let mut words = Vec::with_capacity(sbit as usize * wpc);
+            for i in 0..sbit as usize * wpc {
+                words.push(read_word(off + i * 8));
+            }
+            ColumnBitmap::from_words(n, sbit, words)
+        };
+        Ok(Posting { refs, bitmap })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Posting {
+        let refs = vec![
+            NodeRef { graph: 0, node: 3 },
+            NodeRef { graph: 1, node: 7 },
+            NodeRef { graph: 2, node: 0 },
+        ];
+        let rows = vec![
+            vec![0b0101u64],
+            vec![0b1100u64],
+            vec![0b0000u64],
+        ];
+        Posting::from_rows(refs, 32, &rows)
+    }
+
+    #[test]
+    fn from_rows_sets_columns() {
+        let p = sample();
+        assert!(p.bitmap.get(0, 0));
+        assert!(!p.bitmap.get(0, 1));
+        assert!(p.bitmap.get(0, 2));
+        assert!(p.bitmap.get(1, 2));
+        assert!(p.bitmap.get(1, 3));
+        assert!(!p.bitmap.get(2, 0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), Posting::encoded_len(3, 32));
+        let back = Posting::decode(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn roundtrip_large_posting() {
+        let n = 200;
+        let refs: Vec<NodeRef> = (0..n)
+            .map(|i| NodeRef {
+                graph: i as u32 / 10,
+                node: i as u32,
+            })
+            .collect();
+        let rows: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64, (i * 31) as u64]).collect();
+        let p = Posting::from_rows(refs, 96, &rows);
+        let back = Posting::decode(&p.encode()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Posting::decode(&[1, 2, 3]).is_err());
+        let mut bytes = sample().encode();
+        bytes.pop();
+        assert!(Posting::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wah_layout_kicks_in_for_sparse_large_postings() {
+        // 512 rows, 32 columns, very sparse → WAH wins and roundtrips
+        let n = 512;
+        let refs: Vec<NodeRef> = (0..n)
+            .map(|i| NodeRef { graph: 0, node: i as u32 })
+            .collect();
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|i| vec![if i % 97 == 0 { 0b1u64 } else { 0 }])
+            .collect();
+        let p = Posting::from_rows(refs, 32, &rows);
+        let bytes = p.encode();
+        assert!(
+            bytes.len() < Posting::encoded_len(n, 32),
+            "sparse posting should compress: {} vs raw {}",
+            bytes.len(),
+            Posting::encoded_len(n, 32)
+        );
+        let back = Posting::decode(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn dense_large_posting_stays_raw_and_roundtrips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = 256;
+        let refs: Vec<NodeRef> = (0..n)
+            .map(|i| NodeRef { graph: 1, node: i as u32 })
+            .collect();
+        let rows: Vec<Vec<u64>> = (0..n).map(|_| vec![rng.gen::<u64>() & 0xFFFF_FFFF]).collect();
+        let p = Posting::from_rows(refs, 32, &rows);
+        let back = Posting::decode(&p.encode()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn empty_posting_roundtrip() {
+        let p = Posting::from_rows(Vec::new(), 32, &[]);
+        let back = Posting::decode(&p.encode()).unwrap();
+        assert_eq!(back.refs.len(), 0);
+    }
+}

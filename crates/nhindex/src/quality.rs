@@ -1,0 +1,64 @@
+//! Node-match quality `w` — Eq. IV.5.
+//!
+//! The formula lives in [`tale_graph::neighborhood`] (it scores
+//! neighborhood agreement and is also used by the matcher's extension
+//! step, which does not touch the index); it is re-exported here because
+//! the paper introduces it as part of the NH-Index probe (§IV-B.1), and
+//! this module carries its unit tests.
+
+pub use tale_graph::neighborhood::node_match_quality;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_scores_two() {
+        assert_eq!(node_match_quality(5, 4, 0, 0), 2.0);
+        assert_eq!(node_match_quality(0, 0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn missing_connections_only() {
+        // nbmiss = 0, nbcmiss = 2 of 4 → w = 2 - 0.5
+        assert!((node_match_quality(5, 4, 0, 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_neighbors_amortizes_connections() {
+        // nbmiss = 2 of degree 4 → fnb = 0.5; nbcmiss = 3 of 6 → fnbc = 0.5
+        // w = 2 - (0.5 + 0.5/2) = 1.25
+        assert!((node_match_quality(4, 6, 2, 3) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_decreases_with_misses() {
+        let w0 = node_match_quality(10, 8, 0, 0);
+        let w1 = node_match_quality(10, 8, 1, 1);
+        let w2 = node_match_quality(10, 8, 3, 4);
+        assert!(w0 > w1 && w1 > w2);
+    }
+
+    #[test]
+    fn bounded_zero_to_two() {
+        for d in 0..8u32 {
+            for nc in 0..8u32 {
+                for m in 0..=d {
+                    for cm in 0..=nc {
+                        let w = node_match_quality(d, nc, m, cm);
+                        assert!(
+                            (0.0..=2.0).contains(&w),
+                            "w={w} d={d} nc={nc} m={m} cm={cm}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_degree_query_ignores_nb_terms() {
+        // an isolated query node can't miss neighbors
+        assert_eq!(node_match_quality(0, 0, 0, 0), 2.0);
+    }
+}

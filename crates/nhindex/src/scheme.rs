@@ -1,0 +1,318 @@
+//! Neighbor arrays (§IV-A).
+//!
+//! The neighbors of a node are summarized as an `Sbit`-bit array. Two
+//! regimes, exactly as the paper describes:
+//!
+//! * **Deterministic**: when the vocabulary is small (`|Σv| ≤ Sbit`), bit
+//!   `i` records whether a neighbor with label `i` exists. Condition IV.3
+//!   is then exact over label *sets*.
+//! * **Bloom**: for large vocabularies, a hash function maps each label to
+//!   a bit position (the paper uses one bit array and one hash function,
+//!   as do we). This admits false positives — a query neighbor label may
+//!   appear present when only a colliding label is — but never false
+//!   negatives, so the index remains a safe filter.
+
+use serde::{Deserialize, Serialize};
+
+/// How labels map to neighbor-array bit positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborArrayScheme {
+    /// Array width in bits (`Sbit`, user-controllable; the paper uses 96
+    /// for BIND and 32 for ASTRAL).
+    pub sbit: u32,
+    /// True when bit positions are label ids directly.
+    pub deterministic: bool,
+    /// Hash functions per label in the Bloom regime (§IV-A: "to improve
+    /// precision, multiple bit arrays and hash functions can be used" —
+    /// the paper uses one "for simplicity"; ignored when deterministic).
+    /// Each missing neighbor label then costs up to `hashes` bit misses,
+    /// so probe thresholds scale accordingly (see
+    /// [`NeighborArrayScheme::bit_budget`]).
+    #[serde(default = "default_hashes")]
+    pub hashes: u8,
+}
+
+fn default_hashes() -> u8 {
+    1
+}
+
+impl NeighborArrayScheme {
+    /// Picks the regime the paper prescribes: deterministic when the whole
+    /// vocabulary fits in the array, Bloom hashing otherwise (one hash).
+    pub fn choose(sbit: u32, vocab_size: usize) -> Self {
+        Self::choose_with_hashes(sbit, vocab_size, 1)
+    }
+
+    /// [`NeighborArrayScheme::choose`] with an explicit Bloom hash count.
+    pub fn choose_with_hashes(sbit: u32, vocab_size: usize, hashes: u8) -> Self {
+        NeighborArrayScheme {
+            sbit,
+            deterministic: vocab_size <= sbit as usize,
+            hashes: hashes.max(1),
+        }
+    }
+
+    /// Scales a neighbor-miss budget to bit-miss space: in the
+    /// deterministic (or single-hash) regime the two coincide; with `k`
+    /// hashes a missing label may clear up to `k` bits, so the admissible
+    /// (no-false-negative) bit budget is `nbmiss × k`.
+    pub fn bit_budget(&self, nbmiss: u32) -> u32 {
+        if self.deterministic {
+            nbmiss
+        } else {
+            nbmiss.saturating_mul(self.hashes.max(1) as u32)
+        }
+    }
+
+    /// Number of `u64` words per array.
+    #[inline]
+    pub fn words(&self) -> usize {
+        (self.sbit as usize).div_ceil(64)
+    }
+
+    /// Primary bit position for a label (first hash).
+    #[inline]
+    pub fn bit_of(&self, label: u32) -> u32 {
+        self.bit_of_hash(label, 0)
+    }
+
+    /// Bit position for a label under hash function `i`.
+    #[inline]
+    pub fn bit_of_hash(&self, label: u32, i: u8) -> u32 {
+        if self.deterministic {
+            // Labels outside the build-time vocabulary (possible for query
+            // graphs) wrap around; a false-positive bit is harmless for a
+            // filter, and the B+-tree label-equality condition still
+            // rejects unknown node labels outright.
+            label % self.sbit
+        } else {
+            // Double hashing: h1 + i·h2, the standard Bloom construction,
+            // over two Fibonacci-style multiplicative mixes.
+            let h1 = (label as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            let h2 = ((label as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32) | 1;
+            ((h1.wrapping_add(h2.wrapping_mul(i as u64))) % self.sbit as u64) as u32
+        }
+    }
+
+    /// Bit position for a (neighbor label, edge label) pair — the
+    /// extended paper's edge-labeled adaptation folds the incident edge's
+    /// label into the neighborhood signature. Always hashed (the pair
+    /// space exceeds any practical deterministic array).
+    #[inline]
+    pub fn bit_of_pair(&self, label: u32, edge_label: u32, i: u8) -> u32 {
+        let key = ((label as u64) << 32) | edge_label as u64;
+        let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let h2 = (key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32) | 1;
+        ((h1.wrapping_add(h2.wrapping_mul(i as u64))) % self.sbit as u64) as u32
+    }
+
+    /// Builds the neighbor array over (neighbor label, edge label) pairs.
+    /// `0` encodes "no edge label"; real labels are passed as `id + 1`.
+    pub fn array_of_pairs<I: IntoIterator<Item = (u32, u32)>>(&self, pairs: I) -> Vec<u64> {
+        let mut words = vec![0u64; self.words()];
+        let k = self.hashes.max(1);
+        for (l, el) in pairs {
+            for i in 0..k {
+                let b = self.bit_of_pair(l, el, i);
+                words[(b / 64) as usize] |= 1u64 << (b % 64);
+            }
+        }
+        words
+    }
+
+    /// Builds the neighbor array for a set of (effective) neighbor labels.
+    pub fn array_of<I: IntoIterator<Item = u32>>(&self, labels: I) -> Vec<u64> {
+        let mut words = vec![0u64; self.words()];
+        let k = if self.deterministic { 1 } else { self.hashes.max(1) };
+        for l in labels {
+            for i in 0..k {
+                let b = self.bit_of_hash(l, i);
+                words[(b / 64) as usize] |= 1u64 << (b % 64);
+            }
+        }
+        words
+    }
+
+    /// Counts query bits missing from the database array — the sum in
+    /// condition IV.3: positions set in `query` but clear in `db`.
+    pub fn count_misses(query: &[u64], db: &[u64]) -> u32 {
+        debug_assert_eq!(query.len(), db.len());
+        query
+            .iter()
+            .zip(db.iter())
+            .map(|(q, d)| (q & !d).count_ones())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn choose_picks_regime() {
+        assert!(NeighborArrayScheme::choose(32, 20).deterministic);
+        assert!(NeighborArrayScheme::choose(32, 32).deterministic);
+        assert!(!NeighborArrayScheme::choose(32, 33).deterministic);
+    }
+
+    #[test]
+    fn deterministic_bits_are_identity() {
+        let s = NeighborArrayScheme {
+            sbit: 20,
+            deterministic: true,
+            hashes: 1,
+        };
+        for l in 0..20 {
+            assert_eq!(s.bit_of(l), l);
+        }
+    }
+
+    #[test]
+    fn bloom_bits_in_range_and_spread() {
+        let s = NeighborArrayScheme {
+            sbit: 96,
+            deterministic: false,
+            hashes: 1,
+        };
+        let positions: HashSet<u32> = (0..1000).map(|l| s.bit_of(l)).collect();
+        assert!(positions.iter().all(|&b| b < 96));
+        // a decent hash should hit most buckets with 1000 labels
+        assert!(positions.len() > 80, "only {} buckets hit", positions.len());
+    }
+
+    #[test]
+    fn array_sets_expected_bits() {
+        let s = NeighborArrayScheme {
+            sbit: 96,
+            deterministic: true,
+            hashes: 1,
+        };
+        let arr = s.array_of([0, 5, 70]);
+        assert_eq!(arr.len(), 2);
+        assert_ne!(arr[0] & 1, 0);
+        assert_ne!(arr[0] & (1 << 5), 0);
+        assert_ne!(arr[1] & (1 << (70 - 64)), 0);
+        assert_eq!(arr[0] & (1 << 6), 0);
+    }
+
+    #[test]
+    fn miss_counting() {
+        let s = NeighborArrayScheme {
+            sbit: 64,
+            deterministic: true,
+            hashes: 1,
+        };
+        let q = s.array_of([1, 2, 3]);
+        let db = s.array_of([2, 3, 4]);
+        assert_eq!(NeighborArrayScheme::count_misses(&q, &db), 1); // label 1 missing
+        assert_eq!(NeighborArrayScheme::count_misses(&db, &q), 1); // label 4 missing
+        assert_eq!(NeighborArrayScheme::count_misses(&q, &q), 0);
+    }
+
+    #[test]
+    fn bloom_superset_no_false_negatives() {
+        // If the db node's neighbor labels are a superset of the query's,
+        // the miss count must be 0 regardless of hash collisions.
+        let s = NeighborArrayScheme {
+            sbit: 16,
+            deterministic: false,
+            hashes: 1,
+        };
+        let q_labels = vec![100, 2000, 35];
+        let mut db_labels = q_labels.clone();
+        db_labels.extend([7, 8, 9, 1000]);
+        let q = s.array_of(q_labels);
+        let db = s.array_of(db_labels);
+        assert_eq!(NeighborArrayScheme::count_misses(&q, &db), 0);
+    }
+
+    #[test]
+    fn multi_hash_superset_still_no_false_negatives() {
+        let s = NeighborArrayScheme {
+            sbit: 96,
+            deterministic: false,
+            hashes: 3,
+        };
+        let q_labels = vec![17u32, 3000, 42, 99999];
+        let mut db_labels = q_labels.clone();
+        db_labels.extend([1, 2, 3]);
+        let q = s.array_of(q_labels);
+        let db = s.array_of(db_labels);
+        assert_eq!(NeighborArrayScheme::count_misses(&q, &db), 0);
+    }
+
+    #[test]
+    fn multi_hash_improves_precision() {
+        // With sparse arrays, a random non-member label is less likely to
+        // appear present when it must hit k positions. Estimate the false
+        // positive rate empirically for k = 1 vs k = 3.
+        let fp_rate = |hashes: u8| -> f64 {
+            let s = NeighborArrayScheme {
+                sbit: 96,
+                deterministic: false,
+                hashes,
+            };
+            let members: Vec<u32> = (0..8).map(|i| i * 1009 + 7).collect();
+            let arr = s.array_of(members.iter().copied());
+            let mut fp = 0;
+            let trials = 2000u32;
+            for probe in 0..trials {
+                let label = 1_000_000 + probe; // non-members
+                let single = s.array_of([label]);
+                if NeighborArrayScheme::count_misses(&single, &arr) == 0 {
+                    fp += 1;
+                }
+            }
+            fp as f64 / trials as f64
+        };
+        let fp1 = fp_rate(1);
+        let fp3 = fp_rate(3);
+        assert!(fp3 < fp1, "k=3 fp {fp3:.3} should beat k=1 fp {fp1:.3}");
+    }
+
+    #[test]
+    fn bit_budget_scales_with_hashes() {
+        let det = NeighborArrayScheme {
+            sbit: 32,
+            deterministic: true,
+            hashes: 4,
+        };
+        assert_eq!(det.bit_budget(3), 3); // deterministic ignores hashes
+        let bloom = NeighborArrayScheme {
+            sbit: 32,
+            deterministic: false,
+            hashes: 4,
+        };
+        assert_eq!(bloom.bit_budget(3), 12);
+        assert_eq!(bloom.bit_budget(0), 0);
+    }
+
+    #[test]
+    fn pair_arrays_distinguish_edge_labels() {
+        let s = NeighborArrayScheme {
+            sbit: 96,
+            deterministic: false,
+            hashes: 1,
+        };
+        let strong = s.array_of_pairs([(5, 1)]);
+        let weak = s.array_of_pairs([(5, 2)]);
+        assert_ne!(strong, weak, "same neighbor, different edge label");
+        // superset property still holds over pairs
+        let q = s.array_of_pairs([(5, 1), (9, 2)]);
+        let db = s.array_of_pairs([(5, 1), (9, 2), (7, 7)]);
+        assert_eq!(NeighborArrayScheme::count_misses(&q, &db), 0);
+    }
+
+    #[test]
+    fn empty_labels_give_zero_array() {
+        let s = NeighborArrayScheme {
+            sbit: 32,
+            deterministic: true,
+            hashes: 1,
+        };
+        let arr = s.array_of(std::iter::empty());
+        assert!(arr.iter().all(|&w| w == 0));
+    }
+}

@@ -1,0 +1,668 @@
+//! Disk-resident B+-tree over composite `(label, degree, nbConnection)`
+//! keys — the first level of the paper's hybrid NH-Index (§IV-C, Fig. 2).
+//!
+//! The tree supports the exact access paths the index probe needs:
+//! equality on the label plus range scans on degree and neighbor
+//! connection (conditions IV.1, IV.2 and IV.4), via [`BTree::get`] and
+//! [`BTree::range`]. Values are opaque `u64`s; the NH-Index stores
+//! [`crate::BlobRef`]s to second-level postings there.
+//!
+//! Keys are unique (inserting an existing key replaces its value), which
+//! matches the index's one-posting-per-distinct-key layout. Read-mostly
+//! usage is expected, so [`BTree::bulk_load`] packs leaves at 100% fill;
+//! incremental [`BTree::insert`] with node splits is also provided for
+//! growing databases.
+
+use crate::buffer::BufferPool;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::{Result, StorageError};
+use std::sync::Arc;
+
+/// In-payload header bytes: type(1) pad(1) count(2) pad(4) next(8).
+const HDR: usize = 16;
+/// Payload bytes available per page.
+const PAYLOAD: usize = PAGE_SIZE - crate::page::HEADER_LEN;
+/// Bytes per leaf entry: 12-byte key + 8-byte value.
+const LEAF_ENTRY: usize = 20;
+/// Bytes per internal entry: 12-byte key + 8-byte child pointer.
+const INT_ENTRY: usize = 20;
+/// Internal nodes also store one leftmost child pointer after the header.
+const INT_HDR: usize = HDR + 8;
+
+/// Max entries per leaf page.
+pub const LEAF_CAP: usize = (PAYLOAD - HDR) / LEAF_ENTRY;
+/// Max separator keys per internal page.
+pub const INT_CAP: usize = (PAYLOAD - INT_HDR) / INT_ENTRY;
+
+const NO_NEXT: u64 = u64::MAX;
+
+/// The NH-Index first-level key: `(label, degree, neighbor connection)`,
+/// compared lexicographically — so all entries for one label are
+/// contiguous, ordered by degree then neighbor connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompositeKey {
+    /// Effective node label (group label under §IV-E).
+    pub label: u32,
+    /// Node degree.
+    pub degree: u32,
+    /// Neighbor connection (edges among neighbors).
+    pub nb_connection: u32,
+}
+
+impl CompositeKey {
+    /// Builds a key.
+    pub fn new(label: u32, degree: u32, nb_connection: u32) -> Self {
+        CompositeKey {
+            label,
+            degree,
+            nb_connection,
+        }
+    }
+
+    /// Smallest possible key.
+    pub const MIN: CompositeKey = CompositeKey {
+        label: 0,
+        degree: 0,
+        nb_connection: 0,
+    };
+
+    /// Largest possible key.
+    pub const MAX: CompositeKey = CompositeKey {
+        label: u32::MAX,
+        degree: u32::MAX,
+        nb_connection: u32::MAX,
+    };
+
+    fn write(self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.label.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.degree.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.nb_connection.to_le_bytes());
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        CompositeKey {
+            label: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            degree: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            nb_connection: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        }
+    }
+}
+
+enum Node {
+    Leaf {
+        entries: Vec<(CompositeKey, u64)>,
+        next: Option<PageId>,
+    },
+    Internal {
+        leftmost: PageId,
+        entries: Vec<(CompositeKey, PageId)>,
+    },
+}
+
+impl Node {
+    fn decode(payload: &[u8]) -> Result<Node> {
+        let count = u16::from_le_bytes(payload[2..4].try_into().unwrap()) as usize;
+        match payload[0] {
+            0 => {
+                if count > LEAF_CAP {
+                    return Err(StorageError::TreeInvariant("leaf count over capacity"));
+                }
+                let next_raw = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+                let next = (next_raw != NO_NEXT).then_some(PageId(next_raw));
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = HDR + i * LEAF_ENTRY;
+                    let key = CompositeKey::read(&payload[off..off + 12]);
+                    let val = u64::from_le_bytes(payload[off + 12..off + 20].try_into().unwrap());
+                    entries.push((key, val));
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            1 => {
+                if count > INT_CAP {
+                    return Err(StorageError::TreeInvariant("internal count over capacity"));
+                }
+                let leftmost = PageId(u64::from_le_bytes(payload[HDR..HDR + 8].try_into().unwrap()));
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = INT_HDR + i * INT_ENTRY;
+                    let key = CompositeKey::read(&payload[off..off + 12]);
+                    let child =
+                        PageId(u64::from_le_bytes(payload[off + 12..off + 20].try_into().unwrap()));
+                    entries.push((key, child));
+                }
+                Ok(Node::Internal { leftmost, entries })
+            }
+            _ => Err(StorageError::TreeInvariant("unknown node type byte")),
+        }
+    }
+
+    fn encode(&self, payload: &mut [u8]) {
+        payload[..HDR].fill(0);
+        match self {
+            Node::Leaf { entries, next } => {
+                payload[0] = 0;
+                payload[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                let next_raw = next.map_or(NO_NEXT, |p| p.0);
+                payload[8..16].copy_from_slice(&next_raw.to_le_bytes());
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    let off = HDR + i * LEAF_ENTRY;
+                    k.write(&mut payload[off..off + 12]);
+                    payload[off + 12..off + 20].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            Node::Internal { leftmost, entries } => {
+                payload[0] = 1;
+                payload[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                payload[HDR..HDR + 8].copy_from_slice(&leftmost.0.to_le_bytes());
+                for (i, (k, c)) in entries.iter().enumerate() {
+                    let off = INT_HDR + i * INT_ENTRY;
+                    k.write(&mut payload[off..off + 12]);
+                    payload[off + 12..off + 20].copy_from_slice(&c.0.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// A disk B+-tree.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tale_storage::{BTree, BufferPool, CompositeKey, DiskManager};
+///
+/// let dir = std::env::temp_dir().join(format!("bt-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let dm = Arc::new(DiskManager::create(&dir.join("t.db")).unwrap());
+/// let pool = Arc::new(BufferPool::new(dm, 64));
+/// let mut tree = BTree::create(pool).unwrap();
+/// tree.insert(CompositeKey::new(1, 4, 2), 99).unwrap();
+/// assert_eq!(tree.get(CompositeKey::new(1, 4, 2)).unwrap(), Some(99));
+/// // range scan: every entry for label 1 with degree >= 4
+/// let hits = tree
+///     .range(CompositeKey::new(1, 4, 0), CompositeKey::new(1, u32::MAX, u32::MAX))
+///     .unwrap();
+/// assert_eq!(hits.len(), 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    height: u32,
+}
+
+impl BTree {
+    /// Creates an empty tree (a single empty leaf).
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let (root, mut guard) = pool.new_page()?;
+        Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+        }
+        .encode(guard.page_mut().payload_mut());
+        drop(guard);
+        Ok(BTree {
+            pool,
+            root,
+            height: 1,
+        })
+    }
+
+    /// Reopens a tree whose root/height were persisted by the caller.
+    pub fn open(pool: Arc<BufferPool>, root: PageId, height: u32) -> Self {
+        BTree { pool, root, height }
+    }
+
+    /// Root page id — persist this (with [`BTree::height`]) to reopen.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn read_node(&self, id: PageId) -> Result<Node> {
+        let guard = self.pool.fetch(id)?;
+        Node::decode(guard.page().payload())
+    }
+
+    fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        let mut guard = self.pool.fetch_mut(id)?;
+        node.encode(guard.page_mut().payload_mut());
+        Ok(())
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, key: CompositeKey) -> Result<Option<u64>> {
+        let mut id = self.root;
+        loop {
+            match self.read_node(id)? {
+                Node::Internal { leftmost, entries } => {
+                    id = Self::child_for(&entries, leftmost, key);
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by_key(&key, |&(k, _)| k)
+                        .ok()
+                        .map(|i| entries[i].1));
+                }
+            }
+        }
+    }
+
+    fn child_for(entries: &[(CompositeKey, PageId)], leftmost: PageId, key: CompositeKey) -> PageId {
+        // descend into the last child whose separator <= key
+        let idx = entries.partition_point(|&(k, _)| k <= key);
+        if idx == 0 {
+            leftmost
+        } else {
+            entries[idx - 1].1
+        }
+    }
+
+    /// Inserts `key → value`, replacing any existing value for `key`.
+    pub fn insert(&mut self, key: CompositeKey, value: u64) -> Result<()> {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value)? {
+            // root split: grow a new root
+            let (new_root, mut guard) = self.pool.new_page()?;
+            Node::Internal {
+                leftmost: self.root,
+                entries: vec![(sep, right)],
+            }
+            .encode(guard.page_mut().payload_mut());
+            drop(guard);
+            self.root = new_root;
+            self.height += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        id: PageId,
+        key: CompositeKey,
+        value: u64,
+    ) -> Result<Option<(CompositeKey, PageId)>> {
+        match self.read_node(id)? {
+            Node::Leaf { mut entries, next } => {
+                match entries.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(i) => entries[i].1 = value,
+                    Err(i) => entries.insert(i, (key, value)),
+                }
+                if entries.len() <= LEAF_CAP {
+                    self.write_node(id, &Node::Leaf { entries, next })?;
+                    return Ok(None);
+                }
+                // split
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0;
+                let (right_id, mut rg) = self.pool.new_page()?;
+                Node::Leaf {
+                    entries: right_entries,
+                    next,
+                }
+                .encode(rg.page_mut().payload_mut());
+                drop(rg);
+                self.write_node(
+                    id,
+                    &Node::Leaf {
+                        entries,
+                        next: Some(right_id),
+                    },
+                )?;
+                Ok(Some((sep, right_id)))
+            }
+            Node::Internal {
+                leftmost,
+                mut entries,
+            } => {
+                let child = Self::child_for(&entries, leftmost, key);
+                let Some((sep, right)) = self.insert_rec(child, key, value)? else {
+                    return Ok(None);
+                };
+                let idx = entries.partition_point(|&(k, _)| k <= sep);
+                entries.insert(idx, (sep, right));
+                if entries.len() <= INT_CAP {
+                    self.write_node(id, &Node::Internal { leftmost, entries })?;
+                    return Ok(None);
+                }
+                // split internal: middle key moves up
+                let mid = entries.len() / 2;
+                let mut right_entries = entries.split_off(mid);
+                let (up_key, right_leftmost) = right_entries.remove(0);
+                let (right_id, mut rg) = self.pool.new_page()?;
+                Node::Internal {
+                    leftmost: right_leftmost,
+                    entries: right_entries,
+                }
+                .encode(rg.page_mut().payload_mut());
+                drop(rg);
+                self.write_node(id, &Node::Internal { leftmost, entries })?;
+                Ok(Some((up_key, right_id)))
+            }
+        }
+    }
+
+    /// Collects all `(key, value)` pairs with `lo <= key <= hi`, in key
+    /// order. Uses leaf sibling pointers, so the scan is sequential.
+    pub fn range(&self, lo: CompositeKey, hi: CompositeKey) -> Result<Vec<(CompositeKey, u64)>> {
+        let mut out = Vec::new();
+        self.range_with(lo, hi, |k, v| {
+            out.push((k, v));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming range scan; `f` returns `false` to stop early.
+    pub fn range_with(
+        &self,
+        lo: CompositeKey,
+        hi: CompositeKey,
+        mut f: impl FnMut(CompositeKey, u64) -> bool,
+    ) -> Result<()> {
+        if lo > hi {
+            return Ok(());
+        }
+        // descend to the leaf that may contain lo
+        let mut id = self.root;
+        loop {
+            match self.read_node(id)? {
+                Node::Internal { leftmost, entries } => {
+                    id = Self::child_for(&entries, leftmost, lo);
+                }
+                Node::Leaf { entries, next } => {
+                    let start = entries.partition_point(|&(k, _)| k < lo);
+                    for &(k, v) in &entries[start..] {
+                        if k > hi {
+                            return Ok(());
+                        }
+                        if !f(k, v) {
+                            return Ok(());
+                        }
+                    }
+                    let mut cursor = next;
+                    while let Some(nid) = cursor {
+                        match self.read_node(nid)? {
+                            Node::Leaf { entries, next } => {
+                                for &(k, v) in &entries {
+                                    if k > hi {
+                                        return Ok(());
+                                    }
+                                    if !f(k, v) {
+                                        return Ok(());
+                                    }
+                                }
+                                cursor = next;
+                            }
+                            Node::Internal { .. } => {
+                                return Err(StorageError::TreeInvariant(
+                                    "leaf next pointer reached an internal node",
+                                ))
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Total entries (walks the leaf chain).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        self.range_with(CompositeKey::MIN, CompositeKey::MAX, |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        let mut any = false;
+        self.range_with(CompositeKey::MIN, CompositeKey::MAX, |_, _| {
+            any = true;
+            false
+        })?;
+        Ok(!any)
+    }
+
+    /// Bulk-loads a tree from `pairs`, which must be sorted by key with no
+    /// duplicates. Leaves are packed full (read-optimized); internal levels
+    /// are built bottom-up. Much faster than repeated [`BTree::insert`].
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        pairs: &[(CompositeKey, u64)],
+    ) -> Result<Self> {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique input");
+        if pairs.is_empty() {
+            return Self::create(pool);
+        }
+        // level 0: leaves
+        let mut level: Vec<(CompositeKey, PageId)> = Vec::new();
+        let chunks: Vec<&[(CompositeKey, u64)]> = pairs.chunks(LEAF_CAP).collect();
+        let mut ids: Vec<PageId> = Vec::with_capacity(chunks.len());
+        for _ in 0..chunks.len() {
+            let (id, guard) = pool.new_page()?;
+            drop(guard);
+            ids.push(id);
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = ids.get(i + 1).copied();
+            let node = Node::Leaf {
+                entries: chunk.to_vec(),
+                next,
+            };
+            let mut guard = pool.fetch_mut(ids[i])?;
+            node.encode(guard.page_mut().payload_mut());
+            level.push((chunk[0].0, ids[i]));
+        }
+        // upper levels
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level = Vec::new();
+            for group in level.chunks(INT_CAP + 1) {
+                let (id, mut guard) = pool.new_page()?;
+                let node = Node::Internal {
+                    leftmost: group[0].1,
+                    entries: group[1..].to_vec(),
+                };
+                node.encode(guard.page_mut().payload_mut());
+                drop(guard);
+                next_level.push((group[0].0, id));
+            }
+            level = next_level;
+        }
+        Ok(BTree {
+            pool,
+            root: level[0].1,
+            height,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::DiskManager;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn make_pool(frames: usize) -> (tempfile::TempDir, Arc<BufferPool>) {
+        let d = tempfile::tempdir().unwrap();
+        let dm = Arc::new(DiskManager::create(&d.path().join("bt.db")).unwrap());
+        (d, Arc::new(BufferPool::new(dm, frames)))
+    }
+
+    fn key(i: u32) -> CompositeKey {
+        CompositeKey::new(i / 100, (i / 10) % 10, i % 10)
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let (_d, pool) = make_pool(16);
+        let t = BTree::create(pool).unwrap();
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.get(key(5)).unwrap(), None);
+        assert!(t.range(CompositeKey::MIN, CompositeKey::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (_d, pool) = make_pool(16);
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..100u32 {
+            t.insert(key(i), i as u64).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(t.get(key(i)).unwrap(), Some(i as u64), "key {i}");
+        }
+        assert_eq!(t.get(key(100)).unwrap(), None);
+        assert_eq!(t.len().unwrap(), 100);
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let (_d, pool) = make_pool(16);
+        let mut t = BTree::create(pool).unwrap();
+        t.insert(key(1), 10).unwrap();
+        t.insert(key(1), 20).unwrap();
+        assert_eq!(t.get(key(1)).unwrap(), Some(20));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_many_splits_random_order() {
+        let (_d, pool) = make_pool(64);
+        let mut t = BTree::create(pool).unwrap();
+        let n = 5000u32;
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(1));
+        for &i in &order {
+            t.insert(key(i), i as u64 * 3).unwrap();
+        }
+        assert!(t.height() > 1, "tree should have split");
+        for i in (0..n).step_by(37) {
+            assert_eq!(t.get(key(i)).unwrap(), Some(i as u64 * 3));
+        }
+        assert_eq!(t.len().unwrap(), n as usize);
+        // range returns sorted keys
+        let all = t.range(CompositeKey::MIN, CompositeKey::MAX).unwrap();
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (_d, pool) = make_pool(32);
+        let mut t = BTree::create(pool).unwrap();
+        for label in 0..5u32 {
+            for deg in 0..20u32 {
+                t.insert(CompositeKey::new(label, deg, deg / 2), (label * 100 + deg) as u64)
+                    .unwrap();
+            }
+        }
+        // all entries for label 2 with degree >= 15
+        let lo = CompositeKey::new(2, 15, 0);
+        let hi = CompositeKey::new(2, u32::MAX, u32::MAX);
+        let got = t.range(lo, hi).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|(k, _)| k.label == 2 && k.degree >= 15));
+        // inverted bounds: empty
+        assert!(t.range(hi, lo).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_with_early_stop() {
+        let (_d, pool) = make_pool(32);
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..1000u32 {
+            t.insert(key(i), i as u64).unwrap();
+        }
+        let mut seen = 0;
+        t.range_with(CompositeKey::MIN, CompositeKey::MAX, |_, _| {
+            seen += 1;
+            seen < 10
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let (_d, pool) = make_pool(64);
+        let pairs: Vec<(CompositeKey, u64)> = (0..3000u32).map(|i| (key(i), i as u64)).collect();
+        let t = BTree::bulk_load(Arc::clone(&pool), &pairs).unwrap();
+        assert_eq!(t.len().unwrap(), 3000);
+        for i in (0..3000u32).step_by(61) {
+            assert_eq!(t.get(key(i)).unwrap(), Some(i as u64));
+        }
+        let got = t.range(key(500), key(520)).unwrap();
+        assert_eq!(got.len(), 21);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let (_d, pool) = make_pool(8);
+        let t = BTree::bulk_load(Arc::clone(&pool), &[]).unwrap();
+        assert!(t.is_empty().unwrap());
+        let t = BTree::bulk_load(pool, &[(key(3), 9)]).unwrap();
+        assert_eq!(t.get(key(3)).unwrap(), Some(9));
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn insert_after_bulk_load() {
+        let (_d, pool) = make_pool(64);
+        let pairs: Vec<(CompositeKey, u64)> = (0..1000u32).map(|i| (key(i * 2), i as u64)).collect();
+        let mut t = BTree::bulk_load(pool, &pairs).unwrap();
+        for i in 0..1000u32 {
+            t.insert(key(i * 2 + 1), 7777 + i as u64).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 2000);
+        assert_eq!(t.get(key(3)).unwrap(), Some(7778));
+    }
+
+    #[test]
+    fn reopen_via_root_pointer() {
+        let d = tempfile::tempdir().unwrap();
+        let path = d.path().join("bt.db");
+        let (root, height);
+        {
+            let dm = Arc::new(DiskManager::create(&path).unwrap());
+            let pool = Arc::new(BufferPool::new(dm, 32));
+            let mut t = BTree::create(Arc::clone(&pool)).unwrap();
+            for i in 0..2000u32 {
+                t.insert(key(i), i as u64).unwrap();
+            }
+            root = t.root();
+            height = t.height();
+            pool.flush_all().unwrap();
+        }
+        let dm = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 32));
+        let t = BTree::open(pool, root, height);
+        assert_eq!(t.get(key(1234)).unwrap(), Some(1234));
+        assert_eq!(t.len().unwrap(), 2000);
+    }
+
+    #[test]
+    fn works_with_tiny_buffer_pool() {
+        // 4 frames force constant eviction during splits: exercises
+        // write-back correctness under memory pressure.
+        let (_d, pool) = make_pool(4);
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..2000u32 {
+            t.insert(key(i), i as u64).unwrap();
+        }
+        for i in (0..2000u32).step_by(97) {
+            assert_eq!(t.get(key(i)).unwrap(), Some(i as u64));
+        }
+    }
+}

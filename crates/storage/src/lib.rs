@@ -1,0 +1,87 @@
+//! Disk storage substrate for the NH-Index.
+//!
+//! The paper implements the NH-Index inside PostgreSQL: "the second level
+//! indices can be implemented simply as a relation with two attributes …
+//! the first level index is simply a B+-tree built on this table" (§IV-C).
+//! The distinguishing property the evaluation leans on is that the index is
+//! **disk-based** — unlike C-Tree it is "not limited by the memory size"
+//! (§VI-B.2). This crate supplies the minimal DBMS machinery that claim
+//! requires:
+//!
+//! * [`page`]: 8 KiB pages with checksums.
+//! * [`disk`]: a page-granular file manager.
+//! * [`buffer`]: a pinned-frame buffer pool with LRU eviction, so working
+//!   sets larger than memory stream through a bounded pool (the paper runs
+//!   Postgres with a 512 MB buffer pool; ours defaults to a configurable
+//!   frame count).
+//! * [`btree`]: a disk B+-tree with fixed 12-byte composite keys
+//!   `(label, degree, nbConnection)` — exactly the paper's first level —
+//!   supporting exact and range scans and sorted bulk loading.
+//! * [`blob`]: an append-only blob store for the second-level postings
+//!   (node-id lists + neighbor-array bitmaps).
+//! * [`wah`]: word-aligned-hybrid bitmap compression for the posting
+//!   bit columns (the classic bitmap-index storage optimization).
+//!
+//! There is no WAL or MVCC on purpose: the NH-Index is bulk-built once and
+//! read-only at query time, which is also how the paper uses Postgres.
+
+pub mod blob;
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod page;
+pub mod wah;
+
+pub use blob::{BlobRef, BlobStore};
+pub use btree::{BTree, CompositeKey};
+pub use buffer::{BufferPool, PageGuard, PageGuardMut};
+pub use disk::DiskManager;
+pub use page::{PageId, PAGE_SIZE};
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page read back with a bad checksum (torn/corrupted write).
+    Corrupt(PageId),
+    /// A page id outside the allocated file range.
+    PageOutOfRange(PageId),
+    /// Buffer pool has no evictable frame (all pinned).
+    PoolExhausted,
+    /// A blob reference pointed outside the store.
+    BadBlobRef,
+    /// B+-tree structural invariant violated (indicates a bug).
+    TreeInvariant(&'static str),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Corrupt(p) => write!(f, "corrupt page {}", p.0),
+            StorageError::PageOutOfRange(p) => write!(f, "page {} out of range", p.0),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::BadBlobRef => write!(f, "blob reference out of bounds"),
+            StorageError::TreeInvariant(m) => write!(f, "btree invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

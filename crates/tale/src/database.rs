@@ -1,0 +1,601 @@
+//! [`TaleDatabase`]: the indexed graph database and the query pipeline.
+
+use crate::params::{QueryOptions, TaleParams};
+use crate::result::QueryMatch;
+use crate::scratch::ScratchDir;
+use crate::Result;
+use std::collections::HashMap;
+use std::path::Path;
+use tale_graph::centrality::select_important;
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_matching::bipartite::{greedy_matching, max_weight_matching, WeightedEdge};
+use tale_matching::grow::{grow_match, Anchor, GrowConfig, GrowInput};
+use tale_matching::similarity::MatchContext;
+use tale_nhindex::{node_match_quality, NhIndex, NhIndexConfig, NodeCandidate};
+
+const DB_FILE: &str = "graphs.json";
+
+/// An indexed graph database ready for approximate subgraph queries.
+///
+/// Owns the [`GraphDb`] (graphs + vocabularies + optional §IV-E group map)
+/// and the disk-resident NH-Index built over it.
+pub struct TaleDatabase {
+    db: GraphDb,
+    index: NhIndex,
+    // Keeps the scratch directory alive for in-temp builds.
+    _scratch: Option<ScratchDir>,
+}
+
+impl TaleDatabase {
+    /// Builds the NH-Index for `db` into `dir` and persists the graphs
+    /// alongside it, so [`TaleDatabase::open`] can restore everything.
+    pub fn build(db: GraphDb, dir: &Path, params: &TaleParams) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let config = NhIndexConfig {
+            sbit: params.sbit,
+            buffer_frames: params.buffer_frames,
+            parallel_build: params.parallel_build,
+            bloom_hashes: params.bloom_hashes,
+            use_edge_labels: params.use_edge_labels,
+        };
+        let index = NhIndex::build(dir, &db, &config)?;
+        tale_graph::io::save_json(&db, &dir.join(DB_FILE))?;
+        Ok(TaleDatabase {
+            db,
+            index,
+            _scratch: None,
+        })
+    }
+
+    /// Builds into a self-cleaning scratch directory — convenient for
+    /// experiments and tests. The index is still genuinely disk-based; it
+    /// just lives in the OS temp dir for this process's lifetime.
+    pub fn build_in_temp(db: GraphDb, params: &TaleParams) -> Result<Self> {
+        let scratch = ScratchDir::new("tale-index")?;
+        let config = NhIndexConfig {
+            sbit: params.sbit,
+            buffer_frames: params.buffer_frames,
+            parallel_build: params.parallel_build,
+            bloom_hashes: params.bloom_hashes,
+            use_edge_labels: params.use_edge_labels,
+        };
+        let index = NhIndex::build(scratch.path(), &db, &config)?;
+        Ok(TaleDatabase {
+            db,
+            index,
+            _scratch: Some(scratch),
+        })
+    }
+
+    /// Reopens a database previously built with [`TaleDatabase::build`].
+    pub fn open(dir: &Path, buffer_frames: usize) -> Result<Self> {
+        let db = tale_graph::io::load_json(&dir.join(DB_FILE))?;
+        let index = NhIndex::open(dir, buffer_frames)?;
+        Ok(TaleDatabase {
+            db,
+            index,
+            _scratch: None,
+        })
+    }
+
+    /// Adds a graph to the database and incrementally extends the
+    /// NH-Index (no rebuild) — the growing-database scenario the paper's
+    /// introduction motivates. The graph must use this database's label
+    /// vocabulary. Returns the new graph's id.
+    ///
+    /// For on-disk databases ([`TaleDatabase::build`]), the persisted
+    /// graph set is updated too, so [`TaleDatabase::open`] sees the new
+    /// graph after this call returns.
+    pub fn insert_graph(&mut self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
+        let gid = self.db.insert(name, g);
+        self.index.insert_graph(&self.db, gid)?;
+        if self._scratch.is_none() {
+            // persistent build: keep graphs.json in sync with the index
+            let dir = self.index_dir().to_owned();
+            tale_graph::io::save_json(&self.db, &dir.join(DB_FILE))?;
+        }
+        Ok(gid)
+    }
+
+    /// Logically removes a graph from query results (tombstone in the
+    /// index; space is reclaimed by rebuilding). The graph's id and data
+    /// remain readable through [`TaleDatabase::db`].
+    pub fn remove_graph(&mut self, id: GraphId) -> Result<()> {
+        self.index
+            .remove_graph(id, self.db.effective_vocab_size() as u64)?;
+        Ok(())
+    }
+
+    /// Rebuilds the database without tombstoned graphs, reclaiming the
+    /// dead posting space `remove_graph` leaves behind. Graph ids are
+    /// re-assigned (compaction renumbers); vocabulary and group map are
+    /// preserved. On-disk databases are rebuilt in place; in-temp
+    /// databases get a fresh scratch directory.
+    pub fn compact(self, params: &TaleParams) -> Result<TaleDatabase> {
+        let mut fresh = GraphDb::new();
+        for (_, name) in self.db.node_vocab().iter() {
+            fresh.intern_node_label(name);
+        }
+        for (_, name) in self.db.edge_vocab().iter() {
+            fresh.intern_edge_label(name);
+        }
+        if let Some(groups) = self.db.group_map() {
+            fresh.set_group(groups.to_vec())?;
+        }
+        for (id, name, g) in self.db.iter() {
+            if !self.index.is_removed(id) {
+                fresh.insert(name.to_owned(), g.clone());
+            }
+        }
+        let in_temp = self._scratch.is_some();
+        let dir = self.index.dir().to_owned();
+        drop(self.index); // release page-file handles before truncating
+        if in_temp {
+            TaleDatabase::build_in_temp(fresh, params)
+        } else {
+            TaleDatabase::build(fresh, &dir, params)
+        }
+    }
+
+    fn index_dir(&self) -> &Path {
+        self.index.dir()
+    }
+
+    /// Interns a node label name into the database vocabulary (for
+    /// authoring graphs to pass to [`TaleDatabase::insert_graph`]).
+    ///
+    /// Growing the vocabulary past `Sbit` after a deterministic-regime
+    /// build keeps the index *correct* (bit positions wrap, which can only
+    /// add filter false positives, never false negatives) but a rebuild
+    /// regains the Bloom regime's precision.
+    pub fn intern_node_label(&mut self, name: &str) -> tale_graph::NodeLabel {
+        self.db.intern_node_label(name)
+    }
+
+    /// The underlying graph database.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The NH-Index (for introspection: sizes, probe stats).
+    pub fn index(&self) -> &NhIndex {
+        &self.index
+    }
+
+    /// On-disk index footprint in bytes.
+    pub fn index_size_bytes(&self) -> u64 {
+        self.index.size_bytes()
+    }
+
+    /// Runs an approximate subgraph query (the full §V pipeline).
+    ///
+    /// The query graph's labels must come from this database's vocabulary
+    /// (intern them via [`GraphDb::intern_node_label`] before building, or
+    /// construct queries from database graphs).
+    pub fn query(&self, query: &Graph, opts: &QueryOptions) -> Result<Vec<QueryMatch>> {
+        // Step 1a: pick the important query nodes (§V-B).
+        let important = select_important(query, opts.importance, opts.p_imp);
+        let q_label = |n: NodeId| self.db.effective_of_raw(query.label(n));
+
+        // Step 1b: probe the NH-Index per important node; bucket candidate
+        // node matches per database graph.
+        // per graph: (important-node index, db node id, quality)
+        let mut per_graph: HashMap<u32, Vec<(usize, u32, f64)>> = HashMap::new();
+        for (qi, &qn) in important.iter().enumerate() {
+            let sig = self.index.signature(query, qn, &q_label);
+            let candidates = self.index.probe(&sig, opts.rho)?;
+            for NodeCandidate {
+                node,
+                nb_miss,
+                db_degree,
+                db_nb_connection,
+            } in candidates
+            {
+                let nbc_miss = sig.nb_connection.saturating_sub(db_nb_connection);
+                let w = node_match_quality(sig.degree, sig.nb_connection, nb_miss, nbc_miss);
+                // Eq. IV.5 cannot separate the true counterpart from a
+                // node whose neighborhood strictly dominates the query's
+                // (both score a perfect 2.0). Break such ties toward the
+                // structurally closest candidate with a penalty well below
+                // one quality quantum.
+                let surplus = (db_degree.saturating_sub(sig.degree)
+                    + db_nb_connection.saturating_sub(sig.nb_connection))
+                    .min(100) as f64;
+                let w = (w - 1e-4 * surplus).max(0.0);
+                per_graph
+                    .entry(node.graph)
+                    .or_default()
+                    .push((qi, node.node, w));
+            }
+        }
+
+        // Steps 1c + 2 per candidate graph: one-to-one anchors, then grow.
+        // Candidate graphs are independent, so this fans out across
+        // threads (deterministic: per-graph work is pure and the results
+        // are re-sorted below). The paper's per-query cost is dominated by
+        // exactly this loop when the label alphabet is small (ASTRAL).
+        let mut graph_ids: Vec<u32> = per_graph.keys().copied().collect();
+        graph_ids.sort_unstable();
+        let process = |gid: u32| -> Option<QueryMatch> {
+            let hits = &per_graph[&gid];
+            let graph_id = GraphId(gid);
+            let target = self.db.graph(graph_id);
+            let anchors = self.resolve_anchors(&important, hits, opts);
+            if anchors.is_empty() {
+                return None;
+            }
+            let q_label = |n: NodeId| self.db.effective_of_raw(query.label(n));
+            let t_label = |n: NodeId| self.db.effective_label(graph_id, n);
+            let input = GrowInput {
+                query,
+                target,
+                q_label: &q_label,
+                t_label: &t_label,
+            };
+            let grow_cfg = GrowConfig {
+                rho: opts.rho,
+                hops: opts.hops,
+                match_edge_labels: opts.match_edge_labels,
+            };
+            let m = grow_match(&input, &grow_cfg, &anchors);
+            if m.pairs.is_empty() {
+                return None;
+            }
+            let ctx = MatchContext {
+                query,
+                target,
+                m: &m,
+            };
+            let score = opts.similarity.score(&ctx);
+            let matched_nodes = m.matched_nodes();
+            let matched_edges = m.matched_edges(query, target);
+            Some(QueryMatch {
+                graph: graph_id,
+                graph_name: self.db.name(graph_id).to_owned(),
+                m,
+                score,
+                matched_nodes,
+                matched_edges,
+            })
+        };
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(graph_ids.len().max(1));
+        let mut results: Vec<QueryMatch> = if threads <= 1 || graph_ids.len() < 8 {
+            graph_ids.iter().filter_map(|&g| process(g)).collect()
+        } else {
+            let chunk = graph_ids.len().div_ceil(threads);
+            let mut parts: Vec<Vec<QueryMatch>> = Vec::with_capacity(threads);
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = graph_ids
+                    .chunks(chunk)
+                    .map(|ids| s.spawn(|_| ids.iter().filter_map(|&g| process(g)).collect::<Vec<_>>()))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("growth thread panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            parts.into_iter().flatten().collect()
+        };
+
+        // Rank and truncate.
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.graph.cmp(&b.graph))
+        });
+        if let Some(k) = opts.top_k {
+            results.truncate(k);
+        }
+        Ok(results)
+    }
+
+    /// Resolves many-to-many index hits into one-to-one anchors via
+    /// maximum-weight bipartite matching (Hungarian, or greedy when the
+    /// instance is large / the ablation asks for it).
+    fn resolve_anchors(
+        &self,
+        important: &[NodeId],
+        hits: &[(usize, u32, f64)],
+        opts: &QueryOptions,
+    ) -> Vec<Anchor> {
+        // Dense right-side ids for the db nodes that appear.
+        let mut right_of: HashMap<u32, usize> = HashMap::new();
+        let mut right_nodes: Vec<u32> = Vec::new();
+        let mut edges: Vec<WeightedEdge> = Vec::with_capacity(hits.len());
+        for &(qi, dbn, w) in hits {
+            let r = *right_of.entry(dbn).or_insert_with(|| {
+                right_nodes.push(dbn);
+                right_nodes.len() - 1
+            });
+            edges.push((qi, r, w));
+        }
+        let n_left = important.len();
+        let n_right = right_nodes.len();
+        // Hungarian is O(max(nl,nr)^3); past a few thousand candidates the
+        // greedy 1/2-approximation is the practical choice.
+        const HUNGARIAN_LIMIT: usize = 2000;
+        let assignment = if opts.greedy_anchors || n_left.max(n_right) > HUNGARIAN_LIMIT {
+            greedy_matching(n_left, n_right, &edges)
+        } else {
+            max_weight_matching(n_left, n_right, &edges)
+        };
+        let mut best_w: HashMap<(usize, usize), f64> = HashMap::new();
+        for &(l, r, w) in &edges {
+            let e = best_w.entry((l, r)).or_insert(0.0);
+            if w > *e {
+                *e = w;
+            }
+        }
+        assignment
+            .into_iter()
+            .enumerate()
+            .filter_map(|(qi, r)| {
+                r.map(|r| Anchor {
+                    query: important[qi],
+                    target: NodeId(right_nodes[r]),
+                    quality: best_w.get(&(qi, r)).copied().unwrap_or(0.0),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tale_graph::generate::{gnm, mutate, MutationRates};
+    use tale_graph::labels::NodeLabel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn triangle_plus_tail(db: &mut GraphDb) -> Graph {
+        let a = db.intern_node_label("A");
+        let b = db.intern_node_label("B");
+        let c = db.intern_node_label("C");
+        let d = db.intern_node_label("D");
+        let mut g = Graph::new_undirected();
+        let n0 = g.add_node(a);
+        let n1 = g.add_node(b);
+        let n2 = g.add_node(c);
+        let n3 = g.add_node(d);
+        g.add_edge(n0, n1).unwrap();
+        g.add_edge(n1, n2).unwrap();
+        g.add_edge(n0, n2).unwrap();
+        g.add_edge(n2, n3).unwrap();
+        g
+    }
+
+    #[test]
+    fn self_query_is_top_hit_with_full_match() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("target", g.clone());
+        // decoy: same labels, no edges
+        let mut decoy = Graph::new_undirected();
+        for n in g.nodes() {
+            decoy.add_node(g.label(n));
+        }
+        db.insert("decoy", decoy);
+
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        let res = tale.query(&g, &opts).unwrap();
+        assert!(!res.is_empty());
+        assert_eq!(res[0].graph_name, "target");
+        assert_eq!(res[0].matched_nodes, 4);
+        assert_eq!(res[0].matched_edges, 4);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut db = GraphDb::new();
+        let base = triangle_plus_tail(&mut db);
+        for i in 0..6 {
+            db.insert(format!("g{i}"), base.clone());
+        }
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let opts = QueryOptions::default().with_top_k(3);
+        let res = tale.query(&base, &opts).unwrap();
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn noisy_variant_still_found() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut db = GraphDb::new();
+        for i in 0..8 {
+            db.intern_node_label(&format!("L{i}"));
+        }
+        let original = gnm(&mut rng, 60, 120, 8);
+        let (noisy, _) = mutate(&mut rng, &original, &MutationRates::mild(), 8);
+        db.insert("noisy-home", noisy);
+        // unrelated graphs
+        for i in 0..4 {
+            let other = gnm(&mut rng, 60, 120, 8);
+            db.insert(format!("other{i}"), other);
+        }
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let opts = QueryOptions {
+            rho: 0.25,
+            p_imp: 0.25,
+            ..Default::default()
+        };
+        let res = tale.query(&original, &opts).unwrap();
+        assert!(!res.is_empty());
+        // The mutated sibling should match more of the query than random
+        // graphs; check it lands on top.
+        assert_eq!(res[0].graph_name, "noisy-home");
+        assert!(res[0].matched_nodes > 30, "matched {}", res[0].matched_nodes);
+    }
+
+    #[test]
+    fn random_importance_is_worse_or_equal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut db = GraphDb::new();
+        for i in 0..6 {
+            db.intern_node_label(&format!("L{i}"));
+        }
+        let original =
+            tale_graph::generate::preferential_attachment(&mut rng, 150, 2, 0.9, 6);
+        let (noisy, _) = mutate(&mut rng, &original, &MutationRates::mild(), 6);
+        db.insert("home", noisy);
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let degree_opts = QueryOptions {
+            p_imp: 0.15,
+            ..Default::default()
+        };
+        let random_opts = QueryOptions {
+            p_imp: 0.15,
+            importance: crate::ImportanceMeasure::Random(3),
+            ..Default::default()
+        };
+        let by_degree = tale.query(&original, &degree_opts).unwrap();
+        let by_random = tale.query(&original, &random_opts).unwrap();
+        // §VI-D's direction: degree centrality should not lose to random
+        // on *structure* (preserved edges). Node counts alone can tie or
+        // flip by a few either way — any sticking anchor lets growth add
+        // nodes; edges capture whether the right paralogs were chosen.
+        let ed = by_degree.first().map(|r| r.matched_edges).unwrap_or(0);
+        let er = by_random.first().map(|r| r.matched_edges).unwrap_or(0);
+        assert!(ed >= er, "degree edges {ed} < random edges {er}");
+        assert!(ed > 0);
+    }
+
+    #[test]
+    fn persist_and_reopen() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("target", g.clone());
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
+            let r = tale.query(&g, &QueryOptions::default()).unwrap();
+            assert_eq!(r[0].matched_nodes, 4);
+        }
+        let tale = TaleDatabase::open(dir.path(), 256).unwrap();
+        let r = tale.query(&g, &QueryOptions::default()).unwrap();
+        assert_eq!(r[0].matched_nodes, 4);
+        assert_eq!(tale.db().len(), 1);
+        assert!(tale.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_insert_is_queriable_and_persistent() {
+        let mut db = GraphDb::new();
+        let base = triangle_plus_tail(&mut db);
+        db.insert("original", base.clone());
+        let dir = tempfile::tempdir().unwrap();
+        let mut tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
+        // a second copy arrives later
+        let gid = tale.insert_graph("late-arrival", base.clone()).unwrap();
+        assert_eq!(tale.db().len(), 2);
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        let res = tale.query(&base, &opts).unwrap();
+        let names: Vec<&str> = res.iter().map(|r| r.graph_name.as_str()).collect();
+        assert!(names.contains(&"late-arrival"), "{names:?}");
+        assert!(names.contains(&"original"));
+        let late = res.iter().find(|r| r.graph == gid).unwrap();
+        assert_eq!(late.matched_nodes, 4);
+        drop(tale);
+        // reopen: the inserted graph survived on disk
+        let tale = TaleDatabase::open(dir.path(), 128).unwrap();
+        assert_eq!(tale.db().len(), 2);
+        let res = tale.query(&base, &opts).unwrap();
+        assert!(res.iter().any(|r| r.graph_name == "late-arrival"));
+    }
+
+    #[test]
+    fn removed_graph_disappears_from_results() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("keep", g.clone());
+        db.insert("drop", g.clone());
+        let mut tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(tale.query(&g, &opts).unwrap().len(), 2);
+        tale.remove_graph(GraphId(1)).unwrap();
+        let res = tale.query(&g, &opts).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].graph_name, "keep");
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("keep", g.clone());
+        db.insert("drop", g.clone());
+        db.insert("keep2", g.clone());
+        let dir = tempfile::tempdir().unwrap();
+        let mut tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
+        let full_size = tale.index_size_bytes();
+        tale.remove_graph(GraphId(1)).unwrap();
+        let tale = tale.compact(&TaleParams::default()).unwrap();
+        assert_eq!(tale.db().len(), 2);
+        assert!(tale.db().find_by_name("drop").is_none());
+        assert!(tale.index_size_bytes() <= full_size);
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        let res = tale.query(&g, &opts).unwrap();
+        let names: Vec<&str> = res.iter().map(|r| r.graph_name.as_str()).collect();
+        assert_eq!(res.len(), 2, "{names:?}");
+        assert!(names.contains(&"keep") && names.contains(&"keep2"));
+        // the compacted on-disk form reopens cleanly
+        drop(tale);
+        let tale = TaleDatabase::open(dir.path(), 128).unwrap();
+        assert_eq!(tale.db().len(), 2);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("t", g);
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let res = tale.query(&Graph::new_undirected(), &QueryOptions::default()).unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn greedy_anchor_mode_runs() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("t", g.clone());
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let opts = QueryOptions {
+            greedy_anchors: true,
+            ..Default::default()
+        };
+        let res = tale.query(&g, &opts).unwrap();
+        assert_eq!(res[0].matched_nodes, 4);
+    }
+
+    #[test]
+    fn unknown_label_query_matches_nothing() {
+        let mut db = GraphDb::new();
+        let g = triangle_plus_tail(&mut db);
+        db.insert("t", g);
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let mut q = Graph::new_undirected();
+        let x = q.add_node(NodeLabel(99)); // label never interned
+        let y = q.add_node(NodeLabel(99));
+        q.add_edge(x, y).unwrap();
+        let res = tale.query(&q, &QueryOptions::default()).unwrap();
+        assert!(res.is_empty());
+    }
+}

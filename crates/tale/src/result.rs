@@ -1,0 +1,22 @@
+//! Query results.
+
+use serde::Serialize;
+use tale_graph::GraphId;
+use tale_matching::grow::GraphMatch;
+
+/// One ranked approximate subgraph match.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryMatch {
+    /// The matched database graph.
+    pub graph: GraphId,
+    /// Name of the matched graph in the database.
+    pub graph_name: String,
+    /// The node mapping grown by Algorithms 2–4.
+    pub m: GraphMatch,
+    /// Similarity score under the query's model (higher = better).
+    pub score: f64,
+    /// Matched node count (cached from `m`).
+    pub matched_nodes: usize,
+    /// Preserved query-edge count (cached).
+    pub matched_edges: usize,
+}

@@ -1,0 +1,66 @@
+//! Self-cleaning scratch directories for in-temp index builds.
+//!
+//! [`TaleDatabase::build_in_temp`](crate::TaleDatabase::build_in_temp)
+//! needs a throwaway directory without dragging a temp-dir crate into the
+//! library's public dependency set. Uniqueness comes from the process id
+//! plus a process-wide counter.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory removed (recursively) on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates a fresh scratch directory under the OS temp dir.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let p;
+        {
+            let s = ScratchDir::new("tale-test").unwrap();
+            p = s.path().to_owned();
+            assert!(p.is_dir());
+            std::fs::write(p.join("f"), b"x").unwrap();
+        }
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = ScratchDir::new("tale-test").unwrap();
+        let b = ScratchDir::new("tale-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end tests of the `tale-cli` binary (build → stats → query).
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_tale-cli");
+
+const DB_TXT: &str = "\
+graph complexA
+v kinase
+v ligase
+v channel
+e 0 1
+e 1 2
+e 0 2
+
+graph loner
+v kinase
+v channel
+e 0 1
+";
+
+const QUERY_TXT: &str = "\
+graph q
+v kinase
+v ligase
+v channel
+e 0 1
+e 1 2
+";
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("spawn tale-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn build_stats_query_roundtrip() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+
+    let (ok, stdout, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        idx.to_str().unwrap(),
+        "--sbit",
+        "32",
+    ]);
+    assert!(ok, "build failed: {stderr}");
+    assert!(stdout.contains("indexed 2 graphs"), "{stdout}");
+
+    let (ok, stdout, _) = run(&["stats", idx.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("graphs           : 2"), "{stdout}");
+    assert!(stdout.contains("Sbit=32"), "{stdout}");
+
+    let (ok, stdout, stderr) = run(&[
+        "query",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--rho",
+        "0.5",
+        "--pimp",
+        "1.0",
+        "--similarity",
+        "ctree",
+    ]);
+    assert!(ok, "query failed: {stderr}");
+    assert!(stdout.contains("complexA"), "{stdout}");
+    // full self-match of the triangle
+    assert!(stdout.contains("nodes    3"), "{stdout}");
+}
+
+#[test]
+fn add_extends_an_existing_index() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let more_path = dir.path().join("more.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(
+        &more_path,
+        "graph complexB\nv kinase\nv ligase\nv channel\ne 0 1\ne 1 2\ne 0 2\n",
+    )
+    .unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+    let (ok, _, _) = run(&["build", db_path.to_str().unwrap(), idx.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, stdout, stderr) = run(&["add", idx.to_str().unwrap(), more_path.to_str().unwrap()]);
+    assert!(ok, "add failed: {stderr}");
+    assert!(stdout.contains("added 1 graphs"), "{stdout}");
+    let (ok, stdout, _) = run(&[
+        "query",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--rho",
+        "0.0",
+        "--pimp",
+        "1.0",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("complexB"), "{stdout}");
+}
+
+#[test]
+fn query_with_unknown_labels_matches_nothing() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(&q_path, "graph q\nv martian\nv venusian\ne 0 1\n").unwrap();
+    let (ok, _, _) = run(&["build", db_path.to_str().unwrap(), idx.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, stdout, _) = run(&["query", idx.to_str().unwrap(), q_path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("0 matches"), "{stdout}");
+}
+
+#[test]
+fn explain_reports_probe_stats() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+    let (ok, _, _) = run(&["build", db_path.to_str().unwrap(), idx.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, stdout, stderr) = run(&[
+        "explain",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--pimp",
+        "1.0",
+    ]);
+    assert!(ok, "explain failed: {stderr}");
+    assert!(stdout.contains("keys-scanned"), "{stdout}");
+    assert!(stdout.contains("totals:"), "{stdout}");
+}
+
+#[test]
+fn json_output_and_verify() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+    let (ok, _, _) = run(&["build", db_path.to_str().unwrap(), idx.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, stdout, stderr) = run(&[
+        "query",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--pimp",
+        "1.0",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "json query failed: {stderr}");
+    // valid JSON array with the expected fields
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"graph_name\""), "{stdout}");
+    assert!(stdout.contains("\"matched_nodes\""), "{stdout}");
+    assert!(stdout.contains("complexA"), "{stdout}");
+
+    let (ok, stdout, stderr) = run(&["verify", idx.to_str().unwrap()]);
+    assert!(ok, "verify failed: {stderr}");
+    assert!(stdout.starts_with("ok:"), "{stdout}");
+
+    // verify must fail loudly on corruption
+    let blob = idx.join("nh.blobs");
+    let mut bytes = std::fs::read(&blob).unwrap();
+    for b in bytes.iter_mut().take(64) {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&blob, &bytes).unwrap();
+    let (ok, _, stderr) = run(&["verify", idx.to_str().unwrap()]);
+    assert!(!ok, "verify accepted a corrupted index");
+    assert!(!stderr.is_empty());
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    let (ok, _, stderr) = run(&["build"]);
+    assert!(!ok);
+    assert!(stderr.contains("build needs"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["stats", "/nonexistent/idx"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+
+    let (ok, _, _) = run(&["help"]);
+    assert!(ok);
+}
+
+#[test]
+fn flag_validation() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    let idx = dir.path().join("index");
+    let (ok, _, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        idx.to_str().unwrap(),
+        "--sbit",
+        "not-a-number",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad value"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        idx.to_str().unwrap(),
+        "--wat",
+        "1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}

@@ -1,0 +1,117 @@
+//! The paper's §I motivation, dramatized: exact subgraph matching
+//! "often fails to produce useful results" on noisy data, approximate
+//! matching keeps working.
+//!
+//! A clean pathway module is planted in a database graph, then the
+//! database copy is corrupted with the noise real PIN data exhibits
+//! (missing interactions, spurious edges, a lost protein). The exact
+//! pipeline (GraphGrep-style path filter + Ullmann verification) and
+//! TALE both search for the clean module.
+//!
+//! ```text
+//! cargo run --release --example exact_vs_approximate
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_baselines::pathindex::PathIndex;
+use tale_graph::generate::{gnm, mutate, MutationRates};
+use tale_graph::GraphDb;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let labels = 8u32;
+
+    // the module a biologist is looking for
+    let module = gnm(&mut rng, 14, 24, labels);
+
+    // database graph: the module embedded in a larger network...
+    let mut clean_host = module.clone();
+    let extra = gnm(&mut rng, 60, 110, labels);
+    let offset = clean_host.node_count() as u32;
+    for n in extra.nodes() {
+        clean_host.add_node(extra.label(n));
+    }
+    for (u, v, _) in extra.edges() {
+        clean_host
+            .add_edge(
+                tale_graph::NodeId(offset + u.0),
+                tale_graph::NodeId(offset + v.0),
+            )
+            .unwrap();
+    }
+    // ...then corrupted the way high-throughput data is (§I: false
+    // positives, missing interactions)
+    let noise = MutationRates {
+        node_delete: 0.05,
+        node_insert: 0.05,
+        edge_delete: 0.10,
+        edge_insert: 0.10,
+        relabel: 0.0,
+    };
+    let (noisy_host, _) = mutate(&mut rng, &clean_host, &noise, labels);
+
+    println!(
+        "module: {} nodes / {} edges; database graph: {} nodes / {} edges (noisy)",
+        module.node_count(),
+        module.edge_count(),
+        noisy_host.node_count(),
+        noisy_host.edge_count()
+    );
+
+    // --- exact pipeline ---
+    let t0 = std::time::Instant::now();
+    let pidx = PathIndex::build(vec![clean_host.clone(), noisy_host.clone()], 3);
+    let exact = pidx.exact_matches(&module);
+    println!(
+        "\nexact (path filter + Ullmann), {:.0} ms:",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!("  clean host contains module : {}", exact.contains(&0));
+    println!("  noisy host contains module : {}", exact.contains(&1));
+
+    // --- TALE ---
+    let mut db = GraphDb::new();
+    for i in 0..labels {
+        db.intern_node_label(&format!("L{i}"));
+    }
+    db.insert("clean", clean_host);
+    db.insert("noisy", noisy_host);
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+    let opts = QueryOptions {
+        rho: 0.25,
+        p_imp: 0.4,
+        ..QueryOptions::default()
+    };
+    let t0 = std::time::Instant::now();
+    let res = tale.query(&module, &opts).expect("query");
+    println!(
+        "\nTALE (approximate, rho = 25%), {:.0} ms:",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    for r in &res {
+        println!(
+            "  {}: {}/{} module nodes recovered, {}/{} interactions",
+            r.graph_name,
+            r.matched_nodes,
+            module.node_count(),
+            r.matched_edges,
+            module.edge_count()
+        );
+    }
+
+    let noisy_hit = res.iter().find(|r| r.graph_name == "noisy");
+    match noisy_hit {
+        Some(r) if r.matched_nodes * 10 >= module.node_count() * 7 => {
+            println!(
+                "\n=> exact matching lost the corrupted module ({}), TALE still \
+                 recovered {} of {} nodes — the gap the paper exists to close.",
+                if exact.contains(&1) { "unexpectedly found!" } else { "as expected" },
+                r.matched_nodes,
+                module.node_count()
+            );
+        }
+        _ => println!("\n=> unexpected: TALE failed on the noisy host too"),
+    }
+}

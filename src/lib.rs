@@ -1,0 +1,8 @@
+//! Umbrella crate for examples and integration tests.
+pub use tale;
+pub use tale_baselines;
+pub use tale_datasets;
+pub use tale_graph;
+pub use tale_matching;
+pub use tale_nhindex;
+pub use tale_storage;

@@ -1,0 +1,124 @@
+//! Determinism guarantees: identical inputs produce identical outputs,
+//! across repeated runs in one process and across parallel/serial builds.
+//! (A HashMap-iteration-order bug produced flaky experiment numbers once;
+//! these tests pin the property.)
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_graph::generate::gnm;
+use tale_graph::GraphDb;
+
+fn build_db(seed: u64) -> (GraphDb, tale_graph::Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut db = GraphDb::new();
+    for i in 0..6 {
+        db.intern_node_label(&format!("L{i}"));
+    }
+    for i in 0..8 {
+        db.insert(format!("g{i}"), gnm(&mut rng, 40, 80, 6));
+    }
+    let query = gnm(&mut rng, 25, 50, 6);
+    (db, query)
+}
+
+fn result_fingerprint(res: &[tale::QueryMatch]) -> Vec<(String, usize, usize, u64)> {
+    res.iter()
+        .map(|r| {
+            (
+                r.graph_name.clone(),
+                r.matched_nodes,
+                r.matched_edges,
+                r.score.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn repeated_queries_identical() {
+    let (db, query) = build_db(101);
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+    let opts = QueryOptions::default();
+    let a = result_fingerprint(&tale.query(&query, &opts).unwrap());
+    let b = result_fingerprint(&tale.query(&query, &opts).unwrap());
+    assert_eq!(a, b);
+    // node-level mappings identical too
+    let ra = tale.query(&query, &opts).unwrap();
+    let rb = tale.query(&query, &opts).unwrap();
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        assert_eq!(x.m.pairs.len(), y.m.pairs.len());
+        for (p, q) in x.m.pairs.iter().zip(y.m.pairs.iter()) {
+            assert_eq!((p.query, p.target), (q.query, q.target));
+        }
+    }
+}
+
+#[test]
+fn rebuilt_database_gives_identical_answers() {
+    let (db, query) = build_db(102);
+    let t1 = TaleDatabase::build_in_temp(db.clone(), &TaleParams::default()).unwrap();
+    let t2 = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+    let opts = QueryOptions::default();
+    assert_eq!(
+        result_fingerprint(&t1.query(&query, &opts).unwrap()),
+        result_fingerprint(&t2.query(&query, &opts).unwrap())
+    );
+}
+
+#[test]
+fn serial_and_parallel_builds_agree() {
+    let (db, query) = build_db(103);
+    let serial = TaleDatabase::build_in_temp(
+        db.clone(),
+        &TaleParams {
+            parallel_build: false,
+            ..TaleParams::default()
+        },
+    )
+    .unwrap();
+    let parallel = TaleDatabase::build_in_temp(
+        db,
+        &TaleParams {
+            parallel_build: true,
+            ..TaleParams::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.index().node_count(), parallel.index().node_count());
+    assert_eq!(serial.index().key_count(), parallel.index().key_count());
+    let opts = QueryOptions::default();
+    assert_eq!(
+        result_fingerprint(&serial.query(&query, &opts).unwrap()),
+        result_fingerprint(&parallel.query(&query, &opts).unwrap())
+    );
+}
+
+#[test]
+fn generators_are_seed_deterministic() {
+    // two dataset generations from the same seed are structurally equal
+    let a = tale_datasets::pin::SpeciesPins::generate(
+        55,
+        &[tale_datasets::pin::RAT, tale_datasets::pin::MOUSE],
+        10,
+        8,
+    );
+    let b = tale_datasets::pin::SpeciesPins::generate(
+        55,
+        &[tale_datasets::pin::RAT, tale_datasets::pin::MOUSE],
+        10,
+        8,
+    );
+    assert_eq!(a.db.len(), b.db.len());
+    for (ga, gb) in a.db.iter().zip(b.db.iter()) {
+        assert_eq!(ga.2.node_count(), gb.2.node_count());
+        assert_eq!(ga.2.edge_count(), gb.2.edge_count());
+        let ea: Vec<_> = ga.2.edges().collect();
+        let eb: Vec<_> = gb.2.edges().collect();
+        assert_eq!(ea, eb);
+    }
+    for (pa, pb) in a.pathways.iter().zip(b.pathways.iter()) {
+        assert_eq!(pa.groups, pb.groups);
+        assert_eq!(pa.members, pb.members);
+    }
+}

@@ -1,0 +1,231 @@
+//! Exactness tests: TALE at `ρ = 0` against the Ullmann oracle.
+//!
+//! Exact subgraph matching "can be viewed as a special case of approximate
+//! subgraph matching when ρ = 0" (§IV-B). TALE is a heuristic (§VI-D), so
+//! it cannot promise to *find* every embedding — but whenever a clean
+//! planted copy exists and anchoring succeeds, the result must be a
+//! genuine embedding, and Ullmann must agree the embedding exists.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_baselines::ullmann::find_embedding;
+use tale_graph::generate::gnm;
+use tale_graph::{Graph, GraphDb, NodeId};
+
+/// Plants `query` inside a larger host: host = query ∪ extra nodes/edges.
+fn plant(rng: &mut ChaCha8Rng, query: &Graph, extra_nodes: usize, extra_edges: usize, labels: u32) -> Graph {
+    let mut host = query.clone();
+    let base = host.node_count();
+    for _ in 0..extra_nodes {
+        host.add_node(tale_graph::labels::NodeLabel(rng.gen_range(0..labels)));
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && guard < extra_edges * 40 {
+        guard += 1;
+        let u = NodeId(rng.gen_range(0..host.node_count() as u32));
+        let v = NodeId(rng.gen_range(base as u32..host.node_count() as u32));
+        if u != v && !host.has_edge(u, v) {
+            host.add_edge(u, v).unwrap();
+            added += 1;
+        }
+    }
+    host
+}
+
+#[test]
+fn planted_subgraph_recovered_at_rho_zero() {
+    // TALE is a heuristic (§VI-D): superset imposters score the same
+    // perfect Eq. IV.5 quality as the true counterpart, so one or two
+    // nodes of the planted copy may land on an imposter. The contract we
+    // hold it to: every node matched, the large majority of edges
+    // preserved, and some trials recovered perfectly — while Ullmann (the
+    // exact oracle) always certifies the copy exists.
+    let mut rng = ChaCha8Rng::seed_from_u64(71);
+    let labels = 8u32;
+    let mut perfect = 0;
+    let trials = 12;
+    for trial in 0..trials {
+        let query = gnm(&mut rng, 12, 18, labels);
+        let host = plant(&mut rng, &query, 40, 80, labels);
+
+        // Ullmann oracle: the planted copy exists.
+        let ql = |n: NodeId| query.label(n).0;
+        let hl = |n: NodeId| host.label(n).0;
+        assert!(
+            find_embedding(&query, &host, &ql, &hl).is_some(),
+            "oracle lost the planted copy (trial {trial})"
+        );
+
+        let mut db = GraphDb::new();
+        for i in 0..labels {
+            db.intern_node_label(&format!("L{i}"));
+        }
+        db.insert("host", host.clone());
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+        // Anchor every query node: for a 12-node query the bipartite
+        // assignment then resolves imposters globally, giving the
+        // heuristic its best shot at the exact copy.
+        let opts = QueryOptions {
+            rho: 0.0,
+            p_imp: 1.0,
+            ..QueryOptions::default()
+        };
+        let res = tale.query(&query, &opts).expect("query");
+        let top = res.first().expect("planted copy must produce a match");
+        for p in &top.m.pairs {
+            assert_eq!(
+                query.label(p.query),
+                host.label(p.target),
+                "label violated at ρ=0 (trial {trial})"
+            );
+        }
+        assert_eq!(
+            top.matched_nodes,
+            query.node_count(),
+            "not all query nodes matched (trial {trial})"
+        );
+        assert!(
+            top.matched_edges * 3 >= query.edge_count() * 2,
+            "only {}/{} edges preserved (trial {trial})",
+            top.matched_edges,
+            query.edge_count()
+        );
+        if top.matched_edges == query.edge_count() {
+            perfect += 1;
+        }
+    }
+    assert!(perfect >= 1, "no trial recovered the copy perfectly");
+}
+
+#[test]
+fn rho_zero_returns_nothing_when_no_copy_exists() {
+    // Query requires a label the database lacks entirely in that position.
+    let mut db = GraphDb::new();
+    let a = db.intern_node_label("A");
+    let b = db.intern_node_label("B");
+    let z = db.intern_node_label("Z");
+    let mut host = Graph::new_undirected();
+    let n0 = host.add_node(a);
+    let n1 = host.add_node(b);
+    host.add_edge(n0, n1).unwrap();
+    db.insert("host", host);
+    let mut query = Graph::new_undirected();
+    let q0 = query.add_node(a);
+    let q1 = query.add_node(z);
+    query.add_edge(q0, q1).unwrap();
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+    let res = tale
+        .query(
+            &query,
+            &QueryOptions {
+                rho: 0.0,
+                p_imp: 1.0,
+                ..QueryOptions::default()
+            },
+        )
+        .expect("query");
+    // At best a partial match on the A node; never a full embedding.
+    for r in &res {
+        assert!(r.matched_nodes < 2, "impossible embedding claimed");
+    }
+}
+
+#[test]
+fn approximate_beats_exact_on_noisy_copy() {
+    // Mutate the planted copy: ρ=0 can no longer fully match, ρ=0.5 can
+    // recover much more — the paper's core motivation (§I).
+    let mut rng = ChaCha8Rng::seed_from_u64(72);
+    let labels = 6u32;
+    let query = gnm(&mut rng, 20, 40, labels);
+    let (noisy, _) = tale_graph::generate::mutate(
+        &mut rng,
+        &query,
+        &tale_graph::generate::MutationRates {
+            node_delete: 0.15,
+            node_insert: 0.1,
+            edge_delete: 0.15,
+            edge_insert: 0.1,
+            relabel: 0.0,
+        },
+        labels,
+    );
+    let mut db = GraphDb::new();
+    for i in 0..labels {
+        db.intern_node_label(&format!("L{i}"));
+    }
+    db.insert("noisy", noisy);
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+    let strict = tale
+        .query(
+            &query,
+            &QueryOptions {
+                rho: 0.0,
+                p_imp: 0.3,
+                ..QueryOptions::default()
+            },
+        )
+        .expect("strict");
+    let loose = tale
+        .query(
+            &query,
+            &QueryOptions {
+                rho: 0.5,
+                p_imp: 0.3,
+                ..QueryOptions::default()
+            },
+        )
+        .expect("loose");
+    let strict_nodes = strict.first().map(|r| r.matched_nodes).unwrap_or(0);
+    let loose_nodes = loose.first().map(|r| r.matched_nodes).unwrap_or(0);
+    assert!(
+        loose_nodes > strict_nodes,
+        "approximation should help on noisy data: strict {strict_nodes}, loose {loose_nodes}"
+    );
+    assert!(loose_nodes >= 10, "loose match too small: {loose_nodes}");
+}
+
+#[test]
+fn tale_match_is_always_a_valid_partial_embedding() {
+    // Structural sanity on random data at several ρ: mappings injective,
+    // labels consistent (group-free db ⇒ raw labels must be equal).
+    let mut rng = ChaCha8Rng::seed_from_u64(73);
+    let labels = 5u32;
+    let mut db = GraphDb::new();
+    for i in 0..labels {
+        db.intern_node_label(&format!("L{i}"));
+    }
+    for i in 0..6 {
+        db.insert(format!("g{i}"), gnm(&mut rng, 50, 100, labels));
+    }
+    let query = gnm(&mut rng, 30, 60, labels);
+    let tale = TaleDatabase::build_in_temp(db.clone(), &TaleParams::default()).expect("build");
+    for rho in [0.0, 0.25, 0.5, 1.0] {
+        let res = tale
+            .query(
+                &query,
+                &QueryOptions {
+                    rho,
+                    ..QueryOptions::default()
+                },
+            )
+            .expect("query");
+        for r in &res {
+            let target = db.graph(r.graph);
+            let mut qs = std::collections::HashSet::new();
+            let mut ts = std::collections::HashSet::new();
+            for p in &r.m.pairs {
+                assert!(qs.insert(p.query), "query node reused (rho {rho})");
+                assert!(ts.insert(p.target), "target node reused (rho {rho})");
+                assert_eq!(
+                    query.label(p.query),
+                    target.label(p.target),
+                    "label mismatch (rho {rho})"
+                );
+            }
+            assert_eq!(r.matched_nodes, r.m.pairs.len());
+            assert_eq!(r.matched_edges, r.m.matched_edges(&query, target));
+        }
+    }
+}

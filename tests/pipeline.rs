@@ -1,0 +1,188 @@
+//! End-to-end integration tests: text format → database → disk index →
+//! query → persistence round trip, spanning every crate in the workspace.
+
+use std::sync::Arc;
+use tale::{QueryOptions, TaleDatabase, TaleParams};
+use tale_graph::{io, GraphDb, GraphId};
+
+const FIXTURE: &str = "\
+# two protein complexes and a decoy
+graph complex-A
+v kinase
+v ligase
+v channel
+v receptor
+e 0 1
+e 1 2
+e 0 2
+e 2 3
+
+graph complex-B
+v kinase
+v ligase
+v channel
+e 0 1
+e 1 2
+
+graph decoy
+v kinase
+v ligase
+v channel
+v receptor
+";
+
+#[test]
+fn text_fixture_to_query_results() {
+    let db = io::read_text(FIXTURE.as_bytes()).expect("parse fixture");
+    assert_eq!(db.len(), 3);
+    let query = db.graph(GraphId(0)).clone(); // complex-A as its own query
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+    let opts = QueryOptions {
+        p_imp: 0.5,
+        ..QueryOptions::default()
+    };
+    let res = tale.query(&query, &opts).expect("query");
+    assert_eq!(res[0].graph_name, "complex-A");
+    assert_eq!(res[0].matched_nodes, 4);
+    assert_eq!(res[0].matched_edges, 4);
+    // complex-B (the sub-complex) should rank above the edgeless decoy
+    let pos_b = res.iter().position(|r| r.graph_name == "complex-B");
+    let pos_decoy = res.iter().position(|r| r.graph_name == "decoy");
+    match (pos_b, pos_decoy) {
+        (Some(b), Some(d)) => assert!(b < d, "sub-complex should outrank decoy"),
+        // At ρ=25% the query's degree-3 hub cannot anchor in the sparser
+        // sub-complex or the edgeless decoy, so neither matching at all is
+        // a legitimate outcome; the decoy must never appear alone.
+        (Some(_), None) | (None, None) => {}
+        (None, Some(_)) => panic!("decoy matched but the sub-complex did not"),
+    }
+}
+
+#[test]
+fn disk_persistence_full_cycle() {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let db = io::read_text(FIXTURE.as_bytes()).expect("parse");
+    let query = db.graph(GraphId(1)).clone();
+    let before;
+    {
+        let tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).expect("build");
+        before = tale.query(&query, &QueryOptions::default()).expect("query");
+        assert!(!before.is_empty());
+    }
+    // process "restart": reopen purely from disk files
+    let tale = TaleDatabase::open(dir.path(), 128).expect("reopen");
+    let after = tale.query(&query, &QueryOptions::default()).expect("query");
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(after.iter()) {
+        assert_eq!(b.graph_name, a.graph_name);
+        assert_eq!(b.matched_nodes, a.matched_nodes);
+        assert_eq!(b.matched_edges, a.matched_edges);
+        assert!((b.score - a.score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn similarity_models_change_ranking_scale() {
+    let db = io::read_text(FIXTURE.as_bytes()).expect("parse");
+    let query = db.graph(GraphId(0)).clone();
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+    let by_quality = tale
+        .query(&query, &QueryOptions::default().with_similarity(Arc::new(tale::QualitySum)))
+        .expect("query");
+    let by_ctree = tale
+        .query(&query, &QueryOptions::default().with_similarity(Arc::new(tale::CTreeStyle)))
+        .expect("query");
+    // same top hit under both models; scores live on different scales
+    assert_eq!(by_quality[0].graph_name, by_ctree[0].graph_name);
+    assert!(by_ctree[0].score <= 1.0 + 1e-9);
+    assert!(by_quality[0].score > 1.0);
+}
+
+#[test]
+fn tiny_buffer_pool_still_correct() {
+    // Disk-residency claim: a pool of 8 frames (64 KiB) must produce the
+    // same answers as a large pool, just slower.
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(33);
+    let mut db = GraphDb::new();
+    for i in 0..10 {
+        db.intern_node_label(&format!("L{i}"));
+    }
+    for i in 0..12 {
+        let g = tale_graph::generate::gnm(&mut rng, 80, 160, 10);
+        db.insert(format!("g{i}"), g);
+    }
+    let query = db.graph(GraphId(3)).clone();
+    let big = TaleDatabase::build_in_temp(
+        db.clone(),
+        &TaleParams {
+            buffer_frames: 4096,
+            ..TaleParams::default()
+        },
+    )
+    .expect("build big");
+    let small = TaleDatabase::build_in_temp(
+        db,
+        &TaleParams {
+            buffer_frames: 8,
+            ..TaleParams::default()
+        },
+    )
+    .expect("build small");
+    let opts = QueryOptions::default();
+    let a = big.query(&query, &opts).expect("big query");
+    let b = small.query(&query, &opts).expect("small query");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.graph_name, y.graph_name);
+        assert_eq!(x.matched_nodes, y.matched_nodes);
+    }
+}
+
+#[test]
+fn group_model_crosses_label_boundaries_end_to_end() {
+    // §IV-E: ortholog groups let differently-labeled nodes match.
+    let mut db = GraphDb::new();
+    let ha = db.intern_node_label("human:a");
+    let hb = db.intern_node_label("human:b");
+    let hc = db.intern_node_label("human:c");
+    let ma = db.intern_node_label("mouse:a");
+    let mb = db.intern_node_label("mouse:b");
+    let mc = db.intern_node_label("mouse:c");
+    let mut human = tale_graph::Graph::new_undirected();
+    let n0 = human.add_node(ha);
+    let n1 = human.add_node(hb);
+    let n2 = human.add_node(hc);
+    human.add_edge(n0, n1).unwrap();
+    human.add_edge(n1, n2).unwrap();
+    db.insert("human", human);
+    db.set_group_by_names(&[
+        ("human:a".into(), "ogA".into()),
+        ("mouse:a".into(), "ogA".into()),
+        ("human:b".into(), "ogB".into()),
+        ("mouse:b".into(), "ogB".into()),
+        ("human:c".into(), "ogC".into()),
+        ("mouse:c".into(), "ogC".into()),
+    ])
+    .expect("groups");
+
+    let mut mouse = tale_graph::Graph::new_undirected();
+    let q0 = mouse.add_node(ma);
+    let q1 = mouse.add_node(mb);
+    let q2 = mouse.add_node(mc);
+    mouse.add_edge(q0, q1).unwrap();
+    mouse.add_edge(q1, q2).unwrap();
+
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
+    let res = tale
+        .query(
+            &mouse,
+            &QueryOptions {
+                p_imp: 0.5,
+                ..QueryOptions::default()
+            },
+        )
+        .expect("query");
+    assert_eq!(res[0].graph_name, "human");
+    assert_eq!(res[0].matched_nodes, 3, "all ortholog pairs should match");
+    assert_eq!(res[0].matched_edges, 2);
+}
