@@ -163,10 +163,7 @@ impl SeedExtendAligner {
                     })
                     .max_by_key(|bn| {
                         // prefer partners that conserve more already-mapped edges
-                        let score = g2
-                            .neighbors(*bn)
-                            .filter(|x| used2l.contains_key(x))
-                            .count();
+                        let score = g2.neighbors(*bn).filter(|x| used2l.contains_key(x)).count();
                         (score, std::cmp::Reverse(bn.0))
                     });
                 if let Some(bn) = best {
@@ -278,7 +275,11 @@ mod tests {
         let ga = raw(&a);
         let gb = raw(&b);
         let al = SeedExtendAligner::default().align(&a, &b, &ga, &gb);
-        assert!(al.conserved_edges > 40, "only {} conserved", al.conserved_edges);
+        assert!(
+            al.conserved_edges > 40,
+            "only {} conserved",
+            al.conserved_edges
+        );
     }
 
     #[test]

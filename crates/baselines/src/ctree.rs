@@ -237,9 +237,7 @@ impl CTree {
         // update closures along the path
         for &nid in path.iter().rev().skip(1) {
             match &mut self.nodes[nid] {
-                CNode::Internal { closure, .. } | CNode::Leaf { closure, .. } => {
-                    closure.merge(&gc)
-                }
+                CNode::Internal { closure, .. } | CNode::Leaf { closure, .. } => closure.merge(&gc),
             }
         }
         self.split_if_needed(&path);
@@ -411,10 +409,9 @@ impl CTree {
             match &self.nodes[node] {
                 CNode::Internal { children, .. } => {
                     for &c in children {
-                        let b =
-                            self.nodes[c]
-                                .closure()
-                                .sim_upper_bound(&q_hist, q_edges, q_size);
+                        let b = self.nodes[c]
+                            .closure()
+                            .sim_upper_bound(&q_hist, q_edges, q_size);
                         if b > kth(&best) {
                             heap.push(Frontier { bound: b, node: c });
                         }
@@ -476,12 +473,12 @@ pub fn nbm_match(query: &Graph, target: &Graph) -> (usize, usize) {
     let mut frontier: Vec<(NodeId, NodeId)> = Vec::new();
     let mut matched = 0usize;
     let pair = |q: NodeId,
-                    t: NodeId,
-                    q_used: &mut Vec<bool>,
-                    t_used: &mut Vec<bool>,
-                    map: &mut Vec<Option<NodeId>>,
-                    frontier: &mut Vec<(NodeId, NodeId)>,
-                    matched: &mut usize| {
+                t: NodeId,
+                q_used: &mut Vec<bool>,
+                t_used: &mut Vec<bool>,
+                map: &mut Vec<Option<NodeId>>,
+                frontier: &mut Vec<(NodeId, NodeId)>,
+                matched: &mut usize| {
         q_used[q.idx()] = true;
         t_used[t.idx()] = true;
         map[q.idx()] = Some(t);
@@ -507,7 +504,13 @@ pub fn nbm_match(query: &Graph, target: &Graph) -> (usize, usize) {
             .copied();
         let Some(seed_t) = cand else { continue };
         pair(
-            seed_q, seed_t, &mut q_used, &mut t_used, &mut map, &mut frontier, &mut matched,
+            seed_q,
+            seed_t,
+            &mut q_used,
+            &mut t_used,
+            &mut map,
+            &mut frontier,
+            &mut matched,
         );
         // BFS extension
         while let Some((q, t)) = frontier.pop() {
@@ -526,7 +529,13 @@ pub fn nbm_match(query: &Graph, target: &Graph) -> (usize, usize) {
                     });
                 if let Some(tn) = best {
                     pair(
-                        qn, tn, &mut q_used, &mut t_used, &mut map, &mut frontier, &mut matched,
+                        qn,
+                        tn,
+                        &mut q_used,
+                        &mut t_used,
+                        &mut map,
+                        &mut frontier,
+                        &mut matched,
                     );
                 }
             }
@@ -648,7 +657,9 @@ mod tests {
         );
         let big = CTree::build(
             CTreeConfig::default(),
-            (0..50).map(|_| gnm(&mut rng, 20, 30, 4)).collect::<Vec<_>>(),
+            (0..50)
+                .map(|_| gnm(&mut rng, 20, 30, 4))
+                .collect::<Vec<_>>(),
         );
         assert!(big.approx_memory_bytes() > 5 * small.approx_memory_bytes());
     }

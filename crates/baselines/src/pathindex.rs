@@ -73,9 +73,7 @@ fn path_features(g: &Graph, max_edges: usize) -> FeatureCounts {
     let mut on_path = vec![false; g.node_count()];
     for n in g.nodes() {
         // single-node features
-        *counts
-            .entry(PathFeature(vec![g.label(n).0]))
-            .or_insert(0) += 1;
+        *counts.entry(PathFeature(vec![g.label(n).0])).or_insert(0) += 1;
         on_path[n.idx()] = true;
         let mut labels = vec![g.label(n).0];
         dfs(g, n, &mut labels, &mut on_path, max_edges, &mut counts);
@@ -95,10 +93,7 @@ impl PathIndex {
     /// Indexes `graphs` with paths of up to `max_edges` edges (GraphGrep's
     /// `lp` parameter; 3 is a reasonable default).
     pub fn build(graphs: Vec<Graph>, max_edges: usize) -> PathIndex {
-        let tables = graphs
-            .iter()
-            .map(|g| path_features(g, max_edges))
-            .collect();
+        let tables = graphs.iter().map(|g| path_features(g, max_edges)).collect();
         PathIndex {
             graphs,
             tables,
@@ -130,10 +125,7 @@ impl PathIndex {
         self.tables
             .iter()
             .enumerate()
-            .filter(|(_, t)| {
-                q.iter()
-                    .all(|(f, &c)| t.get(f).copied().unwrap_or(0) >= c)
-            })
+            .filter(|(_, t)| q.iter().all(|(f, &c)| t.get(f).copied().unwrap_or(0) >= c))
             .map(|(i, _)| i)
             .collect()
     }
@@ -195,7 +187,11 @@ mod tests {
                 continue;
             }
             let idx = PathIndex::build(vec![host], 3);
-            assert_eq!(idx.candidates(&query), vec![0], "filter dropped a true host");
+            assert_eq!(
+                idx.candidates(&query),
+                vec![0],
+                "filter dropped a true host"
+            );
         }
     }
 
@@ -244,7 +240,8 @@ mod tests {
                 host.add_node(query.label(n));
             }
             for (u, v, _) in query.edges() {
-                host.add_edge(NodeId(base + u.0), NodeId(base + v.0)).unwrap();
+                host.add_edge(NodeId(base + u.0), NodeId(base + v.0))
+                    .unwrap();
             }
         }
         let idx = PathIndex::build(graphs, 3);

@@ -118,7 +118,12 @@ fn build_search<'a>(
     if n > 0 {
         let first = query
             .nodes()
-            .min_by_key(|q| (candidates[q.idx()].len(), std::cmp::Reverse(query.degree(*q))))
+            .min_by_key(|q| {
+                (
+                    candidates[q.idx()].len(),
+                    std::cmp::Reverse(query.degree(*q)),
+                )
+            })
             .expect("non-empty");
         order.push(first);
         placed[first.idx()] = true;
@@ -233,7 +238,8 @@ mod tests {
 
     fn cycle(labels: &[u32]) -> Graph {
         let mut g = path(labels);
-        g.add_edge(NodeId(0), NodeId(labels.len() as u32 - 1)).unwrap();
+        g.add_edge(NodeId(0), NodeId(labels.len() as u32 - 1))
+            .unwrap();
         g
     }
 

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|all]
+//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -16,6 +16,7 @@ use tale_bench::experiments::fig789::{default_sizes, run_fig789};
 use tale_bench::experiments::kegg::run_kegg;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
 use tale_bench::experiments::saga::run_saga;
+use tale_bench::experiments::speedup::run_speedup;
 use tale_bench::experiments::table1::run_table1;
 use tale_bench::experiments::table2::run_table2;
 use tale_bench::experiments::table3::run_table3_fig6;
@@ -31,7 +32,11 @@ fn seed() -> u64 {
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let scale = Scale::from_env(0.12);
-    eprintln!("# running '{cmd}' at TALE_SCALE={} (seed {})", scale.0, seed());
+    eprintln!(
+        "# running '{cmd}' at TALE_SCALE={} (seed {})",
+        scale.0,
+        seed()
+    );
     match cmd.as_str() {
         "alg1" => alg1(),
         "table1" => table1(scale),
@@ -43,6 +48,7 @@ fn main() {
         "saga" => saga(scale),
         "kegg" => kegg(scale),
         "pimp" => pimp(scale),
+        "speedup" => speedup(scale),
         "all" => {
             alg1();
             table1(scale);
@@ -54,12 +60,53 @@ fn main() {
             saga(scale);
             kegg(scale);
             pimp(scale);
+            speedup(scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|all]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|all] [--threads N]");
             std::process::exit(2);
         }
+    }
+}
+
+/// `--threads N` from argv (default 4): the parallel side of the
+/// serial-vs-parallel comparison.
+fn threads_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+fn speedup(scale: Scale) {
+    let threads = threads_arg();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n## E-SPEED — serial vs parallel query path\n");
+    println!("same workload shapes as Table 2/3 and Fig. 5; serial = 1 thread,");
+    println!(
+        "parallel = {threads} threads (`--threads N` to change); results checked bit-identical."
+    );
+    println!("wall-clock speedup is capped by available cores ({cores} here);");
+    println!("expect >=1.5x at 4 threads on a 4-core machine, ~1x on 1 core\n");
+    println!(
+        "| workload | graphs | queries | cores | serial (s) | parallel (s) | speedup | identical |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in run_speedup(seed(), scale, threads, 4) {
+        println!(
+            "| {} | {} | {} | {} | {:.3} | {:.3} | {:.2}x | {} |",
+            r.workload,
+            r.graphs,
+            r.queries,
+            r.cores,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup(),
+            if r.identical { "yes" } else { "NO" }
+        );
     }
 }
 
@@ -88,7 +135,10 @@ fn table1(scale: Scale) {
         );
     }
     if scale.0 < 1.0 {
-        println!("\n(scaled by {}; run with TALE_SCALE=1.0 for paper sizes)", scale.0);
+        println!(
+            "\n(scaled by {}; run with TALE_SCALE=1.0 for paper sizes)",
+            scale.0
+        );
     }
 }
 

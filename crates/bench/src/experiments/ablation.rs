@@ -37,8 +37,7 @@ pub fn run_ablation(
 ) -> Vec<AblationReport> {
     let _ = scale;
     // Same setup as Table II: the index holds the human PIN only.
-    let human_only =
-        crate::experiments::table2::single_species_db(&pins.db, pins.species["human"]);
+    let human_only = crate::experiments::table2::single_species_db(&pins.db, pins.species["human"]);
     let tale_db =
         TaleDatabase::build_in_temp(human_only, &TaleParams::bind()).expect("index build");
     let human_gid = tale_graph::GraphId(0);

@@ -62,7 +62,9 @@ pub fn run_alg1(seed: u64, n_queries: usize) -> Vec<Alg1Row> {
     let sbit = 32u32;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let sizes: Vec<usize> = (4..=15).map(|p| 1usize << p).collect(); // 16..32768
-    let queries: Vec<Vec<u64>> = (0..n_queries).map(|_| random_query(&mut rng, sbit)).collect();
+    let queries: Vec<Vec<u64>> = (0..n_queries)
+        .map(|_| random_query(&mut rng, sbit))
+        .collect();
     let nbmiss = 2u32; // ρ·d for a typical query node
 
     sizes
@@ -82,8 +84,7 @@ pub fn run_alg1(seed: u64, n_queries: usize) -> Vec<Alg1Row> {
                     std::hint::black_box(probe_bitsliced(&bm, q, nbmiss));
                 }
             }
-            let bitsliced_ns =
-                t0.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64;
+            let bitsliced_ns = t0.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64;
             let t1 = std::time::Instant::now();
             for _ in 0..reps {
                 for q in &queries {
@@ -125,6 +126,10 @@ mod tests {
             rows[11].speedup
         );
         // and at the top end the bit-sliced probe must win clearly
-        assert!(rows[11].speedup > 2.0, "large speedup {:.2}", rows[11].speedup);
+        assert!(
+            rows[11].speedup > 2.0,
+            "large speedup {:.2}",
+            rows[11].speedup
+        );
     }
 }

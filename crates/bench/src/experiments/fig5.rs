@@ -44,8 +44,7 @@ pub fn run_fig5(seed: u64, scale: Scale, n_queries: usize) -> Fig5Report {
     let max_k = spec.domains_per_family * 2;
 
     // --- TALE ---
-    let tale_db =
-        TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::astral()).expect("index");
+    let tale_db = TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::astral()).expect("index");
     let opts = QueryOptions::astral()
         .with_top_k(max_k)
         .with_similarity(Arc::new(CTreeStyle));
@@ -65,8 +64,7 @@ pub fn run_fig5(seed: u64, scale: Scale, n_queries: usize) -> Fig5Report {
     }
 
     // --- C-Tree ---
-    let graphs: Vec<tale_graph::Graph> =
-        ds.db.iter().map(|(_, _, g)| g.clone()).collect();
+    let graphs: Vec<tale_graph::Graph> = ds.db.iter().map(|(_, _, g)| g.clone()).collect();
     let ctree = CTree::build(CTreeConfig::default(), graphs);
     let mut ctree_flags: Vec<Vec<bool>> = Vec::new();
     let mut ctree_total = 0.0;

@@ -38,9 +38,8 @@ pub fn run_kegg(seed: u64, scale: Scale, n_queries: usize) -> KeggExpReport {
         ..KeggSpec::default()
     };
     let ds = KeggDataset::generate(seed, &spec);
-    let (tale_db, build_secs) = timed(|| {
-        TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::bind()).expect("build")
-    });
+    let (tale_db, build_secs) =
+        timed(|| TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::bind()).expect("build"));
     let max_k = spec.variants_per_family * 2;
     let opts = QueryOptions::bind()
         .with_top_k(max_k)
@@ -81,7 +80,11 @@ mod tests {
         assert_eq!(r.queries, 8);
         assert!(r.graphs >= 40);
         // Fig. 5-style shape on the third dataset: strong early precision…
-        assert!(r.curve[2].precision > 0.7, "P@3 = {:.2}", r.curve[2].precision);
+        assert!(
+            r.curve[2].precision > 0.7,
+            "P@3 = {:.2}",
+            r.curve[2].precision
+        );
         // …recall climbing toward a plateau…
         let last = r.curve.last().unwrap();
         assert!(last.recall > 0.6, "final recall {:.2}", last.recall);

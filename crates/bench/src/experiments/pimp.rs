@@ -26,8 +26,7 @@ pub struct PimpRow {
 /// Sweeps `Pimp` on the Table II mouse-vs-human setup.
 pub fn run_pimp(pins: &SpeciesPins, scale: Scale, fractions: &[f64]) -> Vec<PimpRow> {
     let _ = scale;
-    let human_only =
-        crate::experiments::table2::single_species_db(&pins.db, pins.species["human"]);
+    let human_only = crate::experiments::table2::single_species_db(&pins.db, pins.species["human"]);
     let tale_db =
         TaleDatabase::build_in_temp(human_only, &TaleParams::bind()).expect("index build");
     let mouse = pins.db.graph(pins.species["mouse"]);

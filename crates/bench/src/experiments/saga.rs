@@ -63,8 +63,7 @@ pub fn run_saga(seed: u64, scale: Scale, sizes: &[usize]) -> Vec<SagaRow> {
     let graphs: Vec<Graph> = ds.db.iter().map(|(_, _, g)| g.clone()).collect();
 
     let saga = FragmentIndex::build(graphs);
-    let tale_db =
-        TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::astral()).expect("build");
+    let tale_db = TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::astral()).expect("build");
     // the largest database graph supplies the sub-queries
     let big = ds
         .db
@@ -81,8 +80,7 @@ pub fn run_saga(seed: u64, scale: Scale, sizes: &[usize]) -> Vec<SagaRow> {
         .map(|&size| {
             let q = bfs_subquery(host, size.min(host.node_count()));
             let label_of = |n: NodeId| q.label(n).0;
-            let query_fragments =
-                tale_baselines::saga::fragment_count_of(&q, &label_of);
+            let query_fragments = tale_baselines::saga::fragment_count_of(&q, &label_of);
             let (_, saga_secs) = timed(|| saga.query(&q, 20));
             let opts = QueryOptions::astral().with_top_k(20);
             let (_, tale_secs) = timed(|| tale_db.query(&q, &opts).expect("query"));

@@ -1,0 +1,198 @@
+//! E-SPEED — serial vs. parallel query path on the paper's workloads.
+//!
+//! The paper's experiments (§VI) are all single-threaded; this harness
+//! measures what the `QueryOptions::threads` knob buys on the same
+//! workload shapes: a Table II / Table III-style multi-graph PIN corpus
+//! (per-candidate-graph fan-out) and a Figure 5-style ASTRAL retrieval
+//! run (probe + per-graph fan-out under the C-Tree similarity model).
+//! Both modes must return bit-identical results; the row records that
+//! check alongside the wall-clock numbers.
+
+use crate::{timed, Scale};
+use std::sync::Arc;
+use tale::{CTreeStyle, QueryMatch, QueryOptions, TaleDatabase, TaleParams};
+use tale_datasets::contact::{ContactDataset, ContactSpec};
+use tale_datasets::pin::PinCorpus;
+use tale_graph::Graph;
+
+/// One workload's serial-vs-parallel comparison.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload label, e.g. "Table 2-style PIN corpus".
+    pub workload: &'static str,
+    /// Graphs in the database.
+    pub graphs: usize,
+    /// Queries executed per timed pass.
+    pub queries: usize,
+    /// Thread count of the parallel pass.
+    pub threads: usize,
+    /// Cores the OS reports as available — the hard ceiling on any
+    /// wall-clock speedup, whatever `threads` asks for.
+    pub cores: usize,
+    /// Wall clock of the serial pass (threads = 1), seconds.
+    pub serial_secs: f64,
+    /// Wall clock of the parallel pass, seconds.
+    pub parallel_secs: f64,
+    /// Whether the two passes returned bit-identical results.
+    pub identical: bool,
+}
+
+impl SpeedupRow {
+    /// serial / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs
+    }
+}
+
+/// Runs both workloads at the given thread count (per-query; the query
+/// batch itself is executed serially so the ratio isolates the parallel
+/// query path rather than batch-level concurrency). `astral_queries`
+/// sizes the Fig. 5-style pass, whose cost dominates the run.
+pub fn run_speedup(
+    seed: u64,
+    scale: Scale,
+    threads: usize,
+    astral_queries: usize,
+) -> Vec<SpeedupRow> {
+    vec![
+        pin_corpus_speedup(seed, scale, threads),
+        astral_speedup(seed, scale, threads, astral_queries),
+    ]
+}
+
+/// Times one full pass of `queries` against `db`, best-of-`rounds`.
+fn best_pass(
+    db: &TaleDatabase,
+    queries: &[&Graph],
+    opts: &QueryOptions,
+    rounds: usize,
+) -> (Vec<Vec<QueryMatch>>, f64) {
+    let mut best = f64::INFINITY;
+    let mut results = Vec::new();
+    for _ in 0..rounds {
+        let (res, secs) = timed(|| {
+            queries
+                .iter()
+                .map(|q| db.query(q, opts).expect("query"))
+                .collect::<Vec<_>>()
+        });
+        if secs < best {
+            best = secs;
+        }
+        results = res;
+    }
+    (results, best)
+}
+
+/// Pair-for-pair equality, including bit-identical scores — the
+/// parallel pipeline's determinism claim, not just aggregate agreement.
+fn identical(a: &[Vec<QueryMatch>], b: &[Vec<QueryMatch>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(x, y)| {
+                    x.graph == y.graph
+                        && x.matched_nodes == y.matched_nodes
+                        && x.matched_edges == y.matched_edges
+                        && x.score == y.score
+                        && x.m.pairs == y.m.pairs
+                })
+        })
+}
+
+fn compare(
+    workload: &'static str,
+    db: &TaleDatabase,
+    graphs: usize,
+    queries: &[&Graph],
+    opts: &QueryOptions,
+    threads: usize,
+) -> SpeedupRow {
+    const ROUNDS: usize = 2;
+    // Warm the buffer pool so the serial pass doesn't pay all the I/O.
+    let _ = best_pass(db, queries, &opts.clone().with_threads(1), 1);
+    let (serial_res, serial_secs) = best_pass(db, queries, &opts.clone().with_threads(1), ROUNDS);
+    let (par_res, parallel_secs) =
+        best_pass(db, queries, &opts.clone().with_threads(threads), ROUNDS);
+    SpeedupRow {
+        workload,
+        graphs,
+        queries: queries.len(),
+        threads,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_secs,
+        parallel_secs,
+        identical: identical(&serial_res, &par_res),
+    }
+}
+
+/// Table II / III-style workload: one multi-graph PIN database (shared
+/// ortholog vocabulary, sizes spread like the paper's corpus), queried
+/// with the BIND-tuned options. Parallelism comes from the NH-index
+/// probe fan-out and the per-candidate-graph matching fan-out.
+fn pin_corpus_speedup(seed: u64, scale: Scale, threads: usize) -> SpeedupRow {
+    let corpus = PinCorpus::generate(seed, 16, scale.0);
+    let graphs = corpus.db.iter().count();
+    let query_ids = corpus.queries(None);
+    let queries: Vec<&Graph> = query_ids.iter().map(|&g| corpus.db.graph(g)).collect();
+    let db =
+        TaleDatabase::build_in_temp(corpus.db.clone(), &TaleParams::bind()).expect("index build");
+    let opts = QueryOptions::bind();
+    compare(
+        "Table 2-style PIN corpus",
+        &db,
+        graphs,
+        &queries,
+        &opts,
+        threads,
+    )
+}
+
+/// Figure 5-style workload: ASTRAL family retrieval under the C-Tree
+/// similarity model, many small contact maps per database.
+fn astral_speedup(seed: u64, scale: Scale, threads: usize, n_queries: usize) -> SpeedupRow {
+    let spec = ContactSpec::default().scaled(scale.0);
+    let ds = ContactDataset::generate(seed, &spec);
+    let graphs = ds.db.iter().count();
+    let query_ids = ds.pick_queries(seed ^ 0x5a, n_queries);
+    let queries: Vec<&Graph> = query_ids.iter().map(|&g| ds.db.graph(g)).collect();
+    let db =
+        TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::astral()).expect("index build");
+    let max_k = spec.domains_per_family * 2;
+    let opts = QueryOptions::astral()
+        .with_top_k(max_k)
+        .with_similarity(Arc::new(CTreeStyle));
+    compare(
+        "Figure 5-style ASTRAL retrieval",
+        &db,
+        graphs,
+        &queries,
+        &opts,
+        threads,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The switch must not change answers; the ratio itself is asserted
+    /// only loosely (parallel must not be a catastrophic regression)
+    /// because CI machines can't promise idle cores — on a single-core
+    /// runner the honest ratio is ~1x however many threads are asked for.
+    #[test]
+    fn parallel_pass_is_identical_and_not_pathological() {
+        let rows = run_speedup(44, Scale(0.02), 2, 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.identical, "{}: parallel answers diverged", r.workload);
+            assert!(r.queries > 0 && r.graphs > 1 && r.cores > 0);
+            assert!(
+                r.speedup() > 0.2,
+                "{}: parallel pass pathologically slow ({}x)",
+                r.workload,
+                r.speedup()
+            );
+        }
+    }
+}

@@ -58,7 +58,13 @@ mod tests {
         for r in &rows {
             assert_eq!(r.nodes, r.paper_nodes, "{}", r.species);
             let err = (r.edges as f64 - r.paper_edges as f64).abs() / r.paper_edges as f64;
-            assert!(err <= 0.05, "{} edges {} vs {}", r.species, r.edges, r.paper_edges);
+            assert!(
+                err <= 0.05,
+                "{} edges {} vs {}",
+                r.species,
+                r.edges,
+                r.paper_edges
+            );
         }
     }
 

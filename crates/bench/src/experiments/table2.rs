@@ -97,7 +97,10 @@ pub fn run_table2(pins: &SpeciesPins, scale: Scale) -> (Vec<Table2Row>, f64) {
 /// Copies one graph into a fresh db that shares the source's vocabulary
 /// and ortholog-group map, so queries authored against the full db keep
 /// their label semantics.
-pub(crate) fn single_species_db(db: &tale_graph::GraphDb, keep: tale_graph::GraphId) -> tale_graph::GraphDb {
+pub(crate) fn single_species_db(
+    db: &tale_graph::GraphDb,
+    keep: tale_graph::GraphId,
+) -> tale_graph::GraphDb {
     let mut out = tale_graph::GraphDb::new();
     for (_, name) in db.node_vocab().iter() {
         out.intern_node_label(name);

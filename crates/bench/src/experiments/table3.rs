@@ -70,9 +70,8 @@ pub fn run_table3_fig6(seed: u64, scale: Scale) -> Table3Fig6Report {
         let n = sub.len();
         let avg_nodes = sub.total_nodes() as f64 / n as f64;
         let avg_edges = sub.total_edges() as f64 / n as f64;
-        let (tale_db, build_secs) = timed(|| {
-            TaleDatabase::build_in_temp(sub, &TaleParams::bind()).expect("build")
-        });
+        let (tale_db, build_secs) =
+            timed(|| TaleDatabase::build_in_temp(sub, &TaleParams::bind()).expect("build"));
         table3.push(Table3Row {
             dataset: format!("D{}", di + 1),
             graphs: n,

@@ -84,10 +84,7 @@ fn seed_pathway(
         prev = c;
     }
     // branches: extra substrates/products on random reactions
-    let reactions: Vec<NodeId> = g
-        .nodes()
-        .filter(|n| is_reaction[n.idx()])
-        .collect();
+    let reactions: Vec<NodeId> = g.nodes().filter(|n| is_reaction[n.idx()]).collect();
     let branches = reactions.len() / 2;
     for _ in 0..branches {
         let r = reactions[rng.gen_range(0..reactions.len())];

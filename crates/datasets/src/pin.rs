@@ -17,8 +17,8 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
 use tale_graph::generate::preferential_attachment;
 use tale_graph::graph::{Graph, NodeId};
@@ -148,8 +148,14 @@ impl SpeciesPins {
         let mut group_of_node = HashMap::new();
         let mut group_pairs: Vec<(String, String)> = Vec::new();
         for spec in specs {
-            let (g, kept, labels) =
-                sample_species(&mut rng, &ancestor, spec, &in_pathway, &group_of_ancestor, &mut db);
+            let (g, kept, labels) = sample_species(
+                &mut rng,
+                &ancestor,
+                spec,
+                &in_pathway,
+                &group_of_ancestor,
+                &mut db,
+            );
             for (label_name, group) in labels {
                 group_pairs.push((label_name, format!("og{group}")));
             }
@@ -169,17 +175,14 @@ impl SpeciesPins {
                     .collect();
                 pw.members.insert(spec.name.to_owned(), members);
             }
-            group_of_node.insert(
-                spec.name.to_owned(),
-                {
-                    let graph = db.graph(gid);
-                    let mut v = vec![0u32; graph.node_count()];
-                    for (node, _, group) in kept {
-                        v[node.idx()] = group;
-                    }
-                    v
-                },
-            );
+            group_of_node.insert(spec.name.to_owned(), {
+                let graph = db.graph(gid);
+                let mut v = vec![0u32; graph.node_count()];
+                for (node, _, group) in kept {
+                    v[node.idx()] = group;
+                }
+                v
+            });
         }
         db.set_group_by_names(&group_pairs)
             .expect("all species labels interned");

@@ -82,6 +82,64 @@ pub fn select_important(g: &Graph, measure: ImportanceMeasure, p_imp: f64) -> Ve
     top
 }
 
+/// [`select_important`] topped up so every connected component contains at
+/// least one selected node — the variant the query pipeline uses.
+///
+/// The top-up matters because match growing (§V-C) only reaches nodes
+/// connected to some anchor: a query component with no important node could
+/// never be matched at all. Each uncovered component contributes its
+/// best-ranked node (the paper's importance definition is explicitly
+/// customizable, §V-A). The result is the §V-B rank prefix followed by the
+/// per-component top-ups in rank order.
+pub fn select_important_covering(g: &Graph, measure: ImportanceMeasure, p_imp: f64) -> Vec<NodeId> {
+    if g.node_count() == 0 {
+        return Vec::new();
+    }
+    let k = ((g.node_count() as f64 * p_imp).round() as usize).clamp(1, g.node_count());
+    let ranked = rank(g, measure);
+    let mut top: Vec<NodeId> = ranked[..k].to_vec();
+
+    let comp = component_labels(g);
+    let ncomp = comp.iter().map(|&c| c + 1).max().unwrap_or(0);
+    let mut covered = vec![false; ncomp];
+    for n in &top {
+        covered[comp[n.idx()]] = true;
+    }
+    for &n in &ranked[k..] {
+        if !covered[comp[n.idx()]] {
+            covered[comp[n.idx()]] = true;
+            top.push(n);
+        }
+    }
+    top
+}
+
+/// Connected-component label per node, in the undirected sense (edge
+/// direction ignored), numbered by first-seen node id.
+fn component_labels(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        stack.push(NodeId(s as u32));
+        while let Some(u) = stack.pop() {
+            for v in g.undirected_neighbors(u) {
+                if comp[v.idx()] == usize::MAX {
+                    comp[v.idx()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
 /// Degree centrality.
 pub fn degree(g: &Graph) -> Vec<f64> {
     g.nodes().map(|n| g.degree(n) as f64).collect()
@@ -197,11 +255,7 @@ pub fn eigenvector(g: &Graph, max_iter: usize, tol: f64) -> Vec<f64> {
         for v in next.iter_mut() {
             *v /= norm;
         }
-        let diff: f64 = x
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut x, &mut next);
         if diff < tol {
             break;
@@ -258,7 +312,9 @@ mod tests {
     fn closeness_peaks_at_path_center() {
         let g = path5();
         let s = closeness(&g);
-        let best = (0..5).max_by(|&a, &b| s[a].partial_cmp(&s[b]).unwrap()).unwrap();
+        let best = (0..5)
+            .max_by(|&a, &b| s[a].partial_cmp(&s[b]).unwrap())
+            .unwrap();
         assert_eq!(best, 2);
         assert!((s[0] - s[4]).abs() < 1e-12); // symmetry
     }

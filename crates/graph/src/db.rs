@@ -106,7 +106,10 @@ impl GraphDb {
 
     /// Looks a graph up by name (linear scan; db-level metadata operation).
     pub fn find_by_name(&self, name: &str) -> Option<GraphId> {
-        self.names.iter().position(|n| n == name).map(|i| GraphId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| GraphId(i as u32))
     }
 
     /// Iterates `(id, name, graph)`.
@@ -157,10 +160,13 @@ impl GraphDb {
         let mut next = 0u32;
         let mut assigned = vec![false; self.node_labels.len()];
         for (label, group) in pairs {
-            let lid = self.node_labels.get(label).ok_or_else(|| GraphError::Parse {
-                line: 0,
-                msg: format!("unknown label {label:?} in group map"),
-            })?;
+            let lid = self
+                .node_labels
+                .get(label)
+                .ok_or_else(|| GraphError::Parse {
+                    line: 0,
+                    msg: format!("unknown label {label:?} in group map"),
+                })?;
             let gid = *group_ids.entry(group.as_str()).or_insert_with(|| {
                 let g = next;
                 next += 1;
@@ -292,13 +298,16 @@ mod tests {
         db.intern_node_label("p1");
         db.intern_node_label("p2");
         db.intern_node_label("lonely");
-        db.set_group_by_names(&[
-            ("p1".into(), "orth1".into()),
-            ("p2".into(), "orth1".into()),
-        ])
-        .unwrap();
-        assert_eq!(db.effective_of_raw(NodeLabel(0)), db.effective_of_raw(NodeLabel(1)));
-        assert_ne!(db.effective_of_raw(NodeLabel(0)), db.effective_of_raw(NodeLabel(2)));
+        db.set_group_by_names(&[("p1".into(), "orth1".into()), ("p2".into(), "orth1".into())])
+            .unwrap();
+        assert_eq!(
+            db.effective_of_raw(NodeLabel(0)),
+            db.effective_of_raw(NodeLabel(1))
+        );
+        assert_ne!(
+            db.effective_of_raw(NodeLabel(0)),
+            db.effective_of_raw(NodeLabel(2))
+        );
     }
 
     #[test]

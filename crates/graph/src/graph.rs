@@ -217,7 +217,10 @@ impl Graph {
 
     /// `(neighbor, edge-id)` pairs for `n`, ascending by neighbor id.
     #[inline]
-    pub fn neighbor_edges(&self, n: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
+    pub fn neighbor_edges(
+        &self,
+        n: NodeId,
+    ) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
         self.adj[n.idx()].iter().copied()
     }
 
@@ -550,10 +553,7 @@ mod tests {
     fn neighbors_within_radius() {
         let g = path(6);
         assert_eq!(g.neighbors_within(NodeId(0), 2), vec![NodeId(2)]);
-        assert_eq!(
-            g.neighbors_within(NodeId(0), 3),
-            vec![NodeId(2), NodeId(3)]
-        );
+        assert_eq!(g.neighbors_within(NodeId(0), 3), vec![NodeId(2), NodeId(3)]);
         assert_eq!(
             g.neighbors_within(NodeId(0), 5),
             vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)]

@@ -52,10 +52,7 @@ pub fn write_text<W: Write>(db: &GraphDb, w: W) -> Result<()> {
             writeln!(w, "graph {name}")?;
         }
         for n in g.nodes() {
-            let lbl = db
-                .node_vocab()
-                .name(g.label(n).0)
-                .unwrap_or("?");
+            let lbl = db.node_vocab().name(g.label(n).0).unwrap_or("?");
             writeln!(w, "v {lbl}")?;
         }
         for (u, v, l) in g.edges() {

@@ -53,11 +53,7 @@ impl LabelInterner {
         if self.index.is_empty() && !self.names.is_empty() {
             // Deserialized interners arrive without the side index; fall back
             // to a linear scan rather than requiring &mut self here.
-            return self
-                .names
-                .iter()
-                .position(|n| n == name)
-                .map(|i| i as u32);
+            return self.names.iter().position(|n| n == name).map(|i| i as u32);
         }
         self.index.get(name).copied()
     }

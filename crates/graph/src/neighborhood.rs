@@ -85,7 +85,6 @@ pub fn node_match_quality(q_degree: u32, q_nb_connection: u32, nb_miss: u32, nbc
 mod tests {
     use super::*;
     use crate::graph::Graph;
-    
 
     fn star_with_ring() -> (GraphDb, GraphId) {
         // center (label C) with 4 leaves (labels L0..L3); leaves form a path.

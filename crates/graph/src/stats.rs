@@ -163,7 +163,10 @@ mod tests {
         assert_eq!(s.max_degree, 2);
         assert_eq!(s.components, 2);
         assert_eq!(s.largest_component, 3);
-        assert!((s.clustering - 1.0).abs() < 1e-12, "triangle is fully clustered");
+        assert!(
+            (s.clustering - 1.0).abs() < 1e-12,
+            "triangle is fully clustered"
+        );
     }
 
     #[test]

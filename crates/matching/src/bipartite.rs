@@ -28,15 +28,90 @@ pub type WeightedEdge = (usize, usize, f64);
 /// let edges = [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.5)];
 /// assert_eq!(max_weight_matching(2, 2, &edges), vec![Some(1), Some(0)]);
 /// ```
-pub fn max_weight_matching(n_left: usize, n_right: usize, edges: &[WeightedEdge]) -> Vec<Option<usize>> {
+pub fn max_weight_matching(
+    n_left: usize,
+    n_right: usize,
+    edges: &[WeightedEdge],
+) -> Vec<Option<usize>> {
     if n_left == 0 || n_right == 0 || edges.is_empty() {
         return vec![None; n_left];
     }
-    // Pad to a square matrix; absent edges get weight 0 (with the
-    // guarantee below that zero-weight assignments are dropped).
+    // The candidate graph is typically a disjoint union of small blocks:
+    // an edge only ever joins a query node to candidates sharing its
+    // effective label (or ortholog group). The optimum of a disjoint union
+    // is the union of per-component optima, and the Hungarian core is
+    // O(n³) in the padded square size — so decompose first, turning one
+    // big cubic solve into many tiny ones.
+    let mut uf: Vec<usize> = (0..n_left + n_right).collect();
+    fn find(uf: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while uf[root] != root {
+            root = uf[root];
+        }
+        let mut cur = x;
+        while uf[cur] != root {
+            let next = uf[cur];
+            uf[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(l, r, _) in edges {
+        let (a, b) = (find(&mut uf, l), find(&mut uf, n_left + r));
+        uf[a] = b;
+    }
+    let mut comp_edges: std::collections::HashMap<usize, Vec<WeightedEdge>> =
+        std::collections::HashMap::new();
+    for &(l, r, w) in edges {
+        let root = find(&mut uf, l);
+        comp_edges.entry(root).or_default().push((l, r, w));
+    }
+    if comp_edges.len() > 1 {
+        let mut result = vec![None; n_left];
+        let mut roots: Vec<usize> = comp_edges.keys().copied().collect();
+        roots.sort_unstable();
+        for root in roots {
+            let ce = &comp_edges[&root];
+            // local dense ids, in ascending global order for determinism
+            let mut lefts: Vec<usize> = ce.iter().map(|e| e.0).collect();
+            let mut rights: Vec<usize> = ce.iter().map(|e| e.1).collect();
+            lefts.sort_unstable();
+            lefts.dedup();
+            rights.sort_unstable();
+            rights.dedup();
+            let local: Vec<WeightedEdge> = ce
+                .iter()
+                .map(|&(l, r, w)| {
+                    (
+                        lefts.binary_search(&l).unwrap(),
+                        rights.binary_search(&r).unwrap(),
+                        w,
+                    )
+                })
+                .collect();
+            for (li, m) in hungarian_dense(lefts.len(), rights.len(), &local)
+                .into_iter()
+                .enumerate()
+            {
+                if let Some(ri) = m {
+                    result[lefts[li]] = Some(rights[ri]);
+                }
+            }
+        }
+        return result;
+    }
+    hungarian_dense(n_left, n_right, edges)
+}
+
+/// The Kuhn–Munkres core on one (dense-ish) instance.
+fn hungarian_dense(n_left: usize, n_right: usize, edges: &[WeightedEdge]) -> Vec<Option<usize>> {
+    // Pad to a square matrix. Which cells carry *real* edges is tracked
+    // separately from the weights: a legitimate weight-0.0 edge must stay
+    // distinguishable from padding (the query pipeline produces exact
+    // zeros when the surplus tie-break clamps at 0), so presence — not a
+    // weight sentinel — decides what the extraction below may return.
     let n = n_left.max(n_right);
-    const ABSENT: f64 = 0.0;
-    let mut w = vec![vec![ABSENT; n + 1]; n + 1]; // 1-based
+    let mut w = vec![vec![0.0f64; n + 1]; n + 1]; // 1-based
     let mut present = vec![vec![false; n + 1]; n + 1];
     for &(l, r, weight) in edges {
         debug_assert!(l < n_left && r < n_right, "edge endpoint out of range");
@@ -49,13 +124,18 @@ pub fn max_weight_matching(n_left: usize, n_right: usize, edges: &[WeightedEdge]
     }
 
     // Hungarian algorithm (potentials + augmenting paths), maximization
-    // form: run minimization on negated weights.
+    // form: run minimization on negated weights. Absent cells cost a hair
+    // *above* zero so the assignment prefers routing through real edges —
+    // including real zero-weight ones — whenever total weight ties. The
+    // penalty is far below any meaningful weight difference (≤ n·1e-9
+    // total), so maximality of the matched weight is unaffected.
+    const ABSENT_COST: f64 = 1e-9;
     let inf = f64::INFINITY;
     let mut u = vec![0.0f64; n + 1];
     let mut v = vec![0.0f64; n + 1];
     let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
     let mut way = vec![0usize; n + 1];
-    let cost = |i: usize, j: usize| -w[i][j];
+    let cost = |i: usize, j: usize| if present[i][j] { -w[i][j] } else { ABSENT_COST };
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
@@ -106,7 +186,7 @@ pub fn max_weight_matching(n_left: usize, n_right: usize, edges: &[WeightedEdge]
     let mut result = vec![None; n_left];
     for j in 1..=n {
         let i = p[j];
-        if i >= 1 && i <= n_left && j <= n_right && present[i][j] && w[i][j] > 0.0 {
+        if i >= 1 && i <= n_left && j <= n_right && present[i][j] {
             result[i - 1] = Some(j - 1);
         }
     }
@@ -116,7 +196,11 @@ pub fn max_weight_matching(n_left: usize, n_right: usize, edges: &[WeightedEdge]
 /// Greedy matching: repeatedly take the heaviest remaining edge whose
 /// endpoints are both free. 1/2-approximate, O(E log E). Ties are broken
 /// by `(left, right)` ids for determinism.
-pub fn greedy_matching(n_left: usize, n_right: usize, edges: &[WeightedEdge]) -> Vec<Option<usize>> {
+pub fn greedy_matching(
+    n_left: usize,
+    n_right: usize,
+    edges: &[WeightedEdge],
+) -> Vec<Option<usize>> {
     let mut sorted: Vec<&WeightedEdge> = edges.iter().collect();
     sorted.sort_by(|a, b| {
         b.2.partial_cmp(&a.2)
@@ -126,10 +210,10 @@ pub fn greedy_matching(n_left: usize, n_right: usize, edges: &[WeightedEdge]) ->
     });
     let mut result = vec![None; n_left];
     let mut right_used = vec![false; n_right];
-    for &&(l, r, weight) in &sorted {
-        if weight <= 0.0 {
-            continue;
-        }
+    for &&(l, r, _) in &sorted {
+        // Every input edge is a real candidate pair — zero-weight edges
+        // included (the presence-vs-weight distinction matters here just
+        // as in `max_weight_matching`).
         if result[l].is_none() && !right_used[r] {
             result[l] = Some(r);
             right_used[r] = true;
@@ -226,14 +310,53 @@ mod tests {
         assert!((matching_weight(&edges, &m) - 3.0).abs() < 1e-9);
     }
 
+    #[test]
+    fn zero_weight_edges_are_matchable() {
+        // Regression: a weight-0.0 sentinel for absent cells made real
+        // zero-weight edges indistinguishable from padding, so they could
+        // never be matched. Presence tracking must let them through.
+        let m = max_weight_matching(1, 1, &[(0, 0, 0.0)]);
+        assert_eq!(m, vec![Some(0)]);
+        // padded square: the real zero-weight edge still wins over phantoms
+        let m = max_weight_matching(3, 3, &[(1, 2, 0.0)]);
+        assert_eq!(m, vec![None, Some(2), None]);
+        // mixed: the positive edge takes its pair, the zero edge still lands
+        let m = max_weight_matching(2, 2, &[(0, 0, 2.0), (1, 1, 0.0)]);
+        assert_eq!(m, vec![Some(0), Some(1)]);
+        // greedy must accept zero-weight edges too
+        let g = greedy_matching(2, 2, &[(0, 0, 2.0), (1, 1, 0.0)]);
+        assert_eq!(g, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn zero_weight_parallel_edges() {
+        // Parallel edges where one copy is exactly 0.0: the best copy is
+        // kept and the pair stays matchable either way.
+        let edges = [(0, 0, 0.0), (0, 0, 1.5), (0, 0, 0.0)];
+        let m = max_weight_matching(1, 1, &edges);
+        assert_eq!(m, vec![Some(0)]);
+        assert!((matching_weight(&edges, &m) - 1.5).abs() < 1e-9);
+        // all copies zero: still a real edge, still matched
+        let edges = [(0, 0, 0.0), (0, 0, 0.0)];
+        let m = max_weight_matching(1, 1, &edges);
+        assert_eq!(m, vec![Some(0)]);
+        assert_eq!(greedy_matching(1, 1, &edges), vec![Some(0)]);
+    }
+
+    #[test]
+    fn zero_weight_does_not_displace_positive_total() {
+        // The absent-cell penalty must stay far below real weight
+        // differences: taking two zero-weight edges (cardinality 2) must
+        // not beat one positive edge (cardinality 1) on total weight.
+        let edges = [(0, 0, 0.5), (0, 1, 0.0), (1, 0, 0.0)];
+        let m = max_weight_matching(2, 2, &edges);
+        let total = matching_weight(&edges, &m);
+        assert!((total - 0.5).abs() < 1e-6, "total {total}");
+    }
+
     /// Brute-force optimal matching weight for small instances.
     fn brute_force(n_left: usize, n_right: usize, edges: &[WeightedEdge]) -> f64 {
-        fn rec(
-            l: usize,
-            n_left: usize,
-            used: &mut Vec<bool>,
-            adj: &Vec<Vec<(usize, f64)>>,
-        ) -> f64 {
+        fn rec(l: usize, n_left: usize, used: &mut Vec<bool>, adj: &Vec<Vec<(usize, f64)>>) -> f64 {
             if l == n_left {
                 return 0.0;
             }

@@ -213,10 +213,47 @@ fn sorted_misses(q: &[u64], t: &[u64]) -> u32 {
 /// Evaluates whether mapping `nq → nt` is satisfiable under the `ρ` budget
 /// and, if so, its quality — the exact-graph analogue of the index probe
 /// conditions IV.1–IV.4 plus Eq. IV.5.
-pub fn candidate_quality(input: &GrowInput<'_>, config: &GrowConfig, nq: NodeId, nt: NodeId) -> Option<f64> {
+pub fn candidate_quality(
+    input: &GrowInput<'_>,
+    config: &GrowConfig,
+    nq: NodeId,
+    nt: NodeId,
+) -> Option<f64> {
     let mut qc = StatsCache::new(input.query.node_count());
     let mut tc = StatsCache::new(input.target.node_count());
     candidate_quality_cached(input, config, nq, nt, &mut qc, &mut tc)
+}
+
+/// Reusable [`candidate_quality`] evaluator for one `(query, target)` pair:
+/// per-node neighborhood statistics are memoized across calls, which matters
+/// when scoring many candidate pairs (e.g. residual re-anchoring scans every
+/// unmatched query node against its label-mates). The cached statistics
+/// assume the same graphs, label closures and `match_edge_labels` setting on
+/// every call.
+pub struct CandidateScorer {
+    qc: StatsCache,
+    tc: StatsCache,
+}
+
+impl CandidateScorer {
+    /// A scorer sized for `input`'s two graphs.
+    pub fn new(input: &GrowInput<'_>) -> Self {
+        CandidateScorer {
+            qc: StatsCache::new(input.query.node_count()),
+            tc: StatsCache::new(input.target.node_count()),
+        }
+    }
+
+    /// Satisfiability + Eq. IV.5 quality of mapping `nq → nt`.
+    pub fn quality(
+        &mut self,
+        input: &GrowInput<'_>,
+        config: &GrowConfig,
+        nq: NodeId,
+        nt: NodeId,
+    ) -> Option<f64> {
+        candidate_quality_cached(input, config, nq, nt, &mut self.qc, &mut self.tc)
+    }
 }
 
 fn candidate_quality_cached(
@@ -253,11 +290,19 @@ fn candidate_quality_cached(
                 .neighbor_edges(nq)
                 .map(|(nb, eid)| {
                     (((input.q_label)(nb) as u64) << 32)
-                        | input.query.edge_label(eid).map(|l| l.0 as u64 + 1).unwrap_or(0)
+                        | input
+                            .query
+                            .edge_label(eid)
+                            .map(|l| l.0 as u64 + 1)
+                            .unwrap_or(0)
                 })
                 .collect()
         } else {
-            input.query.neighbors(nq).map(|nb| (input.q_label)(nb) as u64).collect()
+            input
+                .query
+                .neighbors(nq)
+                .map(|nb| (input.q_label)(nb) as u64)
+                .collect()
         };
         v.sort_unstable();
         v.dedup();
@@ -366,7 +411,15 @@ pub fn grow_match(input: &GrowInput<'_>, config: &GrowConfig, anchors: &[Anchor]
             target: entry.target,
             quality: entry.quality,
         });
-        examine_nodes_nearby(input, config, entry.query, entry.target, &mut st, &mut qc, &mut tc);
+        examine_nodes_nearby(
+            input,
+            config,
+            entry.query,
+            entry.target,
+            &mut st,
+            &mut qc,
+            &mut tc,
+        );
     }
     result
 }
@@ -505,12 +558,20 @@ fn match_nodes(
             // conserved-edge fraction — so a queued anchor whose quality
             // ties with the true counterpart (superset imposters score a
             // perfect 2.0 too) yields once the growth frontier shows the
-            // true node conserves committed edges.
-            Some((_, old_w, old_b, _)) if w > old_w || (w == old_w && bonus > old_b) => {
-                st.replace(q, t, w, bonus);
-                available.retain(|&x| x != t);
+            // true node conserves committed edges. The incumbent's bonus
+            // must be re-evaluated against the *current* commits: its
+            // stored value dates from when it was queued (anchors store
+            // 0.0), and since queued targets are excluded from
+            // `available`, a stale bonus would let any challenger that
+            // conserves one committed edge evict an incumbent that by now
+            // conserves just as many.
+            Some((old_t, old_w, _, _)) => {
+                let old_b = conservation_bonus(input, st, q, old_t);
+                if w > old_w || (w == old_w && bonus > old_b) {
+                    st.replace(q, t, w, bonus);
+                    available.retain(|&x| x != t);
+                }
             }
-            Some(_) => {}
         }
     }
 }
@@ -546,7 +607,11 @@ mod tests {
             q_label: &ql,
             t_label: &tl,
         };
-        let cfg = GrowConfig { rho: 0.0, hops: 2, match_edge_labels: false };
+        let cfg = GrowConfig {
+            rho: 0.0,
+            hops: 2,
+            match_edge_labels: false,
+        };
         let anchors = [Anchor {
             query: NodeId(2),
             target: NodeId(2),
@@ -572,7 +637,11 @@ mod tests {
             q_label: &ql,
             t_label: &tl,
         };
-        let cfg = GrowConfig { rho: 0.5, hops: 2, match_edge_labels: false };
+        let cfg = GrowConfig {
+            rho: 0.5,
+            hops: 2,
+            match_edge_labels: false,
+        };
         let anchors = [Anchor {
             query: NodeId(0),
             target: NodeId(3),
@@ -611,7 +680,11 @@ mod tests {
             q_label: &ql,
             t_label: &tl,
         };
-        let cfg = GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false };
+        let cfg = GrowConfig {
+            rho: 1.0,
+            hops: 2,
+            match_edge_labels: false,
+        };
         let anchors = [Anchor {
             query: NodeId(0),
             target: a,
@@ -623,7 +696,11 @@ mod tests {
         assert_eq!(m.target_of(NodeId(2)), Some(c));
 
         // with hops = 1 the inserted node blocks the extension
-        let cfg1 = GrowConfig { rho: 1.0, hops: 1, match_edge_labels: false };
+        let cfg1 = GrowConfig {
+            rho: 1.0,
+            hops: 1,
+            match_edge_labels: false,
+        };
         let m1 = grow_match(&input, &cfg1, &anchors);
         assert_eq!(m1.matched_nodes(), 1);
     }
@@ -654,9 +731,25 @@ mod tests {
             target: a,
             quality: 1.0,
         }];
-        let two = grow_match(&input, &GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false }, &anchors);
+        let two = grow_match(
+            &input,
+            &GrowConfig {
+                rho: 1.0,
+                hops: 2,
+                match_edge_labels: false,
+            },
+            &anchors,
+        );
         assert_eq!(two.matched_nodes(), 1, "2-hop radius cannot bridge");
-        let three = grow_match(&input, &GrowConfig { rho: 1.0, hops: 3, match_edge_labels: false }, &anchors);
+        let three = grow_match(
+            &input,
+            &GrowConfig {
+                rho: 1.0,
+                hops: 3,
+                match_edge_labels: false,
+            },
+            &anchors,
+        );
         assert_eq!(three.matched_nodes(), 2);
         assert_eq!(three.target_of(NodeId(1)), Some(b));
     }
@@ -704,7 +797,11 @@ mod tests {
             q_label: &ql,
             t_label: &tl,
         };
-        let cfg = GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false };
+        let cfg = GrowConfig {
+            rho: 1.0,
+            hops: 2,
+            match_edge_labels: false,
+        };
         let anchors = [Anchor {
             query: NodeId(0),
             target: NodeId(0),
@@ -754,9 +851,17 @@ mod tests {
             q_label: &ql,
             t_label: &tl,
         };
-        let strict = GrowConfig { rho: 0.0, hops: 2, match_edge_labels: false };
+        let strict = GrowConfig {
+            rho: 0.0,
+            hops: 2,
+            match_edge_labels: false,
+        };
         assert!(candidate_quality(&input, &strict, qc, tc).is_none());
-        let loose = GrowConfig { rho: 0.25, hops: 2, match_edge_labels: false };
+        let loose = GrowConfig {
+            rho: 0.25,
+            hops: 2,
+            match_edge_labels: false,
+        };
         let w = candidate_quality(&input, &loose, qc, tc).unwrap();
         assert!(w > 0.0 && w < 2.0);
     }
@@ -789,7 +894,11 @@ mod tests {
             q_label: &ql,
             t_label: &tl,
         };
-        let cfg = GrowConfig { rho: 1.0, hops: 2, match_edge_labels: false };
+        let cfg = GrowConfig {
+            rho: 1.0,
+            hops: 2,
+            match_edge_labels: false,
+        };
         let anchors = [Anchor {
             query: NodeId(0),
             target: t0,

@@ -44,10 +44,30 @@ impl ColumnBitmap {
     }
 
     /// Rebuilds from raw words (column-major, `sbit × ceil(n/64)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words.len() != sbit * ceil(n/64)`. The check is
+    /// unconditional: a wrong-length word vector would otherwise slice out
+    /// of bounds (or silently mis-read columns) only later, deep inside
+    /// [`probe_bitsliced`], in release builds where a `debug_assert!`
+    /// compiles away.
     pub fn from_words(n: usize, sbit: u32, words: Vec<u64>) -> Self {
         let wpc = n.div_ceil(64);
-        debug_assert_eq!(words.len(), sbit as usize * wpc);
-        ColumnBitmap { n, sbit, wpc, words }
+        assert_eq!(
+            words.len(),
+            sbit as usize * wpc,
+            "ColumnBitmap::from_words: {} words for {} columns × {} words/column",
+            words.len(),
+            sbit,
+            wpc,
+        );
+        ColumnBitmap {
+            n,
+            sbit,
+            wpc,
+            words,
+        }
     }
 
     /// Number of rows (database nodes).
@@ -353,7 +373,10 @@ mod tests {
             let nbmiss = rng.gen_range(0..10);
             let a = probe_bitsliced(&bm, &q, nbmiss);
             let b = probe_naive(&bm, &q, nbmiss);
-            assert_eq!(a.rows, b.rows, "trial {trial} n={n} sbit={sbit} nbmiss={nbmiss}");
+            assert_eq!(
+                a.rows, b.rows,
+                "trial {trial} n={n} sbit={sbit} nbmiss={nbmiss}"
+            );
             assert_eq!(a.misses, b.misses, "trial {trial}");
             let c = probe_rowscan(&rows, &q, nbmiss);
             assert_eq!(a.rows, c.rows);
@@ -383,5 +406,25 @@ mod tests {
         let bm = bitmap_from_rows(&rows, 96);
         assert_eq!(bm.row(0), vec![0xDEADBEEF, 0x1234]);
         assert_eq!(bm.row(1), vec![0x0, 0xFFFF]);
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        // 70 rows → 2 words per column; 3 columns.
+        let mut bm = ColumnBitmap::new(70, 3);
+        bm.set(0, 0);
+        bm.set(69, 2);
+        let rebuilt = ColumnBitmap::from_words(70, 3, bm.words().to_vec());
+        assert_eq!(rebuilt, bm);
+        assert!(rebuilt.get(0, 0) && rebuilt.get(69, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ColumnBitmap::from_words")]
+    fn from_words_rejects_wrong_length() {
+        // Regression: this was a debug_assert!, so release builds accepted
+        // a short word vector and failed later (out-of-bounds column
+        // slicing) or not at all. The length check must be unconditional.
+        ColumnBitmap::from_words(70, 3, vec![0u64; 5]); // needs 6
     }
 }

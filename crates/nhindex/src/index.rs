@@ -6,7 +6,7 @@
 //! * `nh.meta.json` — root pointer, scheme, counters.
 //!
 //! Build is bulk: extract one indexing unit per database node (optionally
-//! in parallel across graphs with crossbeam), sort by composite key, write
+//! in parallel across graphs via `tale-par`), sort by composite key, write
 //! one posting blob per distinct key, then bulk-load the B+-tree. This
 //! mirrors how the paper materializes the index as a relation + B+-tree in
 //! PostgreSQL (§IV-C) and gives the near-linear build times of Table III /
@@ -290,33 +290,15 @@ impl NhIndex {
     }
 
     fn extract_parallel(db: &GraphDb, scheme: NeighborArrayScheme, edge_labels: bool) -> Vec<Unit> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(db.len());
-        let ids: Vec<u32> = (0..db.len() as u32).collect();
-        let chunks: Vec<&[u32]> = ids.chunks(ids.len().div_ceil(threads)).collect();
-        let mut parts: Vec<Vec<Unit>> = Vec::new();
-        crossbeam::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    s.spawn(move |_| {
-                        let mut local = Vec::new();
-                        for &gid in *chunk {
-                            let g = db.graph(tale_graph::GraphId(gid));
-                            Self::extract_graph(db, gid, g, scheme, edge_labels, &mut local);
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("extraction thread panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        parts.into_iter().flatten().collect()
+        let threads = tale_par::effective_threads(0).min(db.len());
+        let per_graph = tale_par::parallel_map(threads, db.len(), |gid| {
+            let gid = gid as u32;
+            let g = db.graph(tale_graph::GraphId(gid));
+            let mut local = Vec::new();
+            Self::extract_graph(db, gid, g, scheme, edge_labels, &mut local);
+            local
+        });
+        per_graph.into_iter().flatten().collect()
     }
 
     fn extract_graph(
@@ -396,7 +378,11 @@ impl NhIndex {
         let blob_disk = Arc::new(DiskManager::open(&dir.join(BLOB_FILE))?);
         let blob_pool = Arc::new(BufferPool::new(blob_disk, buffer_frames));
         Ok(NhIndex {
-            btree: BTree::open(Arc::clone(&bt_pool), tale_storage::PageId(meta.root_page), meta.height),
+            btree: BTree::open(
+                Arc::clone(&bt_pool),
+                tale_storage::PageId(meta.root_page),
+                meta.height,
+            ),
             bt_pool,
             blobs: BlobStore::open(blob_pool, meta.blob_cursor),
             scheme: NeighborArrayScheme {
@@ -447,11 +433,20 @@ impl NhIndex {
     /// [`GraphDb::effective_of_raw`] against the database vocabulary.
     /// When the index was built with edge labels, the query's incident
     /// edge labels enter the signature the same way.
-    pub fn signature(&self, g: &Graph, node: NodeId, label_of: &dyn Fn(NodeId) -> u32) -> QuerySignature {
+    pub fn signature(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        label_of: &dyn Fn(NodeId) -> u32,
+    ) -> QuerySignature {
         let nb_array = if self.edge_labels {
-            self.scheme.array_of_pairs(g.neighbor_edges(node).map(|(nb, eid)| {
-                (label_of(nb), g.edge_label(eid).map(|l| l.0 + 1).unwrap_or(0))
-            }))
+            self.scheme
+                .array_of_pairs(g.neighbor_edges(node).map(|(nb, eid)| {
+                    (
+                        label_of(nb),
+                        g.edge_label(eid).map(|l| l.0 + 1).unwrap_or(0),
+                    )
+                }))
         } else {
             self.scheme.array_of(g.neighbors(node).map(label_of))
         };
@@ -493,15 +488,14 @@ impl NhIndex {
         let hi = CompositeKey::new(sig.label, u32::MAX, u32::MAX);
         let mut stats = ProbeStats::default();
         let mut hits: Vec<(CompositeKey, BlobRef)> = Vec::new();
-        self.btree
-            .range_with(lo, hi, |k, v| {
-                stats.keys_scanned += 1;
-                if k.nb_connection >= nbc_min {
-                    stats.postings_fetched += 1;
-                    hits.push((k, BlobRef::unpack(v)));
-                }
-                true
-            })?;
+        self.btree.range_with(lo, hi, |k, v| {
+            stats.keys_scanned += 1;
+            if k.nb_connection >= nbc_min {
+                stats.postings_fetched += 1;
+                hits.push((k, BlobRef::unpack(v)));
+            }
+            true
+        })?;
 
         let mut out = Vec::new();
         // condition IV.3 threshold lives in bit space: with k Bloom hashes
@@ -543,7 +537,6 @@ impl NhIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// db with two graphs:
     /// g0: triangle A-B-C plus pendant A-D(A)
@@ -608,7 +601,9 @@ mod tests {
         // Query = the g1 star center: label A, degree 3, nbc 0,
         // neighbors {B, B, C}.
         let g1 = db.graph(tale_graph::GraphId(1));
-        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
         let hits = idx.probe(&sig, 0.0).unwrap();
         // g0's n0 has label A, degree 3, neighbors {B, C, A}: misses B? No:
         // query needs {B, C} present; n0's neighbors are {B, C, A} → 0
@@ -630,7 +625,9 @@ mod tests {
         // Query node of degree 3 must not match db nodes of degree < 3
         // when ρ = 0.
         let g1 = db.graph(tale_graph::GraphId(1));
-        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
         let hits = idx.probe(&sig, 0.0).unwrap();
         assert!(hits.iter().all(|h| h.db_degree >= 3));
     }
@@ -639,7 +636,9 @@ mod tests {
     fn rho_relaxes_matches() {
         let (_d, db, idx) = build_sample(&cfg());
         let g1 = db.graph(tale_graph::GraphId(1));
-        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
         let strict = idx.probe(&sig, 0.0).unwrap();
         let loose = idx.probe(&sig, 0.5).unwrap();
         assert!(loose.len() >= strict.len());
@@ -661,7 +660,9 @@ mod tests {
     fn probe_stats_populated() {
         let (_d, db, idx) = build_sample(&cfg());
         let g1 = db.graph(tale_graph::GraphId(1));
-        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
         let (hits, stats) = idx.probe_with_stats(&sig, 0.25).unwrap();
         assert_eq!(stats.rows_returned as usize, hits.len());
         assert!(stats.keys_scanned >= stats.postings_fetched);
@@ -672,7 +673,9 @@ mod tests {
     fn reopen_probes_identically() {
         let (dir, db, idx) = build_sample(&cfg());
         let g1 = db.graph(tale_graph::GraphId(1));
-        let sig = idx.signature(g1, NodeId(0), &|n| db.effective_label(tale_graph::GraphId(1), n));
+        let sig = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
         let before = idx.probe(&sig, 0.25).unwrap();
         drop(idx);
         let idx2 = NhIndex::open(dir.path(), 64).unwrap();
@@ -768,7 +771,11 @@ mod tests {
         let sig = idx.signature(g2ref, NodeId(0), &|n| db.effective_label(gid, n));
         let hits = idx.probe(&sig, 0.5).unwrap();
         assert!(
-            hits.iter().any(|h| h.node == NodeRef { graph: gid.0, node: 0 }),
+            hits.iter().any(|h| h.node
+                == NodeRef {
+                    graph: gid.0,
+                    node: 0
+                }),
             "inserted node not probeable: {hits:?}"
         );
         // pre-existing nodes still probeable
@@ -829,7 +836,11 @@ mod tests {
                 let sig = idx.signature(g, n, &|x| db.effective_label(gid, x));
                 let hits = idx.probe(&sig, 0.0).unwrap();
                 assert!(
-                    hits.iter().any(|h| h.node == NodeRef { graph: gid.0, node: n.0 }),
+                    hits.iter().any(|h| h.node
+                        == NodeRef {
+                            graph: gid.0,
+                            node: n.0
+                        }),
                     "self-match lost under multi-hash bloom: {gid:?} {n:?}"
                 );
             }

@@ -123,7 +123,11 @@ impl Posting {
         }
         let mut out = Vec::with_capacity(Self::encoded_len(n, sbit));
         out.extend_from_slice(&(n as u32).to_le_bytes());
-        let flagged = if row_major { sbit | ROW_MAJOR_FLAG } else { sbit };
+        let flagged = if row_major {
+            sbit | ROW_MAJOR_FLAG
+        } else {
+            sbit
+        };
         out.extend_from_slice(&flagged.to_le_bytes());
         for r in &self.refs {
             out.extend_from_slice(&r.graph.to_le_bytes());
@@ -242,11 +246,7 @@ mod tests {
             NodeRef { graph: 1, node: 7 },
             NodeRef { graph: 2, node: 0 },
         ];
-        let rows = vec![
-            vec![0b0101u64],
-            vec![0b1100u64],
-            vec![0b0000u64],
-        ];
+        let rows = vec![vec![0b0101u64], vec![0b1100u64], vec![0b0000u64]];
         Posting::from_rows(refs, 32, &rows)
     }
 
@@ -298,7 +298,10 @@ mod tests {
         // 512 rows, 32 columns, very sparse → WAH wins and roundtrips
         let n = 512;
         let refs: Vec<NodeRef> = (0..n)
-            .map(|i| NodeRef { graph: 0, node: i as u32 })
+            .map(|i| NodeRef {
+                graph: 0,
+                node: i as u32,
+            })
             .collect();
         let rows: Vec<Vec<u64>> = (0..n)
             .map(|i| vec![if i % 97 == 0 { 0b1u64 } else { 0 }])
@@ -321,9 +324,14 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let n = 256;
         let refs: Vec<NodeRef> = (0..n)
-            .map(|i| NodeRef { graph: 1, node: i as u32 })
+            .map(|i| NodeRef {
+                graph: 1,
+                node: i as u32,
+            })
             .collect();
-        let rows: Vec<Vec<u64>> = (0..n).map(|_| vec![rng.gen::<u64>() & 0xFFFF_FFFF]).collect();
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|_| vec![rng.gen::<u64>() & 0xFFFF_FFFF])
+            .collect();
         let p = Posting::from_rows(refs, 32, &rows);
         let back = Posting::decode(&p.encode()).unwrap();
         assert_eq!(back, p);

@@ -123,7 +123,11 @@ impl NeighborArrayScheme {
     /// Builds the neighbor array for a set of (effective) neighbor labels.
     pub fn array_of<I: IntoIterator<Item = u32>>(&self, labels: I) -> Vec<u64> {
         let mut words = vec![0u64; self.words()];
-        let k = if self.deterministic { 1 } else { self.hashes.max(1) };
+        let k = if self.deterministic {
+            1
+        } else {
+            self.hashes.max(1)
+        };
         for l in labels {
             for i in 0..k {
                 let b = self.bit_of_hash(l, i);

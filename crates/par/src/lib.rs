@@ -1,0 +1,174 @@
+//! Scoped data-parallel helpers for the TALE workspace.
+//!
+//! The query and index-build paths fan independent per-graph work across
+//! threads. This crate provides the one primitive they share:
+//! [`parallel_map`], an index-ordered parallel map over
+//! [`std::thread::scope`] with dynamic (chunked work-stealing) load
+//! balancing. Output order equals input order no matter how the work was
+//! scheduled, which is what lets the parallel query path return results
+//! bit-identical to the serial one.
+//!
+//! No external thread-pool crate is used: the build environment is
+//! offline, and scoped std threads are sufficient for fan-out/fan-in
+//! parallelism over borrowed data.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Threads to use when the caller asked for `requested` (`0` = auto).
+///
+/// Auto resolves to [`std::thread::available_parallelism`]; explicit
+/// requests are honored as-is (callers cap by work-item count).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `0..len` on up to `threads` OS threads, returning results
+/// in index order.
+///
+/// Work is distributed dynamically in small chunks via a shared atomic
+/// cursor, so uneven per-item cost (one huge database graph among many
+/// small ones) doesn't serialize on the unluckiest thread. Falls back to
+/// a plain serial loop when `threads <= 1` or there is at most one item.
+///
+/// # Panics
+/// Propagates a panic from any invocation of `f` (after all workers have
+/// been joined).
+pub fn parallel_map<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(len).max(1);
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    // Chunked claiming: big enough to amortize the atomic, small enough
+    // to balance skewed workloads.
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        for i in start..end {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => parts.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Scatter back into index order — the deterministic merge.
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} computed twice");
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// [`parallel_map`] over a slice, in slice order.
+pub fn parallel_map_slice<'a, T, R, F>(threads: usize, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    parallel_map(threads, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_index_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = parallel_map(threads, 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny() {
+        assert!(parallel_map(4, 0, |i| i).is_empty());
+        assert_eq!(parallel_map(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map(7, 1000, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn slice_variant_borrows_items() {
+        let words = ["alpha", "beta", "gamma"];
+        let out = parallel_map_slice(2, &words, |w| w.len());
+        assert_eq!(out, vec![5, 4, 5]);
+    }
+
+    #[test]
+    fn skewed_costs_still_ordered() {
+        // One expensive item among many cheap ones must not disturb order.
+        let out = parallel_map(4, 64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = parallel_map(4, 16, |i| {
+            if i == 9 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -189,7 +189,9 @@ mod tests {
         let (_d, s) = store(2);
         let refs: Vec<(BlobRef, Vec<u8>)> = (0..200usize)
             .map(|i| {
-                let data: Vec<u8> = (0..(i * 37) % 500 + 1).map(|j| ((i + j) % 251) as u8).collect();
+                let data: Vec<u8> = (0..(i * 37) % 500 + 1)
+                    .map(|j| ((i + j) % 251) as u8)
+                    .collect();
                 (s.put(&data).unwrap(), data)
             })
             .collect();
@@ -202,7 +204,10 @@ mod tests {
     fn bad_ref_rejected() {
         let (_d, s) = store(4);
         s.put(b"x").unwrap();
-        let bogus = BlobRef { offset: 100, len: 50 };
+        let bogus = BlobRef {
+            offset: 100,
+            len: 50,
+        };
         assert!(matches!(s.get(bogus), Err(StorageError::BadBlobRef)));
     }
 

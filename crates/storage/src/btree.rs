@@ -122,13 +122,16 @@ impl Node {
                 if count > INT_CAP {
                     return Err(StorageError::TreeInvariant("internal count over capacity"));
                 }
-                let leftmost = PageId(u64::from_le_bytes(payload[HDR..HDR + 8].try_into().unwrap()));
+                let leftmost = PageId(u64::from_le_bytes(
+                    payload[HDR..HDR + 8].try_into().unwrap(),
+                ));
                 let mut entries = Vec::with_capacity(count);
                 for i in 0..count {
                     let off = INT_HDR + i * INT_ENTRY;
                     let key = CompositeKey::read(&payload[off..off + 12]);
-                    let child =
-                        PageId(u64::from_le_bytes(payload[off + 12..off + 20].try_into().unwrap()));
+                    let child = PageId(u64::from_le_bytes(
+                        payload[off + 12..off + 20].try_into().unwrap(),
+                    ));
                     entries.push((key, child));
                 }
                 Ok(Node::Internal { leftmost, entries })
@@ -252,7 +255,11 @@ impl BTree {
         }
     }
 
-    fn child_for(entries: &[(CompositeKey, PageId)], leftmost: PageId, key: CompositeKey) -> PageId {
+    fn child_for(
+        entries: &[(CompositeKey, PageId)],
+        leftmost: PageId,
+        key: CompositeKey,
+    ) -> PageId {
         // descend into the last child whose separator <= key
         let idx = entries.partition_point(|&(k, _)| k <= key);
         if idx == 0 {
@@ -434,11 +441,11 @@ impl BTree {
     /// Bulk-loads a tree from `pairs`, which must be sorted by key with no
     /// duplicates. Leaves are packed full (read-optimized); internal levels
     /// are built bottom-up. Much faster than repeated [`BTree::insert`].
-    pub fn bulk_load(
-        pool: Arc<BufferPool>,
-        pairs: &[(CompositeKey, u64)],
-    ) -> Result<Self> {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique input");
+    pub fn bulk_load(pool: Arc<BufferPool>, pairs: &[(CompositeKey, u64)]) -> Result<Self> {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "sorted unique input"
+        );
         if pairs.is_empty() {
             return Self::create(pool);
         }
@@ -511,7 +518,10 @@ mod tests {
         let t = BTree::create(pool).unwrap();
         assert!(t.is_empty().unwrap());
         assert_eq!(t.get(key(5)).unwrap(), None);
-        assert!(t.range(CompositeKey::MIN, CompositeKey::MAX).unwrap().is_empty());
+        assert!(t
+            .range(CompositeKey::MIN, CompositeKey::MAX)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -564,8 +574,11 @@ mod tests {
         let mut t = BTree::create(pool).unwrap();
         for label in 0..5u32 {
             for deg in 0..20u32 {
-                t.insert(CompositeKey::new(label, deg, deg / 2), (label * 100 + deg) as u64)
-                    .unwrap();
+                t.insert(
+                    CompositeKey::new(label, deg, deg / 2),
+                    (label * 100 + deg) as u64,
+                )
+                .unwrap();
             }
         }
         // all entries for label 2 with degree >= 15
@@ -620,7 +633,8 @@ mod tests {
     #[test]
     fn insert_after_bulk_load() {
         let (_d, pool) = make_pool(64);
-        let pairs: Vec<(CompositeKey, u64)> = (0..1000u32).map(|i| (key(i * 2), i as u64)).collect();
+        let pairs: Vec<(CompositeKey, u64)> =
+            (0..1000u32).map(|i| (key(i * 2), i as u64)).collect();
         let mut t = BTree::bulk_load(pool, &pairs).unwrap();
         for i in 0..1000u32 {
             t.insert(key(i * 2 + 1), 7777 + i as u64).unwrap();

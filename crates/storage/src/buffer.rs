@@ -9,22 +9,97 @@
 //! count so benchmarks can sweep it.
 //!
 //! Locking protocol: the pool's internal mutex is always acquired before a
-//! frame's RwLock; guard drops touch only atomics. Pinned frames are never
-//! evicted; fetching when every frame is pinned yields
-//! [`StorageError::PoolExhausted`].
+//! frame's RwLock; guard drops touch atomics plus the (separate) pin-ledger
+//! mutex. Pinned frames are never evicted. When every frame is pinned the
+//! outcome depends on *who* holds the pins, tracked in a per-thread pin
+//! ledger:
+//!
+//! * all pins belong to the calling thread → [`StorageError::PoolExhausted`]
+//!   immediately (waiting would deadlock on our own guards);
+//! * some pins belong to other threads → the caller parks on a condition
+//!   variable until a guard drops, so concurrent readers sharing a small
+//!   pool see latency, not error storms. A generous deadline keeps a
+//!   genuinely wedged pool from hanging forever.
+//!
+//! Eviction is contention-aware: among unpinned frames, clean frames are
+//! preferred (LRU within each class) so read-heavy probe traffic does not
+//! pay write-back latency while dirty build pages age out.
 
 use crate::disk::DiskManager;
 use crate::page::{Page, PageId};
 use crate::{Result, StorageError};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
-use parking_lot::{Mutex, RawRwLock, RwLock};
+use parking_lot::{Condvar, Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// How long a fetch will wait for *other* threads to unpin before giving
+/// up. Purely a wedge-breaker; normal guard lifetimes are microseconds.
+const PIN_WAIT_DEADLINE: Duration = Duration::from_secs(2);
+/// One parking interval; bounds the cost of a missed notification.
+const PIN_WAIT_SLICE: Duration = Duration::from_millis(10);
 
 struct FrameCell {
     page: Arc<RwLock<Page>>,
     pins: AtomicU32,
+}
+
+/// Per-thread outstanding-pin counts plus the "a pin was released"
+/// condition variable. Lives in an `Arc` so page guards can update it on
+/// drop without holding the pool borrow.
+struct PinLedger {
+    counts: Mutex<HashMap<ThreadId, u32>>,
+    freed: Condvar,
+}
+
+impl PinLedger {
+    fn new() -> Self {
+        PinLedger {
+            counts: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Records one more pin held by the current thread.
+    fn acquire(&self) -> ThreadId {
+        let me = std::thread::current().id();
+        *self.counts.lock().entry(me).or_insert(0) += 1;
+        me
+    }
+
+    /// Releases one pin held by `owner` and wakes any waiters.
+    fn release(&self, owner: ThreadId) {
+        let mut counts = self.counts.lock();
+        if let Some(n) = counts.get_mut(&owner) {
+            *n -= 1;
+            if *n == 0 {
+                counts.remove(&owner);
+            }
+        }
+        drop(counts);
+        self.freed.notify_all();
+    }
+
+    /// `(pins held by the current thread, pins held in total)`.
+    fn split_counts(&self) -> (u32, u32) {
+        let counts = self.counts.lock();
+        let me = std::thread::current().id();
+        let mine = counts.get(&me).copied().unwrap_or(0);
+        let total = counts.values().sum();
+        (mine, total)
+    }
+
+    /// Parks until some guard drops (or the slice elapses).
+    fn wait_for_release(&self) {
+        let mut counts = self.counts.lock();
+        if counts.values().sum::<u32>() == 0 {
+            return; // released between the caller's check and our lock
+        }
+        let _ = self.freed.wait_for(&mut counts, PIN_WAIT_SLICE);
+    }
 }
 
 struct FrameMeta {
@@ -45,6 +120,8 @@ struct PoolInner {
 pub struct PageGuard {
     cell: Arc<FrameCell>,
     guard: Option<ArcRwLockReadGuard<RawRwLock, Page>>,
+    ledger: Arc<PinLedger>,
+    owner: ThreadId,
 }
 
 impl PageGuard {
@@ -59,6 +136,7 @@ impl Drop for PageGuard {
     fn drop(&mut self) {
         self.guard.take();
         self.cell.pins.fetch_sub(1, Ordering::Release);
+        self.ledger.release(self.owner);
     }
 }
 
@@ -67,6 +145,8 @@ impl Drop for PageGuard {
 pub struct PageGuardMut {
     cell: Arc<FrameCell>,
     guard: Option<ArcRwLockWriteGuard<RawRwLock, Page>>,
+    ledger: Arc<PinLedger>,
+    owner: ThreadId,
 }
 
 impl PageGuardMut {
@@ -87,6 +167,7 @@ impl Drop for PageGuardMut {
     fn drop(&mut self) {
         self.guard.take();
         self.cell.pins.fetch_sub(1, Ordering::Release);
+        self.ledger.release(self.owner);
     }
 }
 
@@ -95,6 +176,7 @@ pub struct BufferPool {
     disk: Arc<DiskManager>,
     frames: Vec<Arc<FrameCell>>,
     inner: Mutex<PoolInner>,
+    ledger: Arc<PinLedger>,
 }
 
 impl BufferPool {
@@ -126,6 +208,7 @@ impl BufferPool {
                 hits: 0,
                 misses: 0,
             }),
+            ledger: Arc::new(PinLedger::new()),
         }
     }
 
@@ -147,33 +230,44 @@ impl BufferPool {
 
     /// Fetches a page for reading.
     pub fn fetch(&self, id: PageId) -> Result<PageGuard> {
-        let cell = self.pin_frame(id, false)?;
+        let (cell, owner) = self.pin_frame(id, false)?;
         let guard = RwLock::read_arc(&cell.page);
         Ok(PageGuard {
             cell,
             guard: Some(guard),
+            ledger: Arc::clone(&self.ledger),
+            owner,
         })
     }
 
     /// Fetches a page for writing; the frame is marked dirty.
     pub fn fetch_mut(&self, id: PageId) -> Result<PageGuardMut> {
-        let cell = self.pin_frame(id, true)?;
+        let (cell, owner) = self.pin_frame(id, true)?;
         let guard = RwLock::write_arc(&cell.page);
         Ok(PageGuardMut {
             cell,
             guard: Some(guard),
+            ledger: Arc::clone(&self.ledger),
+            owner,
         })
     }
 
     /// Allocates a fresh zeroed page and returns it pinned for writing.
     pub fn new_page(&self) -> Result<(PageId, PageGuardMut)> {
         let id = self.disk.allocate();
+        let deadline = Instant::now() + PIN_WAIT_DEADLINE;
         let mut inner = self.inner.lock();
-        let frame = self.find_victim(&mut inner)?;
+        let frame = loop {
+            match self.find_victim(&mut inner) {
+                Ok(f) => break f,
+                Err(e) => inner = self.wait_for_unpin(inner, deadline, e)?,
+            }
+        };
         self.install(&mut inner, frame, id, true, /* load */ false)?;
-        // Pin while still holding the pool lock so no concurrent fetch can
-        // evict the freshly installed frame.
+        // Pin (and enter the ledger) while still holding the pool lock so
+        // no concurrent fetch can evict the freshly installed frame.
         self.frames[frame].pins.fetch_add(1, Ordering::Acquire);
+        let owner = self.ledger.acquire();
         drop(inner);
         let cell = Arc::clone(&self.frames[frame]);
         let mut guard = RwLock::write_arc(&cell.page);
@@ -183,6 +277,8 @@ impl BufferPool {
             PageGuardMut {
                 cell,
                 guard: Some(guard),
+                ledger: Arc::clone(&self.ledger),
+                owner,
             },
         ))
     }
@@ -201,32 +297,67 @@ impl BufferPool {
         Ok(())
     }
 
-    fn pin_frame(&self, id: PageId, dirty: bool) -> Result<Arc<FrameCell>> {
+    fn pin_frame(&self, id: PageId, dirty: bool) -> Result<(Arc<FrameCell>, ThreadId)> {
+        let deadline = Instant::now() + PIN_WAIT_DEADLINE;
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(&f) = inner.map.get(&id) {
-            inner.hits += 1;
-            inner.meta[f].last_used = tick;
-            inner.meta[f].dirty |= dirty;
-            self.frames[f].pins.fetch_add(1, Ordering::Acquire);
-            return Ok(Arc::clone(&self.frames[f]));
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            // Re-checked on every retry: while we waited, another thread
+            // may have loaded this very page.
+            if let Some(&f) = inner.map.get(&id) {
+                inner.hits += 1;
+                inner.meta[f].last_used = tick;
+                inner.meta[f].dirty |= dirty;
+                self.frames[f].pins.fetch_add(1, Ordering::Acquire);
+                let owner = self.ledger.acquire();
+                return Ok((Arc::clone(&self.frames[f]), owner));
+            }
+            let frame = match self.find_victim(&mut inner) {
+                Ok(f) => f,
+                Err(e) => {
+                    inner = self.wait_for_unpin(inner, deadline, e)?;
+                    continue;
+                }
+            };
+            inner.misses += 1;
+            self.install(&mut inner, frame, id, dirty, /* load */ true)?;
+            self.frames[frame].pins.fetch_add(1, Ordering::Acquire);
+            let owner = self.ledger.acquire();
+            return Ok((Arc::clone(&self.frames[frame]), owner));
         }
-        inner.misses += 1;
-        let frame = self.find_victim(&mut inner)?;
-        self.install(&mut inner, frame, id, dirty, /* load */ true)?;
-        self.frames[frame].pins.fetch_add(1, Ordering::Acquire);
-        Ok(Arc::clone(&self.frames[frame]))
     }
 
-    /// Picks the least-recently-used unpinned frame, writing it back if
-    /// dirty. Caller holds the inner lock.
+    /// Handles an all-frames-pinned victim search. If every outstanding pin
+    /// belongs to the calling thread (or the deadline has passed), the
+    /// error propagates — waiting on our own guards would deadlock.
+    /// Otherwise the pool lock is released and the caller parks until some
+    /// guard drops, then retries with the lock re-acquired.
+    fn wait_for_unpin<'a>(
+        &'a self,
+        inner: parking_lot::MutexGuard<'a, PoolInner>,
+        deadline: Instant,
+        err: StorageError,
+    ) -> Result<parking_lot::MutexGuard<'a, PoolInner>> {
+        let (mine, total) = self.ledger.split_counts();
+        if (mine > 0 && mine == total) || Instant::now() >= deadline {
+            return Err(err);
+        }
+        drop(inner);
+        self.ledger.wait_for_release();
+        Ok(self.inner.lock())
+    }
+
+    /// Picks an eviction victim among unpinned frames: clean frames first
+    /// (no write-back on the fetch path), LRU within each class. Caller
+    /// holds the inner lock.
     fn find_victim(&self, inner: &mut PoolInner) -> Result<usize> {
         let mut victim = None;
-        let mut best = u64::MAX;
+        let mut best = (true, u64::MAX); // (dirty?, last_used) — clean sorts first
         for (i, m) in inner.meta.iter().enumerate() {
-            if self.frames[i].pins.load(Ordering::Acquire) == 0 && m.last_used < best {
-                best = m.last_used;
+            let key = (m.dirty, m.last_used);
+            if self.frames[i].pins.load(Ordering::Acquire) == 0 && key < best {
+                best = key;
                 victim = Some(i);
             }
         }
@@ -371,15 +502,70 @@ mod tests {
     #[test]
     fn many_pages_tiny_pool_stress() {
         let (_d, pool) = pool(3);
-        let ids: Vec<PageId> = (0..100).map(|i| write_marker(&pool, (i % 251) as u8)).collect();
+        let ids: Vec<PageId> = (0..100)
+            .map(|i| write_marker(&pool, (i % 251) as u8))
+            .collect();
         for round in 0..3 {
             for (i, id) in ids.iter().enumerate() {
                 let g = pool.fetch(*id).unwrap();
-                assert_eq!(g.page().payload()[0], (i % 251) as u8, "round {round} page {i}");
+                assert_eq!(
+                    g.page().payload()[0],
+                    (i % 251) as u8,
+                    "round {round} page {i}"
+                );
             }
         }
         let (hits, misses) = pool.stats();
         assert!(misses > 0 && hits + misses >= 300);
+    }
+
+    #[test]
+    fn fetch_storm_tiny_pool_no_exhaustion() {
+        // 8 threads hammer a 2-frame pool, each holding one guard at a
+        // time. All-frames-pinned moments are common, but the pins always
+        // belong to other threads, so every fetch must wait and succeed —
+        // never PoolExhausted.
+        let d = tempfile::tempdir().unwrap();
+        let dm = Arc::new(DiskManager::create(&d.path().join("p.db")).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 2));
+        let ids: Vec<PageId> = (0..16).map(|i| write_marker(&pool, i as u8)).collect();
+        pool.flush_all().unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200 {
+                    let i = (t * 5 + round * 11) % ids.len();
+                    let g = pool
+                        .fetch(ids[i])
+                        .expect("waiters must outlast other threads' pins");
+                    assert_eq!(g.page().payload()[0], i as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn waiter_succeeds_when_other_thread_unpins() {
+        let d = tempfile::tempdir().unwrap();
+        let dm = Arc::new(DiskManager::create(&d.path().join("p.db")).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 1));
+        let a = write_marker(&pool, 1);
+        let b = write_marker(&pool, 2);
+        pool.flush_all().unwrap();
+        let ga = pool.fetch(a).unwrap(); // pin the only frame
+        let child = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.fetch(b).map(|g| g.page().payload()[0]))
+        };
+        // Let the child reach the all-pinned path and park.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(ga); // unpin: the parked fetch must wake and complete
+        assert_eq!(child.join().unwrap().unwrap(), 2);
     }
 
     #[test]

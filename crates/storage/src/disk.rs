@@ -173,10 +173,7 @@ mod tests {
         bytes[crate::page::HEADER_LEN + 10] ^= 0xFF;
         std::fs::write(&p, &bytes).unwrap();
         let dm = DiskManager::open(&p).unwrap();
-        assert!(matches!(
-            dm.read_page(id),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(dm.read_page(id), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! tale-cli stats <index-dir>
 //! tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
 //!          [--top-k N] [--importance degree|closeness|betweenness|eigenvector|random]
-//!          [--hops N] [--similarity quality|nodes-edges|ctree] [--format text|json]
+//!          [--hops N] [--similarity quality|nodes-edges|ctree] [--threads N]
+//!          [--format text|json]
 //! tale-cli verify <index-dir>
 //! ```
 //!
@@ -59,10 +60,11 @@ usage:
   tale-cli verify <index-dir>
   tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
-           [--format text|json]
+           [--threads N] [--format text|json]
 
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
+threads:  0 = one per core (default); 1 = serial; N = worker cap
 ";
 
 /// Positional arguments and `--flag value` pairs.
@@ -159,7 +161,8 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
         for (u, v, _) in src.edges() {
             g.add_edge(u, v).map_err(|e| e.to_string())?;
         }
-        tale.insert_graph(name.to_owned(), g).map_err(|e| e.to_string())?;
+        tale.insert_graph(name.to_owned(), g)
+            .map_err(|e| e.to_string())?;
         added += 1;
     }
     println!(
@@ -180,14 +183,21 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("total nodes      : {}", tale.db().total_nodes());
     println!("total edges      : {}", tale.db().total_edges());
     println!("node labels |Σv| : {}", tale.db().node_vocab().len());
-    println!("group labels     : {}", if tale.db().has_groups() { "yes" } else { "no" });
+    println!(
+        "group labels     : {}",
+        if tale.db().has_groups() { "yes" } else { "no" }
+    );
     println!("index keys       : {}", tale.index().key_count());
     println!("index bytes      : {}", tale.index_size_bytes());
     let s = tale.index().scheme();
     println!(
         "neighbor arrays  : Sbit={} ({})",
         s.sbit,
-        if s.deterministic { "deterministic" } else { "Bloom" }
+        if s.deterministic {
+            "deterministic"
+        } else {
+            "Bloom"
+        }
     );
     for (id, name, g) in tale.db().iter() {
         let _ = id;
@@ -222,11 +232,8 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         return Err("query file holds no graphs".into());
     }
     let query = remap_query(&qdb, tale.db());
-    let important = tale_graph::centrality::select_important(
-        &query,
-        ImportanceMeasure::Degree,
-        pimp,
-    );
+    let important =
+        tale_graph::centrality::select_important(&query, ImportanceMeasure::Degree, pimp);
     println!(
         "query: {} nodes / {} edges; {} important nodes at Pimp={pimp}, rho={rho}\n",
         query.node_count(),
@@ -236,17 +243,22 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     println!("node  degree  nbconn  keys-scanned  postings  rows-examined  candidates");
     let mut totals = (0u64, 0u64, 0u64, 0u64);
     for &n in &important {
-        let sig = tale.index().signature(&query, n, &|x| {
-            tale.db().effective_of_raw(query.label(x))
-        });
+        let sig = tale
+            .index()
+            .signature(&query, n, &|x| tale.db().effective_of_raw(query.label(x)));
         let (hits, st) = tale
             .index()
             .probe_with_stats(&sig, rho)
             .map_err(|e| e.to_string())?;
         println!(
             "{:>4}  {:>6}  {:>6}  {:>12}  {:>8}  {:>13}  {:>10}",
-            n.0, sig.degree, sig.nb_connection, st.keys_scanned, st.postings_fetched,
-            st.rows_examined, hits.len()
+            n.0,
+            sig.degree,
+            sig.nb_connection,
+            st.keys_scanned,
+            st.postings_fetched,
+            st.rows_examined,
+            hits.len()
         );
         totals.0 += st.keys_scanned;
         totals.1 += st.postings_fetched;
@@ -259,7 +271,11 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     );
     println!(
         "pruning: {:.1}% of examined rows survived condition IV.3",
-        if totals.2 == 0 { 0.0 } else { 100.0 * totals.3 as f64 / totals.2 as f64 }
+        if totals.2 == 0 {
+            0.0
+        } else {
+            100.0 * totals.3 as f64 / totals.2 as f64
+        }
     );
     Ok(())
 }
@@ -284,6 +300,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "pimp" => opts.p_imp = parse(name, v)?,
             "top-k" => opts.top_k = Some(parse(name, v)?),
             "hops" => opts.hops = parse(name, v)?,
+            "threads" => opts.threads = parse(name, v)?,
             "importance" => {
                 opts.importance = match v {
                     "degree" => ImportanceMeasure::Degree,

@@ -82,6 +82,11 @@ pub struct QueryOptions {
     /// Keep only the best K matches (`None` = all, as in the Fig. 6
     /// experiment, which does "not restrict the number of results").
     pub top_k: Option<usize>,
+    /// Worker threads for the query pipeline: `0` = one per available
+    /// core, `1` = fully serial, `n` = exactly `n`. Results are identical
+    /// at every setting — per-graph work is pure and merged in a
+    /// deterministic order — so this is purely a latency knob.
+    pub threads: usize,
     /// Similarity model ranking the results (§III: user-customizable).
     pub similarity: Arc<dyn SimilarityModel>,
 }
@@ -96,6 +101,7 @@ impl Default for QueryOptions {
             greedy_anchors: false,
             match_edge_labels: false,
             top_k: None,
+            threads: 0,
             similarity: Arc::new(QualitySum),
         }
     }
@@ -110,6 +116,7 @@ impl std::fmt::Debug for QueryOptions {
             .field("hops", &self.hops)
             .field("greedy_anchors", &self.greedy_anchors)
             .field("top_k", &self.top_k)
+            .field("threads", &self.threads)
             .field("similarity", &self.similarity.name())
             .finish()
     }
@@ -144,6 +151,13 @@ impl QueryOptions {
     /// Builder-style: set the importance measure.
     pub fn with_importance(mut self, m: ImportanceMeasure) -> Self {
         self.importance = m;
+        self
+    }
+
+    /// Builder-style: set the worker-thread count (`0` = auto, `1` =
+    /// serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -20,11 +20,7 @@ impl ScratchDir {
     /// Creates a fresh scratch directory under the OS temp dir.
     pub fn new(prefix: &str) -> std::io::Result<Self> {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "{prefix}-{}-{}",
-            std::process::id(),
-            n
-        ));
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{}", std::process::id(), n));
         std::fs::create_dir_all(&path)?;
         Ok(ScratchDir { path })
     }

@@ -29,7 +29,10 @@ e 1 2
 ";
 
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(BIN).args(args).output().expect("spawn tale-cli");
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn tale-cli");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),

@@ -107,7 +107,11 @@ fn main() {
             println!(
                 "\n=> exact matching lost the corrupted module ({}), TALE still \
                  recovered {} of {} nodes — the gap the paper exists to close.",
-                if exact.contains(&1) { "unexpectedly found!" } else { "as expected" },
+                if exact.contains(&1) {
+                    "unexpectedly found!"
+                } else {
+                    "as expected"
+                },
                 r.matched_nodes,
                 module.node_count()
             );

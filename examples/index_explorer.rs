@@ -70,7 +70,11 @@ fn main() {
         .min_by_key(|&n| g0.degree(n))
         .expect("graph has edges");
 
-    println!("\n== probe pruning (hub: degree {}, leaf: degree {}) ==", g0.degree(hub), g0.degree(leaf));
+    println!(
+        "\n== probe pruning (hub: degree {}, leaf: degree {}) ==",
+        g0.degree(hub),
+        g0.degree(leaf)
+    );
     println!("  node  rho  keys-scanned  postings  rows-examined  candidates");
     for (name, node) in [("hub ", hub), ("leaf", leaf)] {
         for rho in [0.0, 0.25, 0.5] {
@@ -78,7 +82,11 @@ fn main() {
             let (hits, stats) = idx.probe_with_stats(&sig, rho).expect("probe");
             println!(
                 "  {}  {:.2}  {:12}  {:8}  {:13}  {:10}",
-                name, rho, stats.keys_scanned, stats.postings_fetched, stats.rows_examined,
+                name,
+                rho,
+                stats.keys_scanned,
+                stats.postings_fetched,
+                stats.rows_examined,
                 hits.len()
             );
         }

@@ -80,11 +80,7 @@ fn main() {
     // "They measured twice." (measure, but no instrument phrase)
     let s4 = tree(
         &mut db,
-        &[
-            ("VERB:measure", -1),
-            ("NOUN:they", 0),
-            ("ADV:twice", 0),
-        ],
+        &[("VERB:measure", -1), ("NOUN:they", 0), ("ADV:twice", 0)],
     );
     db.insert("s1-calorimeter", s1);
     db.insert("s2-thermometer", s2);
@@ -97,7 +93,12 @@ fn main() {
     // approximate matching may drop it but must keep the "with" frame.
     let mut q = Graph::new_undirected();
     let verb = q.add_node(db.node_vocab().get("VERB:measure").map(NodeLabel).unwrap());
-    let subj = q.add_node(db.node_vocab().get("NOUN:researcher").map(NodeLabel).unwrap());
+    let subj = q.add_node(
+        db.node_vocab()
+            .get("NOUN:researcher")
+            .map(NodeLabel)
+            .unwrap(),
+    );
     let with = q.add_node(db.node_vocab().get("PREP:with").map(NodeLabel).unwrap());
     q.add_edge(verb, subj).unwrap();
     q.add_edge(verb, with).unwrap();

@@ -30,17 +30,29 @@ fn main() {
         nodes: ((s.nodes as f64 * scale) as usize).max(50),
         edges: ((s.edges as f64 * scale) as usize).max(60),
     });
-    println!("generating PINs at scale {scale} (human {} nodes)...", specs[0].nodes);
+    println!(
+        "generating PINs at scale {scale} (human {} nodes)...",
+        specs[0].nodes
+    );
     let pins = SpeciesPins::generate(7, &specs, 60, 12);
     for s in &specs {
         let g = pins.db.graph(pins.species[s.name]);
-        println!("  {:6}: {} nodes, {} edges", s.name, g.node_count(), g.edge_count());
+        println!(
+            "  {:6}: {} nodes, {} edges",
+            s.name,
+            g.node_count(),
+            g.edge_count()
+        );
     }
 
     // Index with the paper's BIND parameters.
     let t0 = Instant::now();
     let tale = TaleDatabase::build_in_temp(pins.db.clone(), &TaleParams::bind()).expect("build");
-    println!("NH-Index built in {:.2}s ({} bytes)", t0.elapsed().as_secs_f64(), tale.index_size_bytes());
+    println!(
+        "NH-Index built in {:.2}s ({} bytes)",
+        t0.elapsed().as_secs_f64(),
+        tale.index_size_bytes()
+    );
 
     let human_gid = pins.species["human"];
     for species in ["mouse", "rat"] {
@@ -72,12 +84,7 @@ fn main() {
         let g1 = |n: NodeId| sp[n.idx()];
         let g2 = |n: NodeId| hu[n.idx()];
         let t0 = Instant::now();
-        let al = SeedExtendAligner::default().align(
-            query,
-            pins.db.graph(human_gid),
-            &g1,
-            &g2,
-        );
+        let al = SeedExtendAligner::default().align(query, pins.db.graph(human_gid), &g1, &g2);
         let secs = t0.elapsed().as_secs_f64();
         let k = kegg_metrics(&pins.pathways, species, "human", &al.pairs);
         println!(

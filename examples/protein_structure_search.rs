@@ -28,7 +28,11 @@ fn main() {
         mean_nodes: 120.0,
         mean_edges: 460.0,
     };
-    println!("generating {} contact graphs ({} families × 10 domains)...", families * 10, families);
+    println!(
+        "generating {} contact graphs ({} families × 10 domains)...",
+        families * 10,
+        families
+    );
     let ds = ContactDataset::generate(11, &spec);
 
     let t0 = Instant::now();
@@ -84,8 +88,12 @@ fn main() {
     let tale_curve = precision_recall_curve(&tale_flags, &totals, k);
     let ctree_curve = precision_recall_curve(&ctree_flags, &totals, k);
 
-    println!("\n{} queries; avg time TALE {:.3}s vs C-Tree {:.3}s", queries.len(),
-        tale_time / queries.len() as f64, ctree_time / queries.len() as f64);
+    println!(
+        "\n{} queries; avg time TALE {:.3}s vs C-Tree {:.3}s",
+        queries.len(),
+        tale_time / queries.len() as f64,
+        ctree_time / queries.len() as f64
+    );
     println!("\n  k | TALE  P / R      | C-Tree P / R");
     println!("----+------------------+----------------");
     for (t, c) in tale_curve.iter().zip(ctree_curve.iter()) {

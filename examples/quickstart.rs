@@ -57,8 +57,8 @@ fn main() {
     query.add_edge(qk, qc).unwrap();
 
     let opts = QueryOptions {
-        rho: 0.25,   // allow 25% of each node's neighbors to be missing
-        p_imp: 0.5,  // anchor the top half of query nodes by degree
+        rho: 0.25,  // allow 25% of each node's neighbors to be missing
+        p_imp: 0.5, // anchor the top half of query nodes by degree
         ..QueryOptions::default()
     };
     let results = tale.query(&query, &opts).expect("query");
@@ -74,7 +74,10 @@ fn main() {
             m.matched_edges
         );
         for p in &m.m.pairs {
-            println!("    query node {} → db node {} (quality {:.2})", p.query.0, p.target.0, p.quality);
+            println!(
+                "    query node {} → db node {} (quality {:.2})",
+                p.query.0, p.target.0, p.quality
+            );
         }
     }
     assert_eq!(results[0].graph_name, "complex-A");

@@ -43,7 +43,10 @@ fn directed_pipeline_respects_direction() {
 
     let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
     let res = tale.query(&fwd, &opts_all()).expect("query");
-    let forward = res.iter().find(|r| r.graph_name == "forward").expect("self match");
+    let forward = res
+        .iter()
+        .find(|r| r.graph_name == "forward")
+        .expect("self match");
     assert_eq!(forward.matched_nodes, 3);
     assert_eq!(forward.matched_edges, 2);
     // The reversed graph cannot preserve any directed edge of the query.
@@ -111,7 +114,10 @@ fn edge_labels_survive_io_and_matching() {
     let back = tale_graph::io::read_text(&buf[..]).unwrap();
     let bg = back.graph(tale_graph::GraphId(0));
     let e = bg.edge_between(NodeId(0), NodeId(1)).unwrap();
-    assert_eq!(back.edge_vocab().name(bg.edge_label(e).unwrap().0), Some("strong"));
+    assert_eq!(
+        back.edge_vocab().name(bg.edge_label(e).unwrap().0),
+        Some("strong")
+    );
 
     // the indexed pipeline still matches the labeled graph fully
     let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");

@@ -14,7 +14,13 @@ use tale_graph::generate::gnm;
 use tale_graph::{Graph, GraphDb, NodeId};
 
 /// Plants `query` inside a larger host: host = query ∪ extra nodes/edges.
-fn plant(rng: &mut ChaCha8Rng, query: &Graph, extra_nodes: usize, extra_edges: usize, labels: u32) -> Graph {
+fn plant(
+    rng: &mut ChaCha8Rng,
+    query: &Graph,
+    extra_nodes: usize,
+    extra_edges: usize,
+    labels: u32,
+) -> Graph {
     let mut host = query.clone();
     let base = host.node_count();
     for _ in 0..extra_nodes {

@@ -22,9 +22,7 @@ fn directed_pathways_self_retrieve() {
     let tale = TaleDatabase::build_in_temp(ds.db.clone(), &TaleParams::bind()).unwrap();
     for &q in &ds.pick_queries(1, 5) {
         let qg = ds.db.graph(q);
-        let res = tale
-            .query(qg, &QueryOptions::bind().with_top_k(3))
-            .unwrap();
+        let res = tale.query(qg, &QueryOptions::bind().with_top_k(3)).unwrap();
         assert!(!res.is_empty(), "no result for {q:?}");
         assert_eq!(res[0].graph, q, "self should rank first");
         // mutation can leave disconnected fragments with no important
@@ -54,9 +52,7 @@ fn family_members_outrank_strangers() {
     for &q in &queries {
         let qg = ds.db.graph(q);
         let fam = ds.family(q);
-        let res = tale
-            .query(qg, &QueryOptions::bind().with_top_k(4))
-            .unwrap();
+        let res = tale.query(qg, &QueryOptions::bind().with_top_k(4)).unwrap();
         // among the top non-self hits, family members should dominate
         let relevant = res
             .iter()
@@ -85,7 +81,10 @@ fn removal_works_on_directed_graphs() {
     assert!(before.iter().any(|r| r.graph == q));
     tale.remove_graph(q).unwrap();
     let after = tale.query(&qg, &QueryOptions::bind()).unwrap();
-    assert!(after.iter().all(|r| r.graph != q), "tombstoned graph returned");
+    assert!(
+        after.iter().all(|r| r.graph != q),
+        "tombstoned graph returned"
+    );
     // siblings in the family still retrievable
     let fam = ds.family(q);
     assert!(
@@ -116,7 +115,10 @@ fn incremental_insert_on_directed_graphs() {
     let res = tale
         .query(&last_graph, &QueryOptions::bind().with_top_k(2))
         .unwrap();
-    assert_eq!(res[0].graph, gid, "inserted pathway should self-match first");
+    assert_eq!(
+        res[0].graph, gid,
+        "inserted pathway should self-match first"
+    );
     assert!(
         res[0].matched_nodes * 10 >= last_graph.node_count() * 7,
         "only {}/{} nodes matched after incremental insert",

@@ -87,10 +87,16 @@ fn similarity_models_change_ranking_scale() {
     let query = db.graph(GraphId(0)).clone();
     let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).expect("build");
     let by_quality = tale
-        .query(&query, &QueryOptions::default().with_similarity(Arc::new(tale::QualitySum)))
+        .query(
+            &query,
+            &QueryOptions::default().with_similarity(Arc::new(tale::QualitySum)),
+        )
         .expect("query");
     let by_ctree = tale
-        .query(&query, &QueryOptions::default().with_similarity(Arc::new(tale::CTreeStyle)))
+        .query(
+            &query,
+            &QueryOptions::default().with_similarity(Arc::new(tale::CTreeStyle)),
+        )
         .expect("query");
     // same top hit under both models; scores live on different scales
     assert_eq!(by_quality[0].graph_name, by_ctree[0].graph_name);

@@ -15,28 +15,30 @@ use tale_storage::{BTree, BufferPool, CompositeKey, DiskManager};
 
 fn bitmap_strategy() -> impl Strategy<Value = (Vec<Vec<u64>>, Vec<u64>, u32, u32)> {
     // (rows, query, sbit, nbmiss)
-    (1usize..120, prop::sample::select(vec![8u32, 32, 96]), 0u32..6).prop_flat_map(
-        |(n, sbit, nbmiss)| {
+    (
+        1usize..120,
+        prop::sample::select(vec![8u32, 32, 96]),
+        0u32..6,
+    )
+        .prop_flat_map(|(n, sbit, nbmiss)| {
             let words = (sbit as usize).div_ceil(64);
             let mask = if sbit % 64 == 0 {
                 u64::MAX
             } else {
                 (1u64 << (sbit % 64)) - 1
             };
-            let row = prop::collection::vec(any::<u64>(), words)
-                .prop_map(move |mut v| {
-                    let last = v.len() - 1;
-                    v[last] &= mask;
-                    v
-                });
+            let row = prop::collection::vec(any::<u64>(), words).prop_map(move |mut v| {
+                let last = v.len() - 1;
+                v[last] &= mask;
+                v
+            });
             (
                 prop::collection::vec(row.clone(), n),
                 row,
                 Just(sbit),
                 Just(nbmiss),
             )
-        },
-    )
+        })
 }
 
 fn graph_strategy(max_nodes: usize, labels: u32) -> impl Strategy<Value = Graph> {

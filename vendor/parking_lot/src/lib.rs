@@ -1,0 +1,468 @@
+//! Minimal in-tree facade with the `parking_lot` API shape this workspace
+//! uses, implemented over `std::sync`. Poisoning is swallowed (a poisoned
+//! lock yields its guard anyway), matching parking_lot's no-poisoning
+//! semantics. Includes the `arc_lock` surface (`read_arc` / `write_arc`
+//! returning owned guards) via a lifetime-erased std guard held next to a
+//! clone of the `Arc`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Marker standing in for parking_lot's raw lock type parameter on the
+/// `lock_api` guard aliases. Carries no state here.
+pub struct RawRwLock {
+    _private: (),
+}
+
+/// Mutual exclusion backed by [`std::sync::Mutex`], without poisoning.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        MutexGuard { guard: Some(guard) }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(poison)) => Some(MutexGuard {
+                guard: Some(poison.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`]. The inner `Option` exists so [`Condvar::wait`]
+/// can temporarily take the std guard; it is `Some` at all other times.
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable usable with [`MutexGuard`], parking_lot style
+/// (the guard is passed by `&mut` and re-locked in place).
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the mutex while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard present");
+        let reacquired = match self.inner.wait(std_guard) {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        guard.guard = Some(reacquired);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.guard.take().expect("guard present");
+        let (reacquired, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poison) => {
+                let (g, r) = poison.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Reader–writer lock backed by [`std::sync::RwLock`], without poisoning.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader–writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        RwLockReadGuard { guard }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        RwLockWriteGuard { guard }
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { guard: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                guard: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { guard: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                guard: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    /// Shared read access holding the `Arc` alive: the returned guard owns
+    /// a clone of `this`, so it has no borrow lifetime.
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        lock_api::ArcRwLockReadGuard::lock(Arc::clone(self))
+    }
+
+    /// Exclusive write access holding the `Arc` alive.
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        lock_api::ArcRwLockWriteGuard::lock(Arc::clone(self))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Owned (Arc-holding) guard types matching the `lock_api` aliases the
+/// workspace imports.
+pub mod lock_api {
+    use super::{Arc, Deref, DerefMut, RwLock};
+    use std::marker::PhantomData;
+
+    /// Shared guard that keeps its `Arc<RwLock<T>>` alive.
+    ///
+    /// Field order matters: `guard` is declared before `arc` so it drops
+    /// first — the lifetime-erased std guard must never outlive the lock
+    /// it points into. The lock itself is heap-pinned by the `Arc`, so
+    /// erasing the borrow lifetime is sound while `arc` is held.
+    pub struct ArcRwLockReadGuard<R, T: ?Sized + 'static> {
+        guard: Option<std::sync::RwLockReadGuard<'static, T>>,
+        arc: Arc<RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized + 'static> ArcRwLockReadGuard<R, T> {
+        pub(crate) fn lock(arc: Arc<RwLock<T>>) -> Self {
+            let guard = match arc.inner.read() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            // SAFETY: lifetime erasure only; `arc` keeps the RwLock alive
+            // and at a stable address for as long as this guard exists,
+            // and `guard` drops before `arc` by field order.
+            let guard: std::sync::RwLockReadGuard<'static, T> =
+                unsafe { std::mem::transmute(guard) };
+            ArcRwLockReadGuard {
+                guard: Some(guard),
+                arc,
+                _raw: PhantomData,
+            }
+        }
+
+        /// The lock this guard came from.
+        pub fn rwlock(&self) -> &Arc<RwLock<T>> {
+            &self.arc
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard present")
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            // Explicit for clarity: release the lock before the Arc.
+            self.guard.take();
+        }
+    }
+
+    /// Exclusive guard that keeps its `Arc<RwLock<T>>` alive.
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized + 'static> {
+        guard: Option<std::sync::RwLockWriteGuard<'static, T>>,
+        arc: Arc<RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized + 'static> ArcRwLockWriteGuard<R, T> {
+        pub(crate) fn lock(arc: Arc<RwLock<T>>) -> Self {
+            let guard = match arc.inner.write() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            // SAFETY: same lifetime-erasure argument as the read guard.
+            let guard: std::sync::RwLockWriteGuard<'static, T> =
+                unsafe { std::mem::transmute(guard) };
+            ArcRwLockWriteGuard {
+                guard: Some(guard),
+                arc,
+                _raw: PhantomData,
+            }
+        }
+
+        /// The lock this guard came from.
+        pub fn rwlock(&self) -> &Arc<RwLock<T>> {
+            &self.arc
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard present")
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().expect("guard present")
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.guard.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let g1 = l.read();
+        let g2 = l.read();
+        assert_eq!(g1.len() + g2.len(), 6);
+        drop((g1, g2));
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn arc_guards_outlive_local_borrow() {
+        let l = Arc::new(RwLock::new(String::from("hi")));
+        let owned = {
+            let tmp = Arc::clone(&l);
+            RwLock::read_arc(&tmp)
+        };
+        assert_eq!(&*owned, "hi");
+        drop(owned);
+        let mut w = RwLock::write_arc(&l);
+        w.push_str(" there");
+        drop(w);
+        assert_eq!(&*l.read(), "hi there");
+    }
+
+    #[test]
+    fn condvar_wait_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            let mut started = lock.lock();
+            *started = true;
+            cvar.notify_one();
+        });
+        let (lock, cvar) = &*pair;
+        let mut started = lock.lock();
+        while !*started {
+            cvar.wait(&mut started);
+        }
+        drop(started);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,540 @@
+//! Minimal in-tree property-testing harness with the `proptest` API shape
+//! this workspace uses: the [`strategy::Strategy`] trait (`prop_map`,
+//! `prop_flat_map`, `boxed`), range/tuple/`Just`/`vec`/`select`/`any`
+//! strategies, a `Union` for `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` macros.
+//!
+//! Differences from real proptest, on purpose:
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   left to the assertion message;
+//! * deterministic seeding per (test name, case index), so failures
+//!   reproduce without a persistence file (`.proptest-regressions` files
+//!   are ignored);
+//! * string strategies support only the `\PC{m,n}` pattern family
+//!   (printable chars) that the workspace uses.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, func }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, func: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, func }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.func)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.func)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Regex-flavored string strategy: only the `\PC{m,n}` family
+    /// (printable chars, length in `[m, n]`) is recognized.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (body, min, max) = parse_pattern(self);
+            assert_eq!(
+                body, "\\PC",
+                "unsupported string pattern {self:?}: only \\PC{{m,n}} is implemented"
+            );
+            let len = rng.gen_range(min..=max);
+            (0..len).map(|_| printable_char(rng)).collect()
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> (&str, usize, usize) {
+        if let Some(rest) = pattern.strip_suffix('}') {
+            if let Some((body, counts)) = rest.rsplit_once('{') {
+                if let Some((lo, hi)) = counts.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                        return (body, lo, hi);
+                    }
+                } else if let Ok(n) = counts.trim().parse() {
+                    return (body, n, n);
+                }
+            }
+        }
+        (pattern, 1, 1)
+    }
+
+    /// A char matching `\PC`: printable, never a control character.
+    fn printable_char(rng: &mut TestRng) -> char {
+        const WIDE: &[char] = &[
+            'α', 'β', 'λ', 'Ω', 'é', 'ß', 'ñ', '中', '日', '×', '÷', '€', '→', '…', '😀', '𝕏',
+        ];
+        match rng.gen_range(0u32..100) {
+            0..=79 => char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("ascii printable"),
+            80..=89 => char::from_u32(rng.gen_range(0xA1u32..0x100)).expect("latin-1 printable"),
+            _ => WIDE[rng.gen_range(0..WIDE.len())],
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// Types with a canonical "uniform over the whole domain" strategy.
+    pub trait ArbitraryPrim: Sized {
+        /// Draws one value over the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl ArbitraryPrim for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_via_standard!(
+        u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32
+    );
+
+    impl<T: ArbitraryPrim> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: ArbitraryPrim>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`]: an exact count or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_excl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(vec![...])`; panics on an empty list.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+}
+
+pub mod test_runner {
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Per-test configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG for one (test, case) pair, so failures reproduce
+    /// across runs without a persistence file.
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        rand::SeedableRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+    }
+}
+
+/// Runs each contained `fn name(binding in strategy, ...) { body }` as a
+/// `#[test]`-style function over `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $parm = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type (all arms are boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of real proptest's `prop::` module tree.
+    pub mod prop {
+        pub use crate::{collection, sample, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = prop::collection::vec(0u32..100, 1..10);
+        let mut r1 = crate::test_runner::rng_for("t", 3);
+        let mut r2 = crate::test_runner::rng_for("t", 3);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), c in any::<u64>()) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0i64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_select(
+            s in prop_oneof![
+                Just("fixed".to_string()),
+                (0u32..3).prop_map(|n| format!("n{n}")),
+            ],
+            pick in prop::sample::select(vec![8u32, 32, 96]),
+        ) {
+            prop_assert!(s == "fixed" || s.starts_with('n'));
+            prop_assert!([8, 32, 96].contains(&pick));
+        }
+
+        #[test]
+        fn string_pattern(text in "\\PC{0,40}") {
+            prop_assert!(text.chars().count() <= 40);
+            prop_assert!(text.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(Just(n), n)
+        })) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|x| *x == v.len()));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Minimal in-tree `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the JSON-direct serde facade in `vendor/serde`. Implemented directly on
+//! `proc_macro::TokenTree` (no syn/quote, which are unavailable offline).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * named-field structs (with `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`);
+//! * single-field tuple structs (transparent, like real serde newtypes);
+//! * enums of unit variants and newtype variants (externally tagged).
+//!
+//! Anything else (generics, struct variants, multi-field tuple structs)
+//! produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    expand(item, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    expand(item, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = with path.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("error tokens")
+}
+
+fn expand(item: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_input(item) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match (&shape, mode) {
+        (Shape::Named(fields), Mode::Serialize) => gen_named_ser(&name, fields),
+        (Shape::Named(fields), Mode::Deserialize) => gen_named_de(&name, fields),
+        (Shape::Newtype, Mode::Serialize) => gen_newtype_ser(&name),
+        (Shape::Newtype, Mode::Deserialize) => gen_newtype_de(&name),
+        (Shape::Unit, Mode::Serialize) => gen_unit_ser(&name),
+        (Shape::Unit, Mode::Deserialize) => gen_unit_de(&name),
+        (Shape::Enum(variants), Mode::Serialize) => gen_enum_ser(&name, variants),
+        (Shape::Enum(variants), Mode::Deserialize) => gen_enum_de(&name, variants),
+    };
+    match body.parse() {
+        Ok(ts) => ts,
+        Err(_) => compile_error("serde_derive generated invalid tokens (internal bug)"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(item: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected type name".into()),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the in-tree derive"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n == 1 {
+                    Ok((name, Shape::Newtype))
+                } else {
+                    Err(format!(
+                        "serde_derive: tuple struct `{name}` with {n} fields is not supported \
+                         (only single-field newtypes)"
+                    ))
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            _ => Err(format!("serde_derive: malformed struct `{name}`")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                name.clone(),
+                Shape::Enum(parse_variants(&name, g.stream())?),
+            )),
+            _ => Err(format!("serde_derive: malformed enum `{name}`")),
+        },
+        other => Err(format!("serde_derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Skips (outer) attributes, returning an error only on malformed input.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<(), String> {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+            _ => return Err("serde_derive: malformed attribute".into()),
+        }
+    }
+    Ok(())
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Collects any leading `#[...]` attribute groups, extracting serde ones.
+fn take_field_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let group = match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("serde_derive: malformed attribute".into()),
+        };
+        *pos += 1;
+        parse_serde_attr(group.stream(), &mut attrs)?;
+    }
+    Ok(attrs)
+}
+
+/// Parses the inside of one `#[...]`; non-serde attributes are ignored.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()),
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Ok(()),
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let word = match &items[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive: unexpected token `{other}` in #[serde(...)]"
+                ))
+            }
+        };
+        i += 1;
+        match word.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => {
+                if matches!(items.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    let lit = match items.get(i) {
+                        Some(TokenTree::Literal(l)) => l.to_string(),
+                        _ => {
+                            return Err(
+                                "serde_derive: #[serde(default = ...)] expects a string".into()
+                            )
+                        }
+                    };
+                    i += 1;
+                    let path = lit.trim_matches('"').to_string();
+                    attrs.default = Some(Some(path));
+                } else {
+                    attrs.default = Some(None);
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive: unsupported serde attribute `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_field_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("serde_derive: expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        // Consume the trailing comma if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(enum_name: &str, stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        // Variant attributes (e.g. doc comments, #[default]) are ignored.
+        skip_attrs(&tokens, &mut pos)?;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name in `{enum_name}`, got {other:?}"
+                ))
+            }
+        };
+        pos += 1;
+        let mut newtype = false;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde_derive: variant `{enum_name}::{name}` must be unit or newtype"
+                    ));
+                }
+                newtype = true;
+                pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive: struct variant `{enum_name}::{name}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, unused_qualifications)]\n";
+
+fn gen_named_ser(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    let mut first = true;
+    for field in fields.iter().filter(|f| !f.attrs.skip) {
+        if !first {
+            body.push_str("out.push(',');\n");
+        }
+        first = false;
+        body.push_str(&format!(
+            "::serde::write_json_string(out, {:?});\nout.push(':');\n\
+             ::serde::Serialize::serialize_json(&self.{}, out);\n",
+            field.name, field.name
+        ));
+    }
+    body.push_str("out.push('}');\n");
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_named_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        if field.attrs.skip {
+            inits.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                field.name
+            ));
+            continue;
+        }
+        let on_missing = match &field.attrs.default {
+            Some(Some(path)) => format!("{path}()"),
+            Some(None) => "::core::default::Default::default()".to_string(),
+            None => format!("::serde::missing_field({:?})?", field.name),
+        };
+        inits.push_str(&format!(
+            "{}: match ::serde::obj_get(__obj, {:?}) {{\n\
+             ::core::option::Option::Some(__x) => ::serde::Deserialize::deserialize_json(__x)?,\n\
+             ::core::option::Option::None => {on_missing},\n}},\n",
+            field.name, field.name
+        ));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         let __obj = match __value.as_object() {{\n\
+         ::core::option::Option::Some(__o) => __o,\n\
+         ::core::option::Option::None => return ::core::result::Result::Err(\
+         ::serde::DeError::custom(\"expected JSON object for `{name}`\")),\n}};\n\
+         ::core::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+    )
+}
+
+fn gen_newtype_ser(name: &str) -> String {
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         ::serde::Serialize::serialize_json(&self.0, out);\n}}\n}}\n"
+    )
+}
+
+fn gen_newtype_de(name: &str) -> String {
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_json(__value)?))\n}}\n}}\n"
+    )
+}
+
+fn gen_unit_ser(name: &str) -> String {
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         out.push_str(\"null\");\n}}\n}}\n"
+    )
+}
+
+fn gen_unit_de(name: &str) -> String {
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         match __value {{\n\
+         ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+         _ => ::core::result::Result::Err(::serde::DeError::custom(\
+         \"expected null for unit struct `{name}`\")),\n}}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        if v.newtype {
+            arms.push_str(&format!(
+                "{name}::{v} (__f0) => {{\n\
+                 out.push('{{');\n\
+                 ::serde::write_json_string(out, {vs:?});\n\
+                 out.push(':');\n\
+                 ::serde::Serialize::serialize_json(__f0, out);\n\
+                 out.push('}}');\n}}\n",
+                v = v.name,
+                vs = v.name
+            ));
+        } else {
+            arms.push_str(&format!(
+                "{name}::{v} => ::serde::write_json_string(out, {vs:?}),\n",
+                v = v.name,
+                vs = v.name
+            ));
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants.iter().filter(|v| !v.newtype) {
+        unit_arms.push_str(&format!(
+            "{vs:?} => ::core::result::Result::Ok({name}::{v}),\n",
+            v = v.name,
+            vs = v.name
+        ));
+    }
+    let mut newtype_arms = String::new();
+    for v in variants.iter().filter(|v| v.newtype) {
+        newtype_arms.push_str(&format!(
+            "{vs:?} => ::core::result::Result::Ok({name}::{v}(\
+             ::serde::Deserialize::deserialize_json(__inner)?)),\n",
+            v = v.name,
+            vs = v.name
+        ));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         if let ::core::option::Option::Some(__s) = __value.as_str() {{\n\
+         return match __s {{\n{unit_arms}\
+         __other => ::core::result::Result::Err(::serde::DeError::custom(\
+         ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n}};\n}}\n\
+         if let ::core::option::Option::Some(__obj) = __value.as_object() {{\n\
+         if __obj.len() == 1 {{\n\
+         let (__tag, __inner) = &__obj[0];\n\
+         return match __tag.as_str() {{\n{newtype_arms}\
+         __other => ::core::result::Result::Err(::serde::DeError::custom(\
+         ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n}};\n}}\n}}\n\
+         ::core::result::Result::Err(::serde::DeError::custom(\
+         \"expected string or single-key object for enum `{name}`\"))\n}}\n}}\n"
+    )
+}

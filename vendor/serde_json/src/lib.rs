@@ -1,0 +1,159 @@
+//! Minimal in-tree `serde_json` over the JSON-direct serde facade:
+//! `to_string`, `to_string_pretty`, `to_writer`, `from_str`,
+//! `from_reader`, and an [`Error`] type — the exact surface this
+//! workspace calls.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+
+pub use serde::Value;
+
+/// JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("io error: {e}"))
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let parsed = serde::parse_json(&compact)
+        .map_err(|e| Error::new(format!("internal pretty-print reparse failed: {e}")))?;
+    let mut out = String::new();
+    write_pretty(&parsed, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::parse_json(s)?;
+    Ok(T::deserialize_json(&value)?)
+}
+
+/// Deserializes `T` from a reader producing JSON text.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+fn write_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(value: &Value, level: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                write_indent(out, level + 1);
+                write_pretty(item, level + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, level);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                write_indent(out, level + 1);
+                serde::write_json_string(out, k);
+                out.push_str(": ");
+                write_pretty(v, level + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, level);
+            out.push('}');
+        }
+        other => other.serialize_json(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_tuples_roundtrip() {
+        let data: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let s = to_string(&data).unwrap();
+        assert_eq!(s, r#"[[1,"a"],[2,"b"]]"#);
+        let back: Vec<(u32, String)> = from_str(&s).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let data: Vec<Vec<u32>> = vec![vec![1, 2], vec![]];
+        let s = to_string_pretty(&data).unwrap();
+        assert_eq!(s, "[\n  [\n    1,\n    2\n  ],\n  []\n]");
+        let back: Vec<Vec<u32>> = from_str(&s).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn from_reader_and_to_writer() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![true, false]).unwrap();
+        let back: Vec<bool> = from_reader(&buf[..]).unwrap();
+        assert_eq!(back, vec![true, false]);
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        assert!(from_str::<Vec<u32>>("{not json").is_err());
+        assert!(from_str::<Vec<u32>>("[1,2").is_err());
+        assert!(from_str::<Vec<u32>>("\"str\"").is_err());
+    }
+}

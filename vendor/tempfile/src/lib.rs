@@ -1,0 +1,114 @@
+//! Minimal in-tree `tempfile` replacement: just [`tempdir`] / [`TempDir`],
+//! which is all the workspace uses (scratch directories in tests and
+//! benches). Directories are created under `std::env::temp_dir()` with a
+//! process-unique, counter-unique name and removed recursively on drop.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted (recursively, best-effort) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    delete_on_drop: bool,
+}
+
+impl TempDir {
+    /// Creates a fresh temporary directory.
+    pub fn new() -> io::Result<TempDir> {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        // A few attempts in case of collisions with leftover directories.
+        for _ in 0..16 {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let path = base.join(format!(".tmp-tale-{pid}-{n}-{nanos:08x}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => {
+                    return Ok(TempDir {
+                        path,
+                        delete_on_drop: true,
+                    })
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "could not create a unique temporary directory",
+        ))
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the handle without deleting the directory.
+    pub fn into_path(mut self) -> PathBuf {
+        self.delete_on_drop = false;
+        self.path.clone()
+    }
+
+    /// Deletes the directory now, reporting any error.
+    pub fn close(mut self) -> io::Result<()> {
+        self.delete_on_drop = false;
+        std::fs::remove_dir_all(&self.path)
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        self.path()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Creates a new [`TempDir`].
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("x.txt"), b"hello").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn close_reports_ok() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        dir.close().unwrap();
+        assert!(!path.exists());
+    }
+}
