@@ -16,7 +16,7 @@ use tale_bench::experiments::fig789::{default_sizes, run_fig789};
 use tale_bench::experiments::kegg::run_kegg;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
 use tale_bench::experiments::saga::run_saga;
-use tale_bench::experiments::speedup::run_speedup;
+use tale_bench::experiments::speedup::{run_batch_speedup, run_speedup};
 use tale_bench::experiments::table1::run_table1;
 use tale_bench::experiments::table2::run_table2;
 use tale_bench::experiments::table3::run_table3_fig6;
@@ -81,6 +81,16 @@ fn threads_arg() -> usize {
         .unwrap_or(4)
 }
 
+/// `--json PATH` from argv: where to write the machine-readable speedup
+/// report (`None` = don't).
+fn json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn speedup(scale: Scale) {
     let threads = threads_arg();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -95,7 +105,8 @@ fn speedup(scale: Scale) {
         "| workload | graphs | queries | cores | serial (s) | parallel (s) | speedup | identical |"
     );
     println!("|---|---|---|---|---|---|---|---|");
-    for r in run_speedup(seed(), scale, threads, 4) {
+    let parallel_rows = run_speedup(seed(), scale, threads, 4);
+    for r in &parallel_rows {
         println!(
             "| {} | {} | {} | {} | {:.3} | {:.3} | {:.2}x | {} |",
             r.workload,
@@ -107,6 +118,71 @@ fn speedup(scale: Scale) {
             r.speedup(),
             if r.identical { "yes" } else { "NO" }
         );
+    }
+
+    println!("\n## E-BATCH — query_batch vs sequential queries\n");
+    println!("Table 2-style workload of repeated query patterns; both passes run");
+    println!("at {threads} threads with the result cache off, so the ratio isolates");
+    println!("the batch engine's probe sharing and barrier-free fan-out. The warm");
+    println!("row re-runs with the cache on: every query hits, zero disk probes.\n");
+    let b = run_batch_speedup(seed(), scale, threads, 20);
+    println!("| pass | queries | unique | disk probes | wall (s) | identical |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| sequential | {} | {} | {} | {:.3} | — |",
+        b.queries, b.queries, b.sequential_probes, b.sequential_secs
+    );
+    println!(
+        "| batch | {} | {} | {} | {:.3} | {} |",
+        b.queries,
+        b.unique_queries,
+        b.batch_probes_issued,
+        b.batch_secs,
+        if b.identical { "yes" } else { "NO" }
+    );
+    println!(
+        "| warm cache | {} | 0 | {} | {:.3} | {} |",
+        b.queries,
+        b.warm_probes,
+        b.warm_secs,
+        if b.identical { "yes" } else { "NO" }
+    );
+    println!(
+        "\nbatch speedup: {:.2}x; cache hits on warm pass: {}/{}",
+        b.speedup, b.warm_cache_hits, b.queries
+    );
+
+    if let Some(path) = json_arg() {
+        #[derive(serde::Serialize)]
+        struct SpeedupReport {
+            seed: u64,
+            scale: f64,
+            threads: usize,
+            cores: usize,
+            parallel: Vec<tale_bench::experiments::speedup::SpeedupRow>,
+            batch: tale_bench::experiments::speedup::BatchSpeedupRow,
+        }
+        let report = SpeedupReport {
+            seed: seed(),
+            scale: scale.0,
+            threads,
+            cores,
+            parallel: parallel_rows,
+            batch: b,
+        };
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s + "\n") {
+                    eprintln!("writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("# wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serializing speedup report: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

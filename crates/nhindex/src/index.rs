@@ -124,6 +124,67 @@ pub struct ProbeStats {
     pub rows_returned: u64,
 }
 
+/// Cumulative probe counters over the index's lifetime. Snapshots are
+/// cheap relaxed atomic loads; diff two snapshots to attribute index
+/// traffic to a span of work (the query engine uses this to prove a
+/// cached result never touched the disk index).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// Probes executed (one per query signature answered from disk).
+    pub probes: u64,
+    /// B+-tree keys visited across all probes.
+    pub keys_scanned: u64,
+    /// Postings fetched across all probes.
+    pub postings_fetched: u64,
+    /// Bitmap rows examined across all probes.
+    pub rows_examined: u64,
+}
+
+impl ProbeCounters {
+    /// Counter deltas since an `earlier` snapshot of the same index.
+    pub fn since(self, earlier: ProbeCounters) -> ProbeCounters {
+        ProbeCounters {
+            probes: self.probes.saturating_sub(earlier.probes),
+            keys_scanned: self.keys_scanned.saturating_sub(earlier.keys_scanned),
+            postings_fetched: self
+                .postings_fetched
+                .saturating_sub(earlier.postings_fetched),
+            rows_examined: self.rows_examined.saturating_sub(earlier.rows_examined),
+        }
+    }
+}
+
+/// Atomic backing for [`ProbeCounters`]; relaxed ordering is fine — the
+/// counters are monotonic tallies, not synchronization.
+#[derive(Debug, Default)]
+struct AtomicProbeCounters {
+    probes: std::sync::atomic::AtomicU64,
+    keys_scanned: std::sync::atomic::AtomicU64,
+    postings_fetched: std::sync::atomic::AtomicU64,
+    rows_examined: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicProbeCounters {
+    fn record(&self, stats: &ProbeStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.probes.fetch_add(1, Relaxed);
+        self.keys_scanned.fetch_add(stats.keys_scanned, Relaxed);
+        self.postings_fetched
+            .fetch_add(stats.postings_fetched, Relaxed);
+        self.rows_examined.fetch_add(stats.rows_examined, Relaxed);
+    }
+
+    fn snapshot(&self) -> ProbeCounters {
+        use std::sync::atomic::Ordering::Relaxed;
+        ProbeCounters {
+            probes: self.probes.load(Relaxed),
+            keys_scanned: self.keys_scanned.load(Relaxed),
+            postings_fetched: self.postings_fetched.load(Relaxed),
+            rows_examined: self.rows_examined.load(Relaxed),
+        }
+    }
+}
+
 /// The disk-resident neighborhood index.
 pub struct NhIndex {
     btree: BTree,
@@ -138,6 +199,8 @@ pub struct NhIndex {
     tombstones: std::collections::HashSet<u32>,
     /// Neighbor arrays are over (label, edge label) pairs.
     edge_labels: bool,
+    /// Lifetime probe tallies (see [`NhIndex::counters`]).
+    counters: AtomicProbeCounters,
 }
 
 /// One extracted indexing unit (pre-grouping).
@@ -209,6 +272,7 @@ impl NhIndex {
             key_count: pairs.len() as u64,
             tombstones: std::collections::HashSet::new(),
             edge_labels: config.use_edge_labels,
+            counters: AtomicProbeCounters::default(),
         };
         idx.flush(db.effective_vocab_size() as u64)?;
         Ok(idx)
@@ -395,6 +459,7 @@ impl NhIndex {
             key_count: meta.key_count,
             tombstones: meta.tombstones.into_iter().collect(),
             edge_labels: meta.edge_labels,
+            counters: AtomicProbeCounters::default(),
         })
     }
 
@@ -530,7 +595,39 @@ impl NhIndex {
             }
         }
         stats.rows_returned = out.len() as u64;
+        self.counters.record(&stats);
         Ok((out, stats))
+    }
+
+    /// Probes a batch of signatures, fanning out across `threads` workers
+    /// (`0` = one per core, `1` = serial). Results come back in signature
+    /// order and are element-wise identical to serial [`NhIndex::probe_with_stats`]
+    /// calls — probing is a pure function of `(signature, rho)` over a
+    /// read-only index, so only the wall clock changes.
+    pub fn probe_batch(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+        threads: usize,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        let threads = tale_par::effective_threads(threads);
+        tale_par::parallel_map(threads, sigs.len(), |i| {
+            self.probe_with_stats(&sigs[i], rho)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Lifetime probe tallies for this index handle (since build/open;
+    /// not persisted). Diff two snapshots with [`ProbeCounters::since`]
+    /// to attribute index traffic to a span of work.
+    pub fn counters(&self) -> ProbeCounters {
+        self.counters.snapshot()
+    }
+
+    /// Combined hit/miss counters of the B+-tree and blob buffer pools.
+    pub fn pool_stats(&self) -> tale_storage::PoolStats {
+        self.bt_pool.pool_stats().merged(self.blobs.pool_stats())
     }
 }
 

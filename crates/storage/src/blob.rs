@@ -80,6 +80,11 @@ impl BlobStore {
         *self.cursor.lock()
     }
 
+    /// Hit/miss counters of the underlying buffer pool.
+    pub fn pool_stats(&self) -> crate::buffer::PoolStats {
+        self.pool.pool_stats()
+    }
+
     /// Total bytes stored.
     pub fn size_bytes(&self) -> u64 {
         self.cursor()

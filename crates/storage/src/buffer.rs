@@ -42,6 +42,49 @@ const PIN_WAIT_DEADLINE: Duration = Duration::from_secs(2);
 /// One parking interval; bounds the cost of a missed notification.
 const PIN_WAIT_SLICE: Duration = Duration::from_millis(10);
 
+/// Cumulative page-access counters of a pool: frames served from memory
+/// (`hits`) vs. read from disk (`misses`). Snapshots are cheap; consumers
+/// diff two snapshots to attribute I/O to a span of work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page fetches served from a resident frame.
+    pub hits: u64,
+    /// Page fetches that had to read from disk.
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Fetches counted in this snapshot.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`; zero accesses count as rate 0.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Component-wise sum (e.g. B+-tree pool + blob pool).
+    pub fn merged(self, other: PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot of the same pool(s).
+    pub fn since(self, earlier: PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
 struct FrameCell {
     page: Arc<RwLock<Page>>,
     pins: AtomicU32,
@@ -226,6 +269,12 @@ impl BufferPool {
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.hits, inner.misses)
+    }
+
+    /// [`BufferPool::stats`] as a [`PoolStats`] snapshot.
+    pub fn pool_stats(&self) -> PoolStats {
+        let (hits, misses) = self.stats();
+        PoolStats { hits, misses }
     }
 
     /// Fetches a page for reading.

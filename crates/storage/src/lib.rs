@@ -34,7 +34,7 @@ pub mod wah;
 
 pub use blob::{BlobRef, BlobStore};
 pub use btree::{BTree, CompositeKey};
-pub use buffer::{BufferPool, PageGuard, PageGuardMut};
+pub use buffer::{BufferPool, PageGuard, PageGuardMut, PoolStats};
 pub use disk::DiskManager;
 pub use page::{PageId, PAGE_SIZE};
 

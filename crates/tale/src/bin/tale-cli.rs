@@ -8,7 +8,7 @@
 //! tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
 //!          [--top-k N] [--importance degree|closeness|betweenness|eigenvector|random]
 //!          [--hops N] [--similarity quality|nodes-edges|ctree] [--threads N]
-//!          [--format text|json]
+//!          [--format text|json] [--stats] [--no-cache]
 //! tale-cli verify <index-dir>
 //! ```
 //!
@@ -60,17 +60,25 @@ usage:
   tale-cli verify <index-dir>
   tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
-           [--threads N] [--format text|json]
+           [--threads N] [--format text|json] [--stats] [--no-cache]
 
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
 threads:  0 = one per core (default); 1 = serial; N = worker cap
+stats:    print per-stage engine statistics (probe traffic, pool hit
+          rate, stage wall clock); with --format json, wraps the output
+          as {\"matches\": [...], \"stats\": {...}}
+no-cache: bypass the query-result cache for this run
 ";
 
 /// Positional arguments and `--flag value` pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
-/// Pulls `--flag value` out of an argument list; returns (positional, flags).
+/// Flags that take no value; they parse as `(name, "")`.
+const BOOL_FLAGS: &[&str] = &["stats", "no-cache"];
+
+/// Pulls `--flag value` pairs (and bare boolean flags) out of an argument
+/// list; returns (positional, flags).
 fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, String> {
     let mut pos = Vec::new();
     let mut flags = Vec::new();
@@ -78,6 +86,11 @@ fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, String> {
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.push((name, ""));
+                i += 1;
+                continue;
+            }
             let v = args
                 .get(i + 1)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -287,8 +300,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let mut opts = QueryOptions::default();
     let mut json = false;
+    let mut want_stats = false;
     for (name, v) in flags {
         match name {
+            "stats" => want_stats = true,
+            "no-cache" => opts.use_cache = false,
             "format" => {
                 json = match v {
                     "json" => true,
@@ -331,10 +347,25 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let query = remap_query(&qdb, tale.db());
 
     let start = std::time::Instant::now();
-    let results = tale.query(&query, &opts).map_err(|e| e.to_string())?;
+    let (results, stats) = tale
+        .query_with_stats(&query, &opts)
+        .map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64();
     if json {
-        let out = serde_json::to_string_pretty(&results).map_err(|e| e.to_string())?;
+        #[derive(serde::Serialize)]
+        struct WithStats {
+            matches: Vec<tale::QueryMatch>,
+            stats: tale::QueryStats,
+        }
+        let out = if want_stats {
+            serde_json::to_string_pretty(&WithStats {
+                matches: results,
+                stats,
+            })
+        } else {
+            serde_json::to_string_pretty(&results)
+        }
+        .map_err(|e| e.to_string())?;
         println!("{out}");
         return Ok(());
     }
@@ -357,7 +388,46 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             m.matched_edges
         );
     }
+    if want_stats {
+        println!();
+        print_query_stats(&stats);
+    }
     Ok(())
+}
+
+fn print_query_stats(s: &tale::QueryStats) {
+    println!("engine stats:");
+    if s.cache_hit {
+        println!("  result cache     : HIT (index untouched)");
+    } else {
+        println!("  result cache     : miss");
+        println!("  important nodes  : {}", s.important_nodes);
+        println!(
+            "  index probes     : {} ({} shared)",
+            s.probes, s.probes_shared
+        );
+        println!("  keys scanned     : {}", s.keys_scanned);
+        println!("  postings fetched : {}", s.postings_fetched);
+        println!("  rows examined    : {}", s.rows_examined);
+        println!(
+            "  candidates       : {} nodes across {} graphs",
+            s.candidates, s.candidate_graphs
+        );
+    }
+    println!(
+        "  pool hit rate    : {:.1}% ({} hits / {} misses)",
+        100.0 * s.pool.hit_rate(),
+        s.pool.hits,
+        s.pool.misses
+    );
+    println!(
+        "  stages (s)       : plan {:.4} | probe {:.4} | match {:.4} | rank {:.4} | total {:.4}",
+        s.stages.plan_secs,
+        s.stages.probe_secs,
+        s.stages.match_secs,
+        s.stages.rank_secs,
+        s.stages.total_secs
+    );
 }
 
 /// Walks every page of both index files (checksum verification happens

@@ -1,27 +1,28 @@
-//! [`TaleDatabase`]: the indexed graph database and the query pipeline.
+//! [`TaleDatabase`]: the indexed graph database, now a facade over the
+//! staged query engine in [`crate::engine`].
 
+use crate::engine::cache::{CacheStats, ResultCache, DEFAULT_CACHE_ENTRIES};
+use crate::engine::exec;
+use crate::engine::stats::{BatchStats, QueryStats};
 use crate::params::{QueryOptions, TaleParams};
 use crate::result::QueryMatch;
 use crate::scratch::ScratchDir;
 use crate::Result;
-use std::collections::HashMap;
 use std::path::Path;
-use tale_graph::centrality::select_important_covering;
-use tale_graph::{Graph, GraphDb, GraphId, NodeId};
-use tale_matching::bipartite::{greedy_matching, max_weight_matching, WeightedEdge};
-use tale_matching::grow::{grow_match, Anchor, CandidateScorer, GrowConfig, GrowInput};
-use tale_matching::similarity::MatchContext;
-use tale_nhindex::{node_match_quality, NhIndex, NhIndexConfig, NodeCandidate};
+use tale_graph::{Graph, GraphDb, GraphId};
+use tale_nhindex::{NhIndex, NhIndexConfig};
 
 const DB_FILE: &str = "graphs.json";
 
 /// An indexed graph database ready for approximate subgraph queries.
 ///
-/// Owns the [`GraphDb`] (graphs + vocabularies + optional §IV-E group map)
-/// and the disk-resident NH-Index built over it.
+/// Owns the [`GraphDb`] (graphs + vocabularies + optional §IV-E group map),
+/// the disk-resident NH-Index built over it, and an LRU result cache
+/// shared by every query issued through this handle.
 pub struct TaleDatabase {
     db: GraphDb,
     index: NhIndex,
+    cache: ResultCache,
     // Keeps the scratch directory alive for in-temp builds.
     _scratch: Option<ScratchDir>,
 }
@@ -43,6 +44,7 @@ impl TaleDatabase {
         Ok(TaleDatabase {
             db,
             index,
+            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
             _scratch: None,
         })
     }
@@ -63,6 +65,7 @@ impl TaleDatabase {
         Ok(TaleDatabase {
             db,
             index,
+            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
             _scratch: Some(scratch),
         })
     }
@@ -74,6 +77,7 @@ impl TaleDatabase {
         Ok(TaleDatabase {
             db,
             index,
+            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
             _scratch: None,
         })
     }
@@ -87,6 +91,7 @@ impl TaleDatabase {
     /// graph set is updated too, so [`TaleDatabase::open`] sees the new
     /// graph after this call returns.
     pub fn insert_graph(&mut self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
+        self.cache.clear();
         let gid = self.db.insert(name, g);
         self.index.insert_graph(&self.db, gid)?;
         if self._scratch.is_none() {
@@ -101,6 +106,7 @@ impl TaleDatabase {
     /// index; space is reclaimed by rebuilding). The graph's id and data
     /// remain readable through [`TaleDatabase::db`].
     pub fn remove_graph(&mut self, id: GraphId) -> Result<()> {
+        self.cache.clear();
         self.index
             .remove_graph(id, self.db.effective_vocab_size() as u64)?;
         Ok(())
@@ -149,6 +155,9 @@ impl TaleDatabase {
     /// add filter false positives, never false negatives) but a rebuild
     /// regains the Bloom regime's precision.
     pub fn intern_node_label(&mut self, name: &str) -> tale_graph::NodeLabel {
+        // Conservative: a vocabulary change can alter effective labels,
+        // which the cache keys by.
+        self.cache.clear();
         self.db.intern_node_label(name)
     }
 
@@ -167,420 +176,65 @@ impl TaleDatabase {
         self.index.size_bytes()
     }
 
-    /// Runs an approximate subgraph query (the full §V pipeline).
+    fn cache_for(&self, opts: &QueryOptions) -> Option<&ResultCache> {
+        opts.use_cache.then_some(&self.cache)
+    }
+
+    /// Runs an approximate subgraph query (the full §V pipeline, staged
+    /// through [`crate::engine`]).
     ///
     /// The query graph's labels must come from this database's vocabulary
     /// (intern them via [`GraphDb::intern_node_label`] before building, or
     /// construct queries from database graphs).
     pub fn query(&self, query: &Graph, opts: &QueryOptions) -> Result<Vec<QueryMatch>> {
-        // Step 1a: pick the important query nodes (§V-B).
-        let important = select_important_covering(query, opts.importance, opts.p_imp);
-        let q_label = |n: NodeId| self.db.effective_of_raw(query.label(n));
-        let threads = tale_par::effective_threads(opts.threads);
-
-        // Step 1b: probe the NH-Index per important node; bucket candidate
-        // node matches per database graph. Probes are independent and the
-        // buffer pool is shared safely, so they fan out across threads;
-        // merging in query-node order makes each graph's bucket contents
-        // byte-identical to the serial loop.
-        let probed: Vec<Result<Vec<(u32, u32, f64)>>> =
-            tale_par::parallel_map(threads, important.len(), |qi| {
-                let sig = self.index.signature(query, important[qi], &q_label);
-                let candidates = self.index.probe(&sig, opts.rho)?;
-                let mut out = Vec::with_capacity(candidates.len());
-                for NodeCandidate {
-                    node,
-                    nb_miss,
-                    db_degree: _,
-                    db_nb_connection,
-                } in candidates
-                {
-                    let nbc_miss = sig.nb_connection.saturating_sub(db_nb_connection);
-                    let w = node_match_quality(sig.degree, sig.nb_connection, nb_miss, nbc_miss);
-                    // Eq. IV.5 cannot separate the true counterpart from a
-                    // node whose neighborhood strictly dominates the query's
-                    // (both score a perfect 2.0). Leave such ties to the
-                    // growth phase: its conservation bonus replaces a queued
-                    // anchor with an equal-quality candidate that conserves
-                    // more committed edges, which only works while anchor
-                    // qualities live on the same Eq. IV.5 scale growth uses.
-                    out.push((node.graph, node.node, w));
-                }
-                Ok(out)
-            });
-        // per graph: (important-node index, db node id, quality)
-        let mut per_graph: HashMap<u32, Vec<(usize, u32, f64)>> = HashMap::new();
-        for (qi, hits) in probed.into_iter().enumerate() {
-            for (graph, node, w) in hits? {
-                per_graph.entry(graph).or_default().push((qi, node, w));
-            }
-        }
-
-        // Steps 1c + 2 per candidate graph: one-to-one anchors, then grow.
-        // Candidate graphs are independent, so this fans out across
-        // threads (deterministic: per-graph work is pure, `parallel_map`
-        // returns in index order, and the results are re-sorted below).
-        // The paper's per-query cost is dominated by exactly this loop
-        // when the label alphabet is small (ASTRAL).
-        let mut graph_ids: Vec<u32> = per_graph.keys().copied().collect();
-        graph_ids.sort_unstable();
-        let process = |gid: u32| -> Option<QueryMatch> {
-            let hits = &per_graph[&gid];
-            let graph_id = GraphId(gid);
-            let target = self.db.graph(graph_id);
-            let anchors = self.resolve_anchors(query, target, &important, hits, &[], opts);
-            if anchors.is_empty() {
-                return None;
-            }
-            let q_label = |n: NodeId| self.db.effective_of_raw(query.label(n));
-            let t_label = |n: NodeId| self.db.effective_label(graph_id, n);
-            let input = GrowInput {
-                query,
-                target,
-                q_label: &q_label,
-                t_label: &t_label,
-            };
-            let grow_cfg = GrowConfig {
-                rho: opts.rho,
-                hops: opts.hops,
-                match_edge_labels: opts.match_edge_labels,
-            };
-            let mut m = grow_match(&input, &grow_cfg, &anchors);
-            if m.pairs.is_empty() {
-                return None;
-            }
-            // Residual re-anchoring: §V-C growth only reaches nodes whose
-            // connecting edges survived in *both* graphs, so noisy regions
-            // stall unmatched even when their nodes have clean one-to-one
-            // counterparts. Re-anchor the residue directly — evaluate the
-            // index conditions exactly against still-unmatched db nodes,
-            // resolve one-to-one with the committed pairs as conservation
-            // evidence — and grow again until a fixpoint.
-            let mut by_label: HashMap<u32, Vec<NodeId>> = HashMap::new();
-            for t in target.nodes() {
-                by_label.entry(t_label(t)).or_default().push(t);
-            }
-            let mut scorer = CandidateScorer::new(&input);
-            loop {
-                let mut t_taken = vec![false; target.node_count()];
-                let mut q_taken = vec![false; query.node_count()];
-                for p in &m.pairs {
-                    q_taken[p.query.idx()] = true;
-                    t_taken[p.target.idx()] = true;
-                }
-                let residual: Vec<NodeId> = query.nodes().filter(|n| !q_taken[n.idx()]).collect();
-                if residual.is_empty() {
-                    break;
-                }
-                let mut rhits: Vec<(usize, u32, f64)> = Vec::new();
-                for (qi, &q) in residual.iter().enumerate() {
-                    let Some(cands) = by_label.get(&q_label(q)) else {
-                        continue;
-                    };
-                    for &t in cands {
-                        if t_taken[t.idx()] {
-                            continue;
-                        }
-                        if let Some(w) = scorer.quality(&input, &grow_cfg, q, t) {
-                            rhits.push((qi, t.0, w));
-                        }
-                    }
-                }
-                if rhits.is_empty() {
-                    break;
-                }
-                let fixed: Vec<(NodeId, NodeId)> =
-                    m.pairs.iter().map(|p| (p.query, p.target)).collect();
-                let extra = self.resolve_anchors(query, target, &residual, &rhits, &fixed, opts);
-                if extra.is_empty() {
-                    break;
-                }
-                let mut seeds: Vec<Anchor> = m
-                    .pairs
-                    .iter()
-                    .map(|p| Anchor {
-                        query: p.query,
-                        target: p.target,
-                        quality: p.quality,
-                    })
-                    .collect();
-                seeds.extend(extra);
-                let grown = grow_match(&input, &grow_cfg, &seeds);
-                if grown.matched_nodes() <= m.matched_nodes() {
-                    break;
-                }
-                m = grown;
-            }
-            let ctx = MatchContext {
-                query,
-                target,
-                m: &m,
-            };
-            let score = opts.similarity.score(&ctx);
-            let matched_nodes = m.matched_nodes();
-            let matched_edges = m.matched_edges(query, target);
-            Some(QueryMatch {
-                graph: graph_id,
-                graph_name: self.db.name(graph_id).to_owned(),
-                m,
-                score,
-                matched_nodes,
-                matched_edges,
-            })
-        };
-        let mut results: Vec<QueryMatch> =
-            tale_par::parallel_map(threads, graph_ids.len(), |i| process(graph_ids[i]))
-                .into_iter()
-                .flatten()
-                .collect();
-
-        // Rank and truncate.
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.graph.cmp(&b.graph))
-        });
-        if let Some(k) = opts.top_k {
-            results.truncate(k);
-        }
-        Ok(results)
+        Ok(self.query_with_stats(query, opts)?.0)
     }
 
-    /// Resolves many-to-many index hits into one-to-one anchors via
-    /// maximum-weight bipartite matching (Hungarian, or greedy when the
-    /// instance is large / the ablation asks for it).
-    fn resolve_anchors(
+    /// Like [`TaleDatabase::query`], also returning per-stage execution
+    /// statistics (probe traffic, buffer-pool hit rate, wall clock).
+    pub fn query_with_stats(
         &self,
         query: &Graph,
-        target: &Graph,
-        important: &[NodeId],
-        hits: &[(usize, u32, f64)],
-        fixed: &[(NodeId, NodeId)],
         opts: &QueryOptions,
-    ) -> Vec<Anchor> {
-        // Dense right-side ids for the db nodes that appear.
-        let mut right_of: HashMap<u32, usize> = HashMap::new();
-        let mut right_nodes: Vec<u32> = Vec::new();
-        let mut edges: Vec<WeightedEdge> = Vec::with_capacity(hits.len());
-        for &(qi, dbn, w) in hits {
-            let r = *right_of.entry(dbn).or_insert_with(|| {
-                right_nodes.push(dbn);
-                right_nodes.len() - 1
-            });
-            edges.push((qi, r, w));
-        }
-        let n_left = important.len();
-        let n_right = right_nodes.len();
-        // Hungarian is O(max(nl,nr)^3); past a few thousand candidates the
-        // greedy 1/2-approximation is the practical choice.
-        const HUNGARIAN_LIMIT: usize = 2000;
-        let mut assignment = if opts.greedy_anchors || n_left.max(n_right) > HUNGARIAN_LIMIT {
-            greedy_matching(n_left, n_right, &edges)
-        } else {
-            max_weight_matching(n_left, n_right, &edges)
-        };
-        let mut best_w: HashMap<(usize, usize), f64> = HashMap::new();
-        for &(l, r, w) in &edges {
-            let e = best_w.entry((l, r)).or_insert(0.0);
-            if w > *e {
-                *e = w;
-            }
-        }
-        refine_assignment(
-            query,
-            target,
-            important,
-            &right_nodes,
-            &best_w,
-            fixed,
-            &mut assignment,
-        );
-        assignment
-            .into_iter()
-            .enumerate()
-            .filter_map(|(qi, r)| {
-                r.map(|r| Anchor {
-                    query: important[qi],
-                    target: NodeId(right_nodes[r]),
-                    quality: best_w.get(&(qi, r)).copied().unwrap_or(0.0),
-                })
-            })
-            .collect()
+    ) -> Result<(Vec<QueryMatch>, QueryStats)> {
+        let (mut outputs, mut batch) =
+            exec::run_batch(&self.db, &self.index, self.cache_for(opts), &[query], opts)?;
+        Ok((outputs.remove(0), batch.per_query.remove(0)))
     }
-}
 
-/// Conservation-aware refinement of the anchor assignment.
-///
-/// Eq. IV.5 quality ties are common — any db node whose neighborhood
-/// dominates the query node's scores the same perfect 2.0 as the true
-/// counterpart — and the bipartite matching picks arbitrarily among tied
-/// optima. Ties must be settled *globally*: once growth commits a wrong
-/// anchor (or two anchors swap each other's counterparts) the one-to-one
-/// invariant blocks any later repair. So, keeping the total weight optimal,
-/// greedily apply single reassignments (to an unused candidate of no lower
-/// quality) and pairwise target swaps (of no lower summed quality) while
-/// they strictly increase the number of query edges conserved between
-/// anchored pairs. Each accepted move raises that integer count, so the
-/// loop terminates; fixed iteration order keeps it deterministic.
-fn refine_assignment(
-    query: &Graph,
-    target: &Graph,
-    important: &[NodeId],
-    right_nodes: &[u32],
-    w: &HashMap<(usize, usize), f64>,
-    fixed: &[(NodeId, NodeId)],
-    assignment: &mut [Option<usize>],
-) {
-    let nl = assignment.len();
-    // Query adjacency restricted to anchored (important) nodes, with edge
-    // direction preserved: adj[li] = (lj, li-is-source). Query edges into
-    // `fixed` pairs (an already-committed match being extended by residual
-    // re-anchoring) conserve against those pairs' pinned images instead.
-    let mut left_of: HashMap<u32, usize> = HashMap::new();
-    for (li, q) in important.iter().enumerate() {
-        left_of.insert(q.0, li);
+    /// Runs a batch of queries through the staged engine. The returned
+    /// vector is aligned with `queries`, and each entry is bit-identical
+    /// to what a standalone [`TaleDatabase::query`] call would return —
+    /// the batch only amortizes: duplicate queries run once, duplicate
+    /// probe signatures hit the disk index once, and the thread pool fans
+    /// over all per-graph work without syncing at query boundaries.
+    pub fn query_batch(
+        &self,
+        queries: &[&Graph],
+        opts: &QueryOptions,
+    ) -> Result<Vec<Vec<QueryMatch>>> {
+        Ok(self.query_batch_with_stats(queries, opts)?.0)
     }
-    let fixed_of: HashMap<u32, NodeId> = fixed.iter().map(|&(q, t)| (q.0, t)).collect();
-    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); nl];
-    let mut fixed_adj: Vec<Vec<(NodeId, bool)>> = vec![Vec::new(); nl];
-    for (u, v, _) in query.edges() {
-        match (left_of.get(&u.0), left_of.get(&v.0)) {
-            (Some(&lu), Some(&lv)) => {
-                adj[lu].push((lv, true));
-                adj[lv].push((lu, false));
-            }
-            (Some(&lu), None) => {
-                if let Some(&tv) = fixed_of.get(&v.0) {
-                    fixed_adj[lu].push((tv, true));
-                }
-            }
-            (None, Some(&lv)) => {
-                if let Some(&tu) = fixed_of.get(&u.0) {
-                    fixed_adj[lv].push((tu, false));
-                }
-            }
-            (None, None) => {}
-        }
+
+    /// Like [`TaleDatabase::query_batch`], also returning batch-level
+    /// statistics (per-query traffic, amortization counters, stage times).
+    pub fn query_batch_with_stats(
+        &self,
+        queries: &[&Graph],
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
+        exec::run_batch(&self.db, &self.index, self.cache_for(opts), queries, opts)
     }
-    let mut cands: Vec<Vec<usize>> = vec![Vec::new(); nl];
-    for &(li, r) in w.keys() {
-        cands[li].push(r);
+
+    /// Counter snapshot of the result cache (hits, misses, invalidations).
+    pub fn result_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
-    for c in cands.iter_mut() {
-        c.sort_unstable();
-    }
-    let mut owner: Vec<Option<usize>> = vec![None; right_nodes.len()];
-    for (li, a) in assignment.iter().enumerate() {
-        if let Some(r) = *a {
-            owner[r] = Some(li);
-        }
-    }
-    // Query edges from `li` (mapped to right node `r`) conserved in the
-    // target under the current assignment of the other endpoints.
-    let conserved = |assignment: &[Option<usize>], li: usize, r: usize| -> usize {
-        let tn = NodeId(right_nodes[r]);
-        adj[li]
-            .iter()
-            .filter(|&&(lj, out)| {
-                assignment[lj].is_some_and(|rj| {
-                    let tj = NodeId(right_nodes[rj]);
-                    if out {
-                        target.has_edge(tn, tj)
-                    } else {
-                        target.has_edge(tj, tn)
-                    }
-                })
-            })
-            .count()
-            + fixed_adj[li]
-                .iter()
-                .filter(|&&(tj, out)| {
-                    if out {
-                        target.has_edge(tn, tj)
-                    } else {
-                        target.has_edge(tj, tn)
-                    }
-                })
-                .count()
-    };
-    const EPS: f64 = 1e-9;
-    loop {
-        let mut improved = false;
-        // Single moves to an unused candidate of no lower quality.
-        for li in 0..nl {
-            let Some(cur) = assignment[li] else { continue };
-            let cur_w = w.get(&(li, cur)).copied().unwrap_or(0.0);
-            let cur_c = conserved(assignment, li, cur);
-            let mut best: Option<(usize, usize)> = None; // (conserved, right)
-            for &r in &cands[li] {
-                if r == cur || owner[r].is_some() {
-                    continue;
-                }
-                if w[&(li, r)] < cur_w - EPS {
-                    continue;
-                }
-                let c = conserved(assignment, li, r);
-                if c > cur_c && best.is_none_or(|(bc, _)| c > bc) {
-                    best = Some((c, r));
-                }
-            }
-            if let Some((_, r)) = best {
-                owner[cur] = None;
-                owner[r] = Some(li);
-                assignment[li] = Some(r);
-                improved = true;
-            }
-        }
-        // Length-2 chains of no lower summed quality: `li` takes one of its
-        // candidates `rj` from its owner `lj`, while `lj` falls back to
-        // `li`'s old target (a plain swap) or to an unused candidate of its
-        // own (an augmenting rotation — needed when a tangle's repair
-        // passes through a conserved-neutral intermediate no single move
-        // would take). Only (li, lj) pairs sharing a candidate are visited,
-        // keeping the pass near-linear in the candidate-list total.
-        for li in 0..nl {
-            for ci in 0..cands[li].len() {
-                let Some(ri) = assignment[li] else { break };
-                let rj = cands[li][ci];
-                let Some(lj) = owner[rj] else { continue };
-                if lj == li {
-                    continue;
-                }
-                let wij = w[&(li, rj)];
-                let old_sum = w[&(li, ri)] + w[&(lj, rj)];
-                let mut before = None;
-                for &fb in std::iter::once(&ri).chain(cands[lj].iter().filter(|&&r| r != ri)) {
-                    if fb != ri && (fb == rj || owner[fb].is_some()) {
-                        continue;
-                    }
-                    let Some(&wjf) = w.get(&(lj, fb)) else {
-                        continue;
-                    };
-                    if wij + wjf < old_sum - EPS {
-                        continue;
-                    }
-                    let before = *before.get_or_insert_with(|| {
-                        conserved(assignment, li, ri) + conserved(assignment, lj, rj)
-                    });
-                    assignment[li] = Some(rj);
-                    assignment[lj] = Some(fb);
-                    let after = conserved(assignment, li, rj) + conserved(assignment, lj, fb);
-                    if after > before {
-                        owner[ri] = None;
-                        owner[rj] = Some(li);
-                        owner[fb] = Some(lj);
-                        improved = true;
-                        break;
-                    }
-                    assignment[li] = Some(ri);
-                    assignment[lj] = Some(rj);
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
+
+    /// Drops every cached result (the engine does this automatically on
+    /// [`TaleDatabase::insert_graph`] / [`TaleDatabase::remove_graph`]).
+    pub fn clear_result_cache(&self) {
+        self.cache.clear()
     }
 }
 

@@ -1,0 +1,257 @@
+//! The query-result cache.
+//!
+//! Repeated-pattern workloads (the same motif queried against a growing
+//! database, dashboards re-issuing canned queries) pay the full §V
+//! pipeline for every repeat. The [`ResultCache`] short-circuits them:
+//! results are stored under `(canonical query signature, options
+//! fingerprint)` and a **hit returns without touching the disk index at
+//! all** — verifiable through [`NhIndex::counters`](tale_nhindex::NhIndex::counters).
+//!
+//! ## Key scheme
+//!
+//! * The *canonical signature* ([`plan::canonical_signature`]) is a 1-WL
+//!   hash over effective labels, invariant under query-node relabeling, so
+//!   renumbered copies of one pattern land on the same key.
+//! * The *options fingerprint* ([`options_fingerprint`]) folds every
+//!   result-affecting [`QueryOptions`] field. `threads` is excluded on
+//!   purpose: results are bit-identical at every thread count, so a serial
+//!   and a parallel run of the same query share one entry.
+//! * Each entry additionally stores the **exact** query representation
+//!   (direction, effective labels, labeled edge list). A lookup must match
+//!   it byte for byte; a 1-WL collision — or a relabeled variant whose
+//!   node mapping would not transfer — therefore misses and recomputes.
+//!   Collisions cost time, never correctness.
+//!
+//! ## Invalidation
+//!
+//! [`TaleDatabase::insert_graph`](crate::TaleDatabase::insert_graph) and
+//! [`TaleDatabase::remove_graph`](crate::TaleDatabase::remove_graph) clear
+//! the cache explicitly: any mutation can change any query's result set.
+//!
+//! Eviction is LRU over a fixed entry budget; the implementation is a
+//! plain map + monotonic ticks (no external LRU crate in the vendored
+//! dependency set).
+
+use crate::params::QueryOptions;
+use crate::result::QueryMatch;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tale_graph::centrality::ImportanceMeasure;
+use tale_graph::{Graph, GraphDb, NodeId};
+
+/// Default entry budget of a [`TaleDatabase`](crate::TaleDatabase)'s cache.
+pub const DEFAULT_CACHE_ENTRIES: usize = 128;
+
+/// Exact query representation stored alongside each entry for
+/// verification on lookup: direction, per-node effective labels, and the
+/// labeled edge list, all in node-id order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct QueryRepr {
+    directed: bool,
+    labels: Vec<u32>,
+    /// `(u, v, edge label + 1)` per edge; unlabeled edges store 0.
+    edges: Vec<(u32, u32, u32)>,
+}
+
+/// Builds the exact representation of `query` under `db`'s vocabulary.
+pub(crate) fn query_repr(db: &GraphDb, query: &Graph) -> QueryRepr {
+    QueryRepr {
+        directed: query.is_directed(),
+        labels: query
+            .nodes()
+            .map(|n: NodeId| db.effective_of_raw(query.label(n)))
+            .collect(),
+        edges: query
+            .edges()
+            .map(|(u, v, l)| (u.0, v.0, l.map(|l| l.0 + 1).unwrap_or(0)))
+            .collect(),
+    }
+}
+
+/// Cache key: canonical query signature × options fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub canonical: u64,
+    pub options: u64,
+}
+
+fn fnv(acc: u64, v: u64) -> u64 {
+    let mut h = acc;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fingerprint of every result-affecting field of [`QueryOptions`].
+///
+/// `threads` and `use_cache` are excluded: neither changes results.
+/// Similarity models are identified by [`SimilarityModel::name`] — custom
+/// models must use distinct names (or distinct parameters must appear in
+/// the name) to occupy distinct cache entries.
+///
+/// [`SimilarityModel::name`]: tale_matching::similarity::SimilarityModel::name
+pub fn options_fingerprint(opts: &QueryOptions) -> u64 {
+    let mut h = fnv(0xcbf29ce484222325, opts.rho.to_bits());
+    h = fnv(h, opts.p_imp.to_bits());
+    let (tag, seed) = match opts.importance {
+        ImportanceMeasure::Degree => (0u64, 0u64),
+        ImportanceMeasure::Closeness => (1, 0),
+        ImportanceMeasure::Betweenness => (2, 0),
+        ImportanceMeasure::Eigenvector => (3, 0),
+        ImportanceMeasure::Random(s) => (4, s),
+    };
+    h = fnv(h, tag);
+    h = fnv(h, seed);
+    h = fnv(h, opts.hops as u64);
+    h = fnv(h, opts.greedy_anchors as u64);
+    h = fnv(h, opts.match_edge_labels as u64);
+    h = fnv(
+        h,
+        match opts.top_k {
+            Some(k) => k as u64 + 1,
+            None => 0,
+        },
+    );
+    for b in opts.similarity.name().bytes() {
+        h = fnv(h, b as u64);
+    }
+    h
+}
+
+struct Entry {
+    repr: QueryRepr,
+    results: Vec<QueryMatch>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    invalidations: u64,
+}
+
+/// Observable cache counters (see [`ResultCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entry budget.
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Results stored (including LRU replacements).
+    pub insertions: u64,
+    /// Explicit clears (database mutations).
+    pub invalidations: u64,
+}
+
+/// LRU result cache keyed by `(canonical signature, options fingerprint)`
+/// with exact-query verification. Interior-mutable and thread-safe so
+/// concurrent queries through `&TaleDatabase` share it.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// storage entirely — every lookup misses).
+    pub(crate) fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                invalidations: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, verifying the stored query equals `repr` exactly.
+    /// A hit clones the stored results (cheap next to the pipeline) and
+    /// refreshes the entry's LRU position.
+    pub(crate) fn get(&self, key: &CacheKey, repr: &QueryRepr) -> Option<Vec<QueryMatch>> {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) if e.repr == *repr => {
+                e.last_used = tick;
+                let out = e.results.clone();
+                inner.hits += 1;
+                Some(out)
+            }
+            _ => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `results` under `key`, evicting the least-recently-used
+    /// entry when over budget.
+    pub(crate) fn put(&self, key: CacheKey, repr: QueryRepr, results: Vec<QueryMatch>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.insertions += 1;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // O(n) eviction scan: capacity is small (hundreds) and puts
+            // are rare next to the pipeline work they cap.
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                repr,
+                results,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry (database mutation invalidation).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.map.clear();
+        inner.invalidations += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("result cache poisoned");
+        CacheStats {
+            entries: inner.map.len(),
+            capacity: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            invalidations: inner.invalidations,
+        }
+    }
+
+    /// Entry budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}

@@ -1,0 +1,211 @@
+//! The exec stage: orchestrates plan → cache → probe → anchor/grow →
+//! rank for a whole batch, scattering work across threads and gathering
+//! with a deterministic index-ordered merge.
+//!
+//! Batch semantics are exact: the output of [`run_batch`] is bit-identical
+//! to running each query alone through the same pipeline, at every thread
+//! count. The batch only *amortizes* — duplicate queries are executed
+//! once, duplicate probe signatures are probed once, and the thread pool
+//! fans over the union of all per-graph work items instead of syncing at
+//! each query boundary.
+
+use crate::engine::cache::{self, CacheKey, QueryRepr, ResultCache};
+use crate::engine::plan::{plan_query, QueryPlan};
+use crate::engine::stats::{BatchStats, QueryStats, StageTimes};
+use crate::engine::{grow, probe};
+use crate::params::QueryOptions;
+use crate::result::QueryMatch;
+use crate::Result;
+use std::time::Instant;
+use tale_graph::{Graph, GraphDb};
+use tale_nhindex::NhIndex;
+
+/// How each input query gets its results.
+enum Outcome {
+    /// Served from the cache.
+    Cached(Vec<QueryMatch>),
+    /// Computed as (an alias of) the given unique-query slot.
+    Computed(usize),
+}
+
+/// Runs a batch of queries through the staged pipeline. Pass
+/// `cache: None` to bypass the result cache entirely (no lookups, no
+/// insertions).
+pub(crate) fn run_batch(
+    db: &GraphDb,
+    index: &NhIndex,
+    cache: Option<&ResultCache>,
+    queries: &[&Graph],
+    opts: &QueryOptions,
+) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
+    let t_total = Instant::now();
+    let pool_before = index.pool_stats();
+    let threads = tale_par::effective_threads(opts.threads);
+
+    // Plan: importance + signatures + canonical signature, per query.
+    let t = Instant::now();
+    let plans: Vec<QueryPlan> = tale_par::parallel_map(threads, queries.len(), |i| {
+        plan_query(db, index, queries[i], opts)
+    });
+    let reprs: Vec<QueryRepr> = queries.iter().map(|q| cache::query_repr(db, q)).collect();
+    let plan_secs = t.elapsed().as_secs_f64();
+
+    // Cache lookups + exact-duplicate folding. `uniques` holds the input
+    // index of each distinct query that must actually run.
+    let opt_fp = cache::options_fingerprint(opts);
+    let keys: Vec<CacheKey> = plans
+        .iter()
+        .map(|p| CacheKey {
+            canonical: p.canonical,
+            options: opt_fp,
+        })
+        .collect();
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(queries.len());
+    let mut uniques: Vec<usize> = Vec::new();
+    let mut first_of: std::collections::HashMap<&QueryRepr, usize> =
+        std::collections::HashMap::new();
+    let mut cache_hits = 0usize;
+    for i in 0..queries.len() {
+        if let Some(c) = cache {
+            if let Some(hit) = c.get(&keys[i], &reprs[i]) {
+                outcomes.push(Outcome::Cached(hit));
+                cache_hits += 1;
+                continue;
+            }
+        }
+        let u = *first_of.entry(&reprs[i]).or_insert_with(|| {
+            uniques.push(i);
+            uniques.len() - 1
+        });
+        outcomes.push(Outcome::Computed(u));
+    }
+
+    // Probe: every distinct signature across the uncached uniques hits
+    // the disk index once.
+    let t = Instant::now();
+    let unique_plans: Vec<&QueryPlan> = uniques.iter().map(|&i| &plans[i]).collect();
+    let probed = probe::run_probe(index, &unique_plans, opts.rho, opts.threads)?;
+    let probe_secs = t.elapsed().as_secs_f64();
+
+    // Match: anchor + grow per (query, candidate graph), flattened across
+    // the batch so threads never idle at query boundaries. `parallel_map`
+    // returns in item order and items are (unique, sorted gid), so the
+    // per-query gather below is byte-identical to a serial per-query loop.
+    let t = Instant::now();
+    let mut items: Vec<(usize, u32)> = Vec::new();
+    for (u, p) in probed.per_query.iter().enumerate() {
+        let mut gids: Vec<u32> = p.per_graph.keys().copied().collect();
+        gids.sort_unstable();
+        items.extend(gids.into_iter().map(|g| (u, g)));
+    }
+    let matched: Vec<Option<QueryMatch>> = tale_par::parallel_map(threads, items.len(), |i| {
+        let (u, gid) = items[i];
+        let qi = uniques[u];
+        grow::match_one_graph(
+            db,
+            queries[qi],
+            &plans[qi].important,
+            gid,
+            &probed.per_query[u].per_graph[&gid],
+            opts,
+        )
+    });
+    let match_secs = t.elapsed().as_secs_f64();
+
+    // Rank: per unique query, sort by (score desc, graph id asc) and
+    // truncate to top_k.
+    let t = Instant::now();
+    let mut unique_results: Vec<Vec<QueryMatch>> = vec![Vec::new(); uniques.len()];
+    for ((u, _), m) in items.into_iter().zip(matched) {
+        if let Some(m) = m {
+            unique_results[u].push(m);
+        }
+    }
+    for results in unique_results.iter_mut() {
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.graph.cmp(&b.graph))
+        });
+        if let Some(k) = opts.top_k {
+            results.truncate(k);
+        }
+    }
+    if let Some(c) = cache {
+        for (u, &qi) in uniques.iter().enumerate() {
+            c.put(keys[qi], reprs[qi].clone(), unique_results[u].clone());
+        }
+    }
+    let rank_secs = t.elapsed().as_secs_f64();
+
+    // Assemble outputs in input order; the last user of each unique slot
+    // takes the vector, earlier aliases clone.
+    let mut users_left: Vec<usize> = vec![0; uniques.len()];
+    for o in &outcomes {
+        if let Outcome::Computed(u) = o {
+            users_left[*u] += 1;
+        }
+    }
+    let stages = StageTimes {
+        plan_secs,
+        probe_secs,
+        match_secs,
+        rank_secs,
+        total_secs: t_total.elapsed().as_secs_f64(),
+    };
+    let pool = index.pool_stats().since(pool_before).into();
+    let mut per_query: Vec<QueryStats> = Vec::with_capacity(queries.len());
+    let mut outputs: Vec<Vec<QueryMatch>> = Vec::with_capacity(queries.len());
+    for (i, o) in outcomes.into_iter().enumerate() {
+        let (results, mut qs) = match o {
+            Outcome::Cached(r) => (
+                r,
+                QueryStats {
+                    cache_hit: true,
+                    ..QueryStats::default()
+                },
+            ),
+            Outcome::Computed(u) => {
+                users_left[u] -= 1;
+                let r = if users_left[u] == 0 {
+                    std::mem::take(&mut unique_results[u])
+                } else {
+                    unique_results[u].clone()
+                };
+                let p = &probed.per_query[u];
+                (
+                    r,
+                    QueryStats {
+                        probes: p.probes,
+                        probes_shared: p.probes_shared,
+                        keys_scanned: p.keys_scanned,
+                        postings_fetched: p.postings_fetched,
+                        rows_examined: p.rows_examined,
+                        candidates: p.candidates,
+                        candidate_graphs: p.per_graph.len(),
+                        ..QueryStats::default()
+                    },
+                )
+            }
+        };
+        qs.important_nodes = plans[i].important.len();
+        qs.matches = results.len();
+        qs.stages = stages;
+        qs.pool = pool;
+        per_query.push(qs);
+        outputs.push(results);
+    }
+
+    let batch = BatchStats {
+        queries: queries.len(),
+        cache_hits,
+        unique_queries: uniques.len(),
+        probes_requested: probed.probes_requested,
+        probes_issued: probed.probes_issued,
+        stages,
+        pool,
+        per_query,
+    };
+    Ok((outputs, batch))
+}

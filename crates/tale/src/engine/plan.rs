@@ -1,0 +1,114 @@
+//! The plan stage: importance selection + signatures, computed once per
+//! query.
+//!
+//! A [`QueryPlan`] carries everything later stages need that depends only
+//! on the query and the options: the important nodes (§V-B), their
+//! NH-Index probe signatures, and a *canonical signature* — a
+//! relabeling-invariant hash over effective labels that keys the
+//! [`ResultCache`](crate::engine::cache::ResultCache).
+
+use crate::params::QueryOptions;
+use tale_graph::centrality::select_important_covering;
+use tale_graph::{Graph, GraphDb, NodeId};
+use tale_nhindex::{NhIndex, QuerySignature};
+
+/// Everything the engine derives from one query before touching the index.
+#[derive(Debug)]
+pub struct QueryPlan {
+    /// Important query nodes, in selection order (§V-B).
+    pub important: Vec<NodeId>,
+    /// One probe signature per important node, aligned with `important`.
+    pub signatures: Vec<QuerySignature>,
+    /// Canonical query signature over effective labels — invariant under
+    /// node-id relabeling of the query graph.
+    pub canonical: u64,
+}
+
+/// Runs the plan stage for one query.
+pub(crate) fn plan_query(
+    db: &GraphDb,
+    index: &NhIndex,
+    query: &Graph,
+    opts: &QueryOptions,
+) -> QueryPlan {
+    let important = select_important_covering(query, opts.importance, opts.p_imp);
+    let q_label = |n: NodeId| db.effective_of_raw(query.label(n));
+    let signatures = important
+        .iter()
+        .map(|&n| index.signature(query, n, &q_label))
+        .collect();
+    QueryPlan {
+        canonical: canonical_signature(query, &q_label),
+        important,
+        signatures,
+    }
+}
+
+/// FNV-1a over a u64 stream — stable across runs and platforms.
+fn fnv(acc: u64, v: u64) -> u64 {
+    let mut h = acc;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const SEED: u64 = 0xcbf29ce484222325;
+const WL_ROUNDS: usize = 3;
+
+/// Canonical query signature: a 1-WL color-refinement hash over the
+/// query's *effective* labels (group labels under §IV-E) and edge labels,
+/// folded into the sorted final color multiset plus node/edge counts and
+/// direction.
+///
+/// Invariant under any relabeling of the query's node ids (the refinement
+/// reads colors by node, and the final fold sorts the multiset), which is
+/// the property the result cache needs: the same pattern submitted with
+/// its nodes in a different order maps to the same cache key. Like any
+/// 1-WL hash, distinct graphs may collide — which is why cache entries
+/// also store the exact query for verification and a collision can only
+/// cost a recomputation, never a wrong answer.
+pub fn canonical_signature(query: &Graph, label_of: &dyn Fn(NodeId) -> u32) -> u64 {
+    let mut colors: Vec<u64> = query
+        .nodes()
+        .map(|n| fnv(SEED, label_of(n) as u64))
+        .collect();
+    let mut next = colors.clone();
+    for _ in 0..WL_ROUNDS {
+        for n in query.nodes() {
+            // Fold each incident edge's label into the neighbor's color so
+            // edge relabelings change the signature too.
+            let mut outs: Vec<u64> = query
+                .neighbor_edges(n)
+                .map(|(v, eid)| {
+                    let el = query.edge_label(eid).map(|l| l.0 as u64 + 1).unwrap_or(0);
+                    fnv(colors[v.idx()], el)
+                })
+                .collect();
+            outs.sort_unstable();
+            let mut h = fnv(SEED, colors[n.idx()]);
+            for c in outs {
+                h = fnv(h, c);
+            }
+            if query.is_directed() {
+                let mut ins: Vec<u64> = query.in_neighbors(n).map(|v| colors[v.idx()]).collect();
+                ins.sort_unstable();
+                h = fnv(h, 0xD1F); // domain separation between out and in
+                for c in ins {
+                    h = fnv(h, c);
+                }
+            }
+            next[n.idx()] = h;
+        }
+        std::mem::swap(&mut colors, &mut next);
+    }
+    colors.sort_unstable();
+    let mut h = fnv(SEED, query.node_count() as u64);
+    h = fnv(h, query.edge_count() as u64);
+    h = fnv(h, query.is_directed() as u64);
+    for c in colors {
+        h = fnv(h, c);
+    }
+    h
+}

@@ -1,0 +1,122 @@
+//! Per-stage observability for the query engine.
+//!
+//! Every query (and every batch) reports what each pipeline stage did and
+//! cost: probe counts against the disk index, postings scanned, the
+//! buffer-pool hit rate underneath, and per-stage wall clocks. The CLI
+//! surfaces these via `tale-cli query --stats`; the bench harness records
+//! them in `BENCH_speedup.json`.
+
+use serde::Serialize;
+use tale_storage::PoolStats;
+
+/// Wall-clock seconds spent in each engine stage.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageTimes {
+    /// Importance selection + signature construction (plan stage).
+    pub plan_secs: f64,
+    /// NH-Index probing (probe stage).
+    pub probe_secs: f64,
+    /// Anchor resolution + growth over candidate graphs (match stage).
+    pub match_secs: f64,
+    /// Similarity ranking and truncation (rank stage).
+    pub rank_secs: f64,
+    /// End-to-end, including cache lookups and result assembly.
+    pub total_secs: f64,
+}
+
+/// Buffer-pool traffic attributed to one query or batch (hit/miss deltas
+/// of the index's pools over the span of the run).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PoolDelta {
+    /// Page fetches served from memory.
+    pub hits: u64,
+    /// Page fetches that went to disk.
+    pub misses: u64,
+}
+
+impl PoolDelta {
+    /// Hit fraction in `[0, 1]`; zero accesses count as rate 0.
+    pub fn hit_rate(&self) -> f64 {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+        .hit_rate()
+    }
+}
+
+impl From<PoolStats> for PoolDelta {
+    fn from(p: PoolStats) -> Self {
+        PoolDelta {
+            hits: p.hits,
+            misses: p.misses,
+        }
+    }
+}
+
+/// What one query cost, stage by stage.
+///
+/// In a batch, stage wall clocks and the pool delta are those of the
+/// *enclosing batch* (stages run batch-wide, so per-query slices are not
+/// individually timeable); the probe counters are per query: each probe
+/// signature the query needed is credited to it exactly as a standalone
+/// run would, with [`QueryStats::probes_shared`] recording how many of
+/// those answers were amortized across the batch instead of hitting the
+/// disk index again.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct QueryStats {
+    /// Important query nodes selected by the plan stage (§V-B).
+    pub important_nodes: usize,
+    /// Probe signatures this query needed answered.
+    pub probes: u64,
+    /// Of those, answered by a probe another signature already paid for
+    /// (batch dedup), rather than a fresh disk probe.
+    pub probes_shared: u64,
+    /// B+-tree keys visited on this query's behalf.
+    pub keys_scanned: u64,
+    /// Postings fetched on this query's behalf.
+    pub postings_fetched: u64,
+    /// Bitmap rows examined by Algorithm 1 on this query's behalf.
+    pub rows_examined: u64,
+    /// Candidate node matches surviving conditions IV.1–IV.4.
+    pub candidates: u64,
+    /// Database graphs with at least one candidate (match-stage fan-out).
+    pub candidate_graphs: usize,
+    /// Matches returned (after ranking and `top_k`).
+    pub matches: usize,
+    /// True when the result came from the [`ResultCache`] — the engine
+    /// never touched the disk index (all probe counters are zero).
+    ///
+    /// [`ResultCache`]: crate::engine::cache::ResultCache
+    pub cache_hit: bool,
+    /// Stage wall clocks (of the enclosing batch when batched).
+    pub stages: StageTimes,
+    /// Buffer-pool traffic (of the enclosing batch when batched).
+    pub pool: PoolDelta,
+}
+
+/// What one batch cost end to end, plus per-query breakdowns.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries answered straight from the [`ResultCache`]
+    /// (no index traffic at all).
+    ///
+    /// [`ResultCache`]: crate::engine::cache::ResultCache
+    pub cache_hits: usize,
+    /// Distinct queries actually executed after cache hits and
+    /// exact-duplicate folding.
+    pub unique_queries: usize,
+    /// Probe signatures requested across all executed queries.
+    pub probes_requested: u64,
+    /// Probes that actually hit the disk index (after signature dedup);
+    /// `probes_requested - probes_issued` is the batch's amortization.
+    pub probes_issued: u64,
+    /// Stage wall clocks for the whole batch.
+    pub stages: StageTimes,
+    /// Buffer-pool traffic for the whole batch.
+    pub pool: PoolDelta,
+    /// Per-query breakdowns, in input order.
+    pub per_query: Vec<QueryStats>,
+}

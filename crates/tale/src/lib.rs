@@ -35,11 +35,15 @@
 //! ```
 
 mod database;
+pub mod engine;
 mod params;
 mod result;
 mod scratch;
 
 pub use database::TaleDatabase;
+pub use engine::cache::{options_fingerprint, CacheStats, DEFAULT_CACHE_ENTRIES};
+pub use engine::plan::canonical_signature;
+pub use engine::stats::{BatchStats, PoolDelta, QueryStats, StageTimes};
 pub use params::{QueryOptions, TaleParams};
 pub use result::QueryMatch;
 pub use tale_graph::centrality::ImportanceMeasure;

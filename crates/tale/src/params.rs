@@ -87,6 +87,10 @@ pub struct QueryOptions {
     /// at every setting — per-graph work is pure and merged in a
     /// deterministic order — so this is purely a latency knob.
     pub threads: usize,
+    /// Consult (and populate) the database's result cache. Caching never
+    /// changes results — hits are verified against the exact query — so
+    /// this is a knob for benchmarking cold paths, not correctness.
+    pub use_cache: bool,
     /// Similarity model ranking the results (§III: user-customizable).
     pub similarity: Arc<dyn SimilarityModel>,
 }
@@ -102,6 +106,7 @@ impl Default for QueryOptions {
             match_edge_labels: false,
             top_k: None,
             threads: 0,
+            use_cache: true,
             similarity: Arc::new(QualitySum),
         }
     }
@@ -117,6 +122,7 @@ impl std::fmt::Debug for QueryOptions {
             .field("greedy_anchors", &self.greedy_anchors)
             .field("top_k", &self.top_k)
             .field("threads", &self.threads)
+            .field("use_cache", &self.use_cache)
             .field("similarity", &self.similarity.name())
             .finish()
     }
@@ -158,6 +164,12 @@ impl QueryOptions {
     /// serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style: enable or disable the result cache.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
         self
     }
 }
