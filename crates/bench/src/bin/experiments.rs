@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|all] [--threads N]
+//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -16,6 +16,7 @@ use tale_bench::experiments::fig789::{default_sizes, run_fig789};
 use tale_bench::experiments::kegg::run_kegg;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
 use tale_bench::experiments::saga::run_saga;
+use tale_bench::experiments::shard::run_shard;
 use tale_bench::experiments::speedup::{run_batch_speedup, run_speedup};
 use tale_bench::experiments::table1::run_table1;
 use tale_bench::experiments::table2::run_table2;
@@ -48,7 +49,11 @@ fn main() {
         "saga" => saga(scale),
         "kegg" => kegg(scale),
         "pimp" => pimp(scale),
-        "speedup" => speedup(scale),
+        "speedup" => {
+            speedup(scale);
+            shard(scale);
+        }
+        "shard" => shard(scale),
         "all" => {
             alg1();
             table1(scale);
@@ -61,10 +66,11 @@ fn main() {
             kegg(scale);
             pimp(scale);
             speedup(scale);
+            shard(scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -155,6 +161,7 @@ fn speedup(scale: Scale) {
     if let Some(path) = json_arg() {
         #[derive(serde::Serialize)]
         struct SpeedupReport {
+            schema_version: u32,
             seed: u64,
             scale: f64,
             threads: usize,
@@ -163,6 +170,7 @@ fn speedup(scale: Scale) {
             batch: tale_bench::experiments::speedup::BatchSpeedupRow,
         }
         let report = SpeedupReport {
+            schema_version: 2,
             seed: seed(),
             scale: scale.0,
             threads,
@@ -170,19 +178,71 @@ fn speedup(scale: Scale) {
             parallel: parallel_rows,
             batch: b,
         };
-        match serde_json::to_string_pretty(&report) {
-            Ok(s) => {
-                if let Err(e) = std::fs::write(&path, s + "\n") {
-                    eprintln!("writing {path}: {e}");
-                    std::process::exit(1);
-                }
-                eprintln!("# wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("serializing speedup report: {e}");
+        write_json(&path, &report, "speedup report");
+    }
+}
+
+/// Serializes `report` to `path`, exiting non-zero on failure (both
+/// report writers share the BENCH JSON contract checked by CI).
+fn write_json<T: serde::Serialize>(path: &str, report: &T, what: &str) {
+    match serde_json::to_string_pretty(report) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s + "\n") {
+                eprintln!("writing {path}: {e}");
                 std::process::exit(1);
             }
+            eprintln!("# wrote {path}");
         }
+        Err(e) => {
+            eprintln!("serializing {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--shard-json PATH` from argv: where to write `BENCH_shard.json`
+/// (`None` = don't).
+fn shard_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shard-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn shard(scale: Scale) {
+    let threads = threads_arg();
+    println!("\n## E-SHARD — partitioned index build + scatter/gather queries\n");
+    println!("Table 2-style PIN corpus, hash placement; each shard bulk-loads its");
+    println!("own B+-tree concurrently, then the scatter/gather executor answers");
+    println!("the same query workload. Results are checked bit-identical to the");
+    println!("single-index path at every shard count. Build speedup is capped by");
+    println!("available cores; expect >=1.5x at 4 shards on a 4-core machine,");
+    println!("~1x on 1 core.\n");
+    let r = run_shard(seed(), scale, threads, &[1, 2, 4]);
+    println!(
+        "db: {} graphs; {} queries; {} cores; single-index build {:.3}s\n",
+        r.graphs, r.queries, r.cores, r.single_build_secs
+    );
+    println!(
+        "| shards | build (s) | slowest shard (s) | build skew | build speedup | query (s) | query skew | identical |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for row in &r.rows {
+        println!(
+            "| {} | {:.3} | {:.3} | {:.2} | {:.2}x | {:.3} | {:.2} | {} |",
+            row.shards,
+            row.build_secs,
+            row.max_shard_build_secs,
+            row.build_skew,
+            row.build_speedup,
+            row.query_secs,
+            row.query_shard_skew,
+            if row.identical { "yes" } else { "NO" }
+        );
+    }
+    if let Some(path) = shard_json_arg() {
+        write_json(&path, &r, "shard report");
     }
 }
 

@@ -8,6 +8,7 @@ pub mod fig789;
 pub mod kegg;
 pub mod pimp;
 pub mod saga;
+pub mod shard;
 pub mod speedup;
 pub mod table1;
 pub mod table2;

@@ -86,7 +86,7 @@ fn best_pass(
 
 /// Pair-for-pair equality, including bit-identical scores — the
 /// parallel pipeline's determinism claim, not just aggregate agreement.
-fn identical(a: &[Vec<QueryMatch>], b: &[Vec<QueryMatch>]) -> bool {
+pub(crate) fn identical(a: &[Vec<QueryMatch>], b: &[Vec<QueryMatch>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(ra, rb)| {
             ra.len() == rb.len()

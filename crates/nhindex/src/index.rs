@@ -213,6 +213,25 @@ struct Unit {
 impl NhIndex {
     /// Builds the index for `db` into `dir` (created if needed).
     pub fn build(dir: &Path, db: &GraphDb, config: &NhIndexConfig) -> Result<Self> {
+        let all: Vec<tale_graph::GraphId> = db.iter().map(|(id, _, _)| id).collect();
+        Self::build_subset(dir, db, config, &all)
+    }
+
+    /// Builds an index covering only the listed `graphs` of `db` — the
+    /// shard-local build. Node references keep their *global* graph ids
+    /// and the neighbor-array scheme is chosen from the full database
+    /// vocabulary, so a probe against a subset index returns exactly the
+    /// subsequence of the full index's answer whose graphs are in the
+    /// subset. An empty subset yields a valid, empty index.
+    pub fn build_subset(
+        dir: &Path,
+        db: &GraphDb,
+        config: &NhIndexConfig,
+        graphs: &[tale_graph::GraphId],
+    ) -> Result<Self> {
+        for &gid in graphs {
+            db.try_graph(gid)?;
+        }
         std::fs::create_dir_all(dir)?;
         let scheme = if config.use_edge_labels {
             // pair space is too large for the deterministic regime
@@ -229,10 +248,10 @@ impl NhIndex {
             )
         };
 
-        let mut units = if config.parallel_build && db.len() > 1 {
-            Self::extract_parallel(db, scheme, config.use_edge_labels)
+        let mut units = if config.parallel_build && graphs.len() > 1 {
+            Self::extract_parallel(db, scheme, config.use_edge_labels, graphs)
         } else {
-            Self::extract_serial(db, scheme, config.use_edge_labels)
+            Self::extract_serial(db, scheme, config.use_edge_labels, graphs)
         };
         // Group by key; within a key keep (graph, node) order for
         // deterministic postings.
@@ -345,21 +364,32 @@ impl NhIndex {
         self.tombstones.contains(&graph.0)
     }
 
-    fn extract_serial(db: &GraphDb, scheme: NeighborArrayScheme, edge_labels: bool) -> Vec<Unit> {
-        let mut units = Vec::with_capacity(db.total_nodes());
-        for (gid, _, g) in db.iter() {
+    fn extract_serial(
+        db: &GraphDb,
+        scheme: NeighborArrayScheme,
+        edge_labels: bool,
+        graphs: &[tale_graph::GraphId],
+    ) -> Vec<Unit> {
+        let mut units = Vec::new();
+        for &gid in graphs {
+            let g = db.graph(gid);
             Self::extract_graph(db, gid.0, g, scheme, edge_labels, &mut units);
         }
         units
     }
 
-    fn extract_parallel(db: &GraphDb, scheme: NeighborArrayScheme, edge_labels: bool) -> Vec<Unit> {
-        let threads = tale_par::effective_threads(0).min(db.len());
-        let per_graph = tale_par::parallel_map(threads, db.len(), |gid| {
-            let gid = gid as u32;
-            let g = db.graph(tale_graph::GraphId(gid));
+    fn extract_parallel(
+        db: &GraphDb,
+        scheme: NeighborArrayScheme,
+        edge_labels: bool,
+        graphs: &[tale_graph::GraphId],
+    ) -> Vec<Unit> {
+        let threads = tale_par::effective_threads(0).min(graphs.len());
+        let per_graph = tale_par::parallel_map(threads, graphs.len(), |i| {
+            let gid = graphs[i];
+            let g = db.graph(gid);
             let mut local = Vec::new();
-            Self::extract_graph(db, gid, g, scheme, edge_labels, &mut local);
+            Self::extract_graph(db, gid.0, g, scheme, edge_labels, &mut local);
             local
         });
         per_graph.into_iter().flatten().collect()
@@ -989,6 +1019,63 @@ mod tests {
             .unwrap()
             .iter()
             .all(|h| h.node.graph != 1));
+    }
+
+    #[test]
+    fn subset_build_is_the_full_index_filtered() {
+        // Probing a one-graph subset index must return exactly the rows of
+        // the full index whose graph is in the subset — same scheme, same
+        // global ids, same miss counts.
+        let db = sample_db();
+        let full_dir = tempfile::tempdir().unwrap();
+        let full = NhIndex::build(full_dir.path(), &db, &cfg()).unwrap();
+        for keep in [tale_graph::GraphId(0), tale_graph::GraphId(1)] {
+            let dir = tempfile::tempdir().unwrap();
+            let sub = NhIndex::build_subset(dir.path(), &db, &cfg(), &[keep]).unwrap();
+            assert_eq!(sub.scheme(), full.scheme());
+            assert_eq!(sub.node_count(), db.graph(keep).node_count() as u64);
+            for gid in [tale_graph::GraphId(0), tale_graph::GraphId(1)] {
+                let g = db.graph(gid);
+                for n in g.nodes() {
+                    let sig = full.signature(g, n, &|x| db.effective_label(gid, x));
+                    let mut want: Vec<NodeCandidate> = full
+                        .probe(&sig, 0.4)
+                        .unwrap()
+                        .into_iter()
+                        .filter(|h| h.node.graph == keep.0)
+                        .collect();
+                    let mut got = sub.probe(&sig, 0.4).unwrap();
+                    want.sort_by_key(|h| h.node);
+                    got.sort_by_key(|h| h.node);
+                    assert_eq!(got, want, "subset {keep:?}, probe from {gid:?} {n:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subset_builds_valid_empty_index() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        let idx = NhIndex::build_subset(dir.path(), &db, &cfg(), &[]).unwrap();
+        assert_eq!(idx.node_count(), 0);
+        assert_eq!(idx.key_count(), 0);
+        let g = db.graph(tale_graph::GraphId(0));
+        let sig = idx.signature(g, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(0), n)
+        });
+        assert!(idx.probe(&sig, 1.0).unwrap().is_empty());
+        drop(idx);
+        // an empty index persists and reopens
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert!(idx.probe(&sig, 1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subset_build_rejects_bad_ids() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        assert!(NhIndex::build_subset(dir.path(), &db, &cfg(), &[tale_graph::GraphId(7)]).is_err());
     }
 
     #[test]

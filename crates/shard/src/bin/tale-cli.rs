@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! tale-cli build <graphs.(txt|json)> <index-dir> [--sbit N] [--frames N]
+//!          [--shards N] [--policy hash|size-balanced]
 //! tale-cli add   <index-dir> <graphs.(txt|json)>
 //! tale-cli stats <index-dir>
 //! tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
@@ -16,16 +17,23 @@
 //! (`graph <name>` / `v <label>` / `e <u> <v> [label]`) or the JSON dump.
 //! Queries take the *first* graph in the file; its label names are mapped
 //! into the database vocabulary (unknown labels simply never match).
+//!
+//! `build --shards N` writes the partitioned layout (`shards.json` +
+//! `shard-NNN/` directories, see `tale_shard`); every other command
+//! detects the layout from the manifest and works on both. Sharded query
+//! results are bit-identical to the single-index answer.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use tale::{
-    CTreeStyle, ImportanceMeasure, MatchedNodesEdges, QualitySum, QueryOptions, TaleDatabase,
-    TaleParams,
+    CTreeStyle, ImportanceMeasure, MatchedNodesEdges, QualitySum, QueryMatch, QueryOptions,
+    QueryStats, ShardStats, TaleDatabase, TaleParams,
 };
 use tale_graph::labels::NodeLabel;
-use tale_graph::{Graph, GraphDb};
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_nhindex::{NeighborArrayScheme, NodeCandidate, ProbeStats, QuerySignature};
+use tale_shard::{policy_by_name, ShardManifest, ShardedTaleDatabase};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +62,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   tale-cli build <graphs.(txt|json)> <index-dir> [--sbit N] [--frames N]
+           [--shards N] [--policy hash|size-balanced]
   tale-cli add   <index-dir> <graphs.(txt|json)>
   tale-cli stats <index-dir>
   tale-cli explain <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
@@ -65,11 +74,160 @@ usage:
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
 threads:  0 = one per core (default); 1 = serial; N = worker cap
+shards:   partition the index across N independent NH-Index shards;
+          queries scatter/gather and return bit-identical results
 stats:    print per-stage engine statistics (probe traffic, pool hit
-          rate, stage wall clock); with --format json, wraps the output
-          as {\"matches\": [...], \"stats\": {...}}
+          rate, per-shard traffic and skew, stage wall clock); with
+          --format json, wraps the output as
+          {\"matches\": [...], \"stats\": {...}, \"shards\": [...]}
 no-cache: bypass the query-result cache for this run
 ";
+
+/// A database handle that is either a single-index [`TaleDatabase`] or a
+/// [`ShardedTaleDatabase`], detected from the `shards.json` manifest.
+/// Every subcommand works on both.
+enum AnyDb {
+    Single(TaleDatabase),
+    Sharded(ShardedTaleDatabase),
+}
+
+impl AnyDb {
+    fn open(dir: &Path, buffer_frames: usize) -> Result<Self, String> {
+        if ShardManifest::exists(dir) {
+            ShardedTaleDatabase::open(dir, buffer_frames)
+                .map(AnyDb::Sharded)
+                .map_err(|e| e.to_string())
+        } else {
+            TaleDatabase::open(dir, buffer_frames)
+                .map(AnyDb::Single)
+                .map_err(|e| e.to_string())
+        }
+    }
+
+    fn db(&self) -> &GraphDb {
+        match self {
+            AnyDb::Single(t) => t.db(),
+            AnyDb::Sharded(t) => t.db(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            AnyDb::Single(_) => 1,
+            AnyDb::Sharded(t) => t.index().shard_count(),
+        }
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        match self {
+            AnyDb::Single(t) => t.index_size_bytes(),
+            AnyDb::Sharded(t) => t.index_size_bytes(),
+        }
+    }
+
+    fn key_count(&self) -> u64 {
+        match self {
+            AnyDb::Single(t) => t.index().key_count(),
+            AnyDb::Sharded(t) => t.index().key_count(),
+        }
+    }
+
+    fn node_count(&self) -> u64 {
+        match self {
+            AnyDb::Single(t) => t.index().node_count(),
+            AnyDb::Sharded(t) => t.index().node_count(),
+        }
+    }
+
+    fn scheme(&self) -> NeighborArrayScheme {
+        match self {
+            AnyDb::Single(t) => t.index().scheme(),
+            // all shards share one scheme (derived from the full
+            // database vocabulary at build time)
+            AnyDb::Sharded(t) => t.index().shards()[0].scheme(),
+        }
+    }
+
+    fn signature(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        label_of: &dyn Fn(NodeId) -> u32,
+    ) -> QuerySignature {
+        match self {
+            AnyDb::Single(t) => t.index().signature(g, node, label_of),
+            AnyDb::Sharded(t) => t.index().shards()[0].signature(g, node, label_of),
+        }
+    }
+
+    /// Probes every shard and merges (hits are disjoint across shards;
+    /// counters sum). The single-index case is the one-shard case.
+    fn probe_with_stats(
+        &self,
+        sig: &QuerySignature,
+        rho: f64,
+    ) -> Result<(Vec<NodeCandidate>, ProbeStats), String> {
+        let shards: &[tale_nhindex::NhIndex] = match self {
+            AnyDb::Single(t) => std::slice::from_ref(t.index()),
+            AnyDb::Sharded(t) => t.index().shards(),
+        };
+        let mut hits = Vec::new();
+        let mut total = ProbeStats::default();
+        for sh in shards {
+            let (h, st) = sh.probe_with_stats(sig, rho).map_err(|e| e.to_string())?;
+            hits.extend(h);
+            total.keys_scanned += st.keys_scanned;
+            total.postings_fetched += st.postings_fetched;
+            total.rows_examined += st.rows_examined;
+            total.rows_returned += st.rows_returned;
+        }
+        Ok((hits, total))
+    }
+
+    fn insert_graph(&mut self, name: String, g: Graph) -> Result<GraphId, String> {
+        match self {
+            AnyDb::Single(t) => t.insert_graph(name, g).map_err(|e| e.to_string()),
+            AnyDb::Sharded(t) => t.insert_graph(name, g).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn intern_node_label(&mut self, name: &str) -> NodeLabel {
+        match self {
+            AnyDb::Single(t) => t.intern_node_label(name),
+            AnyDb::Sharded(t) => t.intern_node_label(name),
+        }
+    }
+
+    /// One query through the engine, returning its per-query stats plus
+    /// the per-shard breakdown and skew from the batch layer.
+    #[allow(clippy::type_complexity)]
+    fn query_with_stats(
+        &self,
+        query: &Graph,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<QueryMatch>, QueryStats, Vec<ShardStats>, f64), String> {
+        let (mut outputs, mut batch) = match self {
+            AnyDb::Single(t) => t.query_batch_with_stats(&[query], opts),
+            AnyDb::Sharded(t) => {
+                return t
+                    .query_batch_with_stats(&[query], opts)
+                    .map(|(mut o, mut b)| {
+                        let skew = b.shard_skew();
+                        (o.remove(0), b.per_query.remove(0), b.shards, skew)
+                    })
+                    .map_err(|e| e.to_string())
+            }
+        }
+        .map_err(|e| e.to_string())?;
+        let skew = batch.shard_skew();
+        Ok((
+            outputs.remove(0),
+            batch.per_query.remove(0),
+            batch.shards,
+            skew,
+        ))
+    }
+}
 
 /// Positional arguments and `--flag value` pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -127,26 +285,71 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         return Err(format!("build needs <graphs> <index-dir>\n{USAGE}"));
     };
     let mut params = TaleParams::default();
+    let mut shards: Option<usize> = None;
+    let mut policy_name = "hash";
     for (name, v) in flags {
         match name {
             "sbit" => params.sbit = parse(name, v)?,
             "frames" => params.buffer_frames = parse(name, v)?,
+            "shards" => {
+                let n: usize = parse(name, v)?;
+                if n == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+                shards = Some(n);
+            }
+            "policy" => policy_name = v,
             other => return Err(format!("unknown flag --{other}")),
         }
     }
+    let policy =
+        policy_by_name(policy_name).ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
     let db = load_db(Path::new(input))?;
     let (graphs, nodes, edges) = (db.len(), db.total_nodes(), db.total_edges());
     let start = std::time::Instant::now();
-    let tale = TaleDatabase::build(db, Path::new(dir), &params).map_err(|e| e.to_string())?;
-    println!(
-        "indexed {graphs} graphs ({nodes} nodes, {edges} edges) in {:.2}s",
-        start.elapsed().as_secs_f64()
-    );
-    println!(
-        "index: {} distinct keys, {} bytes at {dir}",
-        tale.index().key_count(),
-        tale.index_size_bytes()
-    );
+    if let Some(nshards) = shards {
+        let (tale, build) = ShardedTaleDatabase::build_with_stats(
+            db,
+            Path::new(dir),
+            &params,
+            nshards,
+            policy.as_ref(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "indexed {graphs} graphs ({nodes} nodes, {edges} edges) in {:.2}s \
+             across {nshards} shards ({policy_name} placement, build skew {:.2})",
+            start.elapsed().as_secs_f64(),
+            build.skew()
+        );
+        for (s, (&g, &n)) in build
+            .graphs_per_shard
+            .iter()
+            .zip(&build.nodes_per_shard)
+            .enumerate()
+        {
+            println!(
+                "  shard {s:>3}: {g} graphs, {n} nodes, built in {:.3}s",
+                build.per_shard_secs[s]
+            );
+        }
+        println!(
+            "index: {} keys, {} bytes at {dir}",
+            tale.index().key_count(),
+            tale.index_size_bytes()
+        );
+    } else {
+        let tale = TaleDatabase::build(db, Path::new(dir), &params).map_err(|e| e.to_string())?;
+        println!(
+            "indexed {graphs} graphs ({nodes} nodes, {edges} edges) in {:.2}s",
+            start.elapsed().as_secs_f64()
+        );
+        println!(
+            "index: {} distinct keys, {} bytes at {dir}",
+            tale.index().key_count(),
+            tale.index_size_bytes()
+        );
+    }
     Ok(())
 }
 
@@ -155,7 +358,7 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     let [dir, input] = pos.as_slice() else {
         return Err(format!("add needs <index-dir> <graphs>\n{USAGE}"));
     };
-    let mut tale = TaleDatabase::open(Path::new(dir), 4096).map_err(|e| e.to_string())?;
+    let mut tale = AnyDb::open(Path::new(dir), 4096)?;
     let incoming = load_db(Path::new(input))?;
     let mut added = 0;
     for (gid, name, src) in incoming.iter() {
@@ -174,14 +377,13 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
         for (u, v, _) in src.edges() {
             g.add_edge(u, v).map_err(|e| e.to_string())?;
         }
-        tale.insert_graph(name.to_owned(), g)
-            .map_err(|e| e.to_string())?;
+        tale.insert_graph(name.to_owned(), g)?;
         added += 1;
     }
     println!(
         "added {added} graphs; index now covers {} graphs / {} nodes",
         tale.db().len(),
-        tale.index().node_count()
+        tale.node_count()
     );
     Ok(())
 }
@@ -191,7 +393,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [dir] = pos.as_slice() else {
         return Err(format!("stats needs <index-dir>\n{USAGE}"));
     };
-    let tale = TaleDatabase::open(Path::new(dir), 1024).map_err(|e| e.to_string())?;
+    let tale = AnyDb::open(Path::new(dir), 1024)?;
     println!("graphs           : {}", tale.db().len());
     println!("total nodes      : {}", tale.db().total_nodes());
     println!("total edges      : {}", tale.db().total_edges());
@@ -200,9 +402,26 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "group labels     : {}",
         if tale.db().has_groups() { "yes" } else { "no" }
     );
-    println!("index keys       : {}", tale.index().key_count());
+    println!("index keys       : {}", tale.key_count());
     println!("index bytes      : {}", tale.index_size_bytes());
-    let s = tale.index().scheme();
+    if let AnyDb::Sharded(t) = &tale {
+        let m = t.index().manifest();
+        println!(
+            "shards           : {} ({} placement)",
+            m.shard_count, m.policy
+        );
+        for s in 0..m.shard_count {
+            let idx = &t.index().shards()[s as usize];
+            println!(
+                "  shard {s:>3}: {} graphs, {} indexed nodes, {} keys, {} bytes",
+                m.graphs_of(s).len(),
+                idx.node_count(),
+                idx.key_count(),
+                idx.size_bytes()
+            );
+        }
+    }
+    let s = tale.scheme();
     println!(
         "neighbor arrays  : Sbit={} ({})",
         s.sbit,
@@ -239,7 +458,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag --{other}")),
         }
     }
-    let tale = TaleDatabase::open(Path::new(dir), 4096).map_err(|e| e.to_string())?;
+    let tale = AnyDb::open(Path::new(dir), 4096)?;
     let qdb = load_db(&PathBuf::from(query_path))?;
     if qdb.is_empty() {
         return Err("query file holds no graphs".into());
@@ -256,13 +475,8 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     println!("node  degree  nbconn  keys-scanned  postings  rows-examined  candidates");
     let mut totals = (0u64, 0u64, 0u64, 0u64);
     for &n in &important {
-        let sig = tale
-            .index()
-            .signature(&query, n, &|x| tale.db().effective_of_raw(query.label(x)));
-        let (hits, st) = tale
-            .index()
-            .probe_with_stats(&sig, rho)
-            .map_err(|e| e.to_string())?;
+        let sig = tale.signature(&query, n, &|x| tale.db().effective_of_raw(query.label(x)));
+        let (hits, st) = tale.probe_with_stats(&sig, rho)?;
         println!(
             "{:>4}  {:>6}  {:>6}  {:>12}  {:>8}  {:>13}  {:>10}",
             n.0,
@@ -339,7 +553,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let tale = TaleDatabase::open(Path::new(dir), 4096).map_err(|e| e.to_string())?;
+    let tale = AnyDb::open(Path::new(dir), 4096)?;
     let qdb = load_db(&PathBuf::from(query_path))?;
     if qdb.is_empty() {
         return Err("query file holds no graphs".into());
@@ -347,20 +561,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let query = remap_query(&qdb, tale.db());
 
     let start = std::time::Instant::now();
-    let (results, stats) = tale
-        .query_with_stats(&query, &opts)
-        .map_err(|e| e.to_string())?;
+    let (results, stats, shard_stats, skew) = tale.query_with_stats(&query, &opts)?;
     let secs = start.elapsed().as_secs_f64();
     if json {
         #[derive(serde::Serialize)]
         struct WithStats {
             matches: Vec<tale::QueryMatch>,
             stats: tale::QueryStats,
+            shards: Vec<ShardStats>,
+            shard_skew: f64,
         }
         let out = if want_stats {
             serde_json::to_string_pretty(&WithStats {
                 matches: results,
                 stats,
+                shards: shard_stats,
+                shard_skew: skew,
             })
         } else {
             serde_json::to_string_pretty(&results)
@@ -391,6 +607,23 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if want_stats {
         println!();
         print_query_stats(&stats);
+        if shard_stats.len() > 1 {
+            println!("per-shard (skew {skew:.2}):");
+            println!("  shard  probes  keys  postings  rows  cands  matches  wall(s)");
+            for s in &shard_stats {
+                println!(
+                    "  {:>5}  {:>6}  {:>4}  {:>8}  {:>4}  {:>5}  {:>7}  {:.4}",
+                    s.shard,
+                    s.probes,
+                    s.keys_scanned,
+                    s.postings_fetched,
+                    s.rows_examined,
+                    s.candidates,
+                    s.matches,
+                    s.wall_secs
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -438,35 +671,39 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let [dir] = pos.as_slice() else {
         return Err(format!("verify needs <index-dir>\n{USAGE}"));
     };
-    let tale = TaleDatabase::open(Path::new(dir), 256).map_err(|e| e.to_string())?;
+    let tale = AnyDb::open(Path::new(dir), 256)?;
     // consistency: index node count equals database node count minus
     // tombstoned graphs' nodes (we can't see tombstones here, so ≤)
     let db_nodes = tale.db().total_nodes() as u64;
-    let idx_nodes = tale.index().node_count();
+    let idx_nodes = tale.node_count();
     if idx_nodes > db_nodes {
         return Err(format!(
             "index claims {idx_nodes} nodes but the database holds {db_nodes}"
         ));
     }
-    // full index sweep: probe one representative signature per graph; any
-    // corrupt page or malformed posting surfaces as an error here
+    // full index sweep: probe one representative signature per graph
+    // (against every shard, when sharded); any corrupt page or malformed
+    // posting surfaces as an error here
     let mut probed = 0u64;
     for (gid, _, g) in tale.db().iter() {
         if let Some(n) = g.nodes().next() {
-            let sig = tale
-                .index()
-                .signature(g, n, &|x| tale.db().effective_label(gid, x));
-            tale.index()
-                .probe(&sig, 1.0)
+            let sig = tale.signature(g, n, &|x| tale.db().effective_label(gid, x));
+            tale.probe_with_stats(&sig, 1.0)
                 .map_err(|e| format!("probe failed for graph {}: {e}", gid.0))?;
             probed += 1;
         }
     }
+    let shard_note = if tale.shard_count() > 1 {
+        format!(" across {} shards", tale.shard_count())
+    } else {
+        String::new()
+    };
     println!(
-        "ok: {} graphs, {} indexed nodes, {} distinct keys, {} bytes; {probed} probe paths verified",
+        "ok: {} graphs, {} indexed nodes, {} distinct keys, {} bytes; \
+         {probed} probe paths verified{shard_note}",
         tale.db().len(),
         idx_nodes,
-        tale.index().key_count(),
+        tale.key_count(),
         tale.index_size_bytes()
     );
     Ok(())

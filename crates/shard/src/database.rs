@@ -1,0 +1,385 @@
+//! [`ShardedTaleDatabase`]: the sharded counterpart of
+//! [`tale::TaleDatabase`].
+//!
+//! Owns the [`GraphDb`], a [`ShardedNhIndex`], and one
+//! [`ResultCache`] *per shard*. Queries scatter/gather through the same
+//! staged engine as the unsharded database (`tale::engine::exec`), so
+//! results are bit-identical to a single-index [`tale::TaleDatabase`]
+//! over the same graphs at any shard count and thread count. The
+//! per-shard caches are what make mutation-time invalidation scoped:
+//! inserting into shard `S` clears only shard `S`'s cached partials, and
+//! removing a graph evicts only the entries of its owning shard that
+//! actually contain it — cached work for every other shard survives.
+
+use crate::index::{ShardBuildStats, ShardedNhIndex};
+use crate::policy::{HashPolicy, ShardPolicy};
+use crate::Result;
+use std::path::Path;
+use tale::engine::cache::{CacheStats, ResultCache, DEFAULT_CACHE_ENTRIES};
+use tale::engine::exec;
+use tale::engine::stats::{BatchStats, QueryStats};
+use tale::{QueryMatch, QueryOptions, ScratchDir, TaleParams};
+use tale_graph::{Graph, GraphDb, GraphId};
+use tale_nhindex::{NhIndex, NhIndexConfig};
+
+const DB_FILE: &str = "graphs.json";
+
+fn config_of(params: &TaleParams) -> NhIndexConfig {
+    NhIndexConfig {
+        sbit: params.sbit,
+        buffer_frames: params.buffer_frames,
+        parallel_build: params.parallel_build,
+        bloom_hashes: params.bloom_hashes,
+        use_edge_labels: params.use_edge_labels,
+    }
+}
+
+/// An indexed graph database partitioned across NH-Index shards, ready
+/// for approximate subgraph queries.
+pub struct ShardedTaleDatabase {
+    db: GraphDb,
+    index: ShardedNhIndex,
+    caches: Vec<ResultCache>,
+    // Keeps the scratch directory alive for in-temp builds.
+    _scratch: Option<ScratchDir>,
+}
+
+impl ShardedTaleDatabase {
+    /// Builds a sharded NH-Index for `db` into `dir` and persists the
+    /// graphs alongside it, so [`ShardedTaleDatabase::open`] can restore
+    /// everything.
+    pub fn build(
+        db: GraphDb,
+        dir: &Path,
+        params: &TaleParams,
+        nshards: usize,
+        policy: &dyn ShardPolicy,
+    ) -> Result<Self> {
+        Ok(Self::build_with_stats(db, dir, params, nshards, policy)?.0)
+    }
+
+    /// Like [`ShardedTaleDatabase::build`], also reporting per-shard
+    /// build timings ([`ShardBuildStats`]).
+    pub fn build_with_stats(
+        db: GraphDb,
+        dir: &Path,
+        params: &TaleParams,
+        nshards: usize,
+        policy: &dyn ShardPolicy,
+    ) -> Result<(Self, ShardBuildStats)> {
+        std::fs::create_dir_all(dir)?;
+        let (index, stats) =
+            ShardedNhIndex::build_with_stats(dir, &db, &config_of(params), nshards, policy, 0)?;
+        tale_graph::io::save_json(&db, &dir.join(DB_FILE))?;
+        Ok((
+            ShardedTaleDatabase {
+                caches: (0..index.shard_count())
+                    .map(|_| ResultCache::new(DEFAULT_CACHE_ENTRIES))
+                    .collect(),
+                db,
+                index,
+                _scratch: None,
+            },
+            stats,
+        ))
+    }
+
+    /// Builds into a self-cleaning scratch directory with the default
+    /// hash placement — convenient for experiments and tests.
+    pub fn build_in_temp(db: GraphDb, params: &TaleParams, nshards: usize) -> Result<Self> {
+        let scratch = ScratchDir::new("tale-shards")?;
+        let (index, _) = ShardedNhIndex::build_with_stats(
+            scratch.path(),
+            &db,
+            &config_of(params),
+            nshards,
+            &HashPolicy,
+            0,
+        )?;
+        Ok(ShardedTaleDatabase {
+            caches: (0..index.shard_count())
+                .map(|_| ResultCache::new(DEFAULT_CACHE_ENTRIES))
+                .collect(),
+            db,
+            index,
+            _scratch: Some(scratch),
+        })
+    }
+
+    /// Reopens a database previously built with
+    /// [`ShardedTaleDatabase::build`]. `buffer_frames` is the page budget
+    /// per shard. Fails if any shard's recorded vocabulary fingerprint
+    /// disagrees with the reloaded graphs.
+    pub fn open(dir: &Path, buffer_frames: usize) -> Result<Self> {
+        let db = tale_graph::io::load_json(&dir.join(DB_FILE))?;
+        let index = ShardedNhIndex::open(dir, buffer_frames, &db)?;
+        Ok(ShardedTaleDatabase {
+            caches: (0..index.shard_count())
+                .map(|_| ResultCache::new(DEFAULT_CACHE_ENTRIES))
+                .collect(),
+            db,
+            index,
+            _scratch: None,
+        })
+    }
+
+    /// Adds a graph, routes it to a shard with the build policy, extends
+    /// that shard's index incrementally, and clears only that shard's
+    /// slice of the result cache. Returns the new graph's id.
+    pub fn insert_graph(&mut self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
+        let gid = self.db.insert(name, g);
+        let s = self.index.insert_graph(&self.db, gid)?;
+        // Scoped invalidation: only shard `s`'s partials can gain a new
+        // result; every other shard's cached work is still exact.
+        self.caches[s as usize].clear();
+        if self._scratch.is_none() {
+            let dir = self.index.dir().to_owned();
+            tale_graph::io::save_json(&self.db, &dir.join(DB_FILE))?;
+        }
+        Ok(gid)
+    }
+
+    /// Logically removes a graph (tombstone in its owning shard). Cache
+    /// eviction is doubly scoped: only the owning shard's cache is
+    /// touched, and within it only entries whose result set contains `id`
+    /// ([`ResultCache::evict_graph`]).
+    pub fn remove_graph(&mut self, id: GraphId) -> Result<()> {
+        let s = self
+            .index
+            .remove_graph(id, self.db.effective_vocab_size() as u64)?;
+        self.caches[s as usize].evict_graph(id);
+        Ok(())
+    }
+
+    /// Interns a node label name into the database vocabulary (for
+    /// authoring graphs to pass to
+    /// [`ShardedTaleDatabase::insert_graph`]). Clears every shard's
+    /// cache: a vocabulary change can alter effective labels, which the
+    /// cache keys by.
+    pub fn intern_node_label(&mut self, name: &str) -> tale_graph::NodeLabel {
+        for c in &self.caches {
+            c.clear();
+        }
+        self.db.intern_node_label(name)
+    }
+
+    /// The underlying graph database.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The sharded NH-Index (for introspection: shard map, sizes, probe
+    /// counters).
+    pub fn index(&self) -> &ShardedNhIndex {
+        &self.index
+    }
+
+    /// On-disk index footprint in bytes, summed over shards.
+    pub fn index_size_bytes(&self) -> u64 {
+        self.index.size_bytes()
+    }
+
+    fn run(
+        &self,
+        queries: &[&Graph],
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
+        let shard_refs: Vec<&NhIndex> = self.index.shards().iter().collect();
+        let cache_refs: Vec<&ResultCache> = self.caches.iter().collect();
+        Ok(exec::run_batch(
+            &self.db,
+            &shard_refs,
+            opts.use_cache.then_some(&cache_refs[..]),
+            queries,
+            opts,
+        )?)
+    }
+
+    /// Runs an approximate subgraph query, scattered over the shards.
+    /// Results are bit-identical to [`tale::TaleDatabase::query`] on the
+    /// same graphs.
+    pub fn query(&self, query: &Graph, opts: &QueryOptions) -> Result<Vec<QueryMatch>> {
+        Ok(self.query_with_stats(query, opts)?.0)
+    }
+
+    /// Like [`ShardedTaleDatabase::query`], also returning per-stage
+    /// execution statistics.
+    pub fn query_with_stats(
+        &self,
+        query: &Graph,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<QueryMatch>, QueryStats)> {
+        let (mut outputs, mut batch) = self.run(&[query], opts)?;
+        Ok((outputs.remove(0), batch.per_query.remove(0)))
+    }
+
+    /// Runs a batch of queries, scattered over the shards. Output is
+    /// aligned with `queries` and bit-identical to the unsharded batch.
+    pub fn query_batch(
+        &self,
+        queries: &[&Graph],
+        opts: &QueryOptions,
+    ) -> Result<Vec<Vec<QueryMatch>>> {
+        Ok(self.query_batch_with_stats(queries, opts)?.0)
+    }
+
+    /// Like [`ShardedTaleDatabase::query_batch`], also returning
+    /// batch-level statistics — including one
+    /// [`tale::ShardStats`] per shard in
+    /// [`BatchStats::shards`] and the skew ratio via
+    /// [`BatchStats::shard_skew`].
+    pub fn query_batch_with_stats(
+        &self,
+        queries: &[&Graph],
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
+        self.run(queries, opts)
+    }
+
+    /// Result-cache counters summed over all shards.
+    pub fn result_cache_stats(&self) -> CacheStats {
+        self.caches
+            .iter()
+            .map(ResultCache::stats)
+            .fold(CacheStats::default(), |a, b| CacheStats {
+                entries: a.entries + b.entries,
+                capacity: a.capacity + b.capacity,
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                insertions: a.insertions + b.insertions,
+                invalidations: a.invalidations + b.invalidations,
+            })
+    }
+
+    /// Result-cache counters per shard, in shard order.
+    pub fn shard_cache_stats(&self) -> Vec<CacheStats> {
+        self.caches.iter().map(ResultCache::stats).collect()
+    }
+
+    /// Drops every cached result on every shard.
+    pub fn clear_result_cache(&self) {
+        for c in &self.caches {
+            c.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tale::TaleDatabase;
+
+    fn small_db() -> (GraphDb, Vec<Graph>) {
+        let mut db = GraphDb::new();
+        let labels: Vec<_> = (0..4)
+            .map(|i| db.intern_node_label(&format!("L{i}")))
+            .collect();
+        let mut graphs = Vec::new();
+        for k in 0..6usize {
+            let mut g = Graph::new_undirected();
+            let n: Vec<_> = (0..4 + k % 3)
+                .map(|j| g.add_node(labels[(j + k) % 4]))
+                .collect();
+            for w in n.windows(2) {
+                g.add_edge(w[0], w[1]).unwrap();
+            }
+            g.add_edge(n[0], n[n.len() - 1]).unwrap();
+            db.insert(format!("g{k}"), g.clone());
+            graphs.push(g);
+        }
+        (db, graphs)
+    }
+
+    #[test]
+    fn sharded_matches_unsharded() {
+        let (db, graphs) = small_db();
+        let params = TaleParams::default();
+        let single = TaleDatabase::build_in_temp(db.clone(), &params).unwrap();
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        let want: Vec<_> = graphs
+            .iter()
+            .map(|g| single.query(g, &opts).unwrap())
+            .collect();
+        for nshards in [1, 2, 3] {
+            let sharded = ShardedTaleDatabase::build_in_temp(db.clone(), &params, nshards).unwrap();
+            for (g, expect) in graphs.iter().zip(&want) {
+                let got = sharded.query(g, &opts).unwrap();
+                assert_eq!(got.len(), expect.len(), "nshards={nshards}");
+                for (a, b) in got.iter().zip(expect) {
+                    assert_eq!(a.graph, b.graph, "nshards={nshards}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "nshards={nshards}");
+                    assert_eq!(a.m.pairs, b.m.pairs, "nshards={nshards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_clears_only_owning_shard_cache() {
+        let (db, graphs) = small_db();
+        let mut sharded =
+            ShardedTaleDatabase::build_in_temp(db, &TaleParams::default(), 3).unwrap();
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        // populate every shard's cache
+        for g in &graphs {
+            sharded.query(g, &opts).unwrap();
+        }
+        let before: Vec<usize> = sharded
+            .shard_cache_stats()
+            .iter()
+            .map(|s| s.entries)
+            .collect();
+        assert!(before.iter().all(|&e| e > 0), "{before:?}");
+        let gid = sharded.insert_graph("late", graphs[0].clone()).unwrap();
+        let owner = sharded.index().shard_of(gid).unwrap() as usize;
+        let after: Vec<usize> = sharded
+            .shard_cache_stats()
+            .iter()
+            .map(|s| s.entries)
+            .collect();
+        for (s, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if s == owner {
+                assert_eq!(a, 0, "owning shard keeps entries: {after:?}");
+            } else {
+                assert_eq!(a, b, "non-owning shard {s} was invalidated: {after:?}");
+            }
+        }
+        // and the inserted graph is immediately queryable
+        let res = sharded.query(&graphs[0], &opts).unwrap();
+        assert!(res.iter().any(|m| m.graph == gid));
+    }
+
+    #[test]
+    fn persist_reopen_and_fingerprint_guard() {
+        let (db, graphs) = small_db();
+        let dir = tempfile::tempdir().unwrap();
+        let params = TaleParams::default();
+        let opts = QueryOptions {
+            p_imp: 0.5,
+            ..Default::default()
+        };
+        let want = {
+            let sharded =
+                ShardedTaleDatabase::build(db, dir.path(), &params, 2, &HashPolicy).unwrap();
+            sharded.query(&graphs[0], &opts).unwrap()
+        };
+        let sharded = ShardedTaleDatabase::open(dir.path(), 256).unwrap();
+        let got = sharded.query(&graphs[0], &opts).unwrap();
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got[0].graph, want[0].graph);
+        drop(sharded);
+        // swap graphs.json for one whose vocabulary drifted (an extra
+        // interned label): open must refuse rather than serve wrong
+        // bitmaps
+        let mut drifted = tale_graph::io::load_json(&dir.path().join(DB_FILE)).unwrap();
+        drifted.intern_node_label("ZZZ-drift");
+        tale_graph::io::save_json(&drifted, &dir.path().join(DB_FILE)).unwrap();
+        assert!(ShardedTaleDatabase::open(dir.path(), 256).is_err());
+    }
+}

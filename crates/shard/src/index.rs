@@ -1,0 +1,325 @@
+//! [`ShardedNhIndex`]: N independent NH-Index files behind one handle.
+//!
+//! Each shard is a complete, self-contained `tale-nhindex` directory
+//! (B+-tree, posting blobs, meta file) covering a disjoint subset of the
+//! database's graphs. All shards share one neighbor-array scheme — every
+//! [`NhIndex::build_subset`] call derives it from the *full* database
+//! vocabulary — which is what makes per-shard probe answers byte-equal to
+//! the matching slice of an unsharded probe (see `tale::engine::exec` for
+//! the full determinism argument).
+//!
+//! Building fans one [`NhIndex::build_subset`] per shard across worker
+//! threads: each shard extracts, sorts, and bulk-loads in isolation, so
+//! the sort+merge step — serial in a single-file build even with
+//! `parallel_build` on — is itself partitioned N ways.
+
+use crate::manifest::{vocab_fingerprint, ShardManifest, MANIFEST_SCHEMA_VERSION};
+use crate::policy::{policy_by_name, ShardPolicy};
+use crate::{Result, ShardError};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tale_graph::{GraphDb, GraphId};
+use tale_nhindex::{NhIndex, NhIndexConfig, ProbeCounters};
+
+/// Per-shard build timings and sizes, for observability and the E-SHARD
+/// experiment. Produced by [`ShardedNhIndex::build_with_stats`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ShardBuildStats {
+    /// Wall-clock seconds each shard spent in its own
+    /// extract/sort/bulk-load, indexed by shard.
+    pub per_shard_secs: Vec<f64>,
+    /// Wall clock of the whole sharded build (parallel region + manifest).
+    pub total_secs: f64,
+    /// Graphs assigned to each shard.
+    pub graphs_per_shard: Vec<usize>,
+    /// Total nodes assigned to each shard (the load the size-balanced
+    /// policy equalizes).
+    pub nodes_per_shard: Vec<u64>,
+}
+
+impl ShardBuildStats {
+    /// Max shard build time over mean shard build time (1.0 = perfectly
+    /// even; the build's critical path is the max).
+    pub fn skew(&self) -> f64 {
+        if self.per_shard_secs.is_empty() {
+            return 0.0;
+        }
+        let max = self.per_shard_secs.iter().copied().fold(0.0, f64::max);
+        let mean = self.per_shard_secs.iter().sum::<f64>() / self.per_shard_secs.len() as f64;
+        if mean <= 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// A partitioned NH-Index: one independent index file set per shard plus
+/// the [`ShardManifest`] mapping graphs to shards.
+pub struct ShardedNhIndex {
+    shards: Vec<NhIndex>,
+    manifest: ShardManifest,
+    dir: PathBuf,
+}
+
+impl ShardedNhIndex {
+    /// Builds a sharded index for `db` under `dir` (see
+    /// [`ShardedNhIndex::build_with_stats`]).
+    pub fn build(
+        dir: &Path,
+        db: &GraphDb,
+        config: &NhIndexConfig,
+        nshards: usize,
+        policy: &dyn ShardPolicy,
+        threads: usize,
+    ) -> Result<Self> {
+        Ok(Self::build_with_stats(dir, db, config, nshards, policy, threads)?.0)
+    }
+
+    /// Builds a sharded index and reports per-shard timings.
+    ///
+    /// `policy.assign` splits the graphs; each shard then runs a full
+    /// [`NhIndex::build_subset`] in its own `shard-NNN/` directory, fanned
+    /// over `threads` workers (`0` = all cores). The manifest is written
+    /// last, so a crash mid-build leaves no directory that
+    /// [`ShardedNhIndex::open`] would accept.
+    pub fn build_with_stats(
+        dir: &Path,
+        db: &GraphDb,
+        config: &NhIndexConfig,
+        nshards: usize,
+        policy: &dyn ShardPolicy,
+        threads: usize,
+    ) -> Result<(Self, ShardBuildStats)> {
+        if nshards == 0 {
+            return Err(ShardError::Manifest("shard count must be >= 1".into()));
+        }
+        std::fs::create_dir_all(dir)?;
+        let assignment = policy.assign(db, nshards);
+        if assignment.len() != db.len() {
+            return Err(ShardError::Manifest(format!(
+                "policy {} assigned {} graphs, database has {}",
+                policy.name(),
+                assignment.len(),
+                db.len()
+            )));
+        }
+        if let Some(&bad) = assignment.iter().find(|&&s| s >= nshards as u32) {
+            return Err(ShardError::Manifest(format!(
+                "policy {} assigned shard {bad} with only {nshards} shards",
+                policy.name()
+            )));
+        }
+        let mut groups: Vec<Vec<GraphId>> = vec![Vec::new(); nshards];
+        for (i, &s) in assignment.iter().enumerate() {
+            groups[s as usize].push(GraphId(i as u32));
+        }
+
+        let t_total = Instant::now();
+        // The parallel region: every shard sorts its own units and
+        // bulk-loads its own B+-tree — no cross-shard merge exists. With
+        // more than one shard the shard-level fan-out already occupies the
+        // workers, so each shard extracts serially inside its thread.
+        let sub_config = NhIndexConfig {
+            parallel_build: config.parallel_build && nshards == 1,
+            ..config.clone()
+        };
+        let built: Vec<tale_nhindex::Result<(NhIndex, f64)>> =
+            tale_par::parallel_map(threads, nshards, |s| {
+                let t = Instant::now();
+                let idx = NhIndex::build_subset(
+                    &ShardManifest::shard_dir(dir, s as u32),
+                    db,
+                    &sub_config,
+                    &groups[s],
+                )?;
+                Ok((idx, t.elapsed().as_secs_f64()))
+            });
+        let mut shards = Vec::with_capacity(nshards);
+        let mut per_shard_secs = Vec::with_capacity(nshards);
+        for r in built {
+            let (idx, secs) = r?;
+            shards.push(idx);
+            per_shard_secs.push(secs);
+        }
+
+        let fp = vocab_fingerprint(db);
+        let manifest = ShardManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            shard_count: nshards as u32,
+            policy: policy.name().to_owned(),
+            assignment,
+            vocab_fingerprints: vec![fp; nshards],
+        };
+        manifest.save(dir)?;
+
+        let stats = ShardBuildStats {
+            per_shard_secs,
+            total_secs: t_total.elapsed().as_secs_f64(),
+            graphs_per_shard: groups.iter().map(Vec::len).collect(),
+            nodes_per_shard: groups
+                .iter()
+                .map(|g| g.iter().map(|&gid| db.graph(gid).node_count() as u64).sum())
+                .collect(),
+        };
+        Ok((
+            ShardedNhIndex {
+                shards,
+                manifest,
+                dir: dir.to_owned(),
+            },
+            stats,
+        ))
+    }
+
+    /// Reopens a sharded index built by [`ShardedNhIndex::build`].
+    ///
+    /// `db` must be the same database the index was built against; each
+    /// shard's recorded vocabulary fingerprint is checked against it
+    /// (vocabulary drift would silently corrupt probe bitmaps, so it is an
+    /// error here). `buffer_frames` is the page budget *per shard*.
+    pub fn open(dir: &Path, buffer_frames: usize, db: &GraphDb) -> Result<Self> {
+        let manifest = ShardManifest::load(dir)?;
+        if manifest.assignment.len() != db.len() {
+            return Err(ShardError::Manifest(format!(
+                "manifest maps {} graphs, database has {}",
+                manifest.assignment.len(),
+                db.len()
+            )));
+        }
+        let fp = vocab_fingerprint(db);
+        if let Some(s) = manifest.vocab_fingerprints.iter().position(|&f| f != fp) {
+            return Err(ShardError::Manifest(format!(
+                "shard {s} was built against a different vocabulary \
+                 (fingerprint {:#018x}, database has {fp:#018x})",
+                manifest.vocab_fingerprints[s]
+            )));
+        }
+        let mut shards = Vec::with_capacity(manifest.shard_count as usize);
+        for s in 0..manifest.shard_count {
+            shards.push(NhIndex::open(
+                &ShardManifest::shard_dir(dir, s),
+                buffer_frames,
+            )?);
+        }
+        Ok(ShardedNhIndex {
+            shards,
+            manifest,
+            dir: dir.to_owned(),
+        })
+    }
+
+    /// The shards, in shard order. Each is a full [`NhIndex`]; the query
+    /// engine scatters over exactly this slice.
+    pub fn shards(&self) -> &[NhIndex] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard map.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Root directory (the one holding `shards.json`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shard owning `gid`, or `None` if the manifest has never seen
+    /// that id.
+    pub fn shard_of(&self, gid: GraphId) -> Option<u32> {
+        self.manifest.shard_of(gid)
+    }
+
+    /// Incrementally indexes a newly inserted graph, routing it with the
+    /// build policy and updating the manifest. `gid` must be the id just
+    /// returned by [`GraphDb::insert`] on `db` (dense append). Returns the
+    /// owning shard, so callers can scope cache invalidation to it.
+    pub fn insert_graph(&mut self, db: &GraphDb, gid: GraphId) -> Result<u32> {
+        if gid.idx() != self.manifest.assignment.len() {
+            return Err(ShardError::Manifest(format!(
+                "insert of graph {} but manifest maps {} graphs (ids are dense)",
+                gid.0,
+                self.manifest.assignment.len()
+            )));
+        }
+        let policy = policy_by_name(&self.manifest.policy).ok_or_else(|| {
+            ShardError::Manifest(format!("unknown routing policy {:?}", self.manifest.policy))
+        })?;
+        let loads: Vec<u64> = self.shards.iter().map(NhIndex::node_count).collect();
+        let s = policy.route(db, gid, &loads);
+        self.shards[s as usize].insert_graph(db, gid)?;
+        self.manifest.assignment.push(s);
+        // Inserting can grow the vocabulary; every shard keyed off the old
+        // one stays correct (bit positions only wrap), but the recorded
+        // fingerprints must match what `open` will recompute.
+        let fp = vocab_fingerprint(db);
+        self.manifest.vocab_fingerprints = vec![fp; self.shards.len()];
+        self.manifest.save(&self.dir)?;
+        Ok(s)
+    }
+
+    /// Logically removes a graph (tombstone in its owning shard). Returns
+    /// the owning shard, so callers can scope cache eviction to it.
+    pub fn remove_graph(&mut self, gid: GraphId, vocab_size: u64) -> Result<u32> {
+        let s = self.shard_of(gid).ok_or_else(|| {
+            ShardError::Manifest(format!("graph {} is not in the shard map", gid.0))
+        })?;
+        self.shards[s as usize].remove_graph(gid, vocab_size)?;
+        Ok(s)
+    }
+
+    /// Whether `gid` has been tombstoned (unknown ids read as removed).
+    pub fn is_removed(&self, gid: GraphId) -> bool {
+        match self.shard_of(gid) {
+            Some(s) => self.shards[s as usize].is_removed(gid),
+            None => true,
+        }
+    }
+
+    /// Probe-traffic counters summed over all shards.
+    pub fn counters(&self) -> ProbeCounters {
+        let mut total = ProbeCounters::default();
+        for sh in &self.shards {
+            let c = sh.counters();
+            total.probes += c.probes;
+            total.keys_scanned += c.keys_scanned;
+            total.postings_fetched += c.postings_fetched;
+            total.rows_examined += c.rows_examined;
+        }
+        total
+    }
+
+    /// Buffer-pool statistics summed over all shards.
+    pub fn pool_stats(&self) -> tale_storage::PoolStats {
+        self.shards.iter().map(NhIndex::pool_stats).fold(
+            tale_storage::PoolStats::default(),
+            |a, b| tale_storage::PoolStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+            },
+        )
+    }
+
+    /// Total on-disk footprint over all shards, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.shards.iter().map(NhIndex::size_bytes).sum()
+    }
+
+    /// Total indexed nodes over all shards.
+    pub fn node_count(&self) -> u64 {
+        self.shards.iter().map(NhIndex::node_count).sum()
+    }
+
+    /// Total B+-tree keys over all shards (shards index disjoint graph
+    /// sets but can share key values, so this can exceed the single-index
+    /// key count).
+    pub fn key_count(&self) -> u64 {
+        self.shards.iter().map(NhIndex::key_count).sum()
+    }
+}

@@ -1,0 +1,105 @@
+//! Sharded NH-Index: partitioned build, scatter/gather query execution,
+//! and shard-level observability.
+//!
+//! The single-file NH-Index (`tale-nhindex`) bulk-loads one B+-tree over
+//! the postings of every graph in the database — the final sort + merge
+//! is serial even when `parallel_build` fans the per-graph extraction out.
+//! This crate partitions the database across `N` fully independent
+//! NH-Index files ("shards"), each covering a disjoint subset of the
+//! graphs:
+//!
+//! * **build** — each shard extracts, sorts, and bulk-loads its own
+//!   B+-tree with no cross-shard synchronization
+//!   ([`ShardedNhIndex::build`]), parallelizing the merge step itself;
+//! * **query** — the staged engine scatters the probe/anchor/grow
+//!   pipeline across shards and gathers with a deterministic merge, so
+//!   sharded output is bit-identical to the single-index answer at any
+//!   shard count and any thread count ([`ShardedTaleDatabase::query`];
+//!   the determinism argument lives in `tale::engine::exec`);
+//! * **mutate** — [`ShardedTaleDatabase::insert_graph`] and
+//!   [`ShardedTaleDatabase::remove_graph`] route to the owning shard and
+//!   invalidate only that shard's slice of the result cache;
+//! * **observe** — per-shard probe/posting/row traffic, buffer-pool
+//!   deltas, wall clocks, and the skew ratio surface through
+//!   [`tale::BatchStats::shards`] (see [`tale::ShardStats`]).
+//!
+//! Graph placement is pluggable via [`ShardPolicy`]: hash-by-id
+//! ([`HashPolicy`], the default) or size-balanced ([`SizeBalancedPolicy`]).
+//! The shard map is persisted in a `shards.json` manifest
+//! ([`ShardManifest`]) next to the `shard-NNN/` index directories.
+
+mod database;
+mod index;
+mod manifest;
+mod policy;
+
+pub use database::ShardedTaleDatabase;
+pub use index::{ShardBuildStats, ShardedNhIndex};
+pub use manifest::{vocab_fingerprint, ShardManifest, MANIFEST_FILE, MANIFEST_SCHEMA_VERSION};
+pub use policy::{policy_by_name, HashPolicy, ShardPolicy, SizeBalancedPolicy};
+
+/// Errors surfaced by the sharding layer.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Failure in the query engine or database facade.
+    Tale(tale::TaleError),
+    /// Index-layer failure in one shard.
+    Index(tale_nhindex::NhError),
+    /// Graph-layer failure.
+    Graph(tale_graph::GraphError),
+    /// Manifest missing, malformed, or inconsistent with the database.
+    Manifest(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Tale(e) => write!(f, "tale: {e}"),
+            ShardError::Index(e) => write!(f, "index: {e}"),
+            ShardError::Graph(e) => write!(f, "graph: {e}"),
+            ShardError::Manifest(m) => write!(f, "manifest: {m}"),
+            ShardError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Tale(e) => Some(e),
+            ShardError::Index(e) => Some(e),
+            ShardError::Graph(e) => Some(e),
+            ShardError::Manifest(_) => None,
+            ShardError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<tale::TaleError> for ShardError {
+    fn from(e: tale::TaleError) -> Self {
+        ShardError::Tale(e)
+    }
+}
+
+impl From<tale_nhindex::NhError> for ShardError {
+    fn from(e: tale_nhindex::NhError) -> Self {
+        ShardError::Index(e)
+    }
+}
+
+impl From<tale_graph::GraphError> for ShardError {
+    fn from(e: tale_graph::GraphError) -> Self {
+        ShardError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ShardError>;

@@ -211,6 +211,171 @@ fn bad_usage_reports_errors() {
 }
 
 #[test]
+fn sharded_build_roundtrip_matches_single_index() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let q_path = dir.path().join("q.txt");
+    let single = dir.path().join("single");
+    let sharded = dir.path().join("sharded");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+
+    let (ok, _, stderr) = run(&["build", db_path.to_str().unwrap(), single.to_str().unwrap()]);
+    assert!(ok, "single build failed: {stderr}");
+    let (ok, stdout, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        sharded.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--policy",
+        "size-balanced",
+    ]);
+    assert!(ok, "sharded build failed: {stderr}");
+    assert!(stdout.contains("across 2 shards"), "{stdout}");
+    assert!(sharded.join("shards.json").is_file());
+
+    // stats knows about the shard layout
+    let (ok, stdout, _) = run(&["stats", sharded.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("shards           : 2"), "{stdout}");
+    assert!(stdout.contains("shard   0:"), "{stdout}");
+
+    // identical query answers, bit for bit, through the JSON output
+    let query = |idx: &std::path::Path| {
+        let (ok, stdout, stderr) = run(&[
+            "query",
+            idx.to_str().unwrap(),
+            q_path.to_str().unwrap(),
+            "--rho",
+            "0.5",
+            "--pimp",
+            "1.0",
+            "--format",
+            "json",
+        ]);
+        assert!(ok, "query failed: {stderr}");
+        stdout
+    };
+    assert_eq!(query(&single), query(&sharded));
+
+    // verify sweeps every shard
+    let (ok, stdout, stderr) = run(&["verify", sharded.to_str().unwrap()]);
+    assert!(ok, "verify failed: {stderr}");
+    assert!(stdout.contains("across 2 shards"), "{stdout}");
+
+    // explain merges probe traffic over shards
+    let (ok, stdout, stderr) = run(&[
+        "explain",
+        sharded.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--pimp",
+        "1.0",
+    ]);
+    assert!(ok, "explain failed: {stderr}");
+    assert!(stdout.contains("totals:"), "{stdout}");
+
+    // add routes through the placement policy and stays queryable
+    let more_path = dir.path().join("more.txt");
+    std::fs::write(
+        &more_path,
+        "graph complexB\nv kinase\nv ligase\nv channel\ne 0 1\ne 1 2\ne 0 2\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = run(&[
+        "add",
+        sharded.to_str().unwrap(),
+        more_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "add failed: {stderr}");
+    assert!(stdout.contains("added 1 graphs"), "{stdout}");
+    let (ok, stdout, _) = run(&[
+        "query",
+        sharded.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--rho",
+        "0.0",
+        "--pimp",
+        "1.0",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("complexB"), "{stdout}");
+}
+
+#[test]
+fn sharded_query_stats_report_per_shard_traffic() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+    let (ok, _, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        idx.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = run(&[
+        "query",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--pimp",
+        "1.0",
+        "--stats",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("per-shard (skew"), "{stdout}");
+    // one line per shard in the table
+    assert!(stdout.contains("engine stats:"), "{stdout}");
+
+    let (ok, stdout, stderr) = run(&[
+        "query",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--pimp",
+        "1.0",
+        "--stats",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"shards\""), "{stdout}");
+    assert!(stdout.contains("\"shard_skew\""), "{stdout}");
+}
+
+#[test]
+fn sharded_flag_validation() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    let idx = dir.path().join("index");
+    let (ok, _, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        idx.to_str().unwrap(),
+        "--shards",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--shards must be >= 1"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        idx.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--policy",
+        "astrology",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+}
+
+#[test]
 fn flag_validation() {
     let dir = tempfile::tempdir().unwrap();
     let db_path = dir.path().join("db.txt");

@@ -618,6 +618,80 @@ mod tests {
     }
 
     #[test]
+    fn two_pools_interleaved_pins_from_shared_thread_set() {
+        // The sharded-index access pattern: every shard owns its own
+        // DiskManager + BufferPool, and one set of worker threads pins
+        // pages from several pools at once — often holding a guard on
+        // pool A while fetching from pool B, in either order. Pin
+        // ledgers and waiter wakeups are strictly per-pool, so
+        // cross-pool holds must not leak pins and each pool's stats must
+        // only count its own traffic. Each pool gets one frame per
+        // worker (the sizing invariant the sharded database's per-shard
+        // `buffer_frames` budget upholds): a thread never holds more
+        // than one pin per pool, so mixed A→B / B→A hold orders cannot
+        // exhaust a pool and deadlock — with fewer frames than workers
+        // that ABBA pattern genuinely can, in any pool design.
+        const WORKERS: usize = 6;
+        let d = tempfile::tempdir().unwrap();
+        let dm_a = Arc::new(DiskManager::create(&d.path().join("a.db")).unwrap());
+        let dm_b = Arc::new(DiskManager::create(&d.path().join("b.db")).unwrap());
+        let pool_a = Arc::new(BufferPool::new(dm_a, WORKERS));
+        let pool_b = Arc::new(BufferPool::new(dm_b, WORKERS));
+        let ids_a: Vec<PageId> = (0..12).map(|i| write_marker(&pool_a, i as u8)).collect();
+        let ids_b: Vec<PageId> = (0..12)
+            .map(|i| write_marker(&pool_b, 100 + i as u8))
+            .collect();
+        pool_a.flush_all().unwrap();
+        pool_b.flush_all().unwrap();
+        let base_a = pool_a.pool_stats();
+        let base_b = pool_b.pool_stats();
+
+        let mut handles = Vec::new();
+        for t in 0..WORKERS {
+            let (pool_a, pool_b) = (Arc::clone(&pool_a), Arc::clone(&pool_b));
+            let (ids_a, ids_b) = (ids_a.clone(), ids_b.clone());
+            handles.push(std::thread::spawn(move || {
+                for round in 0..150 {
+                    let i = (t * 5 + round * 7) % ids_a.len();
+                    let j = (t * 3 + round * 11) % ids_b.len();
+                    // hold a pin in A across the whole B fetch (and vice
+                    // versa on odd rounds) — the cross-pool hold pattern
+                    if round % 2 == 0 {
+                        let ga = pool_a.fetch(ids_a[i]).expect("pool A fetch");
+                        let gb = pool_b.fetch(ids_b[j]).expect("pool B fetch under A pin");
+                        assert_eq!(ga.page().payload()[0], i as u8);
+                        assert_eq!(gb.page().payload()[0], 100 + j as u8);
+                    } else {
+                        let gb = pool_b.fetch(ids_b[j]).expect("pool B fetch");
+                        let ga = pool_a.fetch(ids_a[i]).expect("pool A fetch under B pin");
+                        assert_eq!(gb.page().payload()[0], 100 + j as u8);
+                        assert_eq!(ga.page().payload()[0], i as u8);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // all pins released: both pools can still turn over every frame
+        for (i, id) in ids_a.iter().enumerate() {
+            assert_eq!(pool_a.fetch(*id).unwrap().page().payload()[0], i as u8);
+        }
+        for (j, id) in ids_b.iter().enumerate() {
+            assert_eq!(
+                pool_b.fetch(*id).unwrap().page().payload()[0],
+                100 + j as u8
+            );
+        }
+        // stats stayed per-pool: each saw exactly its own WORKERS*150
+        // + 12 fetches
+        let sa = pool_a.pool_stats().since(base_a);
+        let sb = pool_b.pool_stats().since(base_b);
+        assert_eq!(sa.accesses(), WORKERS as u64 * 150 + 12, "pool A accesses");
+        assert_eq!(sb.accesses(), WORKERS as u64 * 150 + 12, "pool B accesses");
+    }
+
+    #[test]
     fn concurrent_readers() {
         let d = tempfile::tempdir().unwrap();
         let dm = Arc::new(DiskManager::create(&d.path().join("p.db")).unwrap());

@@ -105,8 +105,15 @@ impl TaleDatabase {
     /// Logically removes a graph from query results (tombstone in the
     /// index; space is reclaimed by rebuilding). The graph's id and data
     /// remain readable through [`TaleDatabase::db`].
+    ///
+    /// Cache invalidation is scoped: removing a graph can only delete its
+    /// own matches, so only cached entries whose result set contains `id`
+    /// are evicted ([`ResultCache::evict_graph`]); disjoint entries stay
+    /// resident and exactly correct.
+    ///
+    /// [`ResultCache::evict_graph`]: crate::engine::cache::ResultCache::evict_graph
     pub fn remove_graph(&mut self, id: GraphId) -> Result<()> {
-        self.cache.clear();
+        self.cache.evict_graph(id);
         self.index
             .remove_graph(id, self.db.effective_vocab_size() as u64)?;
         Ok(())
@@ -176,8 +183,19 @@ impl TaleDatabase {
         self.index.size_bytes()
     }
 
-    fn cache_for(&self, opts: &QueryOptions) -> Option<&ResultCache> {
-        opts.use_cache.then_some(&self.cache)
+    fn run(
+        &self,
+        queries: &[&Graph],
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
+        let caches = [&self.cache];
+        exec::run_batch(
+            &self.db,
+            &[&self.index],
+            opts.use_cache.then_some(&caches[..]),
+            queries,
+            opts,
+        )
     }
 
     /// Runs an approximate subgraph query (the full §V pipeline, staged
@@ -197,8 +215,7 @@ impl TaleDatabase {
         query: &Graph,
         opts: &QueryOptions,
     ) -> Result<(Vec<QueryMatch>, QueryStats)> {
-        let (mut outputs, mut batch) =
-            exec::run_batch(&self.db, &self.index, self.cache_for(opts), &[query], opts)?;
+        let (mut outputs, mut batch) = self.run(&[query], opts)?;
         Ok((outputs.remove(0), batch.per_query.remove(0)))
     }
 
@@ -223,7 +240,7 @@ impl TaleDatabase {
         queries: &[&Graph],
         opts: &QueryOptions,
     ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
-        exec::run_batch(&self.db, &self.index, self.cache_for(opts), queries, opts)
+        self.run(queries, opts)
     }
 
     /// Counter snapshot of the result cache (hits, misses, invalidations).

@@ -22,11 +22,25 @@
 //!   node mapping would not transfer — therefore misses and recomputes.
 //!   Collisions cost time, never correctness.
 //!
+//! ## Stored value: pre-rank partial results
+//!
+//! Entries store the **pre-rank** match list of one index shard (the whole
+//! database is one shard in the unsharded case): every [`QueryMatch`] the
+//! match stage produced for graphs owned by that shard, before the global
+//! sort and `top_k` truncation. A hit therefore re-runs only the rank
+//! stage — a deterministic in-memory sort — so hits are still bit-identical
+//! and still touch zero disk probes. Caching pre-rank partials is what
+//! makes *scoped* invalidation sound under sharding: a mutation of shard
+//! `s` can only change shard `s`'s partial lists, never another shard's.
+//!
 //! ## Invalidation
 //!
-//! [`TaleDatabase::insert_graph`](crate::TaleDatabase::insert_graph) and
-//! [`TaleDatabase::remove_graph`](crate::TaleDatabase::remove_graph) clear
-//! the cache explicitly: any mutation can change any query's result set.
+//! [`TaleDatabase::insert_graph`](crate::TaleDatabase::insert_graph) clears
+//! the mutated shard's cache (a new graph can enter any query's result
+//! set), while [`TaleDatabase::remove_graph`](crate::TaleDatabase::remove_graph)
+//! uses [`ResultCache::evict_graph`]: only entries whose stored partial
+//! list actually contains the removed graph are dropped — removing a graph
+//! cannot add matches, so disjoint entries stay exactly correct.
 //!
 //! Eviction is LRU over a fixed entry budget; the implementation is a
 //! plain map + monotonic ticks (no external LRU crate in the vendored
@@ -46,7 +60,7 @@ pub const DEFAULT_CACHE_ENTRIES: usize = 128;
 /// verification on lookup: direction, per-node effective labels, and the
 /// labeled edge list, all in node-id order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub(crate) struct QueryRepr {
+pub struct QueryRepr {
     directed: bool,
     labels: Vec<u32>,
     /// `(u, v, edge label + 1)` per edge; unlabeled edges store 0.
@@ -54,7 +68,7 @@ pub(crate) struct QueryRepr {
 }
 
 /// Builds the exact representation of `query` under `db`'s vocabulary.
-pub(crate) fn query_repr(db: &GraphDb, query: &Graph) -> QueryRepr {
+pub fn query_repr(db: &GraphDb, query: &Graph) -> QueryRepr {
     QueryRepr {
         directed: query.is_directed(),
         labels: query
@@ -70,8 +84,10 @@ pub(crate) fn query_repr(db: &GraphDb, query: &Graph) -> QueryRepr {
 
 /// Cache key: canonical query signature × options fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct CacheKey {
+pub struct CacheKey {
+    /// The relabeling-invariant 1-WL query signature.
     pub canonical: u64,
+    /// The [`options_fingerprint`] of the query's options.
     pub options: u64,
 }
 
@@ -153,8 +169,9 @@ pub struct CacheStats {
 }
 
 /// LRU result cache keyed by `(canonical signature, options fingerprint)`
-/// with exact-query verification. Interior-mutable and thread-safe so
-/// concurrent queries through `&TaleDatabase` share it.
+/// with exact-query verification, holding one shard's pre-rank partial
+/// match lists. Interior-mutable and thread-safe so concurrent queries
+/// through `&TaleDatabase` share it.
 pub struct ResultCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -163,7 +180,7 @@ pub struct ResultCache {
 impl ResultCache {
     /// Creates a cache holding at most `capacity` entries (0 disables
     /// storage entirely — every lookup misses).
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize) -> Self {
         ResultCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -178,9 +195,9 @@ impl ResultCache {
     }
 
     /// Looks up `key`, verifying the stored query equals `repr` exactly.
-    /// A hit clones the stored results (cheap next to the pipeline) and
-    /// refreshes the entry's LRU position.
-    pub(crate) fn get(&self, key: &CacheKey, repr: &QueryRepr) -> Option<Vec<QueryMatch>> {
+    /// A hit clones the stored partial list (cheap next to the pipeline)
+    /// and refreshes the entry's LRU position.
+    pub fn get(&self, key: &CacheKey, repr: &QueryRepr) -> Option<Vec<QueryMatch>> {
         let mut inner = self.inner.lock().expect("result cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -198,9 +215,9 @@ impl ResultCache {
         }
     }
 
-    /// Stores `results` under `key`, evicting the least-recently-used
-    /// entry when over budget.
-    pub(crate) fn put(&self, key: CacheKey, repr: QueryRepr, results: Vec<QueryMatch>) {
+    /// Stores one shard's pre-rank partial list under `key`, evicting the
+    /// least-recently-used entry when over budget.
+    pub fn put(&self, key: CacheKey, repr: QueryRepr, results: Vec<QueryMatch>) {
         if self.capacity == 0 {
             return;
         }
@@ -230,11 +247,29 @@ impl ResultCache {
         );
     }
 
-    /// Drops every entry (database mutation invalidation).
+    /// Drops every entry (the insert-side invalidation: a new graph can
+    /// enter any query's result set, so nothing survives).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("result cache poisoned");
         inner.map.clear();
         inner.invalidations += 1;
+    }
+
+    /// Drops only the entries whose stored partial list contains `graph` —
+    /// the remove-side invalidation. Removing a graph can only delete its
+    /// own matches, so an entry that never matched it is still exactly
+    /// correct and stays resident. Returns how many entries were evicted.
+    pub fn evict_graph(&self, graph: tale_graph::GraphId) -> usize {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|_, e| e.results.iter().all(|m| m.graph != graph));
+        let evicted = before - inner.map.len();
+        if evicted > 0 {
+            inner.invalidations += 1;
+        }
+        evicted
     }
 
     /// Counter snapshot.

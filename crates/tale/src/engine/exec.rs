@@ -1,17 +1,30 @@
 //! The exec stage: orchestrates plan → cache → probe → anchor/grow →
-//! rank for a whole batch, scattering work across threads and gathering
-//! with a deterministic index-ordered merge.
+//! rank for a whole batch, scattering work across index shards and worker
+//! threads and gathering with a deterministic index-ordered merge.
 //!
 //! Batch semantics are exact: the output of [`run_batch`] is bit-identical
 //! to running each query alone through the same pipeline, at every thread
-//! count. The batch only *amortizes* — duplicate queries are executed
-//! once, duplicate probe signatures are probed once, and the thread pool
-//! fans over the union of all per-graph work items instead of syncing at
-//! each query boundary.
+//! count **and at every shard count**. The batch only *amortizes* —
+//! duplicate queries are executed once, duplicate probe signatures are
+//! probed once per shard, and the thread pool fans over the union of all
+//! per-graph work items instead of syncing at each query boundary.
+//!
+//! ## Why sharding cannot change results
+//!
+//! Every database graph belongs to exactly one shard, all shards share one
+//! neighbor-array scheme (chosen from the full database vocabulary at
+//! build time), and a probe answer is a pure function of `(signature, ρ)`
+//! over the rows present in the index. A shard's probe answer is therefore
+//! exactly the subsequence of the unsharded answer whose graphs live in
+//! that shard, so each `(query, graph)` match task receives a byte-equal
+//! candidate bucket regardless of shard count. The final rank comparator —
+//! score descending, graph id ascending — is a total order over matches
+//! (graph ids are unique per query), so merging the shards' disjoint
+//! partial lists in *any* order sorts to the same ranked output.
 
 use crate::engine::cache::{self, CacheKey, QueryRepr, ResultCache};
 use crate::engine::plan::{plan_query, QueryPlan};
-use crate::engine::stats::{BatchStats, QueryStats, StageTimes};
+use crate::engine::stats::{BatchStats, QueryStats, ShardStats, StageTimes};
 use crate::engine::{grow, probe};
 use crate::params::QueryOptions;
 use crate::result::QueryMatch;
@@ -20,38 +33,65 @@ use std::time::Instant;
 use tale_graph::{Graph, GraphDb};
 use tale_nhindex::NhIndex;
 
-/// How each input query gets its results.
-enum Outcome {
-    /// Served from the cache.
-    Cached(Vec<QueryMatch>),
-    /// Computed as (an alias of) the given unique-query slot.
-    Computed(usize),
+/// Per-unique-query index traffic, summed over the shards the query
+/// actually executed on (a standalone unsharded run reports the same
+/// totals: shard answers partition the unsharded answer).
+#[derive(Default, Clone, Copy)]
+struct UniqueTraffic {
+    probes: u64,
+    probes_shared: u64,
+    keys_scanned: u64,
+    postings_fetched: u64,
+    rows_examined: u64,
+    candidates: u64,
+    candidate_graphs: usize,
 }
 
-/// Runs a batch of queries through the staged pipeline. Pass
-/// `cache: None` to bypass the result cache entirely (no lookups, no
-/// insertions).
-pub(crate) fn run_batch(
+/// One shard's contribution to the batch, computed inside the scatter
+/// phase on that shard's thread(s).
+struct ShardOutcome {
+    /// Pre-rank partial match lists, aligned with the shard's `need` list.
+    partials: Vec<Vec<QueryMatch>>,
+    /// Per-executed-unique traffic, aligned with `need`.
+    traffic: Vec<UniqueTraffic>,
+    probes_requested: u64,
+    probes_issued: u64,
+    stats: ShardStats,
+}
+
+/// Runs a batch of queries through the staged pipeline over one or more
+/// index shards. `shards` must be non-empty and every shard must have been
+/// built over the same database (disjoint graph ownership, shared
+/// neighbor-array scheme). Pass `caches: None` to bypass the result cache
+/// entirely; otherwise provide exactly one cache per shard (each holds
+/// that shard's pre-rank partial lists, so mutations of one shard leave
+/// the other shards' entries valid).
+pub fn run_batch(
     db: &GraphDb,
-    index: &NhIndex,
-    cache: Option<&ResultCache>,
+    shards: &[&NhIndex],
+    caches: Option<&[&ResultCache]>,
     queries: &[&Graph],
     opts: &QueryOptions,
 ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
     let t_total = Instant::now();
-    let pool_before = index.pool_stats();
+    let nshards = shards.len();
+    assert!(nshards > 0, "run_batch needs at least one index shard");
+    if let Some(c) = caches {
+        assert_eq!(c.len(), nshards, "one result cache per shard");
+    }
     let threads = tale_par::effective_threads(opts.threads);
 
-    // Plan: importance + signatures + canonical signature, per query.
+    // Plan: importance + signatures + canonical signature, per query. All
+    // shards share one scheme, so planning against shard 0 is exact.
     let t = Instant::now();
     let plans: Vec<QueryPlan> = tale_par::parallel_map(threads, queries.len(), |i| {
-        plan_query(db, index, queries[i], opts)
+        plan_query(db, shards[0], queries[i], opts)
     });
     let reprs: Vec<QueryRepr> = queries.iter().map(|q| cache::query_repr(db, q)).collect();
     let plan_secs = t.elapsed().as_secs_f64();
 
-    // Cache lookups + exact-duplicate folding. `uniques` holds the input
-    // index of each distinct query that must actually run.
+    // Exact-duplicate folding: `uniques` holds the input index of each
+    // distinct query; `alias[i]` maps every input to its unique slot.
     let opt_fp = cache::options_fingerprint(opts);
     let keys: Vec<CacheKey> = plans
         .iter()
@@ -60,151 +100,246 @@ pub(crate) fn run_batch(
             options: opt_fp,
         })
         .collect();
-    let mut outcomes: Vec<Outcome> = Vec::with_capacity(queries.len());
+    let mut alias: Vec<usize> = Vec::with_capacity(queries.len());
     let mut uniques: Vec<usize> = Vec::new();
     let mut first_of: std::collections::HashMap<&QueryRepr, usize> =
         std::collections::HashMap::new();
-    let mut cache_hits = 0usize;
-    for i in 0..queries.len() {
-        if let Some(c) = cache {
-            if let Some(hit) = c.get(&keys[i], &reprs[i]) {
-                outcomes.push(Outcome::Cached(hit));
-                cache_hits += 1;
-                continue;
-            }
-        }
-        let u = *first_of.entry(&reprs[i]).or_insert_with(|| {
-            uniques.push(i);
+    for repr in &reprs {
+        let u = *first_of.entry(repr).or_insert_with(|| {
+            uniques.push(alias.len());
             uniques.len() - 1
         });
-        outcomes.push(Outcome::Computed(u));
+        alias.push(u);
     }
 
-    // Probe: every distinct signature across the uncached uniques hits
-    // the disk index once.
-    let t = Instant::now();
-    let unique_plans: Vec<&QueryPlan> = uniques.iter().map(|&i| &plans[i]).collect();
-    let probed = probe::run_probe(index, &unique_plans, opts.rho, opts.threads)?;
-    let probe_secs = t.elapsed().as_secs_f64();
-
-    // Match: anchor + grow per (query, candidate graph), flattened across
-    // the batch so threads never idle at query boundaries. `parallel_map`
-    // returns in item order and items are (unique, sorted gid), so the
-    // per-query gather below is byte-identical to a serial per-query loop.
-    let t = Instant::now();
-    let mut items: Vec<(usize, u32)> = Vec::new();
-    for (u, p) in probed.per_query.iter().enumerate() {
-        let mut gids: Vec<u32> = p.per_graph.keys().copied().collect();
-        gids.sort_unstable();
-        items.extend(gids.into_iter().map(|g| (u, g)));
-    }
-    let matched: Vec<Option<QueryMatch>> = tale_par::parallel_map(threads, items.len(), |i| {
-        let (u, gid) = items[i];
-        let qi = uniques[u];
-        grow::match_one_graph(
-            db,
-            queries[qi],
-            &plans[qi].important,
-            gid,
-            &probed.per_query[u].per_graph[&gid],
-            opts,
-        )
-    });
-    let match_secs = t.elapsed().as_secs_f64();
-
-    // Rank: per unique query, sort by (score desc, graph id asc) and
-    // truncate to top_k.
-    let t = Instant::now();
-    let mut unique_results: Vec<Vec<QueryMatch>> = vec![Vec::new(); uniques.len()];
-    for ((u, _), m) in items.into_iter().zip(matched) {
-        if let Some(m) = m {
-            unique_results[u].push(m);
+    // Per-(unique, shard) cache lookups. `partials[u][s]` is that shard's
+    // pre-rank partial list when cached; a query is a full cache hit only
+    // when every shard hits.
+    let mut partials: Vec<Vec<Option<Vec<QueryMatch>>>> = uniques
+        .iter()
+        .map(|_| (0..nshards).map(|_| None).collect())
+        .collect();
+    if let Some(caches) = caches {
+        for (u, &qi) in uniques.iter().enumerate() {
+            for (s, c) in caches.iter().enumerate() {
+                partials[u][s] = c.get(&keys[qi], &reprs[qi]);
+            }
         }
     }
-    for results in unique_results.iter_mut() {
-        results.sort_by(|a, b| {
+    let fully_cached: Vec<bool> = partials
+        .iter()
+        .map(|p| p.iter().all(Option::is_some))
+        .collect();
+
+    // Scatter: each shard probes + grows the uniques that missed its
+    // cache, on its own slice of the thread budget. Per-shard traffic is
+    // exact — a shard's index is only touched by its own closure here.
+    let need: Vec<Vec<usize>> = (0..nshards)
+        .map(|s| {
+            (0..uniques.len())
+                .filter(|&u| partials[u][s].is_none())
+                .collect()
+        })
+        .collect();
+    let inner_threads = if nshards == 1 {
+        threads
+    } else {
+        (threads / nshards).max(1)
+    };
+    let outer_threads = threads.min(nshards).max(1);
+    let shard_runs: Vec<Result<ShardOutcome>> =
+        tale_par::parallel_map(outer_threads, nshards, |s| {
+            let t_shard = Instant::now();
+            let index = shards[s];
+            let counters_before = index.counters();
+            let pool_before = index.pool_stats();
+            let sel = &need[s];
+            let shard_plans: Vec<&QueryPlan> = sel.iter().map(|&u| &plans[uniques[u]]).collect();
+            let t = Instant::now();
+            let probed = probe::run_probe(index, &shard_plans, opts.rho, inner_threads)?;
+            let probe_secs = t.elapsed().as_secs_f64();
+
+            // Match: anchor + grow per (query, candidate graph), flattened
+            // across this shard's queries. `parallel_map` returns in item
+            // order and items are (unique, sorted gid), so the per-query
+            // gather below is byte-identical to a serial per-query loop.
+            let t = Instant::now();
+            let mut items: Vec<(usize, u32)> = Vec::new();
+            for (lu, p) in probed.per_query.iter().enumerate() {
+                let mut gids: Vec<u32> = p.per_graph.keys().copied().collect();
+                gids.sort_unstable();
+                items.extend(gids.into_iter().map(|g| (lu, g)));
+            }
+            let matched: Vec<Option<QueryMatch>> =
+                tale_par::parallel_map(inner_threads, items.len(), |i| {
+                    let (lu, gid) = items[i];
+                    let qi = uniques[sel[lu]];
+                    grow::match_one_graph(
+                        db,
+                        queries[qi],
+                        &plans[qi].important,
+                        gid,
+                        &probed.per_query[lu].per_graph[&gid],
+                        opts,
+                    )
+                });
+            let match_secs = t.elapsed().as_secs_f64();
+            let match_items = items.len();
+            let mut out: Vec<Vec<QueryMatch>> = vec![Vec::new(); sel.len()];
+            for ((lu, _), m) in items.into_iter().zip(matched) {
+                if let Some(m) = m {
+                    out[lu].push(m);
+                }
+            }
+            let traffic: Vec<UniqueTraffic> = probed
+                .per_query
+                .iter()
+                .map(|p| UniqueTraffic {
+                    probes: p.probes,
+                    probes_shared: p.probes_shared,
+                    keys_scanned: p.keys_scanned,
+                    postings_fetched: p.postings_fetched,
+                    rows_examined: p.rows_examined,
+                    candidates: p.candidates,
+                    candidate_graphs: p.per_graph.len(),
+                })
+                .collect();
+            let counters = index.counters().since(counters_before);
+            let matches = out.iter().map(Vec::len).sum();
+            Ok(ShardOutcome {
+                stats: ShardStats {
+                    shard: s,
+                    uniques_executed: sel.len(),
+                    probes: counters.probes,
+                    keys_scanned: counters.keys_scanned,
+                    postings_fetched: counters.postings_fetched,
+                    rows_examined: counters.rows_examined,
+                    candidates: traffic.iter().map(|t| t.candidates).sum(),
+                    match_items,
+                    matches,
+                    pool: index.pool_stats().since(pool_before).into(),
+                    probe_secs,
+                    match_secs,
+                    wall_secs: t_shard.elapsed().as_secs_f64(),
+                },
+                partials: out,
+                traffic,
+                probes_requested: probed.probes_requested,
+                probes_issued: probed.probes_issued,
+            })
+        });
+    let mut shard_outcomes: Vec<ShardOutcome> = Vec::with_capacity(nshards);
+    for r in shard_runs {
+        shard_outcomes.push(r?);
+    }
+
+    // Gather + rank: store fresh partials, merge each unique's disjoint
+    // shard lists, sort by (score desc, graph id asc) — a total order, so
+    // merge order is irrelevant — and truncate to top_k.
+    let t = Instant::now();
+    let mut unique_traffic: Vec<UniqueTraffic> = vec![UniqueTraffic::default(); uniques.len()];
+    for (s, out) in shard_outcomes.iter_mut().enumerate() {
+        for (lu, &u) in need[s].iter().enumerate() {
+            let list = std::mem::take(&mut out.partials[lu]);
+            if let Some(caches) = caches {
+                caches[s].put(keys[uniques[u]], reprs[uniques[u]].clone(), list.clone());
+            }
+            let t = &out.traffic[lu];
+            let agg = &mut unique_traffic[u];
+            agg.probes += t.probes;
+            agg.probes_shared += t.probes_shared;
+            agg.keys_scanned += t.keys_scanned;
+            agg.postings_fetched += t.postings_fetched;
+            agg.rows_examined += t.rows_examined;
+            agg.candidates += t.candidates;
+            agg.candidate_graphs += t.candidate_graphs;
+            partials[u][s] = Some(list);
+        }
+    }
+    let mut unique_results: Vec<Vec<QueryMatch>> = Vec::with_capacity(uniques.len());
+    for per_shard in partials {
+        let mut all: Vec<QueryMatch> = Vec::new();
+        for p in per_shard {
+            all.extend(p.expect("every shard answered or was cached"));
+        }
+        all.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.graph.cmp(&b.graph))
         });
         if let Some(k) = opts.top_k {
-            results.truncate(k);
+            all.truncate(k);
         }
-    }
-    if let Some(c) = cache {
-        for (u, &qi) in uniques.iter().enumerate() {
-            c.put(keys[qi], reprs[qi].clone(), unique_results[u].clone());
-        }
+        unique_results.push(all);
     }
     let rank_secs = t.elapsed().as_secs_f64();
 
     // Assemble outputs in input order; the last user of each unique slot
     // takes the vector, earlier aliases clone.
     let mut users_left: Vec<usize> = vec![0; uniques.len()];
-    for o in &outcomes {
-        if let Outcome::Computed(u) = o {
-            users_left[*u] += 1;
-        }
+    for &u in &alias {
+        users_left[u] += 1;
     }
+    let shard_stats: Vec<ShardStats> = shard_outcomes.iter().map(|o| o.stats).collect();
     let stages = StageTimes {
         plan_secs,
-        probe_secs,
-        match_secs,
+        // probe/match run per shard, possibly overlapped: report the summed
+        // per-shard clocks (equal to elapsed time when unsharded).
+        probe_secs: shard_stats.iter().map(|s| s.probe_secs).sum(),
+        match_secs: shard_stats.iter().map(|s| s.match_secs).sum(),
         rank_secs,
         total_secs: t_total.elapsed().as_secs_f64(),
     };
-    let pool = index.pool_stats().since(pool_before).into();
+    let pool = shard_stats
+        .iter()
+        .fold(crate::engine::stats::PoolDelta::default(), |acc, s| {
+            crate::engine::stats::PoolDelta {
+                hits: acc.hits + s.pool.hits,
+                misses: acc.misses + s.pool.misses,
+            }
+        });
     let mut per_query: Vec<QueryStats> = Vec::with_capacity(queries.len());
     let mut outputs: Vec<Vec<QueryMatch>> = Vec::with_capacity(queries.len());
-    for (i, o) in outcomes.into_iter().enumerate() {
-        let (results, mut qs) = match o {
-            Outcome::Cached(r) => (
-                r,
-                QueryStats {
-                    cache_hit: true,
-                    ..QueryStats::default()
-                },
-            ),
-            Outcome::Computed(u) => {
-                users_left[u] -= 1;
-                let r = if users_left[u] == 0 {
-                    std::mem::take(&mut unique_results[u])
-                } else {
-                    unique_results[u].clone()
-                };
-                let p = &probed.per_query[u];
-                (
-                    r,
-                    QueryStats {
-                        probes: p.probes,
-                        probes_shared: p.probes_shared,
-                        keys_scanned: p.keys_scanned,
-                        postings_fetched: p.postings_fetched,
-                        rows_examined: p.rows_examined,
-                        candidates: p.candidates,
-                        candidate_graphs: p.per_graph.len(),
-                        ..QueryStats::default()
-                    },
-                )
-            }
+    let mut cache_hits = 0usize;
+    for (i, &u) in alias.iter().enumerate() {
+        users_left[u] -= 1;
+        let results = if users_left[u] == 0 {
+            std::mem::take(&mut unique_results[u])
+        } else {
+            unique_results[u].clone()
         };
-        qs.important_nodes = plans[i].important.len();
-        qs.matches = results.len();
-        qs.stages = stages;
-        qs.pool = pool;
-        per_query.push(qs);
+        let hit = fully_cached[u];
+        if hit {
+            cache_hits += 1;
+        }
+        let tr = &unique_traffic[u];
+        per_query.push(QueryStats {
+            important_nodes: plans[i].important.len(),
+            probes: tr.probes,
+            probes_shared: tr.probes_shared,
+            keys_scanned: tr.keys_scanned,
+            postings_fetched: tr.postings_fetched,
+            rows_examined: tr.rows_examined,
+            candidates: tr.candidates,
+            candidate_graphs: tr.candidate_graphs,
+            matches: results.len(),
+            cache_hit: hit,
+            stages,
+            pool,
+        });
         outputs.push(results);
     }
 
     let batch = BatchStats {
         queries: queries.len(),
         cache_hits,
-        unique_queries: uniques.len(),
-        probes_requested: probed.probes_requested,
-        probes_issued: probed.probes_issued,
+        unique_queries: fully_cached.iter().filter(|&&h| !h).count(),
+        probes_requested: shard_outcomes.iter().map(|o| o.probes_requested).sum(),
+        probes_issued: shard_outcomes.iter().map(|o| o.probes_issued).sum(),
         stages,
         pool,
+        shards: shard_stats,
         per_query,
     };
     Ok((outputs, batch))

@@ -17,12 +17,15 @@
 //!    (maximum-weight bipartite matching + conservation-aware refinement).
 //! 5. [`grow`] — the per-graph match driver: grow from anchors
 //!    (Algorithms 2–4) and iteratively re-anchor the residue to a fixpoint.
-//! 6. [`exec`] — scatter/gather over worker threads with a deterministic
-//!    index-ordered merge, then per-query ranking. Batch output is
-//!    bit-identical to running each query alone at any thread count.
+//! 6. [`exec`] — scatter/gather over index *shards* and worker threads
+//!    with a deterministic index-ordered merge, then per-query ranking.
+//!    The unsharded database is simply the one-shard case. Batch output is
+//!    bit-identical to running each query alone at any thread count and
+//!    any shard count (see the determinism argument in [`exec`]).
 //!
 //! [`stats`] threads per-stage observability (probe counters, buffer-pool
-//! hit rates from `tale-storage`, wall clocks) through every layer.
+//! hit rates from `tale-storage`, per-shard [`stats::ShardStats`], wall
+//! clocks) through every layer.
 
 pub mod anchor;
 pub mod cache;

@@ -95,6 +95,41 @@ pub struct QueryStats {
     pub pool: PoolDelta,
 }
 
+/// What one index shard did for one batch: the scatter/gather executor
+/// runs probe + match per shard on its own thread(s) and records each
+/// shard's traffic, wall clock, and buffer-pool delta here. The unsharded
+/// path reports exactly one entry (the whole index is shard 0).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ShardStats {
+    /// Shard ordinal (index into the shard set).
+    pub shard: usize,
+    /// Unique queries that executed on this shard (missed its result
+    /// cache) this batch.
+    pub uniques_executed: usize,
+    /// Disk probes issued against this shard (after signature dedup).
+    pub probes: u64,
+    /// B+-tree keys visited on this shard.
+    pub keys_scanned: u64,
+    /// Postings fetched from this shard.
+    pub postings_fetched: u64,
+    /// Bitmap rows examined on this shard.
+    pub rows_examined: u64,
+    /// Candidate node matches this shard's probes returned.
+    pub candidates: u64,
+    /// `(query, graph)` match tasks grown against this shard's graphs.
+    pub match_items: usize,
+    /// Partial matches this shard contributed before global ranking.
+    pub matches: usize,
+    /// This shard's buffer-pool traffic.
+    pub pool: PoolDelta,
+    /// Seconds this shard spent probing.
+    pub probe_secs: f64,
+    /// Seconds this shard spent in anchor + grow.
+    pub match_secs: f64,
+    /// This shard's end-to-end wall clock inside the scatter phase.
+    pub wall_secs: f64,
+}
+
 /// What one batch cost end to end, plus per-query breakdowns.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct BatchStats {
@@ -117,6 +152,28 @@ pub struct BatchStats {
     pub stages: StageTimes,
     /// Buffer-pool traffic for the whole batch.
     pub pool: PoolDelta,
+    /// Per-shard breakdowns of the scatter phase, in shard order (one
+    /// entry when unsharded).
+    pub shards: Vec<ShardStats>,
     /// Per-query breakdowns, in input order.
     pub per_query: Vec<QueryStats>,
+}
+
+impl BatchStats {
+    /// Scatter-phase skew: the slowest shard's wall clock over the mean
+    /// shard wall clock (`1.0` = perfectly balanced; `0.0` when no shard
+    /// did timed work). Large values mean the partitioning policy left one
+    /// shard holding most of the batch's work.
+    pub fn shard_skew(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 0.0;
+        }
+        let max = self.shards.iter().map(|s| s.wall_secs).fold(0.0, f64::max);
+        let mean = self.shards.iter().map(|s| s.wall_secs).sum::<f64>() / self.shards.len() as f64;
+        if mean <= 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
 }

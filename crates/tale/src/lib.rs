@@ -43,9 +43,10 @@ mod scratch;
 pub use database::TaleDatabase;
 pub use engine::cache::{options_fingerprint, CacheStats, DEFAULT_CACHE_ENTRIES};
 pub use engine::plan::canonical_signature;
-pub use engine::stats::{BatchStats, PoolDelta, QueryStats, StageTimes};
+pub use engine::stats::{BatchStats, PoolDelta, QueryStats, ShardStats, StageTimes};
 pub use params::{QueryOptions, TaleParams};
 pub use result::QueryMatch;
+pub use scratch::ScratchDir;
 pub use tale_graph::centrality::ImportanceMeasure;
 pub use tale_matching::similarity::{CTreeStyle, MatchedNodesEdges, QualitySum, SimilarityModel};
 

@@ -204,7 +204,72 @@ fn batch_stats_expose_amortization() {
     }
 }
 
-/// Mutating the database must drop every cached result.
+/// Removal eviction is scoped: only cached entries whose result set
+/// contains the removed graph are dropped. Entries over disjoint label
+/// families survive and keep hitting without touching the index.
+#[test]
+fn remove_graph_evicts_only_intersecting_cache_entries() {
+    // two label families that can never match each other's queries
+    // (condition IV.1 filters on exact effective labels)
+    let mut db = GraphDb::new();
+    let a_labels: Vec<_> = (0..3)
+        .map(|i| db.intern_node_label(&format!("A{i}")))
+        .collect();
+    let b_labels: Vec<_> = (0..3)
+        .map(|i| db.intern_node_label(&format!("B{i}")))
+        .collect();
+    let ring = |labels: &[tale_graph::NodeLabel]| {
+        let mut g = Graph::new_undirected();
+        let n: Vec<_> = (0..8)
+            .map(|i| g.add_node(labels[i % labels.len()]))
+            .collect();
+        for i in 0..8 {
+            g.add_edge(n[i], n[(i + 1) % 8]).unwrap();
+        }
+        g.add_edge(n[0], n[4]).unwrap();
+        g
+    };
+    let qa = ring(&a_labels);
+    let qb = ring(&b_labels);
+    db.insert("a0", qa.clone());
+    db.insert("a1", qa.clone());
+    db.insert("b0", qb.clone());
+    let mut tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+    let opts = QueryOptions {
+        p_imp: 0.5,
+        ..Default::default()
+    };
+
+    let cold_a = tale.query(&qa, &opts).unwrap();
+    assert!(cold_a.iter().any(|r| r.graph == GraphId(0)));
+    let cold_b = tale.query(&qb, &opts).unwrap();
+    assert!(!cold_b.is_empty() && cold_b.iter().all(|r| r.graph == GraphId(2)));
+    assert_eq!(tale.result_cache_stats().entries, 2);
+
+    tale.remove_graph(GraphId(0)).unwrap();
+    assert_eq!(
+        tale.result_cache_stats().entries,
+        1,
+        "only the entry containing the removed graph may be evicted"
+    );
+
+    // the disjoint entry still hits, with zero index traffic
+    let before = tale.index().counters();
+    let (warm_b, sb) = tale.query_with_stats(&qb, &opts).unwrap();
+    assert!(sb.cache_hit, "disjoint entry must survive the removal");
+    assert_eq!(tale.index().counters().since(before).probes, 0);
+    assert!(same_results(&cold_b, &warm_b));
+
+    // the intersecting entry re-runs and no longer lists the tombstone
+    let (after_a, sa) = tale.query_with_stats(&qa, &opts).unwrap();
+    assert!(!sa.cache_hit);
+    assert!(after_a.iter().all(|r| r.graph != GraphId(0)));
+    assert!(after_a.iter().any(|r| r.graph == GraphId(1)));
+}
+
+/// Mutating the database must never serve stale cached results: insert
+/// clears the (touched shard's) cache wholesale, remove evicts every
+/// entry containing the removed graph.
 #[test]
 fn cache_is_invalidated_by_insert_and_remove() {
     let (db, originals) = corpus(25, 4);
@@ -239,7 +304,7 @@ fn cache_is_invalidated_by_insert_and_remove() {
     assert_eq!(
         tale.result_cache_stats().entries,
         0,
-        "remove_graph must clear the cache"
+        "the cached entry contains graph 0, so removal must evict it"
     );
     let after_remove = tale.query(q, &opts).unwrap();
     assert!(
