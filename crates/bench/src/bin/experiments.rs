@@ -54,6 +54,7 @@ fn main() {
             shard(scale);
         }
         "shard" => shard(scale),
+        "crash" => crash(),
         "all" => {
             alg1();
             table1(scale);
@@ -70,7 +71,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|crash|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -182,12 +183,17 @@ fn speedup(scale: Scale) {
     }
 }
 
-/// Serializes `report` to `path`, exiting non-zero on failure (both
-/// report writers share the BENCH JSON contract checked by CI).
+/// Serializes `report` to `path` atomically (temp file + fsync + rename,
+/// so an interrupted run never leaves a torn report), exiting non-zero on
+/// failure (both report writers share the BENCH JSON contract checked by
+/// CI).
 fn write_json<T: serde::Serialize>(path: &str, report: &T, what: &str) {
     match serde_json::to_string_pretty(report) {
         Ok(s) => {
-            if let Err(e) = std::fs::write(path, s + "\n") {
+            let bytes = s + "\n";
+            if let Err(e) =
+                tale_storage::atomic::write_atomic(std::path::Path::new(path), bytes.as_bytes())
+            {
                 eprintln!("writing {path}: {e}");
                 std::process::exit(1);
             }
@@ -244,6 +250,45 @@ fn shard(scale: Scale) {
     if let Some(path) = shard_json_arg() {
         write_json(&path, &r, "shard report");
     }
+}
+
+/// E-CRASH: fails every gated I/O operation of every durable mutation in
+/// turn and checks recovery lands bit-identically on the pre- or post-op
+/// state. Needs the fault-injection shim (`--features failpoints`).
+#[cfg(feature = "failpoints")]
+fn crash() {
+    println!("\n## E-CRASH — crash-safety torture sweep\n");
+    println!("every gated I/O operation of every durable mutation is failed in");
+    println!("turn; the reopened index must answer queries bit-identically to the");
+    println!("pre-mutation or post-mutation state — never anything in between\n");
+    println!("| mutation | fault points | rolled back | committed | bit-identical |");
+    println!("|---|---|---|---|---|");
+    let rows = tale_bench::experiments::crash::run_crash();
+    let mut failed = false;
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.mutation,
+            r.fault_points,
+            r.rolled_back,
+            r.committed,
+            if r.identical { "yes" } else { "NO" }
+        );
+        failed |= !r.identical;
+    }
+    if failed {
+        eprintln!("\ncrash sweep found a corrupted-but-served state");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn crash() {
+    eprintln!("the crash harness drives the storage fault-injection shim;");
+    eprintln!(
+        "rebuild with: cargo run -p tale-bench --features failpoints --bin experiments -- crash"
+    );
+    std::process::exit(2);
 }
 
 fn alg1() {

@@ -40,7 +40,7 @@ pub fn random_bitmap(rng: &mut ChaCha8Rng, rows: usize, sbit: u32) -> ColumnBitm
 /// Random 32-bit query array as words.
 pub fn random_query(rng: &mut ChaCha8Rng, sbit: u32) -> Vec<u64> {
     let words = (sbit as usize).div_ceil(64);
-    let mask = if sbit.is_multiple_of(64) {
+    let mask = if sbit % 64 == 0 {
         u64::MAX
     } else {
         (1u64 << (sbit % 64)) - 1

@@ -1,0 +1,325 @@
+//! E-CRASH — fault-injection torture sweep over every durable mutation.
+//!
+//! For each mutation kind the harness first runs the mutation cleanly
+//! while *counting* its gated I/O operations, then re-runs it once per
+//! fault point with exactly that operation failing. Process death is
+//! simulated by dropping the handle with the fault still tripped (so even
+//! the buffer pool's best-effort `Drop` flush fails), the directory is
+//! reopened through the recovery path, and the query output is compared
+//! bit-for-bit against both the pre-mutation and the post-mutation
+//! reference states. A recovery that matches neither — a
+//! corrupted-but-served state — fails the row.
+//!
+//! Sweeps cover the single index (`insert_graph`, `remove_graph`: WAL +
+//! page writes + meta rename) and the sharded database (`insert_graph`:
+//! journal + `graphs.json` + shard WAL + `shards.json` manifest rewrite;
+//! `remove_graph`). Only built with `--features failpoints`.
+
+use std::path::Path;
+use tale::{QueryOptions, TaleParams};
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_nhindex::{NhIndex, NhIndexConfig, NodeCandidate};
+use tale_shard::{HashPolicy, ShardedTaleDatabase};
+use tale_storage::faults;
+
+/// One mutation kind's sweep outcome.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CrashRow {
+    /// Mutation swept.
+    pub mutation: String,
+    /// Gated I/O operations the clean mutation performs — one simulated
+    /// crash per point.
+    pub fault_points: u64,
+    /// Recoveries that rolled back to the pre-mutation state.
+    pub rolled_back: u64,
+    /// Recoveries that completed to the post-mutation state.
+    pub committed: u64,
+    /// Every recovery was bit-identical to pre or post and passed the
+    /// deep integrity check.
+    pub identical: bool,
+}
+
+/// Tiny pool so mutations overflow it and exercise eviction write-backs
+/// mid-transaction.
+fn cfg() -> NhIndexConfig {
+    NhIndexConfig {
+        sbit: 32,
+        buffer_frames: 8,
+        parallel_build: false,
+        bloom_hashes: 1,
+        use_edge_labels: false,
+    }
+}
+
+fn params() -> TaleParams {
+    TaleParams {
+        buffer_frames: 8,
+        parallel_build: false,
+        ..TaleParams::default()
+    }
+}
+
+fn opts() -> QueryOptions {
+    QueryOptions {
+        p_imp: 0.5,
+        ..QueryOptions::default()
+    }
+}
+
+/// Six member graphs (cycles with a chord over four labels) plus one kept
+/// aside as insertion fodder.
+fn corpus() -> (GraphDb, Vec<Graph>, Graph) {
+    let mut db = GraphDb::new();
+    let labels: Vec<_> = (0..4)
+        .map(|i| db.intern_node_label(&format!("L{i}")))
+        .collect();
+    let build = |k: usize| {
+        let mut g = Graph::new_undirected();
+        let n: Vec<NodeId> = (0..4 + k % 3)
+            .map(|j| g.add_node(labels[(j + k) % 4]))
+            .collect();
+        for w in n.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g.add_edge(n[0], n[n.len() - 1]).unwrap();
+        g
+    };
+    let mut graphs = Vec::new();
+    for k in 0..6usize {
+        let g = build(k);
+        db.insert(format!("g{k}"), g.clone());
+        graphs.push(g);
+    }
+    (db, graphs, build(6))
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Probes every node of every graph — the single-index "query output"
+/// whose bit-identity the sweep checks.
+fn probe_matrix(idx: &NhIndex, db: &GraphDb) -> Vec<Vec<NodeCandidate>> {
+    let mut out = Vec::new();
+    for (gid, _, g) in db.iter() {
+        for n in g.nodes() {
+            let sig = idx.signature(g, n, &|x| db.effective_label(gid, x));
+            let mut hits = idx.probe(&sig, 0.3).unwrap();
+            hits.sort_by_key(|h| h.node);
+            out.push(hits);
+        }
+    }
+    out
+}
+
+/// Sweeps one single-index mutation over all its fault points.
+fn sweep_single<F>(db: &GraphDb, pre: &Path, scratch: &Path, name: &str, mutate: F) -> CrashRow
+where
+    F: Fn(&mut NhIndex) -> tale_nhindex::Result<()>,
+{
+    let frames = cfg().buffer_frames;
+    let pre_idx = NhIndex::open(pre, frames).unwrap();
+    let pre_gen = pre_idx.generation();
+    let pre_matrix = probe_matrix(&pre_idx, db);
+    drop(pre_idx);
+
+    let post_dir = scratch.join("post");
+    copy_tree(pre, &post_dir);
+    let mut post_idx = NhIndex::open(&post_dir, frames).unwrap();
+    mutate(&mut post_idx).unwrap();
+    let post_gen = post_idx.generation();
+    let post_matrix = probe_matrix(&post_idx, db);
+    drop(post_idx);
+
+    let count_dir = scratch.join("count");
+    copy_tree(pre, &count_dir);
+    let mut idx = NhIndex::open(&count_dir, frames).unwrap();
+    faults::arm_counting();
+    mutate(&mut idx).unwrap();
+    let n = faults::disarm();
+    drop(idx);
+
+    let mut row = CrashRow {
+        mutation: name.to_owned(),
+        fault_points: n,
+        rolled_back: 0,
+        committed: 0,
+        identical: true,
+    };
+    for i in 0..n {
+        let work = scratch.join(format!("fault-{i}"));
+        copy_tree(pre, &work);
+        let mut idx = NhIndex::open(&work, frames).unwrap();
+        faults::arm(i);
+        let crashed = mutate(&mut idx).is_err();
+        drop(idx);
+        faults::disarm();
+        let Ok((idx, _)) = NhIndex::open_with_recovery(&work, frames) else {
+            row.identical = false;
+            continue;
+        };
+        let matrix = probe_matrix(&idx, db);
+        let clean = idx.verify().is_ok_and(|r| r.is_ok());
+        if idx.generation() == post_gen && matrix == post_matrix && clean {
+            row.committed += 1;
+        } else if idx.generation() == pre_gen && matrix == pre_matrix && clean && crashed {
+            row.rolled_back += 1;
+        } else {
+            row.identical = false;
+        }
+        drop(idx);
+        std::fs::remove_dir_all(&work).unwrap();
+    }
+    row
+}
+
+/// Compressed query answers over all probe graphs for the sharded sweep.
+type Answers = Vec<Vec<(GraphId, u64, usize)>>;
+
+fn answers(sharded: &ShardedTaleDatabase, queries: &[Graph]) -> Answers {
+    queries
+        .iter()
+        .map(|q| {
+            sharded
+                .query(q, &opts())
+                .unwrap()
+                .into_iter()
+                .map(|m| (m.graph, m.score.to_bits(), m.matched_nodes))
+                .collect()
+        })
+        .collect()
+}
+
+/// Sweeps one sharded-database mutation over all its fault points.
+fn sweep_sharded<F>(
+    pre: &Path,
+    scratch: &Path,
+    queries: &[Graph],
+    name: &str,
+    mutate: F,
+) -> CrashRow
+where
+    F: Fn(&mut ShardedTaleDatabase) -> tale_shard::Result<()>,
+{
+    let frames = params().buffer_frames;
+    let pre_db = ShardedTaleDatabase::open(pre, frames).unwrap();
+    let pre_answers = answers(&pre_db, queries);
+    drop(pre_db);
+
+    let post_dir = scratch.join("post");
+    copy_tree(pre, &post_dir);
+    let mut post = ShardedTaleDatabase::open(&post_dir, frames).unwrap();
+    mutate(&mut post).unwrap();
+    let post_answers = answers(&post, queries);
+    drop(post);
+
+    let count_dir = scratch.join("count");
+    copy_tree(pre, &count_dir);
+    let mut counted = ShardedTaleDatabase::open(&count_dir, frames).unwrap();
+    faults::arm_counting();
+    mutate(&mut counted).unwrap();
+    let n = faults::disarm();
+    drop(counted);
+
+    let mut row = CrashRow {
+        mutation: name.to_owned(),
+        fault_points: n,
+        rolled_back: 0,
+        committed: 0,
+        identical: true,
+    };
+    for i in 0..n {
+        let work = scratch.join(format!("fault-{i}"));
+        copy_tree(pre, &work);
+        let mut sharded = ShardedTaleDatabase::open(&work, frames).unwrap();
+        faults::arm(i);
+        let crashed = mutate(&mut sharded).is_err();
+        drop(sharded);
+        faults::disarm();
+        let Ok((recovered, _)) = ShardedTaleDatabase::open_with_recovery(&work, frames) else {
+            row.identical = false;
+            continue;
+        };
+        let got = answers(&recovered, queries);
+        let clean = recovered
+            .index()
+            .verify()
+            .is_ok_and(|rs| rs.iter().all(|r| r.is_ok()));
+        if got == post_answers && clean {
+            row.committed += 1;
+        } else if got == pre_answers && clean && crashed {
+            row.rolled_back += 1;
+        } else {
+            row.identical = false;
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&work).unwrap();
+    }
+    row
+}
+
+/// Runs the full crash-safety sweep: single-index insert/remove, sharded
+/// insert (journal + manifest rewrite) and remove. Returns one row per
+/// mutation kind; `identical` must be true on every row.
+pub fn run_crash() -> Vec<CrashRow> {
+    let (db, graphs, fodder) = corpus();
+    let mut rows = Vec::new();
+
+    // single index over the first five graphs; g5 is single-insert fodder
+    {
+        let scratch = tempfile::tempdir().unwrap();
+        let pre = scratch.path().join("pre");
+        let initial: Vec<GraphId> = (0..5).map(GraphId).collect();
+        NhIndex::build_subset(&pre, &db, &cfg(), &initial).unwrap();
+        rows.push(sweep_single(
+            &db,
+            &pre,
+            scratch.path(),
+            "index insert_graph",
+            |idx| idx.insert_graph(&db, GraphId(5)),
+        ));
+        rows.push(sweep_single(
+            &db,
+            &pre,
+            scratch.path(),
+            "index remove_graph",
+            |idx| idx.remove_graph(GraphId(1), db.effective_vocab_size() as u64),
+        ));
+    }
+
+    // sharded database (2 shards): insert covers the journal, the
+    // graphs.json save and the manifest rewrite on top of the shard WAL
+    {
+        let scratch = tempfile::tempdir().unwrap();
+        let pre = scratch.path().join("pre");
+        let built =
+            ShardedTaleDatabase::build(db.clone(), &pre, &params(), 2, &HashPolicy).unwrap();
+        drop(built);
+        let mut queries = graphs.clone();
+        queries.push(fodder.clone());
+        rows.push(sweep_sharded(
+            &pre,
+            scratch.path(),
+            &queries,
+            "sharded insert_graph (journal + manifest)",
+            |s| s.insert_graph("late", fodder.clone()).map(|_| ()),
+        ));
+        rows.push(sweep_sharded(
+            &pre,
+            scratch.path(),
+            &queries,
+            "sharded remove_graph",
+            |s| s.remove_graph(GraphId(0)),
+        ));
+    }
+    rows
+}

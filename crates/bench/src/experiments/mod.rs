@@ -3,6 +3,8 @@
 
 pub mod ablation;
 pub mod alg1;
+#[cfg(feature = "failpoints")]
+pub mod crash;
 pub mod fig5;
 pub mod fig789;
 pub mod kegg;

@@ -418,7 +418,7 @@ impl PinCorpus {
         let mut q: Vec<GraphId> = self.datasets[0]
             .iter()
             .copied()
-            .filter(|&g| max_nodes.is_none_or(|m| self.db.graph(g).node_count() <= m))
+            .filter(|&g| !max_nodes.is_some_and(|m| self.db.graph(g).node_count() > m))
             .collect();
         q.sort_by_key(|&g| self.db.graph(g).node_count());
         q

@@ -31,9 +31,14 @@ pub fn read_json<R: Read>(r: R) -> Result<GraphDb> {
     Ok(serde_json::from_reader(BufReader::new(r))?)
 }
 
-/// Saves a db as JSON at `path`.
+/// Saves a db as JSON at `path`, atomically: the bytes are staged in a
+/// temp sibling, fsynced, and renamed into place, so a crash mid-save
+/// leaves the previous file intact rather than a truncated one.
 pub fn save_json(db: &GraphDb, path: &Path) -> Result<()> {
-    write_json(db, std::fs::File::create(path)?)
+    let mut buf = Vec::new();
+    write_json(db, &mut buf)?;
+    tale_storage::atomic::write_atomic(path, &buf)?;
+    Ok(())
 }
 
 /// Loads a JSON db from `path`.

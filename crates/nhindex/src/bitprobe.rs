@@ -195,7 +195,7 @@ pub fn probe_bitsliced(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> Pro
     for w in 0..wpc {
         let mut word = result_lt[w] | result_eq[w];
         // mask rows beyond n in the last word
-        if w == wpc - 1 && !n.is_multiple_of(64) {
+        if w == wpc - 1 && n % 64 != 0 {
             word &= (1u64 << (n % 64)) - 1;
         }
         while word != 0 {
@@ -350,7 +350,7 @@ mod tests {
             let n = rng.gen_range(1..300);
             let sbit = *[16u32, 32, 96, 128].get(trial % 4).unwrap();
             let words = (sbit as usize).div_ceil(64);
-            let mask: u64 = if sbit.is_multiple_of(64) {
+            let mask: u64 = if sbit % 64 == 0 {
                 u64::MAX
             } else {
                 (1u64 << (sbit % 64)) - 1

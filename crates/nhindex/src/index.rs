@@ -25,11 +25,17 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tale_graph::{Graph, GraphDb, NodeId};
-use tale_storage::{BTree, BlobRef, BlobStore, BufferPool, CompositeKey, DiskManager};
+use tale_storage::{BTree, BlobRef, BlobStore, BufferPool, CompositeKey, DiskManager, Wal};
 
 const BTREE_FILE: &str = "nh.btree";
 const BLOB_FILE: &str = "nh.blobs";
 const META_FILE: &str = "nh.meta.json";
+const WAL_FILE: &str = "nh.wal";
+
+/// WAL file tag of the B+-tree page file.
+const TAG_BTREE: u8 = 0;
+/// WAL file tag of the blob page file.
+const TAG_BLOB: u8 = 1;
 
 /// Build/open options.
 #[derive(Debug, Clone)]
@@ -82,6 +88,55 @@ struct MetaFile {
     vocab_size: u64,
     #[serde(default)]
     tombstones: Vec<u32>,
+    /// Mutation counter: bumped by every committed `insert_graph` /
+    /// `remove_graph`. Recovery compares it against the generation in the
+    /// WAL's `Begin` record to tell a committed mutation (meta rename
+    /// happened) from an in-flight one (roll back). Defaults to 0 for
+    /// indexes persisted before the WAL existed.
+    #[serde(default)]
+    generation: u64,
+}
+
+/// What [`NhIndex::open_with_recovery`] found and did with the write-ahead
+/// log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryReport {
+    /// A WAL file was present on open.
+    pub wal_present: bool,
+    /// An in-flight mutation was rolled back to the pre-op state.
+    pub rolled_back: bool,
+    /// The logged mutation had already committed (meta rename happened);
+    /// the log was simply discarded.
+    pub committed: bool,
+    /// Before-images written back during rollback.
+    pub pages_restored: u64,
+    /// Bytes truncated off the page files during rollback.
+    pub bytes_truncated: u64,
+}
+
+/// Deep integrity report from [`NhIndex::verify`]: page checksums of both
+/// files, B+-tree structure, and posting decodability.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct IntegrityReport {
+    /// Pages checked in the B+-tree file.
+    pub btree_pages: u64,
+    /// Pages checked in the blob file.
+    pub blob_pages: u64,
+    /// B+-tree entries counted by the structural walk.
+    pub keys: u64,
+    /// Postings decoded.
+    pub postings: u64,
+    /// Posting rows (indexed nodes) seen across all postings.
+    pub posting_rows: u64,
+    /// Human-readable descriptions of every problem found.
+    pub errors: Vec<String>,
+}
+
+impl IntegrityReport {
+    /// True when no corruption or invariant violation was found.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
 }
 
 /// A query node's probe signature, built against the index's array scheme.
@@ -201,6 +256,12 @@ pub struct NhIndex {
     edge_labels: bool,
     /// Lifetime probe tallies (see [`NhIndex::counters`]).
     counters: AtomicProbeCounters,
+    /// Write-ahead log bracketing mutations (attached to both disk
+    /// managers; idle outside a transaction, so the read path and bulk
+    /// build pay nothing).
+    wal: Arc<Wal>,
+    /// Committed mutation counter (see `MetaFile::generation`).
+    generation: u64,
 }
 
 /// One extracted indexing unit (pre-grouping).
@@ -258,10 +319,20 @@ impl NhIndex {
         units.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.node.cmp(&b.node)));
 
         let bt_disk = Arc::new(DiskManager::create(&dir.join(BTREE_FILE))?);
-        let bt_pool = Arc::new(BufferPool::new(bt_disk, config.buffer_frames));
+        let bt_pool = Arc::new(BufferPool::new(Arc::clone(&bt_disk), config.buffer_frames));
         let blob_disk = Arc::new(DiskManager::create(&dir.join(BLOB_FILE))?);
-        let blob_pool = Arc::new(BufferPool::new(blob_disk, config.buffer_frames));
+        let blob_pool = Arc::new(BufferPool::new(
+            Arc::clone(&blob_disk),
+            config.buffer_frames,
+        ));
         let blobs = BlobStore::create(blob_pool);
+        // A fresh build invalidates any log a previous index in this
+        // directory left behind (the data files were just truncated, so a
+        // stale rollback would corrupt them). Bulk build itself runs
+        // outside any transaction: it is rebuild-on-failure by design.
+        let wal = Arc::new(Wal::open(&dir.join(WAL_FILE))?);
+        bt_disk.attach_wal(Arc::clone(&wal), TAG_BTREE);
+        blob_disk.attach_wal(Arc::clone(&wal), TAG_BLOB);
 
         let mut pairs: Vec<(CompositeKey, u64)> = Vec::new();
         let mut i = 0;
@@ -292,6 +363,8 @@ impl NhIndex {
             tombstones: std::collections::HashSet::new(),
             edge_labels: config.use_edge_labels,
             counters: AtomicProbeCounters::default(),
+            wal,
+            generation: 0,
         };
         idx.flush(db.effective_vocab_size() as u64)?;
         Ok(idx)
@@ -307,8 +380,14 @@ impl NhIndex {
     /// The caller must have inserted the graph into the same `GraphDb` the
     /// index was built over (vocabulary and group map unchanged — the
     /// neighbor-array scheme is fixed at build time).
+    ///
+    /// The whole mutation runs inside a WAL transaction: on any error the
+    /// on-disk index is recoverable to its pre-call state, but this handle
+    /// is no longer consistent with it — drop it and reopen (recovery runs
+    /// in [`NhIndex::open`]).
     pub fn insert_graph(&mut self, db: &GraphDb, graph: tale_graph::GraphId) -> Result<()> {
         let g = db.try_graph(graph)?;
+        self.begin_mutation()?;
         let mut units = Vec::with_capacity(g.node_count());
         Self::extract_graph(db, graph.0, g, self.scheme, self.edge_labels, &mut units);
         units.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.node.cmp(&b.node)));
@@ -346,7 +425,10 @@ impl NhIndex {
             i = j;
         }
         self.node_count += units.len() as u64;
-        self.flush(db.effective_vocab_size() as u64)
+        self.generation += 1;
+        self.flush(db.effective_vocab_size() as u64)?;
+        self.wal.commit()?;
+        Ok(())
     }
 
     /// Logically removes a graph: its posting rows stop matching probes
@@ -355,8 +437,26 @@ impl NhIndex {
     /// index). Idempotent. `vocab_size` is persisted metadata — pass
     /// `db.effective_vocab_size()`.
     pub fn remove_graph(&mut self, graph: tale_graph::GraphId, vocab_size: u64) -> Result<()> {
+        self.begin_mutation()?;
         self.tombstones.insert(graph.0);
-        self.flush(vocab_size)
+        self.generation += 1;
+        self.flush(vocab_size)?;
+        self.wal.commit()?;
+        Ok(())
+    }
+
+    /// Opens a WAL transaction with the current file lengths as rollback
+    /// baselines. Every page overwritten between here and the commit point
+    /// (the meta rename in [`NhIndex::flush`]) gets a durable before-image
+    /// first.
+    fn begin_mutation(&self) -> Result<()> {
+        let bt_pages = self.bt_pool.disk().pages_on_disk()?;
+        let blob_pages = self.blobs.disk().pages_on_disk()?;
+        let mut baselines = [0u64; tale_storage::wal::WAL_FILES];
+        baselines[TAG_BTREE as usize] = bt_pages;
+        baselines[TAG_BLOB as usize] = blob_pages;
+        self.wal.begin(self.generation, baselines)?;
+        Ok(())
     }
 
     /// True when `graph` has been removed.
@@ -429,9 +529,14 @@ impl NhIndex {
         }
     }
 
+    /// Persists all dirty state. Ordering is the crash-safety protocol:
+    /// data pages are flushed and fsynced *first* (their before-images hit
+    /// the WAL ahead of them), then the meta file — carrying the new
+    /// generation — is swapped in atomically. That rename is the commit
+    /// point: recovery rolls a mutation back iff the persisted generation
+    /// still equals the one recorded at `begin`.
     fn flush(&self, vocab_size: u64) -> Result<()> {
-        self.blobs.flush()?;
-        self.bt_pool.flush_all()?;
+        self.sync()?;
         let mut tombstones: Vec<u32> = self.tombstones.iter().copied().collect();
         tombstones.sort_unstable();
         let meta = MetaFile {
@@ -446,11 +551,11 @@ impl NhIndex {
             key_count: self.key_count,
             vocab_size,
             tombstones,
+            generation: self.generation,
         };
         let json = serde_json::to_string_pretty(&meta)
             .map_err(|e| NhError::Meta(format!("serialize: {e}")))?;
-        std::fs::write(self.dir.join(META_FILE), json)?;
-        self.sync()?;
+        tale_storage::atomic::write_atomic(&self.dir.join(META_FILE), json.as_bytes())?;
         Ok(())
     }
 
@@ -462,16 +567,69 @@ impl NhIndex {
         Ok(())
     }
 
-    /// Reopens an index previously built in `dir`.
+    /// Reopens an index previously built in `dir`, running WAL recovery
+    /// first (see [`NhIndex::open_with_recovery`]).
     pub fn open(dir: &Path, buffer_frames: usize) -> Result<Self> {
+        Ok(Self::open_with_recovery(dir, buffer_frames)?.0)
+    }
+
+    /// Reads the persisted mutation generation without opening the index
+    /// (used by recovery to decide whether a journaled mutation committed).
+    pub fn peek_generation(dir: &Path) -> Result<u64> {
+        let meta_raw = std::fs::read_to_string(dir.join(META_FILE))?;
+        let meta: MetaFile =
+            serde_json::from_str(&meta_raw).map_err(|e| NhError::Meta(format!("parse: {e}")))?;
+        Ok(meta.generation)
+    }
+
+    /// Reopens an index, first repairing any interrupted mutation from the
+    /// write-ahead log:
+    ///
+    /// 1. Read the WAL tail, stopping at the first torn or corrupt record.
+    /// 2. If it holds a transaction, compare the persisted meta generation
+    ///    against the generation recorded at `begin`. The atomic meta
+    ///    rename is the commit point, so a *newer* persisted generation
+    ///    means the mutation committed — the log is simply discarded.
+    /// 3. Otherwise the mutation was in flight: write every before-image
+    ///    back and truncate the page files to their pre-transaction
+    ///    lengths, restoring the bit-exact pre-mutation state.
+    ///
+    /// Recovery is idempotent — crashing during rollback and reopening
+    /// replays the same undo.
+    pub fn open_with_recovery(dir: &Path, buffer_frames: usize) -> Result<(Self, RecoveryReport)> {
+        let wal_path = dir.join(WAL_FILE);
+        let mut report = RecoveryReport::default();
+        if wal_path.exists() {
+            report.wal_present = true;
+            if let Some(tx) = tale_storage::wal::read_log(&wal_path)? {
+                let meta_gen = Self::peek_generation(dir)?;
+                if tx.committed || meta_gen > tx.generation {
+                    report.committed = true;
+                } else {
+                    let stats = tale_storage::wal::rollback(
+                        &tx,
+                        [&dir.join(BTREE_FILE), &dir.join(BLOB_FILE)],
+                    )?;
+                    report.rolled_back = true;
+                    report.pages_restored = stats.pages_restored;
+                    report.bytes_truncated = stats.bytes_truncated;
+                }
+            }
+        }
+
         let meta_raw = std::fs::read_to_string(dir.join(META_FILE))?;
         let meta: MetaFile =
             serde_json::from_str(&meta_raw).map_err(|e| NhError::Meta(format!("parse: {e}")))?;
         let bt_disk = Arc::new(DiskManager::open(&dir.join(BTREE_FILE))?);
-        let bt_pool = Arc::new(BufferPool::new(bt_disk, buffer_frames));
+        let bt_pool = Arc::new(BufferPool::new(Arc::clone(&bt_disk), buffer_frames));
         let blob_disk = Arc::new(DiskManager::open(&dir.join(BLOB_FILE))?);
-        let blob_pool = Arc::new(BufferPool::new(blob_disk, buffer_frames));
-        Ok(NhIndex {
+        let blob_pool = Arc::new(BufferPool::new(Arc::clone(&blob_disk), buffer_frames));
+        // Opening the WAL truncates it: recovery is complete, so the old
+        // log must not be replayed against the repaired files again.
+        let wal = Arc::new(Wal::open(&wal_path)?);
+        bt_disk.attach_wal(Arc::clone(&wal), TAG_BTREE);
+        blob_disk.attach_wal(Arc::clone(&wal), TAG_BLOB);
+        let idx = NhIndex {
             btree: BTree::open(
                 Arc::clone(&bt_pool),
                 tale_storage::PageId(meta.root_page),
@@ -490,7 +648,91 @@ impl NhIndex {
             tombstones: meta.tombstones.into_iter().collect(),
             edge_labels: meta.edge_labels,
             counters: AtomicProbeCounters::default(),
-        })
+            wal,
+            generation: meta.generation,
+        };
+        Ok((idx, report))
+    }
+
+    /// Committed mutation count (0 for a fresh build).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Deep integrity check: reads every page of both files through the
+    /// checksum-verifying path, walks the B+-tree validating structure and
+    /// key order, and decodes every posting. Collects problems instead of
+    /// failing fast so one report describes all damage.
+    pub fn verify(&self) -> Result<IntegrityReport> {
+        let mut report = IntegrityReport::default();
+
+        // every page of both files must pass its checksum
+        let mut sweep = |name: &str, disk: &DiskManager, counted: &mut u64| -> Result<()> {
+            let pages = disk.pages_on_disk()?;
+            for id in 0..pages {
+                match disk.read_page(tale_storage::PageId(id)) {
+                    Ok(_) => *counted += 1,
+                    Err(e) => report.errors.push(format!("{name} page {id}: {e}")),
+                }
+            }
+            Ok(())
+        };
+        let mut bt_pages = 0;
+        let mut blob_pages = 0;
+        sweep(BTREE_FILE, self.bt_pool.disk(), &mut bt_pages)?;
+        sweep(BLOB_FILE, self.blobs.disk(), &mut blob_pages)?;
+        report.btree_pages = bt_pages;
+        report.blob_pages = blob_pages;
+
+        // B+-tree structure: heights, fences, leaf chain, entry count
+        match self.btree.verify() {
+            Ok(check) => {
+                report.keys = check.entries;
+                if check.entries != self.key_count {
+                    report.errors.push(format!(
+                        "btree holds {} entries but meta records {}",
+                        check.entries, self.key_count
+                    ));
+                }
+            }
+            Err(e) => report.errors.push(format!("btree structure: {e}")),
+        }
+
+        // every posting must decode and its rows must stay in range
+        let lo = CompositeKey::new(0, 0, 0);
+        let hi = CompositeKey::new(u32::MAX, u32::MAX, u32::MAX);
+        let mut refs: Vec<(CompositeKey, BlobRef)> = Vec::new();
+        if let Err(e) = self.btree.range_with(lo, hi, |k, v| {
+            refs.push((k, BlobRef::unpack(v)));
+            true
+        }) {
+            report.errors.push(format!("btree scan: {e}"));
+        }
+        let mut rows = 0u64;
+        for (key, r) in refs {
+            let bytes = match self.blobs.get(r) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.errors.push(format!("posting blob for {key:?}: {e}"));
+                    continue;
+                }
+            };
+            match Posting::decode(&bytes) {
+                Ok(p) => {
+                    report.postings += 1;
+                    rows += p.refs.len() as u64;
+                }
+                Err(e) => report.errors.push(format!("posting for {key:?}: {e}")),
+            }
+        }
+        report.posting_rows = rows;
+        if rows != self.node_count {
+            report.errors.push(format!(
+                "postings hold {} rows but meta records {} indexed nodes",
+                rows, self.node_count
+            ));
+        }
+        Ok(report)
     }
 
     /// The neighbor-array scheme (query signatures must use it).

@@ -31,7 +31,10 @@ pub mod quality;
 pub mod scheme;
 
 pub use bitprobe::ColumnBitmap;
-pub use index::{NhIndex, NhIndexConfig, NodeCandidate, ProbeCounters, ProbeStats, QuerySignature};
+pub use index::{
+    IntegrityReport, NhIndex, NhIndexConfig, NodeCandidate, ProbeCounters, ProbeStats,
+    QuerySignature, RecoveryReport,
+};
 pub use posting::{NodeRef, Posting};
 pub use quality::node_match_quality;
 pub use scheme::NeighborArrayScheme;

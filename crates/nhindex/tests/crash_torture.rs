@@ -1,0 +1,326 @@
+//! Crash-torture harness: every I/O operation of every mutation is failed
+//! in turn, the process death is simulated by dropping the handle with the
+//! fault still tripped (so even the buffer pool's best-effort `Drop` flush
+//! fails), and the reopened index must be *bit-identical in query output*
+//! to either the pre-mutation state (rolled back) or the post-mutation
+//! state (committed) — never anything in between.
+//!
+//! The fault shim is thread-local, so these tests are safe under the
+//! default parallel test runner.
+
+use std::path::{Path, PathBuf};
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_nhindex::{NhIndex, NhIndexConfig, NodeCandidate};
+use tale_storage::faults;
+
+/// Tiny pool so mutations overflow it and exercise eviction write-backs
+/// (which must WAL-protect their pages) mid-transaction.
+fn cfg() -> NhIndexConfig {
+    NhIndexConfig {
+        sbit: 32,
+        buffer_frames: 8,
+        parallel_build: false,
+        bloom_hashes: 1,
+        use_edge_labels: false,
+    }
+}
+
+/// Five graphs over labels {A, B, C}: three in the initial index, two kept
+/// aside as insertion fodder.
+fn sample_db() -> GraphDb {
+    let mut db = GraphDb::new();
+    let a = db.intern_node_label("A");
+    let b = db.intern_node_label("B");
+    let c = db.intern_node_label("C");
+
+    // g0: triangle with a pendant
+    let mut g0 = Graph::new_undirected();
+    let n0 = g0.add_node(a);
+    let n1 = g0.add_node(b);
+    let n2 = g0.add_node(c);
+    let n3 = g0.add_node(a);
+    g0.add_edge(n0, n1).unwrap();
+    g0.add_edge(n1, n2).unwrap();
+    g0.add_edge(n0, n2).unwrap();
+    g0.add_edge(n0, n3).unwrap();
+    db.insert("g0", g0);
+
+    // g1: star
+    let mut g1 = Graph::new_undirected();
+    let m0 = g1.add_node(a);
+    let m1 = g1.add_node(b);
+    let m2 = g1.add_node(b);
+    let m3 = g1.add_node(c);
+    g1.add_edge(m0, m1).unwrap();
+    g1.add_edge(m0, m2).unwrap();
+    g1.add_edge(m0, m3).unwrap();
+    db.insert("g1", g1);
+
+    // g2: 6-chain alternating labels
+    let mut g2 = Graph::new_undirected();
+    let nodes: Vec<NodeId> = [a, b, c, a, b, c].iter().map(|&l| g2.add_node(l)).collect();
+    for w in nodes.windows(2) {
+        g2.add_edge(w[0], w[1]).unwrap();
+    }
+    db.insert("g2", g2);
+
+    // g3, g4: insertion fodder
+    let mut g3 = Graph::new_undirected();
+    let x = g3.add_node(a);
+    let y = g3.add_node(b);
+    let z = g3.add_node(a);
+    g3.add_edge(x, y).unwrap();
+    g3.add_edge(y, z).unwrap();
+    db.insert("g3", g3);
+
+    let mut g4 = Graph::new_undirected();
+    let u = g4.add_node(c);
+    let v = g4.add_node(c);
+    g4.add_edge(u, v).unwrap();
+    db.insert("g4", g4);
+
+    db
+}
+
+const INITIAL: [GraphId; 3] = [GraphId(0), GraphId(1), GraphId(2)];
+
+/// Probes every node of every graph in `db` and returns the full sorted
+/// answer set — the "query output" whose bit-identity the torture asserts.
+fn probe_matrix(idx: &NhIndex, db: &GraphDb) -> Vec<Vec<NodeCandidate>> {
+    let mut out = Vec::new();
+    for (gid, _, g) in db.iter() {
+        for n in g.nodes() {
+            let sig = idx.signature(g, n, &|x| db.effective_label(gid, x));
+            let mut hits = idx.probe(&sig, 0.3).unwrap();
+            hits.sort_by_key(|h| h.node);
+            out.push(hits);
+        }
+    }
+    out
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Runs `mutate` against a copy of `pre` failing the `i`-th gated I/O
+/// operation for every `i`, and asserts the recovered index is query-
+/// identical to the pre state (not committed) or the post state
+/// (committed). Returns the number of fault points swept.
+fn sweep<F>(db: &GraphDb, pre: &Path, scratch: &Path, mutate: F) -> u64
+where
+    F: Fn(&mut NhIndex) -> tale_nhindex::Result<()>,
+{
+    // Reference states: pre as-is, post = clean mutation on a copy.
+    let pre_idx = NhIndex::open(pre, cfg().buffer_frames).unwrap();
+    let pre_gen = pre_idx.generation();
+    let pre_matrix = probe_matrix(&pre_idx, db);
+    drop(pre_idx);
+
+    let post_dir = scratch.join("post");
+    copy_dir(pre, &post_dir);
+    let mut post_idx = NhIndex::open(&post_dir, cfg().buffer_frames).unwrap();
+    mutate(&mut post_idx).unwrap();
+    let post_gen = post_idx.generation();
+    let post_matrix = probe_matrix(&post_idx, db);
+    drop(post_idx);
+    assert_eq!(post_gen, pre_gen + 1);
+
+    // Measuring run: how many gated I/O operations does the mutation make?
+    let count_dir = scratch.join("count");
+    copy_dir(pre, &count_dir);
+    let mut idx = NhIndex::open(&count_dir, cfg().buffer_frames).unwrap();
+    faults::arm_counting();
+    mutate(&mut idx).unwrap();
+    let n = faults::disarm();
+    drop(idx);
+    assert!(n > 0, "mutation made no gated I/O");
+
+    for i in 0..n {
+        let work = scratch.join(format!("fault-{i}"));
+        copy_dir(pre, &work);
+        let mut idx = NhIndex::open(&work, cfg().buffer_frames).unwrap();
+        faults::arm(i);
+        let res = mutate(&mut idx);
+        drop(idx); // Drop flush also fails: the process is "dead"
+        faults::disarm();
+        assert!(res.is_err(), "fault {i} of {n} did not surface");
+
+        let (idx, report) = NhIndex::open_with_recovery(&work, cfg().buffer_frames).unwrap();
+        assert!(report.wal_present, "fault {i}: WAL missing on reopen");
+        assert!(
+            !(report.rolled_back && report.committed),
+            "fault {i}: recovery both rolled back and committed"
+        );
+        let matrix = probe_matrix(&idx, db);
+        if idx.generation() == post_gen {
+            assert_eq!(
+                matrix, post_matrix,
+                "fault {i} of {n}: committed state differs from clean mutation"
+            );
+        } else {
+            assert_eq!(idx.generation(), pre_gen, "fault {i}: generation corrupt");
+            assert_eq!(
+                matrix, pre_matrix,
+                "fault {i} of {n}: rolled-back state differs from pre-op"
+            );
+        }
+        let integrity = idx.verify().unwrap();
+        assert!(
+            integrity.is_ok(),
+            "fault {i} of {n}: integrity errors after recovery: {:?}",
+            integrity.errors
+        );
+        std::fs::remove_dir_all(&work).unwrap();
+    }
+    n
+}
+
+#[test]
+fn torture_insert_graph() {
+    let db = sample_db();
+    let scratch = tempfile::tempdir().unwrap();
+    let pre = scratch.path().join("pre");
+    NhIndex::build_subset(&pre, &db, &cfg(), &INITIAL).unwrap();
+    let n = sweep(&db, &pre, scratch.path(), |idx| {
+        idx.insert_graph(&db, GraphId(3))
+    });
+    // sanity: insert touches WAL, pages and the manifest — many gates
+    assert!(n >= 5, "suspiciously few fault points: {n}");
+}
+
+#[test]
+fn torture_remove_graph() {
+    let db = sample_db();
+    let scratch = tempfile::tempdir().unwrap();
+    let pre = scratch.path().join("pre");
+    NhIndex::build_subset(&pre, &db, &cfg(), &INITIAL).unwrap();
+    sweep(&db, &pre, scratch.path(), |idx| {
+        idx.remove_graph(GraphId(1), db.effective_vocab_size() as u64)
+    });
+}
+
+#[test]
+fn torture_second_insert_after_first_commits() {
+    // The WAL holds at most one transaction; a crash in mutation k must
+    // not disturb mutation k-1's committed state.
+    let db = sample_db();
+    let scratch = tempfile::tempdir().unwrap();
+    let pre = scratch.path().join("pre");
+    let mut idx = NhIndex::build_subset(&pre, &db, &cfg(), &INITIAL).unwrap();
+    idx.insert_graph(&db, GraphId(3)).unwrap();
+    drop(idx);
+    sweep(&db, &pre, scratch.path(), |idx| {
+        idx.insert_graph(&db, GraphId(4))
+    });
+}
+
+#[test]
+fn bit_flip_is_refused_not_served() {
+    let db = sample_db();
+    let dir = tempfile::tempdir().unwrap();
+    let idx = NhIndex::build_subset(dir.path(), &db, &cfg(), &INITIAL).unwrap();
+    let clean = idx.verify().unwrap();
+    assert!(
+        clean.is_ok(),
+        "clean index fails verify: {:?}",
+        clean.errors
+    );
+    assert!(clean.btree_pages > 0 && clean.postings > 0);
+    drop(idx);
+
+    // flip one payload byte in the middle of the B+-tree file
+    let bt = dir.path().join("nh.btree");
+    let mut bytes = std::fs::read(&bt).unwrap();
+    let victim = bytes.len() / 2;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&bt, &bytes).unwrap();
+
+    let idx = NhIndex::open(dir.path(), cfg().buffer_frames).unwrap();
+    let report = idx.verify().unwrap();
+    assert!(!report.is_ok(), "bit flip not detected");
+    assert!(
+        report.errors.iter().any(|e| e.contains("nh.btree")),
+        "corruption not attributed to the damaged file: {:?}",
+        report.errors
+    );
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    // Each case builds and crash-recovers several indexes, so keep the
+    // case count modest; the deterministic sweeps above cover every fault
+    // point exhaustively, this adds interleaving coverage.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized interleavings: shuffle insert/remove operations, crash
+    /// one of them at a random fault point, and check the recovered index
+    /// equals a clean from-scratch replay of exactly the committed prefix.
+    #[test]
+    fn random_interleavings_recover_to_a_clean_replay(
+        order_seed in any::<u64>(),
+        crash_at in 0usize..4,
+        fault_seed in any::<u64>(),
+    ) {
+        // Fisher–Yates over the four ops, driven by the generated seed.
+        let mut order = [0usize, 1, 2, 3];
+        let mut s = order_seed | 1;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let db = sample_db();
+        let apply = |idx: &mut NhIndex, op: usize| match op {
+            0 => idx.insert_graph(&db, GraphId(3)),
+            1 => idx.insert_graph(&db, GraphId(4)),
+            2 => idx.remove_graph(GraphId(0), db.effective_vocab_size() as u64),
+            _ => idx.remove_graph(GraphId(1), db.effective_vocab_size() as u64),
+        };
+        let scratch = tempfile::tempdir().unwrap();
+
+        // work index: clean ops before the crash point
+        let work: PathBuf = scratch.path().join("work");
+        let mut idx = NhIndex::build_subset(&work, &db, &cfg(), &INITIAL).unwrap();
+        for &op in &order[..crash_at] {
+            apply(&mut idx, op).unwrap();
+        }
+        drop(idx);
+
+        // measure the crashing op's fault points on a throwaway copy
+        let count_dir = scratch.path().join("count");
+        copy_dir(&work, &count_dir);
+        let mut idx = NhIndex::open(&count_dir, cfg().buffer_frames).unwrap();
+        faults::arm_counting();
+        apply(&mut idx, order[crash_at]).unwrap();
+        let n = faults::disarm();
+        drop(idx);
+        prop_assert!(n > 0);
+
+        // crash the real one
+        let mut idx = NhIndex::open(&work, cfg().buffer_frames).unwrap();
+        faults::arm(fault_seed % n);
+        let res = apply(&mut idx, order[crash_at]);
+        drop(idx);
+        faults::disarm();
+        prop_assert!(res.is_err());
+
+        let (idx, _) = NhIndex::open_with_recovery(&work, cfg().buffer_frames).unwrap();
+        let committed = idx.generation() as usize;
+        prop_assert!(committed == crash_at || committed == crash_at + 1);
+
+        // clean replay of exactly the committed prefix
+        let replay_dir = scratch.path().join("replay");
+        let mut replay = NhIndex::build_subset(&replay_dir, &db, &cfg(), &INITIAL).unwrap();
+        for &op in &order[..committed] {
+            apply(&mut replay, op).unwrap();
+        }
+        prop_assert_eq!(probe_matrix(&idx, &db), probe_matrix(&replay, &db));
+        let integrity = idx.verify().unwrap();
+        prop_assert!(integrity.is_ok(), "integrity: {:?}", integrity.errors);
+    }
+}

@@ -11,6 +11,7 @@
 //!          [--hops N] [--similarity quality|nodes-edges|ctree] [--threads N]
 //!          [--format text|json] [--stats] [--no-cache]
 //! tale-cli verify <index-dir>
+//! tale-cli recover <index-dir>
 //! ```
 //!
 //! Graph files use the line-oriented text format of `tale_graph::io`
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -67,6 +69,7 @@ usage:
   tale-cli stats <index-dir>
   tale-cli explain <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
   tale-cli verify <index-dir>
+  tale-cli recover <index-dir>
   tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
            [--threads N] [--format text|json] [--stats] [--no-cache]
@@ -108,13 +111,6 @@ impl AnyDb {
         match self {
             AnyDb::Single(t) => t.db(),
             AnyDb::Sharded(t) => t.db(),
-        }
-    }
-
-    fn shard_count(&self) -> usize {
-        match self {
-            AnyDb::Single(_) => 1,
-            AnyDb::Sharded(t) => t.index().shard_count(),
         }
     }
 
@@ -663,9 +659,10 @@ fn print_query_stats(s: &tale::QueryStats) {
     );
 }
 
-/// Walks every page of both index files (checksum verification happens
-/// on each read) and exercises a full B+-tree scan plus a probe per
-/// distinct label — a DBA-style integrity check.
+/// Deep integrity check: reads every page of every index file (checksums
+/// verify on each read), walks the B+-tree checking key ordering and
+/// structure, and decodes every posting — per shard when sharded. Any
+/// corruption exits nonzero with a per-shard report.
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let (pos, _) = split_args(args)?;
     let [dir] = pos.as_slice() else {
@@ -681,9 +678,44 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             "index claims {idx_nodes} nodes but the database holds {db_nodes}"
         ));
     }
-    // full index sweep: probe one representative signature per graph
-    // (against every shard, when sharded); any corrupt page or malformed
-    // posting surfaces as an error here
+    // labeled per-shard reports; the single index reports as one shard
+    let reports: Vec<(String, tale_nhindex::IntegrityReport)> = match &tale {
+        AnyDb::Single(t) => vec![(
+            "index".to_owned(),
+            t.index().verify().map_err(|e| e.to_string())?,
+        )],
+        AnyDb::Sharded(t) => t
+            .index()
+            .verify()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .enumerate()
+            .map(|(s, r)| (format!("shard {s}"), r))
+            .collect(),
+    };
+    let mut corrupt = 0usize;
+    for (who, r) in &reports {
+        let status = if r.is_ok() { "ok" } else { "CORRUPT" };
+        println!(
+            "{who}: {status} — {} btree pages, {} blob pages, {} keys, \
+             {} postings, {} rows",
+            r.btree_pages, r.blob_pages, r.keys, r.postings, r.posting_rows
+        );
+        for e in &r.errors {
+            println!("  error: {e}");
+        }
+        if !r.is_ok() {
+            corrupt += 1;
+        }
+    }
+    if corrupt > 0 {
+        return Err(format!(
+            "{corrupt} of {} index(es) corrupt; do not serve this directory",
+            reports.len()
+        ));
+    }
+    // probe sweep on top of the physical walk: one representative
+    // signature per graph, against every shard when sharded
     let mut probed = 0u64;
     for (gid, _, g) in tale.db().iter() {
         if let Some(n) = g.nodes().next() {
@@ -693,19 +725,76 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             probed += 1;
         }
     }
-    let shard_note = if tale.shard_count() > 1 {
-        format!(" across {} shards", tale.shard_count())
-    } else {
-        String::new()
-    };
     println!(
         "ok: {} graphs, {} indexed nodes, {} distinct keys, {} bytes; \
-         {probed} probe paths verified{shard_note}",
+         {probed} probe paths verified",
         tale.db().len(),
         idx_nodes,
         tale.key_count(),
         tale.index_size_bytes()
     );
+    Ok(())
+}
+
+/// Explicit crash recovery: opens the directory, repairing any mutation a
+/// crash cut short (WAL rollback, `graphs.json` restore, manifest
+/// roll-forward), and reports what was done. Opening with any other
+/// subcommand performs the same repairs silently; this one shows them.
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let (pos, _) = split_args(args)?;
+    let [dir] = pos.as_slice() else {
+        return Err(format!("recover needs <index-dir>\n{USAGE}"));
+    };
+    let dir = Path::new(dir);
+    let print_report = |who: &str, r: &tale_nhindex::RecoveryReport| {
+        if !r.wal_present {
+            println!("{who}: clean (no WAL tail)");
+        } else if r.rolled_back {
+            println!(
+                "{who}: rolled back in-flight mutation ({} pages restored, {} bytes truncated)",
+                r.pages_restored, r.bytes_truncated
+            );
+        } else if r.committed {
+            println!("{who}: last mutation had committed; WAL tail discarded");
+        } else {
+            println!("{who}: empty WAL tail discarded");
+        }
+    };
+    if ShardManifest::exists(dir) {
+        let (_, rec) =
+            ShardedTaleDatabase::open_with_recovery(dir, 256).map_err(|e| e.to_string())?;
+        if rec.journal_present {
+            println!("mutation journal: present");
+            if rec.db_rolled_back {
+                println!("  graphs.json restored from pre-mutation backup");
+            }
+            if rec.manifest_rolled_forward {
+                println!("  shards.json rolled forward to the committed insert");
+            }
+        } else {
+            println!("mutation journal: none");
+        }
+        for (s, r) in rec.shards.iter().enumerate() {
+            print_report(&format!("shard {s}"), r);
+        }
+    } else {
+        let (_, rec) = TaleDatabase::open_with_recovery(dir, 256).map_err(|e| e.to_string())?;
+        println!(
+            "mutation journal: {}{}",
+            if rec.journal_present {
+                "present"
+            } else {
+                "none"
+            },
+            if rec.db_rolled_back {
+                " (graphs.json restored from pre-mutation backup)"
+            } else {
+                ""
+            }
+        );
+        print_report("index", &rec.index);
+    }
+    println!("recovered; the directory is safe to serve");
     Ok(())
 }
 

@@ -12,17 +12,35 @@
 //! actually contain it — cached work for every other shard survives.
 
 use crate::index::{ShardBuildStats, ShardedNhIndex};
+use crate::manifest::{vocab_fingerprint, ShardManifest};
 use crate::policy::{HashPolicy, ShardPolicy};
-use crate::Result;
+use crate::{Result, ShardError};
 use std::path::Path;
 use tale::engine::cache::{CacheStats, ResultCache, DEFAULT_CACHE_ENTRIES};
 use tale::engine::exec;
 use tale::engine::stats::{BatchStats, QueryStats};
+use tale::journal::{MutationJournal, PendingMutation};
 use tale::{QueryMatch, QueryOptions, ScratchDir, TaleParams};
 use tale_graph::{Graph, GraphDb, GraphId};
-use tale_nhindex::{NhIndex, NhIndexConfig};
+use tale_nhindex::{NhIndex, NhIndexConfig, RecoveryReport};
 
 const DB_FILE: &str = "graphs.json";
+
+/// What [`ShardedTaleDatabase::open_with_recovery`] found and repaired.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ShardedRecovery {
+    /// A `pending.json` marker was present (a multi-file mutation was in
+    /// flight at crash time).
+    pub journal_present: bool,
+    /// `graphs.json` was restored from its pre-mutation backup (the
+    /// routed shard never committed).
+    pub db_rolled_back: bool,
+    /// The routed shard committed but the crash beat the manifest save;
+    /// the missing assignment was re-appended and the manifest rewritten.
+    pub manifest_rolled_forward: bool,
+    /// Each shard's own WAL recovery outcome, in shard order.
+    pub shards: Vec<RecoveryReport>,
+}
 
 fn config_of(params: &TaleParams) -> NhIndexConfig {
     NhIndexConfig {
@@ -111,31 +129,107 @@ impl ShardedTaleDatabase {
     /// per shard. Fails if any shard's recorded vocabulary fingerprint
     /// disagrees with the reloaded graphs.
     pub fn open(dir: &Path, buffer_frames: usize) -> Result<Self> {
+        Ok(Self::open_with_recovery(dir, buffer_frames)?.0)
+    }
+
+    /// Like [`ShardedTaleDatabase::open`], also repairing any mutation
+    /// that a crash cut short and reporting what was done.
+    ///
+    /// The multi-file reconciliation runs *before* the shards are opened
+    /// (their own WAL rollback happens inside
+    /// [`ShardedNhIndex::open_with_recovery`]):
+    ///
+    /// * journal present and the routed shard's generation is still the
+    ///   recorded pre-mutation value → the shard never committed; restore
+    ///   `graphs.json` from the fsynced backup. The manifest was not yet
+    ///   touched (it is saved after the shard commit).
+    /// * journal present and the generation advanced → the shard
+    ///   committed, and the already-saved `graphs.json` is the post-insert
+    ///   state. If the crash beat the manifest save (one fewer assignment
+    ///   than graphs), roll the manifest *forward*: re-append the routed
+    ///   shard and recompute the vocabulary fingerprints — exactly what
+    ///   the interrupted [`ShardedNhIndex::insert_graph_routed`] would
+    ///   have written.
+    pub fn open_with_recovery(dir: &Path, buffer_frames: usize) -> Result<(Self, ShardedRecovery)> {
+        let journal = MutationJournal::new(dir);
+        let mut rec = ShardedRecovery::default();
+        if let Some(pending) = journal.load()? {
+            rec.journal_present = true;
+            let s = pending.shard.ok_or_else(|| {
+                ShardError::Manifest(
+                    "mutation journal lacks a shard (marker from an unsharded database?)".into(),
+                )
+            })?;
+            let post = NhIndex::peek_generation(&ShardManifest::shard_dir(dir, s))
+                .map_err(|source| ShardError::Shard { shard: s, source })?;
+            if post == pending.pre_generation {
+                rec.db_rolled_back = journal.roll_back_db(&dir.join(DB_FILE))?;
+            } else {
+                let db = tale_graph::io::load_json(&dir.join(DB_FILE))?;
+                let mut manifest = ShardManifest::load(dir)?;
+                if manifest.assignment.len() + 1 == db.len() {
+                    manifest.assignment.push(s);
+                    let fp = vocab_fingerprint(&db);
+                    manifest.vocab_fingerprints = vec![fp; manifest.shard_count as usize];
+                    manifest.save(dir)?;
+                    rec.manifest_rolled_forward = true;
+                }
+            }
+        }
+        // Clears the marker (if any) and sweeps an orphaned backup left by
+        // an interrupted clear; idempotent when there is nothing to do.
+        journal.clear()?;
         let db = tale_graph::io::load_json(&dir.join(DB_FILE))?;
-        let index = ShardedNhIndex::open(dir, buffer_frames, &db)?;
-        Ok(ShardedTaleDatabase {
-            caches: (0..index.shard_count())
-                .map(|_| ResultCache::new(DEFAULT_CACHE_ENTRIES))
-                .collect(),
-            db,
-            index,
-            _scratch: None,
-        })
+        let (index, shards) = ShardedNhIndex::open_with_recovery(dir, buffer_frames, &db)?;
+        rec.shards = shards;
+        Ok((
+            ShardedTaleDatabase {
+                caches: (0..index.shard_count())
+                    .map(|_| ResultCache::new(DEFAULT_CACHE_ENTRIES))
+                    .collect(),
+                db,
+                index,
+                _scratch: None,
+            },
+            rec,
+        ))
     }
 
     /// Adds a graph, routes it to a shard with the build policy, extends
     /// that shard's index incrementally, and clears only that shard's
     /// slice of the result cache. Returns the new graph's id.
+    ///
+    /// For a persistent database the whole multi-file mutation is
+    /// journaled: route first (to learn the owning shard), stage the
+    /// journal with that shard's pre-mutation generation, save the new
+    /// `graphs.json`, run the shard's WAL-protected index commit plus the
+    /// atomic manifest rewrite, then clear the journal. A crash at any
+    /// point recovers to a state bit-identical to before or after the
+    /// insert ([`ShardedTaleDatabase::open_with_recovery`]). After an
+    /// error, drop this handle and reopen.
     pub fn insert_graph(&mut self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
         let gid = self.db.insert(name, g);
-        let s = self.index.insert_graph(&self.db, gid)?;
+        let s;
+        if self._scratch.is_none() {
+            let dir = self.index.dir().to_owned();
+            s = self.index.route(&self.db, gid)?;
+            let journal = MutationJournal::new(&dir);
+            journal.stage(
+                &dir.join(DB_FILE),
+                PendingMutation {
+                    pre_generation: self.index.shards()[s as usize].generation(),
+                    shard: Some(s),
+                },
+            )?;
+            tale_graph::io::save_json(&self.db, &dir.join(DB_FILE))?;
+            self.index.insert_graph_routed(&self.db, gid, s)?;
+            journal.clear()?;
+        } else {
+            s = self.index.insert_graph(&self.db, gid)?;
+        }
         // Scoped invalidation: only shard `s`'s partials can gain a new
         // result; every other shard's cached work is still exact.
         self.caches[s as usize].clear();
-        if self._scratch.is_none() {
-            let dir = self.index.dir().to_owned();
-            tale_graph::io::save_json(&self.db, &dir.join(DB_FILE))?;
-        }
         Ok(gid)
     }
 

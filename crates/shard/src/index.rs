@@ -19,7 +19,7 @@ use crate::{Result, ShardError};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tale_graph::{GraphDb, GraphId};
-use tale_nhindex::{NhIndex, NhIndexConfig, ProbeCounters};
+use tale_nhindex::{IntegrityReport, NhIndex, NhIndexConfig, ProbeCounters, RecoveryReport};
 
 /// Per-shard build timings and sizes, for observability and the E-SHARD
 /// experiment. Produced by [`ShardedNhIndex::build_with_stats`].
@@ -179,6 +179,19 @@ impl ShardedNhIndex {
     /// (vocabulary drift would silently corrupt probe bitmaps, so it is an
     /// error here). `buffer_frames` is the page budget *per shard*.
     pub fn open(dir: &Path, buffer_frames: usize, db: &GraphDb) -> Result<Self> {
+        Ok(Self::open_with_recovery(dir, buffer_frames, db)?.0)
+    }
+
+    /// Like [`ShardedNhIndex::open`], but recovers each shard
+    /// independently and reports what each one's WAL recovery did (in
+    /// shard order). A shard that cannot be opened — even after its own
+    /// rollback — fails with [`ShardError::Shard`] naming it, so a
+    /// partial-shard failure is distinguishable from a bad manifest.
+    pub fn open_with_recovery(
+        dir: &Path,
+        buffer_frames: usize,
+        db: &GraphDb,
+    ) -> Result<(Self, Vec<RecoveryReport>)> {
         let manifest = ShardManifest::load(dir)?;
         if manifest.assignment.len() != db.len() {
             return Err(ShardError::Manifest(format!(
@@ -196,17 +209,39 @@ impl ShardedNhIndex {
             )));
         }
         let mut shards = Vec::with_capacity(manifest.shard_count as usize);
+        let mut reports = Vec::with_capacity(manifest.shard_count as usize);
         for s in 0..manifest.shard_count {
-            shards.push(NhIndex::open(
-                &ShardManifest::shard_dir(dir, s),
-                buffer_frames,
-            )?);
+            let (idx, report) =
+                NhIndex::open_with_recovery(&ShardManifest::shard_dir(dir, s), buffer_frames)
+                    .map_err(|source| ShardError::Shard { shard: s, source })?;
+            shards.push(idx);
+            reports.push(report);
         }
-        Ok(ShardedNhIndex {
-            shards,
-            manifest,
-            dir: dir.to_owned(),
-        })
+        Ok((
+            ShardedNhIndex {
+                shards,
+                manifest,
+                dir: dir.to_owned(),
+            },
+            reports,
+        ))
+    }
+
+    /// Deep integrity check of every shard: page checksums, B+-tree key
+    /// ordering, and posting decodability ([`NhIndex::verify`]). Returns
+    /// one report per shard, in shard order; an I/O failure while sweeping
+    /// a shard is attributed to it via [`ShardError::Shard`].
+    pub fn verify(&self) -> Result<Vec<IntegrityReport>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, sh)| {
+                sh.verify().map_err(|source| ShardError::Shard {
+                    shard: s as u32,
+                    source,
+                })
+            })
+            .collect()
     }
 
     /// The shards, in shard order. Each is a full [`NhIndex`]; the query
@@ -236,11 +271,12 @@ impl ShardedNhIndex {
         self.manifest.shard_of(gid)
     }
 
-    /// Incrementally indexes a newly inserted graph, routing it with the
-    /// build policy and updating the manifest. `gid` must be the id just
-    /// returned by [`GraphDb::insert`] on `db` (dense append). Returns the
-    /// owning shard, so callers can scope cache invalidation to it.
-    pub fn insert_graph(&mut self, db: &GraphDb, gid: GraphId) -> Result<u32> {
+    /// Where the build policy would place a newly inserted graph, without
+    /// mutating anything. `gid` must be the id just returned by
+    /// [`GraphDb::insert`] on `db` (dense append). Exposed separately from
+    /// [`ShardedNhIndex::insert_graph`] so a journaling caller can record
+    /// the owning shard's pre-mutation generation before the insert runs.
+    pub fn route(&self, db: &GraphDb, gid: GraphId) -> Result<u32> {
         if gid.idx() != self.manifest.assignment.len() {
             return Err(ShardError::Manifest(format!(
                 "insert of graph {} but manifest maps {} graphs (ids are dense)",
@@ -252,7 +288,29 @@ impl ShardedNhIndex {
             ShardError::Manifest(format!("unknown routing policy {:?}", self.manifest.policy))
         })?;
         let loads: Vec<u64> = self.shards.iter().map(NhIndex::node_count).collect();
-        let s = policy.route(db, gid, &loads);
+        Ok(policy.route(db, gid, &loads))
+    }
+
+    /// Incrementally indexes a newly inserted graph, routing it with the
+    /// build policy and updating the manifest. `gid` must be the id just
+    /// returned by [`GraphDb::insert`] on `db` (dense append). Returns the
+    /// owning shard, so callers can scope cache invalidation to it.
+    pub fn insert_graph(&mut self, db: &GraphDb, gid: GraphId) -> Result<u32> {
+        let s = self.route(db, gid)?;
+        self.insert_graph_routed(db, gid, s)?;
+        Ok(s)
+    }
+
+    /// Indexes `gid` into the already-chosen shard `s` (from
+    /// [`ShardedNhIndex::route`]) and persists the updated manifest.
+    ///
+    /// Crash ordering: the shard's own WAL transaction commits first (its
+    /// generation bump), then the manifest is rewritten atomically. A
+    /// crash in the window between the two leaves a committed shard with a
+    /// short manifest; [`crate::ShardedTaleDatabase::open_with_recovery`]
+    /// detects that from the mutation journal and rolls the manifest
+    /// *forward*.
+    pub fn insert_graph_routed(&mut self, db: &GraphDb, gid: GraphId, s: u32) -> Result<()> {
         self.shards[s as usize].insert_graph(db, gid)?;
         self.manifest.assignment.push(s);
         // Inserting can grow the vocabulary; every shard keyed off the old
@@ -261,7 +319,7 @@ impl ShardedNhIndex {
         let fp = vocab_fingerprint(db);
         self.manifest.vocab_fingerprints = vec![fp; self.shards.len()];
         self.manifest.save(&self.dir)?;
-        Ok(s)
+        Ok(())
     }
 
     /// Logically removes a graph (tombstone in its owning shard). Returns

@@ -33,7 +33,7 @@ mod index;
 mod manifest;
 mod policy;
 
-pub use database::ShardedTaleDatabase;
+pub use database::{ShardedRecovery, ShardedTaleDatabase};
 pub use index::{ShardBuildStats, ShardedNhIndex};
 pub use manifest::{vocab_fingerprint, ShardManifest, MANIFEST_FILE, MANIFEST_SCHEMA_VERSION};
 pub use policy::{policy_by_name, HashPolicy, ShardPolicy, SizeBalancedPolicy};
@@ -45,6 +45,17 @@ pub enum ShardError {
     Tale(tale::TaleError),
     /// Index-layer failure in one shard.
     Index(tale_nhindex::NhError),
+    /// Index-layer failure attributed to a specific shard — produced by
+    /// [`ShardedNhIndex::open_with_recovery`] so a partial-shard failure
+    /// (one corrupt `shard-NNN/` among healthy siblings) is diagnosable.
+    ///
+    /// [`ShardedNhIndex::open_with_recovery`]: crate::ShardedNhIndex::open_with_recovery
+    Shard {
+        /// The shard whose index failed.
+        shard: u32,
+        /// The underlying index error.
+        source: tale_nhindex::NhError,
+    },
     /// Graph-layer failure.
     Graph(tale_graph::GraphError),
     /// Manifest missing, malformed, or inconsistent with the database.
@@ -58,6 +69,7 @@ impl std::fmt::Display for ShardError {
         match self {
             ShardError::Tale(e) => write!(f, "tale: {e}"),
             ShardError::Index(e) => write!(f, "index: {e}"),
+            ShardError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
             ShardError::Graph(e) => write!(f, "graph: {e}"),
             ShardError::Manifest(m) => write!(f, "manifest: {m}"),
             ShardError::Io(e) => write!(f, "io: {e}"),
@@ -70,6 +82,7 @@ impl std::error::Error for ShardError {
         match self {
             ShardError::Tale(e) => Some(e),
             ShardError::Index(e) => Some(e),
+            ShardError::Shard { source, .. } => Some(source),
             ShardError::Graph(e) => Some(e),
             ShardError::Manifest(_) => None,
             ShardError::Io(e) => Some(e),

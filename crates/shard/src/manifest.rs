@@ -72,11 +72,13 @@ impl ShardManifest {
         root.join(format!("shard-{shard:03}"))
     }
 
-    /// Writes the manifest to `root/shards.json`.
+    /// Writes the manifest to `root/shards.json` atomically (temp file +
+    /// fsync + rename), so a crash mid-save leaves either the old or the
+    /// new manifest — never a torn one.
     pub fn save(&self, root: &Path) -> Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| ShardError::Manifest(format!("serialize: {e}")))?;
-        std::fs::write(root.join(MANIFEST_FILE), json)?;
+        tale_storage::atomic::write_atomic(&root.join(MANIFEST_FILE), json.as_bytes())?;
         Ok(())
     }
 

@@ -178,7 +178,8 @@ fn json_output_and_verify() {
 
     let (ok, stdout, stderr) = run(&["verify", idx.to_str().unwrap()]);
     assert!(ok, "verify failed: {stderr}");
-    assert!(stdout.starts_with("ok:"), "{stdout}");
+    assert!(stdout.contains("index: ok"), "{stdout}");
+    assert!(stdout.contains("ok:"), "{stdout}");
 
     // verify must fail loudly on corruption
     let blob = idx.join("nh.blobs");
@@ -187,9 +188,40 @@ fn json_output_and_verify() {
         *b ^= 0xFF;
     }
     std::fs::write(&blob, &bytes).unwrap();
-    let (ok, _, stderr) = run(&["verify", idx.to_str().unwrap()]);
+    let (ok, stdout, stderr) = run(&["verify", idx.to_str().unwrap()]);
     assert!(!ok, "verify accepted a corrupted index");
-    assert!(!stderr.is_empty());
+    assert!(stdout.contains("CORRUPT"), "{stdout}");
+    assert!(stderr.contains("corrupt"), "{stderr}");
+}
+
+#[test]
+fn recover_runs_on_single_and_sharded_layouts() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let single = dir.path().join("single");
+    let sharded = dir.path().join("sharded");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    let (ok, _, _) = run(&["build", db_path.to_str().unwrap(), single.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, _, _) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        sharded.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]);
+    assert!(ok);
+
+    let (ok, stdout, stderr) = run(&["recover", single.to_str().unwrap()]);
+    assert!(ok, "recover failed: {stderr}");
+    assert!(stdout.contains("mutation journal: none"), "{stdout}");
+    assert!(stdout.contains("safe to serve"), "{stdout}");
+
+    let (ok, stdout, stderr) = run(&["recover", sharded.to_str().unwrap()]);
+    assert!(ok, "sharded recover failed: {stderr}");
+    assert!(stdout.contains("shard 0"), "{stdout}");
+    assert!(stdout.contains("shard 1"), "{stdout}");
+    assert!(stdout.contains("safe to serve"), "{stdout}");
 }
 
 #[test]
@@ -262,7 +294,8 @@ fn sharded_build_roundtrip_matches_single_index() {
     // verify sweeps every shard
     let (ok, stdout, stderr) = run(&["verify", sharded.to_str().unwrap()]);
     assert!(ok, "verify failed: {stderr}");
-    assert!(stdout.contains("across 2 shards"), "{stdout}");
+    assert!(stdout.contains("shard 0: ok"), "{stdout}");
+    assert!(stdout.contains("shard 1: ok"), "{stdout}");
 
     // explain merges probe traffic over shards
     let (ok, stdout, stderr) = run(&[

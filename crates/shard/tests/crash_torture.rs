@@ -1,0 +1,273 @@
+//! Sharded crash-torture harness: every gated I/O operation of a sharded
+//! insert — journal staging, the `graphs.json` save, the owning shard's
+//! WAL transaction, and the atomic `shards.json` rewrite — is failed in
+//! turn, process death is simulated by dropping the handle with the fault
+//! still tripped, and the reopened database must answer queries
+//! bit-identically to either the pre-insert or the post-insert state.
+//!
+//! The fault shim is thread-local, so these tests are safe under the
+//! default parallel test runner.
+
+use std::path::Path;
+use tale::{QueryOptions, TaleParams};
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_shard::{HashPolicy, ShardError, ShardedTaleDatabase};
+use tale_storage::faults;
+
+/// Tiny per-shard pool so mutations overflow it and exercise eviction
+/// write-backs (which must WAL-protect their pages) mid-transaction.
+fn params() -> TaleParams {
+    TaleParams {
+        buffer_frames: 8,
+        parallel_build: false,
+        ..TaleParams::default()
+    }
+}
+
+fn opts() -> QueryOptions {
+    QueryOptions {
+        p_imp: 0.5,
+        ..QueryOptions::default()
+    }
+}
+
+/// Six member graphs (cycles with a chord over four labels) plus one kept
+/// aside as insertion fodder.
+fn small_db() -> (GraphDb, Vec<Graph>, Graph) {
+    let mut db = GraphDb::new();
+    let labels: Vec<_> = (0..4)
+        .map(|i| db.intern_node_label(&format!("L{i}")))
+        .collect();
+    let mut graphs = Vec::new();
+    let build = |k: usize, labels: &[tale_graph::NodeLabel]| {
+        let mut g = Graph::new_undirected();
+        let n: Vec<NodeId> = (0..4 + k % 3)
+            .map(|j| g.add_node(labels[(j + k) % 4]))
+            .collect();
+        for w in n.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g.add_edge(n[0], n[n.len() - 1]).unwrap();
+        g
+    };
+    for k in 0..6usize {
+        let g = build(k, &labels);
+        db.insert(format!("g{k}"), g.clone());
+        graphs.push(g);
+    }
+    let fodder = build(6, &labels);
+    (db, graphs, fodder)
+}
+
+/// One ranked match, compressed to raw bits for exact comparison.
+type Row = (GraphId, u64, Vec<(NodeId, NodeId, u64)>);
+
+/// Compressed query answers over all probe graphs — the "query output"
+/// whose bit-identity the torture asserts.
+fn answers(sharded: &ShardedTaleDatabase, queries: &[Graph]) -> Vec<Vec<Row>> {
+    queries
+        .iter()
+        .map(|q| {
+            sharded
+                .query(q, &opts())
+                .unwrap()
+                .into_iter()
+                .map(|m| {
+                    let pairs =
+                        m.m.pairs
+                            .iter()
+                            .map(|p| (p.query, p.target, p.quality.to_bits()))
+                            .collect();
+                    (m.graph, m.score.to_bits(), pairs)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Recursive copy: a sharded directory nests one index dir per shard.
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn torture_sharded_insert_graph() {
+    let (db, graphs, fodder) = small_db();
+    let scratch = tempfile::tempdir().unwrap();
+    let pre = scratch.path().join("pre");
+    let sharded = ShardedTaleDatabase::build(db, &pre, &params(), 2, &HashPolicy).unwrap();
+    let mut queries = graphs.clone();
+    queries.push(fodder.clone());
+    let pre_len = sharded.db().len();
+    let pre_answers = answers(&sharded, &queries);
+    drop(sharded);
+
+    // Reference post state: clean insert on a copy.
+    let post_dir = scratch.path().join("post");
+    copy_tree(&pre, &post_dir);
+    let mut post = ShardedTaleDatabase::open(&post_dir, params().buffer_frames).unwrap();
+    post.insert_graph("late", fodder.clone()).unwrap();
+    let post_answers = answers(&post, &queries);
+    drop(post);
+
+    // Measuring run: how many gated I/O operations does the insert make?
+    let count_dir = scratch.path().join("count");
+    copy_tree(&pre, &count_dir);
+    let mut counted = ShardedTaleDatabase::open(&count_dir, params().buffer_frames).unwrap();
+    faults::arm_counting();
+    counted.insert_graph("late", fodder.clone()).unwrap();
+    let n = faults::disarm();
+    drop(counted);
+    // journal + graphs.json + shard WAL/pages + manifest: many gates
+    assert!(n >= 8, "suspiciously few fault points: {n}");
+
+    for i in 0..n {
+        let work = scratch.path().join(format!("fault-{i}"));
+        copy_tree(&pre, &work);
+        let mut sharded = ShardedTaleDatabase::open(&work, params().buffer_frames).unwrap();
+        faults::arm(i);
+        let res = sharded.insert_graph("late", fodder.clone());
+        drop(sharded); // Drop flush also fails: the process is "dead"
+        faults::disarm();
+        assert!(res.is_err(), "fault {i} of {n} did not surface");
+
+        let (recovered, rec) =
+            ShardedTaleDatabase::open_with_recovery(&work, params().buffer_frames).unwrap();
+        assert!(
+            !(rec.db_rolled_back && rec.manifest_rolled_forward),
+            "fault {i}: recovery both rolled back and rolled forward"
+        );
+        let got = answers(&recovered, &queries);
+        if recovered.db().len() == pre_len + 1 {
+            assert_eq!(
+                got, post_answers,
+                "fault {i} of {n}: committed state differs from clean insert"
+            );
+        } else {
+            assert_eq!(
+                recovered.db().len(),
+                pre_len,
+                "fault {i}: graph count corrupt"
+            );
+            assert_eq!(
+                got, pre_answers,
+                "fault {i} of {n}: rolled-back state differs from pre-op"
+            );
+        }
+        for (s, report) in recovered.index().verify().unwrap().iter().enumerate() {
+            assert!(
+                report.is_ok(),
+                "fault {i} of {n}: shard {s} integrity errors after recovery: {:?}",
+                report.errors
+            );
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&work).unwrap();
+    }
+}
+
+#[test]
+fn torture_sharded_remove_graph() {
+    // Removal tombstones only the owning shard's index (no journal, no
+    // graphs.json or manifest change), so the shard's own WAL covers it.
+    let (db, graphs, _) = small_db();
+    let scratch = tempfile::tempdir().unwrap();
+    let pre = scratch.path().join("pre");
+    let sharded = ShardedTaleDatabase::build(db, &pre, &params(), 2, &HashPolicy).unwrap();
+    let pre_answers = answers(&sharded, &graphs);
+    drop(sharded);
+
+    let post_dir = scratch.path().join("post");
+    copy_tree(&pre, &post_dir);
+    let mut post = ShardedTaleDatabase::open(&post_dir, params().buffer_frames).unwrap();
+    post.remove_graph(GraphId(0)).unwrap();
+    let post_answers = answers(&post, &graphs);
+    drop(post);
+
+    let count_dir = scratch.path().join("count");
+    copy_tree(&pre, &count_dir);
+    let mut counted = ShardedTaleDatabase::open(&count_dir, params().buffer_frames).unwrap();
+    faults::arm_counting();
+    counted.remove_graph(GraphId(0)).unwrap();
+    let n = faults::disarm();
+    drop(counted);
+    assert!(n > 0, "removal made no gated I/O");
+
+    for i in 0..n {
+        let work = scratch.path().join(format!("fault-{i}"));
+        copy_tree(&pre, &work);
+        let mut sharded = ShardedTaleDatabase::open(&work, params().buffer_frames).unwrap();
+        faults::arm(i);
+        let res = sharded.remove_graph(GraphId(0));
+        drop(sharded);
+        faults::disarm();
+        assert!(res.is_err(), "fault {i} of {n} did not surface");
+
+        let (recovered, _) =
+            ShardedTaleDatabase::open_with_recovery(&work, params().buffer_frames).unwrap();
+        let got = answers(&recovered, &graphs);
+        let removed = recovered.index().is_removed(GraphId(0));
+        if removed {
+            assert_eq!(
+                got, post_answers,
+                "fault {i} of {n}: committed removal differs"
+            );
+        } else {
+            assert_eq!(
+                got, pre_answers,
+                "fault {i} of {n}: rolled-back removal differs"
+            );
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&work).unwrap();
+    }
+}
+
+#[test]
+fn partial_shard_failure_names_the_shard() {
+    let (db, _, _) = small_db();
+    let dir = tempfile::tempdir().unwrap();
+    let sharded = ShardedTaleDatabase::build(db, dir.path(), &params(), 3, &HashPolicy).unwrap();
+    drop(sharded);
+    // destroy one shard's meta file; its siblings stay healthy
+    std::fs::remove_file(dir.path().join("shard-001").join("nh.meta.json")).unwrap();
+    let err = match ShardedTaleDatabase::open(dir.path(), params().buffer_frames) {
+        Ok(_) => panic!("open served a database with a destroyed shard"),
+        Err(e) => e,
+    };
+    match err {
+        ShardError::Shard { shard, .. } => assert_eq!(shard, 1),
+        other => panic!("expected a shard-attributed error, got: {other}"),
+    }
+}
+
+#[test]
+fn sharded_verify_attributes_bit_flips() {
+    let (db, _, _) = small_db();
+    let dir = tempfile::tempdir().unwrap();
+    let sharded = ShardedTaleDatabase::build(db, dir.path(), &params(), 2, &HashPolicy).unwrap();
+    let clean = sharded.index().verify().unwrap();
+    assert!(clean.iter().all(|r| r.is_ok()));
+    drop(sharded);
+
+    // flip one payload byte in the middle of shard 0's B+-tree file
+    let bt = dir.path().join("shard-000").join("nh.btree");
+    let mut bytes = std::fs::read(&bt).unwrap();
+    let victim = bytes.len() / 2;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&bt, &bytes).unwrap();
+
+    let sharded = ShardedTaleDatabase::open(dir.path(), params().buffer_frames).unwrap();
+    let reports = sharded.index().verify().unwrap();
+    assert!(!reports[0].is_ok(), "bit flip in shard 0 not detected");
+    assert!(reports[1].is_ok(), "healthy shard 1 flagged");
+}

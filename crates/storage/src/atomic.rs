@@ -1,0 +1,68 @@
+//! Atomic whole-file persistence.
+//!
+//! Every manifest-style file in the system (`nh.meta.json`, `shards.json`,
+//! `graphs.json`, BENCH reports) is replaced with the classic
+//! write-temp + fsync + rename + fsync-parent sequence, so readers only
+//! ever observe the complete old or complete new contents — a rename is
+//! the commit point. Truncate-in-place (`std::fs::write`) would leave a
+//! half-written file after a crash.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The data is written to a `.tmp` sibling, fsynced, renamed over `path`,
+/// and the parent directory is fsynced (on Unix) so the rename itself is
+/// durable. A crash at any point leaves either the old file or the new
+/// one, never a mix; at worst a stale `.tmp` sibling survives and is
+/// overwritten by the next call.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_owned(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("not a file path: {}", path.display())))?;
+    let tmp = parent.join(format!("{}.tmp", name.to_string_lossy()));
+    crate::fault_check("atomic.write")?;
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    crate::fault_check("atomic.rename")?;
+    std::fs::rename(&tmp, path)?;
+    sync_dir(&parent)
+}
+
+/// Fsyncs a directory so a rename/unlink inside it is durable. No-op on
+/// platforms where directories cannot be opened for sync.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaces_contents_and_leaves_no_tmp() {
+        let d = tempfile::tempdir().unwrap();
+        let p = d.path().join("m.json");
+        write_atomic(&p, b"one").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"one");
+        write_atomic(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        assert!(!d.path().join("m.json.tmp").exists());
+    }
+}

@@ -85,6 +85,12 @@ impl BlobStore {
         self.pool.pool_stats()
     }
 
+    /// The disk manager under the store's buffer pool (the owner attaches
+    /// the WAL and takes transaction baselines through this).
+    pub fn disk(&self) -> &Arc<crate::disk::DiskManager> {
+        self.pool.disk()
+    }
+
     /// Total bytes stored.
     pub fn size_bytes(&self) -> u64 {
         self.cursor()

@@ -491,6 +491,138 @@ impl BTree {
             height,
         })
     }
+
+    /// Walks the whole tree checking structural invariants: node types
+    /// match their level, per-node capacity and strict key ordering hold,
+    /// child subtrees respect their separator bounds, every leaf sits at
+    /// `height`, and the leaf chain enumerates exactly the tree's entries
+    /// in strictly ascending order. Reads go through the pool, so page
+    /// checksums are verified along the way. Returns a summary; any
+    /// violation surfaces as an error.
+    pub fn verify(&self) -> Result<TreeCheck> {
+        let mut check = TreeCheck {
+            pages: 0,
+            entries: 0,
+            height: self.height,
+        };
+        let mut leftmost_leaf = None;
+        self.verify_node(self.root, 1, None, None, &mut check, &mut leftmost_leaf)?;
+        // leaf-chain pass: strictly ascending keys, entry count consistent
+        // with the recursive walk
+        let mut chain_entries: u64 = 0;
+        let mut prev: Option<CompositeKey> = None;
+        let mut at = leftmost_leaf;
+        while let Some(id) = at {
+            match self.read_node(id)? {
+                Node::Leaf { entries, next } => {
+                    for (k, _) in &entries {
+                        if let Some(p) = prev {
+                            if *k <= p {
+                                return Err(StorageError::TreeInvariant(
+                                    "leaf chain keys not strictly ascending",
+                                ));
+                            }
+                        }
+                        prev = Some(*k);
+                    }
+                    chain_entries += entries.len() as u64;
+                    at = next;
+                }
+                Node::Internal { .. } => {
+                    return Err(StorageError::TreeInvariant(
+                        "leaf next pointer reached an internal node",
+                    ));
+                }
+            }
+        }
+        if chain_entries != check.entries {
+            return Err(StorageError::TreeInvariant(
+                "leaf chain disagrees with tree walk on entry count",
+            ));
+        }
+        Ok(check)
+    }
+
+    fn verify_node(
+        &self,
+        id: PageId,
+        depth: u32,
+        lo: Option<CompositeKey>,
+        hi: Option<CompositeKey>,
+        check: &mut TreeCheck,
+        leftmost_leaf: &mut Option<PageId>,
+    ) -> Result<()> {
+        if depth > self.height {
+            return Err(StorageError::TreeInvariant("node below leaf level"));
+        }
+        check.pages += 1;
+        let in_bounds = |k: CompositeKey| !lo.is_some_and(|l| k < l) && !hi.is_some_and(|h| k >= h);
+        match self.read_node(id)? {
+            Node::Leaf { entries, .. } => {
+                if depth != self.height {
+                    return Err(StorageError::TreeInvariant("leaf above leaf level"));
+                }
+                if leftmost_leaf.is_none() {
+                    *leftmost_leaf = Some(id);
+                }
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(StorageError::TreeInvariant("leaf keys not ascending"));
+                    }
+                }
+                if entries.iter().any(|(k, _)| !in_bounds(*k)) {
+                    return Err(StorageError::TreeInvariant(
+                        "leaf key outside parent bounds",
+                    ));
+                }
+                check.entries += entries.len() as u64;
+            }
+            Node::Internal { leftmost, entries } => {
+                if depth == self.height {
+                    return Err(StorageError::TreeInvariant("internal node at leaf level"));
+                }
+                if entries.is_empty() {
+                    return Err(StorageError::TreeInvariant(
+                        "internal node with no separator",
+                    ));
+                }
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(StorageError::TreeInvariant("separators not ascending"));
+                    }
+                }
+                if entries.iter().any(|(k, _)| !in_bounds(*k)) {
+                    return Err(StorageError::TreeInvariant(
+                        "separator outside parent bounds",
+                    ));
+                }
+                self.verify_node(
+                    leftmost,
+                    depth + 1,
+                    lo,
+                    Some(entries[0].0),
+                    check,
+                    leftmost_leaf,
+                )?;
+                for (i, (k, child)) in entries.iter().enumerate() {
+                    let child_hi = entries.get(i + 1).map(|(nk, _)| *nk).or(hi);
+                    self.verify_node(*child, depth + 1, Some(*k), child_hi, check, leftmost_leaf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Summary returned by [`BTree::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeCheck {
+    /// Pages visited in the recursive walk (the whole tree).
+    pub pages: u64,
+    /// Entries counted in the recursive walk (== leaf-chain count).
+    pub entries: u64,
+    /// Tree height as recorded by the handle.
+    pub height: u32,
 }
 
 #[cfg(test)]
@@ -510,6 +642,45 @@ mod tests {
 
     fn key(i: u32) -> CompositeKey {
         CompositeKey::new(i / 100, (i / 10) % 10, i % 10)
+    }
+
+    #[test]
+    fn verify_accepts_built_trees_and_counts_entries() {
+        let (_d, pool) = make_pool(64);
+        let pairs: Vec<(CompositeKey, u64)> = (0..5000u32).map(|i| (key(i), i as u64)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        sorted.dedup_by_key(|p| p.0);
+        let t = BTree::bulk_load(Arc::clone(&pool), &sorted).unwrap();
+        let c = t.verify().unwrap();
+        assert_eq!(c.entries as usize, sorted.len());
+        assert!(c.pages > 1);
+        assert_eq!(c.height, t.height());
+
+        // verify also holds for insert-built trees
+        let (_d2, pool2) = make_pool(64);
+        let mut t2 = BTree::create(pool2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut shuffled = sorted.clone();
+        shuffled.shuffle(&mut rng);
+        for (k, v) in &shuffled {
+            t2.insert(*k, *v).unwrap();
+        }
+        let c2 = t2.verify().unwrap();
+        assert_eq!(c2.entries as usize, sorted.len());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_height() {
+        let (_d, pool) = make_pool(64);
+        let sorted: Vec<(CompositeKey, u64)> = (0..5000u32)
+            .map(|i| (CompositeKey::new(i, 0, 0), i as u64))
+            .collect();
+        let t = BTree::bulk_load(Arc::clone(&pool), &sorted).unwrap();
+        assert!(t.height() > 1);
+        // a handle opened with a bogus height must not silently verify
+        let t_bad = BTree::open(pool, t.root(), t.height() - 1);
+        assert!(t_bad.verify().is_err());
     }
 
     #[test]

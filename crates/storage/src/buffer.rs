@@ -333,8 +333,19 @@ impl BufferPool {
     }
 
     /// Writes all dirty frames back to disk.
+    ///
+    /// When a WAL is attached, the before-images of every dirty page are
+    /// logged first in one pass, so the write-ahead barrier inside the
+    /// first `write_page` syncs them all with a single fsync (group
+    /// fsync) instead of one per page.
     pub fn flush_all(&self) -> Result<()> {
         let mut inner = self.inner.lock();
+        for i in 0..self.frames.len() {
+            if inner.meta[i].dirty {
+                let id = inner.meta[i].page_id.expect("dirty frame has a page");
+                self.disk.prelog_for_wal(id)?;
+            }
+        }
         for i in 0..self.frames.len() {
             if inner.meta[i].dirty {
                 let id = inner.meta[i].page_id.expect("dirty frame has a page");

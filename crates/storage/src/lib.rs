@@ -21,22 +21,54 @@
 //!   (node-id lists + neighbor-array bitmaps).
 //! * [`wah`]: word-aligned-hybrid bitmap compression for the posting
 //!   bit columns (the classic bitmap-index storage optimization).
+//! * [`wal`]: a physical (before-image) write-ahead log bracketing index
+//!   mutations, so `insert_graph` / `remove_graph` survive mid-write
+//!   failure. Bulk build stays unprotected on purpose — it is
+//!   rebuild-on-failure, matching the paper's read-only usage — and the
+//!   read path never touches the log.
+//! * [`atomic`]: write-temp + fsync + rename whole-file persistence for
+//!   manifests and reports.
+//! * [`faults`] (behind the `failpoints` cargo feature): a fault-injection
+//!   shim that fails the Nth I/O operation, driving the crash-torture
+//!   harness. Compiled out of release builds.
 //!
-//! There is no WAL or MVCC on purpose: the NH-Index is bulk-built once and
-//! read-only at query time, which is also how the paper uses Postgres.
+//! There is no MVCC on purpose: mutations are single-writer and queries
+//! run against a committed index, which is also how the paper uses
+//! Postgres.
 
+pub mod atomic;
 pub mod blob;
 pub mod btree;
 pub mod buffer;
 pub mod disk;
+#[cfg(feature = "failpoints")]
+pub mod faults;
 pub mod page;
 pub mod wah;
+pub mod wal;
 
 pub use blob::{BlobRef, BlobStore};
-pub use btree::{BTree, CompositeKey};
+pub use btree::{BTree, CompositeKey, TreeCheck};
 pub use buffer::{BufferPool, PageGuard, PageGuardMut, PoolStats};
 pub use disk::DiskManager;
 pub use page::{PageId, PAGE_SIZE};
+pub use wal::Wal;
+
+/// Fault-injection gate, called before every real I/O side effect on the
+/// mutation path. With the `failpoints` feature off this is a no-op the
+/// optimizer removes; with it on, [`faults::check`] decides.
+#[cfg(feature = "failpoints")]
+#[inline]
+pub(crate) fn fault_check(op: &'static str) -> std::io::Result<()> {
+    faults::check(op)
+}
+
+/// No-op fault gate (the `failpoints` feature is disabled).
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn fault_check(_op: &'static str) -> std::io::Result<()> {
+    Ok(())
+}
 
 /// Errors produced by the storage layer.
 #[derive(Debug)]
@@ -53,6 +85,8 @@ pub enum StorageError {
     BadBlobRef,
     /// B+-tree structural invariant violated (indicates a bug).
     TreeInvariant(&'static str),
+    /// Write-ahead-log protocol violation or unrecoverable log state.
+    Wal(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -64,6 +98,7 @@ impl std::fmt::Display for StorageError {
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
             StorageError::BadBlobRef => write!(f, "blob reference out of bounds"),
             StorageError::TreeInvariant(m) => write!(f, "btree invariant violated: {m}"),
+            StorageError::Wal(m) => write!(f, "wal: {m}"),
         }
     }
 }

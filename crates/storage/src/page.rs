@@ -2,8 +2,11 @@
 //!
 //! Every on-disk structure in this crate is built from [`PAGE_SIZE`] pages.
 //! The first [`HEADER_LEN`] bytes of each page hold a checksum over the
-//! payload so torn or corrupted writes are detected on read (the buffer
-//! pool verifies on fetch). The payload area is free-form; higher layers
+//! page's id and payload so torn or corrupted writes are detected on read
+//! (the disk manager verifies on every read, [`Page::verify_for`]).
+//! Keying the checksum by page id additionally catches *misdirected*
+//! writes — a perfectly intact page persisted at the wrong offset fails
+//! verification too. The payload area is free-form; higher layers
 //! (B+-tree nodes, blob segments) impose their own layout on it.
 
 /// Page size in bytes. 8 KiB matches PostgreSQL's default page size — the
@@ -34,13 +37,12 @@ pub struct Page {
 }
 
 impl Page {
-    /// A zeroed page with a valid checksum.
+    /// A zeroed page. The checksum is stamped by [`Page::seal_for`] when
+    /// the page is written to its disk slot.
     pub fn zeroed() -> Self {
-        let mut p = Page {
+        Page {
             buf: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
-        };
-        p.seal();
-        p
+        }
     }
 
     /// Payload bytes (read).
@@ -66,25 +68,31 @@ impl Page {
         Page { buf: raw }
     }
 
-    /// Recomputes and stores the payload checksum.
-    pub fn seal(&mut self) {
-        let sum = checksum(&self.buf[HEADER_LEN..]);
+    /// Recomputes and stores the checksum for this page living at slot
+    /// `id`. Must be called immediately before the page image goes to
+    /// disk.
+    pub fn seal_for(&mut self, id: PageId) {
+        let sum = checksum(id.0, &self.buf[HEADER_LEN..]);
         self.buf[..HEADER_LEN].copy_from_slice(&sum.to_le_bytes());
     }
 
-    /// True when the stored checksum matches the payload.
-    pub fn verify(&self) -> bool {
+    /// True when the stored checksum matches the payload *and* slot `id` —
+    /// a valid page read from the wrong offset fails too.
+    pub fn verify_for(&self, id: PageId) -> bool {
         let stored = u64::from_le_bytes(self.buf[..HEADER_LEN].try_into().unwrap());
-        stored == checksum(&self.buf[HEADER_LEN..])
+        stored == checksum(id.0, &self.buf[HEADER_LEN..])
     }
 }
 
-/// FNV-1a 64-bit over the payload. Fast, good enough for torn-write
-/// detection (we are not defending against adversarial corruption).
-pub fn checksum(data: &[u8]) -> u64 {
+/// FNV-1a 64-bit over the page id followed by the payload. Fast, good
+/// enough for torn-write detection (we are not defending against
+/// adversarial corruption; the WAL uses CRC-32 for its records).
+pub fn checksum(page_id: u64, data: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf29ce484222325;
     const PRIME: u64 = 0x100000001b3;
     let mut h = OFFSET;
+    h ^= page_id;
+    h = h.wrapping_mul(PRIME);
     // process 8 bytes at a time for speed; FNV quality is unaffected for
     // our integrity-check purpose.
     let mut chunks = data.chunks_exact(8);
@@ -104,8 +112,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn zeroed_page_verifies() {
-        assert!(Page::zeroed().verify());
+    fn sealed_zeroed_page_verifies() {
+        let mut p = Page::zeroed();
+        p.seal_for(PageId(0));
+        assert!(p.verify_for(PageId(0)));
     }
 
     #[test]
@@ -113,20 +123,30 @@ mod tests {
         let mut p = Page::zeroed();
         p.payload_mut()[0] = 0xAB;
         p.payload_mut()[PAYLOAD_LEN - 1] = 0xCD;
-        assert!(!p.verify()); // dirty, not yet sealed
-        p.seal();
-        assert!(p.verify());
+        assert!(!p.verify_for(PageId(7))); // dirty, not yet sealed
+        p.seal_for(PageId(7));
+        assert!(p.verify_for(PageId(7)));
     }
 
     #[test]
     fn corruption_detected() {
         let mut p = Page::zeroed();
         p.payload_mut()[100] = 1;
-        p.seal();
+        p.seal_for(PageId(0));
         let mut raw = *p.raw();
         raw[HEADER_LEN + 100] = 2; // flip payload byte after sealing
         let p2 = Page::from_raw(Box::new(raw));
-        assert!(!p2.verify());
+        assert!(!p2.verify_for(PageId(0)));
+    }
+
+    #[test]
+    fn misdirected_write_detected() {
+        // a perfectly intact page fails verification at any other slot
+        let mut p = Page::zeroed();
+        p.payload_mut()[0] = 5;
+        p.seal_for(PageId(3));
+        assert!(p.verify_for(PageId(3)));
+        assert!(!p.verify_for(PageId(4)));
     }
 
     #[test]
@@ -134,7 +154,8 @@ mod tests {
         let a = vec![0u8; 64];
         let mut b = a.clone();
         b[63] = 1;
-        assert_ne!(checksum(&a), checksum(&b));
+        assert_ne!(checksum(0, &a), checksum(0, &b));
+        assert_ne!(checksum(0, &a), checksum(1, &a));
     }
 
     #[test]

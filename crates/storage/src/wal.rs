@@ -1,0 +1,491 @@
+//! Physical write-ahead log for NH-Index mutations.
+//!
+//! This is an *undo* log: before a mutation overwrites any page that
+//! existed when the transaction began, the page's before-image is appended
+//! here. If the process dies mid-mutation, recovery replays the images and
+//! truncates the files back to their pre-transaction length, restoring the
+//! exact pre-op byte state. Durability of the *new* state comes from the
+//! owner's commit point — an atomic meta-file rename performed after all
+//! data pages are fsynced — not from the log.
+//!
+//! One log covers both page files of an index (B+-tree and blob store),
+//! distinguished by a one-byte file tag. A mutation is bracketed by
+//! `Begin`/`Commit` records and the log holds at most one transaction:
+//! `begin` truncates whatever a previous committed transaction left.
+//!
+//! ## Record format
+//!
+//! ```text
+//! +--------+--------+--------+------+------------------+
+//! | len u32| crc u32| lsn u64| kind | body (len-9 B)   |
+//! +--------+--------+--------+------+------------------+
+//! ```
+//!
+//! `len` counts `lsn + kind + body`; `crc` is CRC-32 (IEEE) over those
+//! same bytes. Recovery reads records until the first short read or CRC
+//! mismatch — a torn tail simply ends the log.
+//!
+//! * `Begin`  — body: `generation u64, baseline_pages[0] u64,
+//!   baseline_pages[1] u64` (file lengths, in pages, at transaction start).
+//! * `Image`  — body: `file_tag u8, page_id u64, raw page (PAGE_SIZE B)`.
+//!   Only pages below the baseline are logged (first image wins); pages
+//!   appended by the transaction are undone by truncation.
+//! * `Commit` — empty body, appended after the owner's commit point.
+//!   Best-effort: recovery decides committed-vs-not from the owner's
+//!   persisted generation, so a lost `Commit` record is harmless.
+
+use crate::page::PAGE_SIZE;
+use crate::{Result, StorageError};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Number of page files one log covers (B+-tree + blobs).
+pub const WAL_FILES: usize = 2;
+
+const KIND_BEGIN: u8 = 1;
+const KIND_IMAGE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// Largest legal record body: an `Image` record.
+const MAX_BODY: usize = 1 + 8 + PAGE_SIZE;
+
+struct TxState {
+    baseline_pages: [u64; WAL_FILES],
+    logged: HashSet<(u8, u64)>,
+}
+
+struct WalInner {
+    file: File,
+    next_lsn: u64,
+    /// LSN of the last appended record, and the last one covered by fsync.
+    appended: u64,
+    synced: u64,
+    tx: Option<TxState>,
+}
+
+/// The live write-ahead log of one index directory.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// Opens (creating or truncating) the log at `path`, ready for a new
+    /// transaction. Callers must run [`read_log`]/[`rollback`] recovery
+    /// *before* constructing the live log — opening discards any tail.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                next_lsn: 1,
+                appended: 0,
+                synced: 0,
+                tx: None,
+            }),
+        })
+    }
+
+    /// Begins a mutation transaction. `generation` is the owner's
+    /// *pre-mutation* generation counter (recovery compares it against the
+    /// persisted one to tell committed from in-flight); `baseline_pages`
+    /// are the current page counts of the covered files.
+    pub fn begin(&self, generation: u64, baseline_pages: [u64; WAL_FILES]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.tx.is_some() {
+            return Err(StorageError::Wal(
+                "begin with a transaction already open".into(),
+            ));
+        }
+        // At most one transaction lives in the log: drop the previous
+        // committed one.
+        inner.file.set_len(0)?;
+        inner.file.seek(SeekFrom::Start(0))?;
+        inner.appended = 0;
+        inner.synced = 0;
+        let mut body = Vec::with_capacity(8 * (1 + WAL_FILES));
+        body.extend_from_slice(&generation.to_le_bytes());
+        for &b in &baseline_pages {
+            body.extend_from_slice(&b.to_le_bytes());
+        }
+        append_record(&mut inner, KIND_BEGIN, &body)?;
+        inner.tx = Some(TxState {
+            baseline_pages,
+            logged: HashSet::new(),
+        });
+        Ok(())
+    }
+
+    /// True when a transaction is open and `page_id` of file `tag` still
+    /// needs its before-image logged before being overwritten.
+    pub fn needs_image(&self, tag: u8, page_id: u64) -> bool {
+        let inner = self.inner.lock();
+        match &inner.tx {
+            Some(tx) => {
+                page_id < tx.baseline_pages[tag as usize] && !tx.logged.contains(&(tag, page_id))
+            }
+            None => false,
+        }
+    }
+
+    /// Appends the before-image of a page (first image wins; later calls
+    /// for the same page are ignored). No-op outside a transaction.
+    pub fn log_image(&self, tag: u8, page_id: u64, raw: &[u8; PAGE_SIZE]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let Some(tx) = &inner.tx else {
+            return Ok(());
+        };
+        if page_id >= tx.baseline_pages[tag as usize] || tx.logged.contains(&(tag, page_id)) {
+            return Ok(());
+        }
+        let mut body = Vec::with_capacity(MAX_BODY);
+        body.push(tag);
+        body.extend_from_slice(&page_id.to_le_bytes());
+        body.extend_from_slice(raw.as_slice());
+        append_record(&mut inner, KIND_IMAGE, &body)?;
+        inner
+            .tx
+            .as_mut()
+            .expect("tx checked above")
+            .logged
+            .insert((tag, page_id));
+        Ok(())
+    }
+
+    /// Fsyncs the log up to the last appended record. The disk manager
+    /// calls this before overwriting data pages, so one sync covers every
+    /// image logged since the last barrier (group fsync).
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.appended > inner.synced {
+            crate::fault_check("wal.sync")?;
+            inner.file.sync_all()?;
+            inner.synced = inner.appended;
+        }
+        Ok(())
+    }
+
+    /// Ends the transaction after the owner's commit point. Appends the
+    /// `Commit` record (best-effort durable — see module docs).
+    pub fn commit(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.tx.is_none() {
+            return Err(StorageError::Wal("commit without a transaction".into()));
+        }
+        append_record(&mut inner, KIND_COMMIT, &[])?;
+        inner.tx = None;
+        Ok(())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_tx(&self) -> bool {
+        self.inner.lock().tx.is_some()
+    }
+}
+
+fn append_record(inner: &mut WalInner, kind: u8, body: &[u8]) -> Result<()> {
+    crate::fault_check("wal.append")?;
+    let lsn = inner.next_lsn;
+    inner.next_lsn += 1;
+    let mut rec = Vec::with_capacity(8 + 9 + body.len());
+    let len = (8 + 1 + body.len()) as u32;
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.extend_from_slice(&[0u8; 4]); // crc placeholder
+    rec.extend_from_slice(&lsn.to_le_bytes());
+    rec.push(kind);
+    rec.extend_from_slice(body);
+    let crc = crc32(&rec[8..]);
+    rec[4..8].copy_from_slice(&crc.to_le_bytes());
+    inner.file.write_all(&rec)?;
+    inner.appended = lsn;
+    Ok(())
+}
+
+/// A page before-image recovered from the log.
+pub struct PageImage {
+    /// Which covered file the page belongs to (0 = B+-tree, 1 = blobs by
+    /// NH-Index convention).
+    pub file: u8,
+    /// Page index within that file.
+    pub page_id: u64,
+    /// The raw pre-transaction page bytes.
+    pub data: Box<[u8; PAGE_SIZE]>,
+}
+
+/// The (single) transaction parsed out of a log file.
+pub struct LoggedTx {
+    /// Owner generation at `begin` (pre-mutation).
+    pub generation: u64,
+    /// Covered-file lengths (in pages) at `begin`.
+    pub baseline_pages: [u64; WAL_FILES],
+    /// Before-images, in log order (at most one per page).
+    pub images: Vec<PageImage>,
+    /// Whether a `Commit` record survived.
+    pub committed: bool,
+}
+
+/// Parses the log at `path`. Returns `None` when the file is missing,
+/// empty, or holds no complete `Begin` record. Reading stops at the first
+/// torn record (short read or CRC mismatch) — everything before it is
+/// trusted, everything after is discarded.
+pub fn read_log(path: &Path) -> Result<Option<LoggedTx>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut tx: Option<LoggedTx> = None;
+    loop {
+        let mut hdr = [0u8; 8];
+        match file.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(_) => break, // clean EOF or torn header — end of trusted log
+        }
+        let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        if !(9..=9 + MAX_BODY).contains(&len) {
+            break;
+        }
+        let mut rec = vec![0u8; len];
+        if file.read_exact(&mut rec).is_err() {
+            break; // torn tail
+        }
+        if crc32(&rec) != crc {
+            break;
+        }
+        let kind = rec[8];
+        let body = &rec[9..];
+        match (kind, &mut tx) {
+            (KIND_BEGIN, None) => {
+                if body.len() != 8 * (1 + WAL_FILES) {
+                    break;
+                }
+                let generation = u64::from_le_bytes(body[..8].try_into().unwrap());
+                let mut baseline_pages = [0u64; WAL_FILES];
+                for (i, b) in baseline_pages.iter_mut().enumerate() {
+                    *b = u64::from_le_bytes(body[8 + 8 * i..16 + 8 * i].try_into().unwrap());
+                }
+                tx = Some(LoggedTx {
+                    generation,
+                    baseline_pages,
+                    images: Vec::new(),
+                    committed: false,
+                });
+            }
+            (KIND_IMAGE, Some(t)) if !t.committed => {
+                if body.len() != 1 + 8 + PAGE_SIZE {
+                    break;
+                }
+                let file_tag = body[0];
+                if file_tag as usize >= WAL_FILES {
+                    break;
+                }
+                let page_id = u64::from_le_bytes(body[1..9].try_into().unwrap());
+                let data: Box<[u8; PAGE_SIZE]> = body[9..]
+                    .to_vec()
+                    .into_boxed_slice()
+                    .try_into()
+                    .expect("length checked");
+                t.images.push(PageImage {
+                    file: file_tag,
+                    page_id,
+                    data,
+                });
+            }
+            (KIND_COMMIT, Some(t)) if !t.committed => {
+                t.committed = true;
+            }
+            // Anything out of protocol (records before Begin, a second
+            // Begin, records after Commit) ends the trusted prefix.
+            _ => break,
+        }
+    }
+    Ok(tx)
+}
+
+/// What [`rollback`] undid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollbackStats {
+    /// Before-images written back.
+    pub pages_restored: u64,
+    /// Bytes truncated off the covered files (pages the transaction
+    /// appended past the baselines).
+    pub bytes_truncated: u64,
+}
+
+/// Rolls an uncommitted transaction back: restores every before-image and
+/// truncates each covered file to its baseline length, then fsyncs.
+/// Idempotent — safe to re-run if recovery itself is interrupted.
+pub fn rollback(tx: &LoggedTx, files: [&Path; WAL_FILES]) -> Result<RollbackStats> {
+    let mut stats = RollbackStats::default();
+    for (i, path) in files.iter().enumerate() {
+        let baseline_bytes = tx.baseline_pages[i] * PAGE_SIZE as u64;
+        let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && tx.baseline_pages[i] == 0 => {
+                // never materialized and nothing to restore
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        for img in tx.images.iter().filter(|im| im.file as usize == i) {
+            file.seek(SeekFrom::Start(img.page_id * PAGE_SIZE as u64))?;
+            file.write_all(img.data.as_slice())?;
+            stats.pages_restored += 1;
+        }
+        let len = file.metadata()?.len();
+        if len > baseline_bytes {
+            file.set_len(baseline_bytes)?;
+            stats.bytes_truncated += len - baseline_bytes;
+        }
+        file.sync_all()?;
+    }
+    Ok(stats)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn begin_image_commit_roundtrip() {
+        let d = tempfile::tempdir().unwrap();
+        let p = d.path().join("t.wal");
+        let wal = Wal::open(&p).unwrap();
+        wal.begin(7, [2, 0]).unwrap();
+        let img = Box::new([0xABu8; PAGE_SIZE]);
+        wal.log_image(0, 1, &img).unwrap();
+        // duplicate image and beyond-baseline image are ignored
+        wal.log_image(0, 1, &img).unwrap();
+        wal.log_image(0, 5, &img).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let tx = read_log(&p).unwrap().expect("one tx");
+        assert_eq!(tx.generation, 7);
+        assert_eq!(tx.baseline_pages, [2, 0]);
+        assert_eq!(tx.images.len(), 1);
+        assert_eq!((tx.images[0].file, tx.images[0].page_id), (0, 1));
+        assert!(!tx.committed);
+    }
+
+    #[test]
+    fn commit_record_marks_tx_committed() {
+        let d = tempfile::tempdir().unwrap();
+        let p = d.path().join("t.wal");
+        let wal = Wal::open(&p).unwrap();
+        wal.begin(1, [0, 0]).unwrap();
+        wal.commit().unwrap();
+        wal.sync().unwrap();
+        let tx = read_log(&p).unwrap().expect("one tx");
+        assert!(tx.committed);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let d = tempfile::tempdir().unwrap();
+        let p = d.path().join("t.wal");
+        let wal = Wal::open(&p).unwrap();
+        wal.begin(3, [1, 1]).unwrap();
+        wal.log_image(1, 0, &Box::new([9u8; PAGE_SIZE])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // truncate mid-record: the image record is torn, Begin survives
+        let full = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(full - 100).unwrap();
+        drop(f);
+        let tx = read_log(&p).unwrap().expect("begin survives");
+        assert_eq!(tx.generation, 3);
+        assert!(tx.images.is_empty());
+        assert!(!tx.committed);
+    }
+
+    #[test]
+    fn rollback_restores_images_and_truncates() {
+        let d = tempfile::tempdir().unwrap();
+        let bt = d.path().join("bt.pages");
+        let bl = d.path().join("bl.pages");
+        // file 0: two pages of 0x11; file 1: empty
+        std::fs::write(&bt, vec![0x11u8; 2 * PAGE_SIZE]).unwrap();
+        std::fs::write(&bl, Vec::<u8>::new()).unwrap();
+
+        let p = d.path().join("t.wal");
+        let wal = Wal::open(&p).unwrap();
+        wal.begin(0, [2, 0]).unwrap();
+        wal.log_image(0, 1, &Box::new([0x11u8; PAGE_SIZE])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // simulate the mutation: overwrite page 1, append page 2, grow blobs
+        let mut bytes = std::fs::read(&bt).unwrap();
+        bytes[PAGE_SIZE..].fill(0x22);
+        bytes.extend(vec![0x33u8; PAGE_SIZE]);
+        std::fs::write(&bt, &bytes).unwrap();
+        std::fs::write(&bl, vec![0x44u8; PAGE_SIZE]).unwrap();
+
+        let tx = read_log(&p).unwrap().unwrap();
+        let stats = rollback(&tx, [&bt, &bl]).unwrap();
+        assert_eq!(stats.pages_restored, 1);
+        assert_eq!(stats.bytes_truncated, 2 * PAGE_SIZE as u64);
+        assert_eq!(std::fs::read(&bt).unwrap(), vec![0x11u8; 2 * PAGE_SIZE]);
+        assert!(std::fs::read(&bl).unwrap().is_empty());
+        // idempotent
+        let again = rollback(&tx, [&bt, &bl]).unwrap();
+        assert_eq!(again.pages_restored, 1);
+        assert_eq!(again.bytes_truncated, 0);
+        assert_eq!(std::fs::read(&bt).unwrap(), vec![0x11u8; 2 * PAGE_SIZE]);
+    }
+
+    #[test]
+    fn missing_or_empty_log_reads_as_none() {
+        let d = tempfile::tempdir().unwrap();
+        assert!(read_log(&d.path().join("nope.wal")).unwrap().is_none());
+        let p = d.path().join("empty.wal");
+        std::fs::write(&p, b"").unwrap();
+        assert!(read_log(&p).unwrap().is_none());
+    }
+}

@@ -4,6 +4,7 @@
 use crate::engine::cache::{CacheStats, ResultCache, DEFAULT_CACHE_ENTRIES};
 use crate::engine::exec;
 use crate::engine::stats::{BatchStats, QueryStats};
+use crate::journal::{DbRecovery, MutationJournal};
 use crate::params::{QueryOptions, TaleParams};
 use crate::result::QueryMatch;
 use crate::scratch::ScratchDir;
@@ -12,7 +13,7 @@ use std::path::Path;
 use tale_graph::{Graph, GraphDb, GraphId};
 use tale_nhindex::{NhIndex, NhIndexConfig};
 
-const DB_FILE: &str = "graphs.json";
+pub(crate) const DB_FILE: &str = "graphs.json";
 
 /// An indexed graph database ready for approximate subgraph queries.
 ///
@@ -70,16 +71,35 @@ impl TaleDatabase {
         })
     }
 
-    /// Reopens a database previously built with [`TaleDatabase::build`].
+    /// Reopens a database previously built with [`TaleDatabase::build`],
+    /// running crash recovery (discarding the report — use
+    /// [`TaleDatabase::open_with_recovery`] to inspect it).
     pub fn open(dir: &Path, buffer_frames: usize) -> Result<Self> {
+        Ok(Self::open_with_recovery(dir, buffer_frames)?.0)
+    }
+
+    /// Reopens a database, repairing any mutation interrupted by a crash:
+    /// first the index's own WAL recovery runs
+    /// ([`NhIndex::open_with_recovery`]), then the multi-file journal
+    /// reconciles `graphs.json` against the recovered index generation
+    /// ([`crate::journal`]) — so the pair can never be served out of sync.
+    pub fn open_with_recovery(dir: &Path, buffer_frames: usize) -> Result<(Self, DbRecovery)> {
+        let (index, nh_report) = NhIndex::open_with_recovery(dir, buffer_frames)?;
+        let journal = MutationJournal::new(dir);
+        let (journal_present, db_rolled_back) = journal.recover(index.generation())?;
         let db = tale_graph::io::load_json(&dir.join(DB_FILE))?;
-        let index = NhIndex::open(dir, buffer_frames)?;
-        Ok(TaleDatabase {
+        let tale = TaleDatabase {
             db,
             index,
             cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
             _scratch: None,
-        })
+        };
+        let report = DbRecovery {
+            index: nh_report,
+            journal_present,
+            db_rolled_back,
+        };
+        Ok((tale, report))
     }
 
     /// Adds a graph to the database and incrementally extends the
@@ -89,15 +109,32 @@ impl TaleDatabase {
     ///
     /// For on-disk databases ([`TaleDatabase::build`]), the persisted
     /// graph set is updated too, so [`TaleDatabase::open`] sees the new
-    /// graph after this call returns.
+    /// graph after this call returns. The update is journaled
+    /// ([`crate::journal`]): a crash anywhere inside this call leaves the
+    /// directory recoverable to a consistent state — either both
+    /// `graphs.json` and the index reflect the insert, or neither does.
+    /// After an error, drop this handle and reopen.
     pub fn insert_graph(&mut self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
         self.cache.clear();
         let gid = self.db.insert(name, g);
-        self.index.insert_graph(&self.db, gid)?;
         if self._scratch.is_none() {
-            // persistent build: keep graphs.json in sync with the index
+            // persistent build: stage → save graphs.json → commit the
+            // index (its generation bump is the overall commit point) →
+            // clear the journal
             let dir = self.index_dir().to_owned();
+            let journal = MutationJournal::new(&dir);
+            journal.stage(
+                &dir.join(DB_FILE),
+                crate::journal::PendingMutation {
+                    pre_generation: self.index.generation(),
+                    shard: None,
+                },
+            )?;
             tale_graph::io::save_json(&self.db, &dir.join(DB_FILE))?;
+            self.index.insert_graph(&self.db, gid)?;
+            journal.clear()?;
+        } else {
+            self.index.insert_graph(&self.db, gid)?;
         }
         Ok(gid)
     }

@@ -182,7 +182,7 @@ fn refine_assignment(
                     continue;
                 }
                 let c = conserved(assignment, li, r);
-                if c > cur_c && best.is_none_or(|(bc, _)| c > bc) {
+                if c > cur_c && !best.is_some_and(|(bc, _)| c <= bc) {
                     best = Some((c, r));
                 }
             }

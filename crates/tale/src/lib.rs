@@ -36,6 +36,7 @@
 
 mod database;
 pub mod engine;
+pub mod journal;
 mod params;
 mod result;
 mod scratch;
@@ -44,6 +45,7 @@ pub use database::TaleDatabase;
 pub use engine::cache::{options_fingerprint, CacheStats, DEFAULT_CACHE_ENTRIES};
 pub use engine::plan::canonical_signature;
 pub use engine::stats::{BatchStats, PoolDelta, QueryStats, ShardStats, StageTimes};
+pub use journal::DbRecovery;
 pub use params::{QueryOptions, TaleParams};
 pub use result::QueryMatch;
 pub use scratch::ScratchDir;
