@@ -48,6 +48,7 @@ fn cfg() -> NhIndexConfig {
         parallel_build: false,
         bloom_hashes: 1,
         use_edge_labels: false,
+        ..NhIndexConfig::default()
     }
 }
 

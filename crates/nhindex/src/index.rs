@@ -25,7 +25,9 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tale_graph::{Graph, GraphDb, NodeId};
-use tale_storage::{BTree, BlobRef, BlobStore, BufferPool, CompositeKey, DiskManager, Wal};
+use tale_storage::{
+    BTree, BlobRef, BlobStore, BufferPool, CompositeKey, DiskManager, IoPool, PrefetchStats, Wal,
+};
 
 const BTREE_FILE: &str = "nh.btree";
 const BLOB_FILE: &str = "nh.blobs";
@@ -54,7 +56,20 @@ pub struct NhIndexConfig {
     /// Fold incident edge labels into the neighborhood signature (the
     /// extended paper's labeled-edge adaptation). Forces the Bloom regime.
     pub use_edge_labels: bool,
+    /// Async read-path worker threads shared by the index's page files
+    /// (`0` disables prefetching entirely). Sharded indexes share one
+    /// worker pool across every shard regardless of this count.
+    pub io_workers: usize,
+    /// Prefetch staging capacity in pages, per page file.
+    pub prefetch_pages: usize,
 }
+
+/// Default async read-path worker threads (see
+/// [`NhIndexConfig::io_workers`]).
+pub const DEFAULT_IO_WORKERS: usize = 2;
+/// Default prefetch staging capacity in pages (8 KiB each; see
+/// [`NhIndexConfig::prefetch_pages`]).
+pub const DEFAULT_PREFETCH_PAGES: usize = 1024;
 
 impl Default for NhIndexConfig {
     fn default() -> Self {
@@ -64,6 +79,8 @@ impl Default for NhIndexConfig {
             parallel_build: true,
             bloom_hashes: 1,
             use_edge_labels: false,
+            io_workers: DEFAULT_IO_WORKERS,
+            prefetch_pages: DEFAULT_PREFETCH_PAGES,
         }
     }
 }
@@ -262,6 +279,10 @@ pub struct NhIndex {
     wal: Arc<Wal>,
     /// Committed mutation counter (see `MetaFile::generation`).
     generation: u64,
+    /// Async read-path workers feeding both page files' prefetchers
+    /// (`None` when prefetching is disabled). Shards of a sharded index
+    /// all hold clones of one shared pool.
+    io: Option<Arc<IoPool>>,
 }
 
 /// One extracted indexing unit (pre-grouping).
@@ -325,6 +346,14 @@ impl NhIndex {
             Arc::clone(&blob_disk),
             config.buffer_frames,
         ));
+        let io = if config.io_workers > 0 {
+            let io = IoPool::new(config.io_workers);
+            bt_pool.attach_prefetcher(Arc::clone(&io), config.prefetch_pages);
+            blob_pool.attach_prefetcher(Arc::clone(&io), config.prefetch_pages);
+            Some(io)
+        } else {
+            None
+        };
         let blobs = BlobStore::create(blob_pool);
         // A fresh build invalidates any log a previous index in this
         // directory left behind (the data files were just truncated, so a
@@ -365,6 +394,7 @@ impl NhIndex {
             counters: AtomicProbeCounters::default(),
             wal,
             generation: 0,
+            io,
         };
         idx.flush(db.effective_vocab_size() as u64)?;
         Ok(idx)
@@ -597,6 +627,24 @@ impl NhIndex {
     /// Recovery is idempotent — crashing during rollback and reopening
     /// replays the same undo.
     pub fn open_with_recovery(dir: &Path, buffer_frames: usize) -> Result<(Self, RecoveryReport)> {
+        Self::open_with_recovery_io(
+            dir,
+            buffer_frames,
+            DEFAULT_IO_WORKERS,
+            DEFAULT_PREFETCH_PAGES,
+        )
+    }
+
+    /// [`NhIndex::open_with_recovery`] with explicit async read-path
+    /// sizing. `io_workers == 0` opens with prefetching disabled — the
+    /// sharded wrapper does this and then binds every shard to one shared
+    /// worker pool via [`NhIndex::attach_io`].
+    pub fn open_with_recovery_io(
+        dir: &Path,
+        buffer_frames: usize,
+        io_workers: usize,
+        prefetch_pages: usize,
+    ) -> Result<(Self, RecoveryReport)> {
         let wal_path = dir.join(WAL_FILE);
         let mut report = RecoveryReport::default();
         if wal_path.exists() {
@@ -624,6 +672,14 @@ impl NhIndex {
         let bt_pool = Arc::new(BufferPool::new(Arc::clone(&bt_disk), buffer_frames));
         let blob_disk = Arc::new(DiskManager::open(&dir.join(BLOB_FILE))?);
         let blob_pool = Arc::new(BufferPool::new(Arc::clone(&blob_disk), buffer_frames));
+        let io = if io_workers > 0 {
+            let io = IoPool::new(io_workers);
+            bt_pool.attach_prefetcher(Arc::clone(&io), prefetch_pages);
+            blob_pool.attach_prefetcher(Arc::clone(&io), prefetch_pages);
+            Some(io)
+        } else {
+            None
+        };
         // Opening the WAL truncates it: recovery is complete, so the old
         // log must not be replayed against the repaired files again.
         let wal = Arc::new(Wal::open(&wal_path)?);
@@ -650,6 +706,7 @@ impl NhIndex {
             counters: AtomicProbeCounters::default(),
             wal,
             generation: meta.generation,
+            io,
         };
         Ok((idx, report))
     }
@@ -811,19 +868,22 @@ impl NhIndex {
         Ok(self.probe_with_stats(sig, rho)?.0)
     }
 
-    /// [`NhIndex::probe`] plus pruning counters.
-    pub fn probe_with_stats(
+    /// Probe phase 1: the B+-tree range scan (conditions IV.1, IV.2,
+    /// IV.4), returning the surviving `(key, posting ref)` pairs. Split
+    /// out so batch probes can collect every signature's refs and queue
+    /// posting readahead before phase 2 touches any blob page.
+    fn scan_keys(
         &self,
         sig: &QuerySignature,
         rho: f64,
-    ) -> Result<(Vec<NodeCandidate>, ProbeStats)> {
+        stats: &mut ProbeStats,
+    ) -> Result<Vec<(CompositeKey, BlobRef)>> {
         let (nbmiss, nbcmiss) = Self::miss_budgets(sig.degree, rho);
         let deg_min = sig.degree - nbmiss; // condition IV.2
         let nbc_min = sig.nb_connection.saturating_sub(nbcmiss); // IV.4
 
         let lo = CompositeKey::new(sig.label, deg_min, 0);
         let hi = CompositeKey::new(sig.label, u32::MAX, u32::MAX);
-        let mut stats = ProbeStats::default();
         let mut hits: Vec<(CompositeKey, BlobRef)> = Vec::new();
         self.btree.range_with(lo, hi, |k, v| {
             stats.keys_scanned += 1;
@@ -833,12 +893,26 @@ impl NhIndex {
             }
             true
         })?;
+        Ok(hits)
+    }
 
+    /// Probe phase 2: fetch each surviving posting and run the bitmap
+    /// test (condition IV.3, Algorithm 1). Pure per-hit work over a
+    /// read-only index, so results are independent of any readahead that
+    /// happened between the phases.
+    fn process_postings(
+        &self,
+        sig: &QuerySignature,
+        rho: f64,
+        hits: &[(CompositeKey, BlobRef)],
+        stats: &mut ProbeStats,
+    ) -> Result<Vec<NodeCandidate>> {
+        let (nbmiss, _) = Self::miss_budgets(sig.degree, rho);
         let mut out = Vec::new();
         // condition IV.3 threshold lives in bit space: with k Bloom hashes
         // a missing neighbor can clear up to k bits.
         let bit_budget = self.scheme.bit_budget(nbmiss);
-        for (key, blob_ref) in hits {
+        for &(key, blob_ref) in hits {
             let bytes = self.blobs.get(blob_ref)?;
             let posting = Posting::decode(&bytes)?;
             stats.rows_examined += posting.refs.len() as u64;
@@ -866,6 +940,23 @@ impl NhIndex {
                 });
             }
         }
+        Ok(out)
+    }
+
+    /// [`NhIndex::probe`] plus pruning counters.
+    pub fn probe_with_stats(
+        &self,
+        sig: &QuerySignature,
+        rho: f64,
+    ) -> Result<(Vec<NodeCandidate>, ProbeStats)> {
+        let mut stats = ProbeStats::default();
+        let hits = self.scan_keys(sig, rho, &mut stats)?;
+        // Queue readahead for every posting this probe will read; pages
+        // already resident are skipped by the pool, so a warm cache pays
+        // only the (cheap) staging check.
+        self.blobs
+            .prefetch(&hits.iter().map(|&(_, r)| r).collect::<Vec<_>>());
+        let out = self.process_postings(sig, rho, &hits, &mut stats)?;
         stats.rows_returned = out.len() as u64;
         self.counters.record(&stats);
         Ok((out, stats))
@@ -876,15 +967,43 @@ impl NhIndex {
     /// order and are element-wise identical to serial [`NhIndex::probe_with_stats`]
     /// calls — probing is a pure function of `(signature, rho)` over a
     /// read-only index, so only the wall clock changes.
+    ///
+    /// The batch runs in two phases: every signature's B+-tree scan first
+    /// (phase 1), then one readahead request covering the union of every
+    /// posting page the batch needs, then the bitmap work (phase 2). On a
+    /// cold pool the posting reads overlap with phase-2 compute instead
+    /// of serializing miss-by-miss inside each probe.
     pub fn probe_batch(
         &self,
         sigs: &[QuerySignature],
         rho: f64,
         threads: usize,
     ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        // phase-1 output per signature: scanned (key, posting ref) hits
+        // plus the stats accumulated so far
+        type Scanned = (Vec<(CompositeKey, BlobRef)>, ProbeStats);
         let threads = tale_par::effective_threads(threads);
+        let scanned: Result<Vec<Scanned>> = tale_par::parallel_map(threads, sigs.len(), |i| {
+            let mut stats = ProbeStats::default();
+            let hits = self.scan_keys(&sigs[i], rho, &mut stats)?;
+            Ok((hits, stats))
+        })
+        .into_iter()
+        .collect();
+        let scanned = scanned?;
+
+        let all_refs: Vec<BlobRef> = scanned
+            .iter()
+            .flat_map(|(hits, _)| hits.iter().map(|&(_, r)| r))
+            .collect();
+        self.blobs.prefetch(&all_refs);
+
         tale_par::parallel_map(threads, sigs.len(), |i| {
-            self.probe_with_stats(&sigs[i], rho)
+            let (hits, mut stats) = scanned[i].clone();
+            let out = self.process_postings(&sigs[i], rho, &hits, &mut stats)?;
+            stats.rows_returned = out.len() as u64;
+            self.counters.record(&stats);
+            Ok((out, stats))
         })
         .into_iter()
         .collect()
@@ -900,6 +1019,43 @@ impl NhIndex {
     /// Combined hit/miss counters of the B+-tree and blob buffer pools.
     pub fn pool_stats(&self) -> tale_storage::PoolStats {
         self.bt_pool.pool_stats().merged(self.blobs.pool_stats())
+    }
+
+    /// Combined readahead counters of both page files' prefetchers
+    /// (zeros when prefetching is disabled).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.bt_pool
+            .prefetch_stats()
+            .merged(self.blobs.pool().prefetch_stats())
+    }
+
+    /// Rebinds both page files' prefetchers to `io`, replacing whatever
+    /// worker pool the index was built or opened with. A sharded index
+    /// calls this on every shard with one shared pool so total I/O
+    /// concurrency is bounded by that pool's workers, not
+    /// `shards × workers`.
+    pub fn attach_io(&mut self, io: Arc<IoPool>, staging_pages: usize) {
+        self.bt_pool
+            .attach_prefetcher(Arc::clone(&io), staging_pages);
+        self.blobs
+            .pool()
+            .attach_prefetcher(Arc::clone(&io), staging_pages);
+        self.io = Some(io);
+    }
+
+    /// The async read-path worker pool this index's prefetchers feed
+    /// (`None` when prefetching is disabled).
+    pub fn io_pool(&self) -> Option<&Arc<IoPool>> {
+        self.io.as_ref()
+    }
+
+    /// Adds a fixed per-read delay to both page files' read backends —
+    /// benchmark-only, modeling a device with seek latency when the index
+    /// files are page-cache-hot (see the E-COLD harness). Probe answers
+    /// are unaffected; only read timing changes.
+    pub fn simulate_read_latency(&self, delay: std::time::Duration) {
+        self.bt_pool.simulate_read_latency(delay);
+        self.blobs.pool().simulate_read_latency(delay);
     }
 }
 
@@ -953,6 +1109,7 @@ mod tests {
             parallel_build: false,
             bloom_hashes: 1,
             use_edge_labels: false,
+            ..NhIndexConfig::default()
         }
     }
 
@@ -1195,6 +1352,7 @@ mod tests {
             parallel_build: false,
             bloom_hashes: 3,
             use_edge_labels: false,
+            ..NhIndexConfig::default()
         };
         let idx = NhIndex::build(dir.path(), &db, &config).unwrap();
         assert!(!idx.scheme().deterministic);

@@ -33,7 +33,7 @@ pub mod scheme;
 pub use bitprobe::ColumnBitmap;
 pub use index::{
     IntegrityReport, NhIndex, NhIndexConfig, NodeCandidate, ProbeCounters, ProbeStats,
-    QuerySignature, RecoveryReport,
+    QuerySignature, RecoveryReport, DEFAULT_IO_WORKERS, DEFAULT_PREFETCH_PAGES,
 };
 pub use posting::{NodeRef, Posting};
 pub use quality::node_match_quality;

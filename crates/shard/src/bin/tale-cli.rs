@@ -9,10 +9,15 @@
 //! tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
 //!          [--top-k N] [--importance degree|closeness|betweenness|eigenvector|random]
 //!          [--hops N] [--similarity quality|nodes-edges|ctree] [--threads N]
-//!          [--format text|json] [--stats] [--no-cache]
+//!          [--format text|json] [--stats] [--no-cache] [--pool-pages N]
 //! tale-cli verify <index-dir>
 //! tale-cli recover <index-dir>
 //! ```
+//!
+//! Every command that opens an existing index accepts `--pool-pages N`
+//! (buffer-pool frames per index page file) — shrink it to run queries
+//! against an index much larger than memory; answers are identical at
+//! every setting.
 //!
 //! Graph files use the line-oriented text format of `tale_graph::io`
 //! (`graph <name>` / `v <label>` / `e <u> <v> [label]`) or the JSON dump.
@@ -65,25 +70,30 @@ const USAGE: &str = "\
 usage:
   tale-cli build <graphs.(txt|json)> <index-dir> [--sbit N] [--frames N]
            [--shards N] [--policy hash|size-balanced]
-  tale-cli add   <index-dir> <graphs.(txt|json)>
-  tale-cli stats <index-dir>
+  tale-cli add   <index-dir> <graphs.(txt|json)> [--pool-pages N]
+  tale-cli stats <index-dir> [--pool-pages N]
   tale-cli explain <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
-  tale-cli verify <index-dir>
-  tale-cli recover <index-dir>
+           [--pool-pages N]
+  tale-cli verify <index-dir> [--pool-pages N]
+  tale-cli recover <index-dir> [--pool-pages N]
   tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
            [--threads N] [--format text|json] [--stats] [--no-cache]
+           [--pool-pages N]
 
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
 threads:  0 = one per core (default); 1 = serial; N = worker cap
 shards:   partition the index across N independent NH-Index shards;
           queries scatter/gather and return bit-identical results
-stats:    print per-stage engine statistics (probe traffic, pool hit
-          rate, per-shard traffic and skew, stage wall clock); with
+stats:    print per-stage engine statistics (probe traffic, pool fetch
+          taxonomy, per-shard traffic and skew, stage wall clock); with
           --format json, wraps the output as
           {\"matches\": [...], \"stats\": {...}, \"shards\": [...]}
 no-cache: bypass the query-result cache for this run
+pool-pages: buffer-pool frames per index page file (8 KiB each); small
+          values exercise the larger-than-RAM read path. Results are
+          identical at every setting — only latency changes.
 ";
 
 /// A database handle that is either a single-index [`TaleDatabase`] or a
@@ -263,6 +273,22 @@ fn parse<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
         .map_err(|_| format!("bad value {v:?} for --{name}"))
 }
 
+/// Parses flags for a command whose only option is `--pool-pages N`
+/// (buffer-pool frames per index page file), rejecting anything else.
+fn pool_pages_only(flags: &[(&str, &str)], default: usize) -> Result<usize, String> {
+    let mut pages = default;
+    for (name, v) in flags {
+        match *name {
+            "pool-pages" => pages = parse(name, v)?,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    if pages == 0 {
+        return Err("--pool-pages must be >= 1".into());
+    }
+    Ok(pages)
+}
+
 fn load_db(path: &Path) -> Result<GraphDb, String> {
     let is_json = path.extension().is_some_and(|e| e == "json");
     let result = if is_json {
@@ -350,11 +376,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_add(args: &[String]) -> Result<(), String> {
-    let (pos, _) = split_args(args)?;
+    let (pos, flags) = split_args(args)?;
     let [dir, input] = pos.as_slice() else {
         return Err(format!("add needs <index-dir> <graphs>\n{USAGE}"));
     };
-    let mut tale = AnyDb::open(Path::new(dir), 4096)?;
+    let pool_pages = pool_pages_only(&flags, 4096)?;
+    let mut tale = AnyDb::open(Path::new(dir), pool_pages)?;
     let incoming = load_db(Path::new(input))?;
     let mut added = 0;
     for (gid, name, src) in incoming.iter() {
@@ -385,11 +412,12 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let (pos, _) = split_args(args)?;
+    let (pos, flags) = split_args(args)?;
     let [dir] = pos.as_slice() else {
         return Err(format!("stats needs <index-dir>\n{USAGE}"));
     };
-    let tale = AnyDb::open(Path::new(dir), 1024)?;
+    let pool_pages = pool_pages_only(&flags, 1024)?;
+    let tale = AnyDb::open(Path::new(dir), pool_pages)?;
     println!("graphs           : {}", tale.db().len());
     println!("total nodes      : {}", tale.db().total_nodes());
     println!("total edges      : {}", tale.db().total_edges());
@@ -447,14 +475,16 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     };
     let mut rho = 0.25f64;
     let mut pimp = 0.15f64;
+    let mut pool_pages = 4096usize;
     for (name, v) in flags {
         match name {
             "rho" => rho = parse(name, v)?,
             "pimp" => pimp = parse(name, v)?,
+            "pool-pages" => pool_pages = parse(name, v)?,
             other => return Err(format!("unknown flag --{other}")),
         }
     }
-    let tale = AnyDb::open(Path::new(dir), 4096)?;
+    let tale = AnyDb::open(Path::new(dir), pool_pages)?;
     let qdb = load_db(&PathBuf::from(query_path))?;
     if qdb.is_empty() {
         return Err("query file holds no graphs".into());
@@ -511,9 +541,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut opts = QueryOptions::default();
     let mut json = false;
     let mut want_stats = false;
+    let mut pool_pages = 4096usize;
     for (name, v) in flags {
         match name {
             "stats" => want_stats = true,
+            "pool-pages" => pool_pages = parse(name, v)?,
             "no-cache" => opts.use_cache = false,
             "format" => {
                 json = match v {
@@ -549,7 +581,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let tale = AnyDb::open(Path::new(dir), 4096)?;
+    let tale = AnyDb::open(Path::new(dir), pool_pages)?;
     let qdb = load_db(&PathBuf::from(query_path))?;
     if qdb.is_empty() {
         return Err("query file holds no graphs".into());
@@ -644,10 +676,12 @@ fn print_query_stats(s: &tale::QueryStats) {
         );
     }
     println!(
-        "  pool hit rate    : {:.1}% ({} hits / {} misses)",
+        "  pool hit rate    : {:.1}% ({} hits / {} coalesced / {} misses / {} prefetched)",
         100.0 * s.pool.hit_rate(),
         s.pool.hits,
-        s.pool.misses
+        s.pool.coalesced,
+        s.pool.misses,
+        s.pool.prefetched
     );
     println!(
         "  stages (s)       : plan {:.4} | probe {:.4} | match {:.4} | rank {:.4} | total {:.4}",
@@ -664,11 +698,12 @@ fn print_query_stats(s: &tale::QueryStats) {
 /// structure, and decodes every posting — per shard when sharded. Any
 /// corruption exits nonzero with a per-shard report.
 fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let (pos, _) = split_args(args)?;
+    let (pos, flags) = split_args(args)?;
     let [dir] = pos.as_slice() else {
         return Err(format!("verify needs <index-dir>\n{USAGE}"));
     };
-    let tale = AnyDb::open(Path::new(dir), 256)?;
+    let pool_pages = pool_pages_only(&flags, 256)?;
+    let tale = AnyDb::open(Path::new(dir), pool_pages)?;
     // consistency: index node count equals database node count minus
     // tombstoned graphs' nodes (we can't see tombstones here, so ≤)
     let db_nodes = tale.db().total_nodes() as u64;
@@ -741,10 +776,11 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 /// roll-forward), and reports what was done. Opening with any other
 /// subcommand performs the same repairs silently; this one shows them.
 fn cmd_recover(args: &[String]) -> Result<(), String> {
-    let (pos, _) = split_args(args)?;
+    let (pos, flags) = split_args(args)?;
     let [dir] = pos.as_slice() else {
         return Err(format!("recover needs <index-dir>\n{USAGE}"));
     };
+    let pool_pages = pool_pages_only(&flags, 256)?;
     let dir = Path::new(dir);
     let print_report = |who: &str, r: &tale_nhindex::RecoveryReport| {
         if !r.wal_present {
@@ -762,7 +798,7 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     };
     if ShardManifest::exists(dir) {
         let (_, rec) =
-            ShardedTaleDatabase::open_with_recovery(dir, 256).map_err(|e| e.to_string())?;
+            ShardedTaleDatabase::open_with_recovery(dir, pool_pages).map_err(|e| e.to_string())?;
         if rec.journal_present {
             println!("mutation journal: present");
             if rec.db_rolled_back {
@@ -778,7 +814,8 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
             print_report(&format!("shard {s}"), r);
         }
     } else {
-        let (_, rec) = TaleDatabase::open_with_recovery(dir, 256).map_err(|e| e.to_string())?;
+        let (_, rec) =
+            TaleDatabase::open_with_recovery(dir, pool_pages).map_err(|e| e.to_string())?;
         println!(
             "mutation journal: {}{}",
             if rec.journal_present {

@@ -49,6 +49,8 @@ fn config_of(params: &TaleParams) -> NhIndexConfig {
         parallel_build: params.parallel_build,
         bloom_hashes: params.bloom_hashes,
         use_edge_labels: params.use_edge_labels,
+        io_workers: params.io_workers,
+        prefetch_pages: params.prefetch_pages,
     }
 }
 

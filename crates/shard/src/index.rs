@@ -17,9 +17,11 @@ use crate::manifest::{vocab_fingerprint, ShardManifest, MANIFEST_SCHEMA_VERSION}
 use crate::policy::{policy_by_name, ShardPolicy};
 use crate::{Result, ShardError};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 use tale_graph::{GraphDb, GraphId};
 use tale_nhindex::{IntegrityReport, NhIndex, NhIndexConfig, ProbeCounters, RecoveryReport};
+use tale_storage::IoPool;
 
 /// Per-shard build timings and sizes, for observability and the E-SHARD
 /// experiment. Produced by [`ShardedNhIndex::build_with_stats`].
@@ -120,8 +122,12 @@ impl ShardedNhIndex {
         // bulk-loads its own B+-tree — no cross-shard merge exists. With
         // more than one shard the shard-level fan-out already occupies the
         // workers, so each shard extracts serially inside its thread.
+        // Per-shard async read paths are disabled here and rebound below
+        // to ONE shared worker pool, so total I/O concurrency stays
+        // `config.io_workers`, not `shards × io_workers`.
         let sub_config = NhIndexConfig {
             parallel_build: config.parallel_build && nshards == 1,
+            io_workers: 0,
             ..config.clone()
         };
         let built: Vec<tale_nhindex::Result<(NhIndex, f64)>> =
@@ -141,6 +147,12 @@ impl ShardedNhIndex {
             let (idx, secs) = r?;
             shards.push(idx);
             per_shard_secs.push(secs);
+        }
+        if config.io_workers > 0 {
+            let io = IoPool::new(config.io_workers);
+            for sh in &mut shards {
+                sh.attach_io(Arc::clone(&io), config.prefetch_pages);
+            }
         }
 
         let fp = vocab_fingerprint(db);
@@ -211,11 +223,21 @@ impl ShardedNhIndex {
         let mut shards = Vec::with_capacity(manifest.shard_count as usize);
         let mut reports = Vec::with_capacity(manifest.shard_count as usize);
         for s in 0..manifest.shard_count {
-            let (idx, report) =
-                NhIndex::open_with_recovery(&ShardManifest::shard_dir(dir, s), buffer_frames)
-                    .map_err(|source| ShardError::Shard { shard: s, source })?;
+            // Open with prefetching off; all shards are bound to one
+            // shared worker pool below.
+            let (idx, report) = NhIndex::open_with_recovery_io(
+                &ShardManifest::shard_dir(dir, s),
+                buffer_frames,
+                0,
+                0,
+            )
+            .map_err(|source| ShardError::Shard { shard: s, source })?;
             shards.push(idx);
             reports.push(report);
+        }
+        let io = IoPool::new(tale_nhindex::DEFAULT_IO_WORKERS);
+        for sh in &mut shards {
+            sh.attach_io(Arc::clone(&io), tale_nhindex::DEFAULT_PREFETCH_PAGES);
         }
         Ok((
             ShardedNhIndex {
@@ -355,13 +377,18 @@ impl ShardedNhIndex {
 
     /// Buffer-pool statistics summed over all shards.
     pub fn pool_stats(&self) -> tale_storage::PoolStats {
-        self.shards.iter().map(NhIndex::pool_stats).fold(
-            tale_storage::PoolStats::default(),
-            |a, b| tale_storage::PoolStats {
-                hits: a.hits + b.hits,
-                misses: a.misses + b.misses,
-            },
-        )
+        self.shards
+            .iter()
+            .map(NhIndex::pool_stats)
+            .fold(tale_storage::PoolStats::default(), |a, b| a.merged(b))
+    }
+
+    /// Readahead statistics summed over all shards.
+    pub fn prefetch_stats(&self) -> tale_storage::PrefetchStats {
+        self.shards
+            .iter()
+            .map(NhIndex::prefetch_stats)
+            .fold(tale_storage::PrefetchStats::default(), |a, b| a.merged(b))
     }
 
     /// Total on-disk footprint over all shards, in bytes.

@@ -91,6 +91,12 @@ impl BlobStore {
         self.pool.disk()
     }
 
+    /// The buffer pool itself (the owner attaches prefetchers and reads
+    /// readahead counters through this).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Total bytes stored.
     pub fn size_bytes(&self) -> u64 {
         self.cursor()
@@ -123,6 +129,29 @@ impl BlobStore {
             offset,
             len: data.len() as u32,
         })
+    }
+
+    /// The pages a blob's bytes live on — computable from the reference
+    /// alone, which is what lets probe batches queue posting readahead
+    /// before touching any page.
+    pub fn pages_of(r: BlobRef) -> impl Iterator<Item = PageId> {
+        let first = r.offset / PAYLOAD as u64;
+        let last = if r.len == 0 {
+            first
+        } else {
+            (r.offset + r.len as u64 - 1) / PAYLOAD as u64
+        };
+        (first..=last).map(PageId)
+    }
+
+    /// Queues async readahead for every page the given blobs touch (a
+    /// no-op without an attached prefetcher; duplicates are deduplicated
+    /// here so overlapping refs don't spam the staging area).
+    pub fn prefetch(&self, refs: &[BlobRef]) {
+        let mut pages: Vec<PageId> = refs.iter().flat_map(|&r| Self::pages_of(r)).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        self.pool.prefetch(&pages);
     }
 
     /// Reads a blob back in full.

@@ -382,6 +382,12 @@ impl BTree {
                     id = Self::child_for(&entries, leftmost, lo);
                 }
                 Node::Leaf { entries, next } => {
+                    // One-ahead readahead down the leaf chain: queue the
+                    // sibling while this leaf's entries are processed (a
+                    // no-op without an attached prefetcher).
+                    if let Some(nid) = next {
+                        self.pool.prefetch(&[nid]);
+                    }
                     let start = entries.partition_point(|&(k, _)| k < lo);
                     for &(k, v) in &entries[start..] {
                         if k > hi {
@@ -395,6 +401,9 @@ impl BTree {
                     while let Some(nid) = cursor {
                         match self.read_node(nid)? {
                             Node::Leaf { entries, next } => {
+                                if let Some(nid) = next {
+                                    self.pool.prefetch(&[nid]);
+                                }
                                 for &(k, v) in &entries {
                                     if k > hi {
                                         return Ok(());

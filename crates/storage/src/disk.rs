@@ -22,6 +22,19 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Debug-build guard for the pool's no-I/O-under-lock invariant: every
+/// page read or write must happen with the calling thread holding *no*
+/// buffer-pool mutex. Compiled to nothing in release builds.
+#[inline]
+fn assert_unlocked(op: &str) {
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        !crate::buffer::lockcheck::held(),
+        "disk {op} while the buffer-pool mutex is held"
+    );
+    let _ = op;
+}
+
 /// Manages page allocation and I/O for one file.
 pub struct DiskManager {
     file: Mutex<File>,
@@ -113,6 +126,7 @@ impl DiskManager {
 
     /// Reads and verifies a page.
     pub fn read_page(&self, id: PageId) -> Result<Page> {
+        assert_unlocked("read_page");
         if id.0 >= self.page_count() {
             return Err(StorageError::PageOutOfRange(id));
         }
@@ -128,6 +142,7 @@ impl DiskManager {
     /// before-images must capture the bytes exactly as they are, even if
     /// torn). Does not bump the read counter.
     pub fn read_raw(&self, id: PageId) -> Result<Box<[u8; PAGE_SIZE]>> {
+        assert_unlocked("read_raw");
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
         {
             let mut f = self.file.lock();
@@ -157,6 +172,7 @@ impl DiskManager {
     /// Seals and writes a page. With a WAL attached and a transaction
     /// open, the page's before-image is made durable first.
     pub fn write_page(&self, id: PageId, page: &mut Page) -> Result<()> {
+        assert_unlocked("write_page");
         if id.0 >= self.page_count() {
             return Err(StorageError::PageOutOfRange(id));
         }

@@ -19,6 +19,10 @@
 //!   supporting exact and range scans and sorted bulk loading.
 //! * [`blob`]: an append-only blob store for the second-level postings
 //!   (node-id lists + neighbor-array bitmaps).
+//! * [`readpath`]: the asynchronous read path — an I/O worker pool and a
+//!   prefetch staging area behind a [`readpath::ReadBackend`] seam — so
+//!   larger-than-RAM query workloads overlap their cold reads instead of
+//!   serializing on pool misses.
 //! * [`wah`]: word-aligned-hybrid bitmap compression for the posting
 //!   bit columns (the classic bitmap-index storage optimization).
 //! * [`wal`]: a physical (before-image) write-ahead log bracketing index
@@ -44,6 +48,7 @@ pub mod disk;
 #[cfg(feature = "failpoints")]
 pub mod faults;
 pub mod page;
+pub mod readpath;
 pub mod wah;
 pub mod wal;
 
@@ -52,6 +57,9 @@ pub use btree::{BTree, CompositeKey, TreeCheck};
 pub use buffer::{BufferPool, PageGuard, PageGuardMut, PoolStats};
 pub use disk::DiskManager;
 pub use page::{PageId, PAGE_SIZE};
+pub use readpath::{
+    DiskReadBackend, IoPool, LatencyBackend, PrefetchStats, Prefetcher, ReadBackend,
+};
 pub use wal::Wal;
 
 /// Fault-injection gate, called before every real I/O side effect on the

@@ -39,6 +39,8 @@ impl TaleDatabase {
             parallel_build: params.parallel_build,
             bloom_hashes: params.bloom_hashes,
             use_edge_labels: params.use_edge_labels,
+            io_workers: params.io_workers,
+            prefetch_pages: params.prefetch_pages,
         };
         let index = NhIndex::build(dir, &db, &config)?;
         tale_graph::io::save_json(&db, &dir.join(DB_FILE))?;
@@ -61,6 +63,8 @@ impl TaleDatabase {
             parallel_build: params.parallel_build,
             bloom_hashes: params.bloom_hashes,
             use_edge_labels: params.use_edge_labels,
+            io_workers: params.io_workers,
+            prefetch_pages: params.prefetch_pages,
         };
         let index = NhIndex::build(scratch.path(), &db, &config)?;
         Ok(TaleDatabase {

@@ -296,7 +296,9 @@ pub fn run_batch(
         .fold(crate::engine::stats::PoolDelta::default(), |acc, s| {
             crate::engine::stats::PoolDelta {
                 hits: acc.hits + s.pool.hits,
+                coalesced: acc.coalesced + s.pool.coalesced,
                 misses: acc.misses + s.pool.misses,
+                prefetched: acc.prefetched + s.pool.prefetched,
             }
         });
     let mut per_query: Vec<QueryStats> = Vec::with_capacity(queries.len());

@@ -24,22 +24,35 @@ pub struct StageTimes {
     pub total_secs: f64,
 }
 
-/// Buffer-pool traffic attributed to one query or batch (hit/miss deltas
-/// of the index's pools over the span of the run).
+/// Buffer-pool traffic attributed to one query or batch (fetch-taxonomy
+/// deltas of the index's pools over the span of the run). Every page
+/// fetch lands in exactly one bucket, so
+/// `hits + coalesced + misses + prefetched` is the access count and
+/// `misses` is exactly the demand disk reads the run performed.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct PoolDelta {
-    /// Page fetches served from memory.
+    /// Page fetches served from a resident frame.
     pub hits: u64,
-    /// Page fetches that went to disk.
+    /// Page fetches that waited on another thread's in-flight load
+    /// instead of issuing their own read (the inflight-wait counter).
+    pub coalesced: u64,
+    /// Page fetches that performed a synchronous disk read.
     pub misses: u64,
+    /// Page fetches satisfied by the async prefetcher's staging area —
+    /// the read happened, but off the query's critical path.
+    pub prefetched: u64,
 }
 
 impl PoolDelta {
-    /// Hit fraction in `[0, 1]`; zero accesses count as rate 0.
+    /// Fraction of fetches that found the page already in (or entering)
+    /// the pool — `(hits + coalesced) / accesses` — in `[0, 1]`; zero
+    /// accesses count as rate 0.
     pub fn hit_rate(&self) -> f64 {
         PoolStats {
             hits: self.hits,
+            coalesced: self.coalesced,
             misses: self.misses,
+            prefetched: self.prefetched,
         }
         .hit_rate()
     }
@@ -49,7 +62,9 @@ impl From<PoolStats> for PoolDelta {
     fn from(p: PoolStats) -> Self {
         PoolDelta {
             hits: p.hits,
+            coalesced: p.coalesced,
             misses: p.misses,
+            prefetched: p.prefetched,
         }
     }
 }

@@ -27,6 +27,12 @@ pub struct TaleParams {
     /// `QueryOptions::match_edge_labels` for end-to-end edge-label
     /// semantics.
     pub use_edge_labels: bool,
+    /// Async read-path worker threads per index (`0` disables
+    /// prefetching). Sharded databases share one worker pool across all
+    /// shards, so this bounds total I/O concurrency, not per-shard.
+    pub io_workers: usize,
+    /// Prefetch staging capacity in pages (8 KiB each), per page file.
+    pub prefetch_pages: usize,
 }
 
 impl Default for TaleParams {
@@ -37,6 +43,8 @@ impl Default for TaleParams {
             parallel_build: true,
             bloom_hashes: 1,
             use_edge_labels: false,
+            io_workers: tale_nhindex::DEFAULT_IO_WORKERS,
+            prefetch_pages: tale_nhindex::DEFAULT_PREFETCH_PAGES,
         }
     }
 }
