@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|cold|all] [--threads N]
+//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|cold|mvcc|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -15,6 +15,7 @@ use tale_bench::experiments::cold::run_cold;
 use tale_bench::experiments::fig5::run_fig5;
 use tale_bench::experiments::fig789::{default_sizes, run_fig789};
 use tale_bench::experiments::kegg::run_kegg;
+use tale_bench::experiments::mvcc::run_mvcc;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
 use tale_bench::experiments::saga::run_saga;
 use tale_bench::experiments::shard::run_shard;
@@ -56,6 +57,7 @@ fn main() {
         }
         "shard" => shard(scale),
         "cold" => cold(scale),
+        "mvcc" => mvcc(scale),
         "crash" => crash(),
         "all" => {
             alg1();
@@ -71,10 +73,11 @@ fn main() {
             speedup(scale);
             shard(scale);
             cold(scale);
+            mvcc(scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|cold|crash|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|cold|mvcc|crash|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -325,6 +328,57 @@ fn cold(scale: Scale) {
     println!("1-thread and 4-thread cells; >1 means reads genuinely overlapped)");
     if let Some(path) = cold_json_arg() {
         write_json(&path, &r, "cold report");
+    }
+}
+
+/// `--mvcc-json PATH` from argv: where to write `BENCH_mvcc.json`
+/// (`None` = don't).
+fn mvcc_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--mvcc-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn mvcc(scale: Scale) {
+    let threads = threads_arg();
+    println!("\n## E-MVCC — query latency during a background fold\n");
+    println!("Table 2-style PIN corpus with a delta overlay of unfolded inserts;");
+    println!("one pass measures per-query latency on a quiet system, the next");
+    println!("measures it while the index folds the delta into a new on-disk");
+    println!("generation in the background. `fold wall` is the stall an");
+    println!("exclusive-lock design would impose on every query in its window;");
+    println!("with MVCC generations the worst query should pay a small fraction");
+    println!("of it. Answers are checked bit-identical throughout (a fold");
+    println!("changes representation, never contents).\n");
+    let r = run_mvcc(seed(), scale, threads);
+    println!(
+        "db: {} graphs + {} delta; {} queries/pass; {} threads; {} cores\n",
+        r.graphs, r.delta_graphs, r.queries, r.threads, r.cores
+    );
+    println!("| phase | queries | p50 (ms) | p99 (ms) | max (ms) | identical |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| quiet system | {} | {:.3} | {:.3} | - | yes |",
+        r.queries, r.baseline_p50_ms, r.baseline_p99_ms
+    );
+    println!(
+        "| during fold | {} | {:.3} | {:.3} | {:.3} | {} |",
+        r.queries_during_fold,
+        r.during_p50_ms,
+        r.during_p99_ms,
+        r.during_max_ms,
+        if r.identical { "yes" } else { "NO" }
+    );
+    println!(
+        "\nfold wall: {:.3}s; the worst during-fold query paid {:.1}% of the",
+        r.fold_secs,
+        r.worst_query_vs_stall * 100.0
+    );
+    println!("stall an exclusive-lock fold would have imposed on it");
+    if let Some(path) = mvcc_json_arg() {
+        write_json(&path, &r, "mvcc report");
     }
 }
 

@@ -9,6 +9,7 @@ pub mod crash;
 pub mod fig5;
 pub mod fig789;
 pub mod kegg;
+pub mod mvcc;
 pub mod pimp;
 pub mod saga;
 pub mod shard;

@@ -1,0 +1,302 @@
+//! The in-memory delta overlay: not-yet-folded inserts, probe-compatible
+//! with the on-disk index.
+//!
+//! Under MVCC (see [`crate::mvcc`]) the on-disk generation is immutable;
+//! graphs inserted since it was built live here instead. The overlay is
+//! extracted with the *same* code path as the disk index
+//! ([`NhIndex::extract_graph`] under the base generation's scheme) and
+//! grouped into the same [`Posting`] structure, but the postings stay in
+//! a sorted in-memory vector instead of B+-tree-addressed blobs. Probing
+//! replicates the disk probe exactly — range scan over composite keys
+//! (conditions IV.1/IV.2/IV.4), then Algorithm 1 on each posting's
+//! bitmap (IV.3) — so the engine can treat the overlay as one more index
+//! shard: because freshly inserted graph ids are disjoint from the base
+//! generation's, concatenating base and delta answers is bit-identical
+//! to probing one index holding both (the same disjointness argument the
+//! sharded executor relies on).
+//!
+//! An overlay is immutable once built; each insert publishes a fresh one
+//! covering `[first_gid, upto)`. Removals are *not* the overlay's
+//! business — the MVCC snapshot filters removed graphs out of both base
+//! and delta answers, which keeps one overlay shareable across remove
+//! operations.
+
+use crate::bitprobe::probe_bitsliced;
+use crate::index::{NodeCandidate, ProbeCounters, ProbeStats, QuerySignature};
+use crate::posting::Posting;
+use crate::scheme::NeighborArrayScheme;
+use crate::{NhIndex, Result};
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_storage::CompositeKey;
+
+use crate::index::AtomicProbeCounters;
+
+/// Immutable in-memory postings over the graphs inserted since the
+/// current base generation was built.
+pub struct DeltaOverlay {
+    scheme: NeighborArrayScheme,
+    edge_labels: bool,
+    /// Covered graph-id range: `[first_gid, upto)`.
+    first_gid: u32,
+    upto: u32,
+    /// `(key, posting)` pairs sorted by key — the leaf level of the disk
+    /// index, without the tree above it (binary search replaces the
+    /// descent).
+    postings: Vec<(CompositeKey, Posting)>,
+    node_count: u64,
+    counters: AtomicProbeCounters,
+}
+
+impl DeltaOverlay {
+    /// Builds the overlay for graphs `[first_gid, upto)` of `db`, using
+    /// the base generation's `scheme` so signatures probe both sides
+    /// unchanged. `first_gid == upto` yields a valid empty overlay.
+    pub fn build(
+        db: &GraphDb,
+        scheme: NeighborArrayScheme,
+        edge_labels: bool,
+        first_gid: u32,
+        upto: u32,
+    ) -> Result<Self> {
+        let mut units = Vec::new();
+        for gid in first_gid..upto {
+            let g = db.try_graph(GraphId(gid))?;
+            NhIndex::extract_graph(db, gid, g, scheme, edge_labels, &mut units);
+        }
+        units.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.node.cmp(&b.node)));
+
+        let node_count = units.len() as u64;
+        let mut postings = Vec::new();
+        let mut i = 0;
+        while i < units.len() {
+            let key = units[i].key;
+            let mut j = i;
+            while j < units.len() && units[j].key == key {
+                j += 1;
+            }
+            let group = &units[i..j];
+            let refs = group.iter().map(|u| u.node).collect();
+            let rows: Vec<Vec<u64>> = group.iter().map(|u| u.array.clone()).collect();
+            postings.push((key, Posting::from_rows(refs, scheme.sbit, &rows)));
+            i = j;
+        }
+        Ok(DeltaOverlay {
+            scheme,
+            edge_labels,
+            first_gid,
+            upto,
+            postings,
+            node_count,
+            counters: AtomicProbeCounters::default(),
+        })
+    }
+
+    /// First graph id the overlay covers (== the base generation's length).
+    pub fn first_gid(&self) -> u32 {
+        self.first_gid
+    }
+
+    /// One past the last covered graph id.
+    pub fn upto(&self) -> u32 {
+        self.upto
+    }
+
+    /// Graphs held by the overlay.
+    pub fn graph_count(&self) -> u32 {
+        self.upto - self.first_gid
+    }
+
+    /// Indexed nodes held by the overlay.
+    pub fn node_count(&self) -> u64 {
+        self.node_count
+    }
+
+    /// Distinct composite keys held by the overlay.
+    pub fn key_count(&self) -> u64 {
+        self.postings.len() as u64
+    }
+
+    /// The neighbor-array scheme (the base generation's).
+    pub fn scheme(&self) -> NeighborArrayScheme {
+        self.scheme
+    }
+
+    /// Builds a probe signature — identical to the base generation's
+    /// [`NhIndex::signature`] because the scheme is shared.
+    pub fn signature(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        label_of: &dyn Fn(NodeId) -> u32,
+    ) -> QuerySignature {
+        let nb_array = if self.edge_labels {
+            self.scheme
+                .array_of_pairs(g.neighbor_edges(node).map(|(nb, eid)| {
+                    (
+                        label_of(nb),
+                        g.edge_label(eid).map(|l| l.0 + 1).unwrap_or(0),
+                    )
+                }))
+        } else {
+            self.scheme.array_of(g.neighbors(node).map(label_of))
+        };
+        QuerySignature {
+            label: label_of(node),
+            degree: g.degree(node) as u32,
+            nb_connection: g.neighbor_connection(node) as u32,
+            nb_array,
+        }
+    }
+
+    /// Probes the overlay for `sig` under `rho` — the in-memory mirror of
+    /// [`NhIndex::probe_with_stats`], byte-for-byte the same candidate
+    /// construction (conditions IV.1–IV.4, Algorithm 1, the multi-hash
+    /// miss division and the degree-shortfall floor). The counters use
+    /// the same taxonomy; `postings_fetched` counts postings *visited*
+    /// even though no disk is involved.
+    pub fn probe_with_stats(
+        &self,
+        sig: &QuerySignature,
+        rho: f64,
+    ) -> (Vec<NodeCandidate>, ProbeStats) {
+        let mut stats = ProbeStats::default();
+        let (nbmiss, nbcmiss) = NhIndex::miss_budgets(sig.degree, rho);
+        let deg_min = sig.degree - nbmiss; // condition IV.2
+        let nbc_min = sig.nb_connection.saturating_sub(nbcmiss); // IV.4
+        let lo = CompositeKey::new(sig.label, deg_min, 0);
+
+        let bit_budget = self.scheme.bit_budget(nbmiss);
+        let k = if self.scheme.deterministic {
+            1
+        } else {
+            self.scheme.hashes.max(1) as u32
+        };
+        let mut out = Vec::new();
+        let start = self.postings.partition_point(|(key, _)| *key < lo);
+        for (key, posting) in &self.postings[start..] {
+            // hi is (label, MAX, MAX): the range ends with the label.
+            if key.label != sig.label {
+                break;
+            }
+            stats.keys_scanned += 1;
+            if key.nb_connection < nbc_min {
+                continue;
+            }
+            stats.postings_fetched += 1;
+            stats.rows_examined += posting.refs.len() as u64;
+            let ph = probe_bitsliced(&posting.bitmap, &sig.nb_array, bit_budget);
+            for (row, &miss) in ph.rows.iter().zip(ph.misses.iter()) {
+                let label_misses = miss.div_ceil(k);
+                let shortfall = sig.degree.saturating_sub(key.degree);
+                out.push(NodeCandidate {
+                    node: posting.refs[*row as usize],
+                    nb_miss: label_misses.max(shortfall),
+                    db_degree: key.degree,
+                    db_nb_connection: key.nb_connection,
+                });
+            }
+        }
+        stats.rows_returned = out.len() as u64;
+        self.counters.record(&stats);
+        (out, stats)
+    }
+
+    /// Batch probe, answer order = signature order. The overlay is small
+    /// and purely in-memory, so the batch runs serially regardless of
+    /// `threads` — results are element-wise identical either way.
+    pub fn probe_batch(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        Ok(sigs.iter().map(|s| self.probe_with_stats(s, rho)).collect())
+    }
+
+    /// Lifetime probe tallies of this overlay instance.
+    pub fn counters(&self) -> ProbeCounters {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::NhIndexConfig;
+
+    /// Three small labeled graphs over a shared vocabulary.
+    fn sample_db() -> GraphDb {
+        let mut db = GraphDb::new();
+        let a = db.intern_node_label("A");
+        let b = db.intern_node_label("B");
+        let c = db.intern_node_label("C");
+        for i in 0..3u32 {
+            let mut g = Graph::new_undirected();
+            let n0 = g.add_node(a);
+            let n1 = g.add_node(b);
+            let n2 = g.add_node(c);
+            let n3 = g.add_node(if i % 2 == 0 { a } else { b });
+            g.add_edge(n0, n1).unwrap();
+            g.add_edge(n1, n2).unwrap();
+            g.add_edge(n0, n2).unwrap();
+            g.add_edge(n2, n3).unwrap();
+            db.insert(format!("g{i}"), g);
+        }
+        db
+    }
+
+    /// The oracle: probing the overlay over graphs `[s, n)` must return
+    /// exactly the full index's answer filtered to those graphs —
+    /// identical candidates in identical order.
+    #[test]
+    fn overlay_probe_equals_full_index_filtered() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        let config = NhIndexConfig {
+            sbit: 32,
+            buffer_frames: 64,
+            parallel_build: false,
+            ..NhIndexConfig::default()
+        };
+        let full = NhIndex::build(dir.path(), &db, &config).unwrap();
+        let overlay = DeltaOverlay::build(&db, full.scheme(), false, 1, db.len() as u32).unwrap();
+
+        for (gid, _, g) in db.iter() {
+            for n in g.nodes() {
+                let label_of = |x: NodeId| db.effective_label(gid, x);
+                let sig = full.signature(g, n, &label_of);
+                for rho in [0.0, 0.25, 0.5] {
+                    let want: Vec<NodeCandidate> = full
+                        .probe(&sig, rho)
+                        .unwrap()
+                        .into_iter()
+                        .filter(|c| c.node.graph >= 1)
+                        .collect();
+                    let (got, _) = overlay.probe_with_stats(&sig, rho);
+                    assert_eq!(got, want, "gid={gid:?} node={n:?} rho={rho}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_overlay_answers_nothing() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        let config = NhIndexConfig {
+            sbit: 32,
+            buffer_frames: 64,
+            parallel_build: false,
+            ..NhIndexConfig::default()
+        };
+        let full = NhIndex::build(dir.path(), &db, &config).unwrap();
+        let overlay = DeltaOverlay::build(&db, full.scheme(), false, 3, 3).unwrap();
+        assert_eq!(overlay.graph_count(), 0);
+        assert_eq!(overlay.node_count(), 0);
+        let g = db.graph(GraphId(0));
+        let label_of = |x: NodeId| db.effective_label(GraphId(0), x);
+        let sig = full.signature(g, g.nodes().next().unwrap(), &label_of);
+        let (got, stats) = overlay.probe_with_stats(&sig, 0.5);
+        assert!(got.is_empty());
+        assert_eq!(stats.keys_scanned, 0);
+    }
+}

@@ -227,9 +227,10 @@ impl ProbeCounters {
 }
 
 /// Atomic backing for [`ProbeCounters`]; relaxed ordering is fine — the
-/// counters are monotonic tallies, not synchronization.
+/// counters are monotonic tallies, not synchronization. Shared with the
+/// in-memory delta overlay, which reports the same counter taxonomy.
 #[derive(Debug, Default)]
-struct AtomicProbeCounters {
+pub(crate) struct AtomicProbeCounters {
     probes: std::sync::atomic::AtomicU64,
     keys_scanned: std::sync::atomic::AtomicU64,
     postings_fetched: std::sync::atomic::AtomicU64,
@@ -237,7 +238,7 @@ struct AtomicProbeCounters {
 }
 
 impl AtomicProbeCounters {
-    fn record(&self, stats: &ProbeStats) {
+    pub(crate) fn record(&self, stats: &ProbeStats) {
         use std::sync::atomic::Ordering::Relaxed;
         self.probes.fetch_add(1, Relaxed);
         self.keys_scanned.fetch_add(stats.keys_scanned, Relaxed);
@@ -246,7 +247,7 @@ impl AtomicProbeCounters {
         self.rows_examined.fetch_add(stats.rows_examined, Relaxed);
     }
 
-    fn snapshot(&self) -> ProbeCounters {
+    pub(crate) fn snapshot(&self) -> ProbeCounters {
         use std::sync::atomic::Ordering::Relaxed;
         ProbeCounters {
             probes: self.probes.load(Relaxed),
@@ -285,11 +286,13 @@ pub struct NhIndex {
     io: Option<Arc<IoPool>>,
 }
 
-/// One extracted indexing unit (pre-grouping).
-struct Unit {
-    key: CompositeKey,
-    node: NodeRef,
-    array: Vec<u64>,
+/// One extracted indexing unit (pre-grouping). Shared with the delta
+/// overlay, which extracts units with the same code path and groups them
+/// into in-memory postings instead of on-disk blobs.
+pub(crate) struct Unit {
+    pub(crate) key: CompositeKey,
+    pub(crate) node: NodeRef,
+    pub(crate) array: Vec<u64>,
 }
 
 impl NhIndex {
@@ -525,7 +528,7 @@ impl NhIndex {
         per_graph.into_iter().flatten().collect()
     }
 
-    fn extract_graph(
+    pub(crate) fn extract_graph(
         db: &GraphDb,
         gid: u32,
         g: &Graph,
@@ -586,6 +589,13 @@ impl NhIndex {
         let json = serde_json::to_string_pretty(&meta)
             .map_err(|e| NhError::Meta(format!("serialize: {e}")))?;
         tale_storage::atomic::write_atomic(&self.dir.join(META_FILE), json.as_bytes())?;
+        // The meta rename is a generation flip: drop every staged
+        // read-ahead image. Dirty-page hooks already invalidated pages
+        // *this* pool rewrote, but the flip is the one point where the
+        // on-disk state as a whole changes identity, so anything still
+        // staged from before it is suspect.
+        self.bt_pool.invalidate_prefetched();
+        self.blobs.pool().invalidate_prefetched();
         Ok(())
     }
 
@@ -795,6 +805,13 @@ impl NhIndex {
     /// The neighbor-array scheme (query signatures must use it).
     pub fn scheme(&self) -> NeighborArrayScheme {
         self.scheme
+    }
+
+    /// Whether neighbor arrays fold incident edge labels (the extended
+    /// labeled-edge adaptation). Needed to reconstruct a matching
+    /// [`NhIndexConfig`] when reopening a generation from its meta file.
+    pub fn edge_labels(&self) -> bool {
+        self.edge_labels
     }
 
     /// Directory holding the index files.

@@ -23,20 +23,30 @@
 //!   scan it is benchmarked against in §IV-D.
 //! * [`quality`] — the node-match quality `w` of Eq. IV.5.
 //! * [`index`] — [`NhIndex`]: build, persist, reopen and probe.
+//! * [`reader`] — [`IndexReader`]: the probe seam the engine runs against.
+//! * [`delta`] — [`DeltaOverlay`]: in-memory postings for unfolded inserts.
+//! * [`mvcc`] — [`GenerationalNhIndex`]: immutable on-disk generations with
+//!   snapshot (pin) reads, delta/tombstone mutations and background folds.
 
 pub mod bitprobe;
+pub mod delta;
 pub mod index;
+pub mod mvcc;
 pub mod posting;
 pub mod quality;
+pub mod reader;
 pub mod scheme;
 
 pub use bitprobe::ColumnBitmap;
+pub use delta::DeltaOverlay;
 pub use index::{
     IntegrityReport, NhIndex, NhIndexConfig, NodeCandidate, ProbeCounters, ProbeStats,
     QuerySignature, RecoveryReport, DEFAULT_IO_WORKERS, DEFAULT_PREFETCH_PAGES,
 };
+pub use mvcc::{FoldReport, GenerationInfo, GenerationalNhIndex, MvccRecovery, Snapshot};
 pub use posting::{NodeRef, Posting};
 pub use quality::node_match_quality;
+pub use reader::IndexReader;
 pub use scheme::NeighborArrayScheme;
 
 /// Errors from index construction and probing.

@@ -1,0 +1,116 @@
+//! The probe seam between the query engine and an index.
+//!
+//! The engine's plan/probe/exec stages only need four things from an
+//! index: build a query-node signature under the index's neighbor-array
+//! scheme, answer a batch of probe signatures, and expose its probe and
+//! buffer-pool counters for attribution. [`IndexReader`] captures exactly
+//! that surface so the same engine code runs against
+//!
+//! * a plain [`NhIndex`] (the sharded path mutates these in place),
+//! * an MVCC base generation (an `NhIndex` filtered by a snapshot's
+//!   removed set), and
+//! * the in-memory delta overlay holding not-yet-folded inserts,
+//!
+//! with the scatter/gather executor treating each reader as one "shard"
+//! whose graphs are disjoint from every other reader's.
+//!
+//! [`cache_generation`](IndexReader::cache_generation) is what makes the
+//! result cache generation-keyed instead of invalidate-on-write: the
+//! engine folds it into every cache key, so a mutation that changes what
+//! a reader would answer simply moves that reader to a fresh key space
+//! and old entries become unreachable — no wholesale clear, and entries
+//! for untouched readers stay warm.
+
+use crate::index::{NodeCandidate, ProbeCounters, ProbeStats, QuerySignature};
+use crate::{NhIndex, Result};
+use tale_graph::{Graph, NodeId};
+use tale_storage::PoolStats;
+
+/// Read-only probe surface of one index "shard".
+///
+/// Implementations must answer [`probe_batch`](IndexReader::probe_batch)
+/// as a pure function of `(signatures, rho)` over their frozen contents —
+/// element-wise identical across calls and thread counts — because the
+/// engine's bit-identity oracles (sharded vs. unsharded, pinned snapshot
+/// vs. pre-mutation run) compare results structurally.
+pub trait IndexReader: Sync {
+    /// Builds the probe signature of one query node under this reader's
+    /// neighbor-array scheme (see [`NhIndex::signature`]).
+    fn signature(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        label_of: &dyn Fn(NodeId) -> u32,
+    ) -> QuerySignature;
+
+    /// Answers a batch of probe signatures (see [`NhIndex::probe_batch`]).
+    fn probe_batch(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+        threads: usize,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>>;
+
+    /// Lifetime probe tallies of this reader (diff two snapshots to
+    /// attribute traffic to a span of work).
+    fn counters(&self) -> ProbeCounters;
+
+    /// Buffer-pool counters underneath this reader (zeros for purely
+    /// in-memory readers).
+    fn pool_stats(&self) -> PoolStats;
+
+    /// The value the result cache folds into every key for this reader.
+    /// Two calls may share a cache entry iff they observe the same
+    /// `cache_generation`; any mutation that could *add or alter* answers
+    /// must move it to a value never used before. Mutations that can only
+    /// *delete* answers (graph removal under MVCC) may keep the value and
+    /// rely on [`is_visible`](IndexReader::is_visible) instead — deletion
+    /// is the one change a read-time filter can reproduce exactly.
+    fn cache_generation(&self) -> u64;
+
+    /// Read-time visibility of `graph`'s results. The engine filters
+    /// every cached partial list through this before use, so a reader
+    /// whose tombstone set grew since an entry was stored still serves
+    /// exactly correct answers from it (removal only deletes matches —
+    /// it can never add any). Readers without tombstones keep the
+    /// default.
+    fn is_visible(&self, graph: u32) -> bool {
+        let _ = graph;
+        true
+    }
+}
+
+impl IndexReader for NhIndex {
+    fn signature(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        label_of: &dyn Fn(NodeId) -> u32,
+    ) -> QuerySignature {
+        NhIndex::signature(self, g, node, label_of)
+    }
+
+    fn probe_batch(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+        threads: usize,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        NhIndex::probe_batch(self, sigs, rho, threads)
+    }
+
+    fn counters(&self) -> ProbeCounters {
+        NhIndex::counters(self)
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        NhIndex::pool_stats(self)
+    }
+
+    /// The persisted mutation counter: every committed `insert_graph` /
+    /// `remove_graph` bumps it, so in-place mutations (the sharded path)
+    /// retire old cache entries by moving to a new key space.
+    fn cache_generation(&self) -> u64 {
+        self.generation()
+    }
+}

@@ -251,6 +251,183 @@ fn bit_flip_is_refused_not_served() {
     );
 }
 
+mod mvcc_fold {
+    //! Mid-fold kill: every gated I/O of a generational fold is failed in
+    //! turn, the handle is dropped with the fault tripped, and the
+    //! reopened index must land on exactly generation G (fold never
+    //! committed) or G+1 (manifest flip landed) — with orphaned
+    //! generation directories swept and query output bit-identical either
+    //! way, because a fold changes representation, never contents.
+
+    use super::sample_db;
+    use std::path::Path;
+    use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+    use tale_nhindex::{GenerationalNhIndex, IndexReader, NhIndexConfig, NodeCandidate};
+    use tale_storage::faults;
+
+    fn cfg() -> NhIndexConfig {
+        NhIndexConfig {
+            sbit: 32,
+            buffer_frames: 8,
+            parallel_build: false,
+            bloom_hashes: 1,
+            use_edge_labels: false,
+            ..NhIndexConfig::default()
+        }
+    }
+
+    /// Recursive variant of `copy_dir` — a generational index directory
+    /// holds `mvcc.json` plus `gens/g{N}/` subtrees.
+    fn copy_tree(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_dir() {
+                copy_tree(&entry.path(), &dst.join(entry.file_name()));
+            } else {
+                std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+            }
+        }
+    }
+
+    /// Full probe matrix through a snapshot (base + delta concatenated,
+    /// sorted) — the query output whose bit-identity the kill asserts.
+    fn probe_matrix(idx: &GenerationalNhIndex, db: &GraphDb) -> Vec<Vec<NodeCandidate>> {
+        let snap = idx.snapshot();
+        let mut out = Vec::new();
+        for (gid, _, g) in db.iter() {
+            let label_of = |n: NodeId| db.effective_label(gid, n);
+            let sigs: Vec<_> = g
+                .nodes()
+                .map(|n| snap.base().signature(g, n, &label_of))
+                .collect();
+            let base = snap.base_reader().probe_batch(&sigs, 0.3, 1).unwrap();
+            let delta = snap.delta_reader().probe_batch(&sigs, 0.3, 1).unwrap();
+            for ((mut hits, _), (d, _)) in base.into_iter().zip(delta) {
+                hits.extend(d);
+                hits.sort_by_key(|c| c.node);
+                out.push(hits);
+            }
+        }
+        out
+    }
+
+    /// `gens/` must hold exactly the current generation's directory.
+    fn assert_gens_swept(dir: &Path, current: u64) {
+        let names: Vec<String> = std::fs::read_dir(dir.join("gens"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![format!("g{current}")],
+            "orphaned generation directories not swept"
+        );
+    }
+
+    #[test]
+    fn torture_mid_fold_kill_lands_on_g_or_g_plus_one() {
+        let scratch = tempfile::tempdir().unwrap();
+        let pre = scratch.path().join("pre");
+
+        // Pre state: generation 0 over the five sample graphs, one
+        // unfolded insert in the delta, one tombstone — a fold with real
+        // work to do.
+        let mut db = sample_db();
+        let idx = GenerationalNhIndex::build(&pre, &db, &cfg()).unwrap();
+        let extra = {
+            let a = db.intern_node_label("A");
+            let c = db.intern_node_label("C");
+            let mut g = Graph::new_undirected();
+            let x = g.add_node(a);
+            let y = g.add_node(c);
+            let z = g.add_node(a);
+            g.add_edge(x, y).unwrap();
+            g.add_edge(y, z).unwrap();
+            db.insert("extra", g)
+        };
+        idx.insert_graph(&db, extra).unwrap();
+        idx.remove_graph(GraphId(1)).unwrap();
+        let pre_gen = idx.current_generation();
+        let pre_logical = idx.logical_generation();
+        let pre_matrix = probe_matrix(&idx, &db);
+        drop(idx);
+
+        // Reference post state: a clean fold on a copy. Its matrix must
+        // equal the pre matrix — the fold-is-representation-only oracle.
+        let post_dir = scratch.path().join("post");
+        copy_tree(&pre, &post_dir);
+        let (idx, _) = GenerationalNhIndex::open(&post_dir, &db, cfg().buffer_frames).unwrap();
+        let report = idx.fold(&db).unwrap();
+        assert_eq!(report.new_generation, pre_gen + 1);
+        assert_eq!(report.folded_inserts, 1);
+        assert_eq!(report.folded_removes, 1);
+        assert_eq!(probe_matrix(&idx, &db), pre_matrix, "fold changed answers");
+        drop(idx);
+
+        // Measure the fold's gated I/O footprint.
+        let count_dir = scratch.path().join("count");
+        copy_tree(&pre, &count_dir);
+        let (idx, _) = GenerationalNhIndex::open(&count_dir, &db, cfg().buffer_frames).unwrap();
+        faults::arm_counting();
+        idx.fold(&db).unwrap();
+        let n = faults::disarm();
+        drop(idx);
+        assert!(n > 0, "fold made no gated I/O");
+
+        for i in 0..n {
+            let work = scratch.path().join(format!("fault-{i}"));
+            copy_tree(&pre, &work);
+            let (idx, _) = GenerationalNhIndex::open(&work, &db, cfg().buffer_frames).unwrap();
+            faults::arm(i);
+            let res = idx.fold(&db);
+            drop(idx); // the process is "dead"; no GC runs
+            faults::disarm();
+            assert!(res.is_err(), "fault {i} of {n} did not surface");
+
+            let (idx, rec) = GenerationalNhIndex::open(&work, &db, cfg().buffer_frames).unwrap();
+            let landed = idx.current_generation();
+            assert!(
+                landed == pre_gen || landed == pre_gen + 1,
+                "fault {i} of {n}: landed on generation {landed}, expected {pre_gen} or {}",
+                pre_gen + 1
+            );
+            assert_eq!(
+                idx.logical_generation(),
+                pre_logical,
+                "fault {i}: a fold must never move the logical counter"
+            );
+            assert_gens_swept(&work, landed);
+            let snap = idx.snapshot();
+            if landed == pre_gen {
+                // Fold never committed: the unfinished g{N+1} was swept
+                // (if it ever hit disk) and the delta is re-derived.
+                assert!(rec.swept.iter().all(|&g| g == pre_gen + 1));
+                assert_eq!(snap.delta_graphs(), 1, "fault {i}: delta not re-derived");
+            } else {
+                assert_eq!(snap.delta_graphs(), 0, "fault {i}: delta survived a commit");
+            }
+            // The tombstone persists across the fold either way.
+            assert_eq!(snap.removed_count(), 1, "fault {i}: tombstone lost");
+            drop(snap);
+            assert_eq!(
+                probe_matrix(&idx, &db),
+                pre_matrix,
+                "fault {i} of {n}: recovered state is not bit-identical"
+            );
+            let integrity = idx.verify().unwrap();
+            assert!(
+                integrity.is_ok(),
+                "fault {i} of {n}: integrity errors after recovery: {:?}",
+                integrity.errors
+            );
+            drop(idx);
+            std::fs::remove_dir_all(&work).unwrap();
+        }
+        assert!(n >= 3, "suspiciously few fold fault points: {n}");
+    }
+}
+
 use proptest::prelude::*;
 
 proptest! {

@@ -38,7 +38,7 @@ use tale::{
 };
 use tale_graph::labels::NodeLabel;
 use tale_graph::{Graph, GraphDb, GraphId, NodeId};
-use tale_nhindex::{NeighborArrayScheme, NodeCandidate, ProbeStats, QuerySignature};
+use tale_nhindex::{IndexReader, NeighborArrayScheme, NodeCandidate, ProbeStats, QuerySignature};
 use tale_shard::{policy_by_name, ShardManifest, ShardedTaleDatabase};
 
 fn main() -> ExitCode {
@@ -50,6 +50,8 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
+        Some("generations") => cmd_generations(&args[1..]),
+        Some("fold") => cmd_fold(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -76,6 +78,8 @@ usage:
            [--pool-pages N]
   tale-cli verify <index-dir> [--pool-pages N]
   tale-cli recover <index-dir> [--pool-pages N]
+  tale-cli generations <index-dir> [--pool-pages N]
+  tale-cli fold <index-dir> [--pool-pages N]
   tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
            [--threads N] [--format text|json] [--stats] [--no-cache]
@@ -94,6 +98,10 @@ no-cache: bypass the query-result cache for this run
 pool-pages: buffer-pool frames per index page file (8 KiB each); small
           values exercise the larger-than-RAM read path. Results are
           identical at every setting — only latency changes.
+generations: show the generational index's on-disk generations, pinned
+          readers, unfolded delta size and tombstone count
+fold:     build the in-memory delta + tombstones into a fresh on-disk
+          generation and atomically flip to it (readers never block)
 ";
 
 /// A database handle that is either a single-index [`TaleDatabase`] or a
@@ -102,6 +110,48 @@ pool-pages: buffer-pool frames per index page file (8 KiB each); small
 enum AnyDb {
     Single(TaleDatabase),
     Sharded(ShardedTaleDatabase),
+}
+
+/// A borrowed-or-shared view of the graph store: the generational
+/// database hands out an `Arc` snapshot (readers never block its
+/// writers), the sharded one a plain reference. `Deref` makes both read
+/// like `&GraphDb`.
+enum DbRef<'a> {
+    Shared(Arc<GraphDb>),
+    Borrowed(&'a GraphDb),
+}
+
+impl std::ops::Deref for DbRef<'_> {
+    type Target = GraphDb;
+    fn deref(&self) -> &GraphDb {
+        match self {
+            DbRef::Shared(a) => a,
+            DbRef::Borrowed(r) => r,
+        }
+    }
+}
+
+/// Probes each reader with one signature and merges (hits are disjoint
+/// across readers; counters sum).
+fn probe_readers(
+    readers: &[&dyn IndexReader],
+    sig: &QuerySignature,
+    rho: f64,
+) -> Result<(Vec<NodeCandidate>, ProbeStats), String> {
+    let mut hits = Vec::new();
+    let mut total = ProbeStats::default();
+    for r in readers {
+        let mut res = r
+            .probe_batch(std::slice::from_ref(sig), rho, 1)
+            .map_err(|e| e.to_string())?;
+        let (h, st) = res.remove(0);
+        hits.extend(h);
+        total.keys_scanned += st.keys_scanned;
+        total.postings_fetched += st.postings_fetched;
+        total.rows_examined += st.rows_examined;
+        total.rows_returned += st.rows_returned;
+    }
+    Ok((hits, total))
 }
 
 impl AnyDb {
@@ -117,10 +167,10 @@ impl AnyDb {
         }
     }
 
-    fn db(&self) -> &GraphDb {
+    fn db(&self) -> DbRef<'_> {
         match self {
-            AnyDb::Single(t) => t.db(),
-            AnyDb::Sharded(t) => t.db(),
+            AnyDb::Single(t) => DbRef::Shared(t.db()),
+            AnyDb::Sharded(t) => DbRef::Borrowed(t.db()),
         }
     }
 
@@ -166,28 +216,32 @@ impl AnyDb {
         }
     }
 
-    /// Probes every shard and merges (hits are disjoint across shards;
-    /// counters sum). The single-index case is the one-shard case.
+    /// Probes every reader and merges. For the generational database the
+    /// readers are a pinned snapshot's base generation plus its delta
+    /// overlay; for the sharded one, every shard. Hits are disjoint
+    /// across readers; counters sum.
     fn probe_with_stats(
         &self,
         sig: &QuerySignature,
         rho: f64,
     ) -> Result<(Vec<NodeCandidate>, ProbeStats), String> {
-        let shards: &[tale_nhindex::NhIndex] = match self {
-            AnyDb::Single(t) => std::slice::from_ref(t.index()),
-            AnyDb::Sharded(t) => t.index().shards(),
-        };
-        let mut hits = Vec::new();
-        let mut total = ProbeStats::default();
-        for sh in shards {
-            let (h, st) = sh.probe_with_stats(sig, rho).map_err(|e| e.to_string())?;
-            hits.extend(h);
-            total.keys_scanned += st.keys_scanned;
-            total.postings_fetched += st.postings_fetched;
-            total.rows_examined += st.rows_examined;
-            total.rows_returned += st.rows_returned;
+        match self {
+            AnyDb::Single(t) => {
+                let snap = t.index().snapshot();
+                let base = snap.base_reader();
+                let delta = snap.delta_reader();
+                probe_readers(&[&base, &delta], sig, rho)
+            }
+            AnyDb::Sharded(t) => {
+                let readers: Vec<&dyn IndexReader> = t
+                    .index()
+                    .shards()
+                    .iter()
+                    .map(|s| s as &dyn IndexReader)
+                    .collect();
+                probe_readers(&readers, sig, rho)
+            }
         }
-        Ok((hits, total))
     }
 
     fn insert_graph(&mut self, name: String, g: Graph) -> Result<GraphId, String> {
@@ -489,7 +543,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     if qdb.is_empty() {
         return Err("query file holds no graphs".into());
     }
-    let query = remap_query(&qdb, tale.db());
+    let query = remap_query(&qdb, &tale.db());
     let important =
         tale_graph::centrality::select_important(&query, ImportanceMeasure::Degree, pimp);
     println!(
@@ -586,7 +640,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if qdb.is_empty() {
         return Err("query file holds no graphs".into());
     }
-    let query = remap_query(&qdb, tale.db());
+    let query = remap_query(&qdb, &tale.db());
 
     let start = std::time::Instant::now();
     let (results, stats, shard_stats, skew) = tale.query_with_stats(&query, &opts)?;
@@ -832,6 +886,73 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         print_report("index", &rec.index);
     }
     println!("recovered; the directory is safe to serve");
+    Ok(())
+}
+
+/// Shows the generational index's MVCC state: on-disk generations with
+/// their reader pin counts, the logical mutation counter, the unfolded
+/// delta size and the tombstone set.
+fn cmd_generations(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_args(args)?;
+    let [dir] = pos.as_slice() else {
+        return Err(format!("generations needs <index-dir>\n{USAGE}"));
+    };
+    let pool_pages = pool_pages_only(&flags, 256)?;
+    let tale = AnyDb::open(Path::new(dir), pool_pages)?;
+    let AnyDb::Single(t) = &tale else {
+        return Err("a sharded database mutates its shards in place and has no \
+                    generational index; see `stats` for per-shard state"
+            .into());
+    };
+    let index = t.index();
+    let snap = index.snapshot();
+    println!("logical mutations : {}", index.logical_generation());
+    println!("current generation: g{}", index.current_generation());
+    println!(
+        "delta overlay     : {} unfolded insert(s)",
+        snap.delta_graphs()
+    );
+    println!(
+        "tombstones        : {} removed graph(s)",
+        snap.removed_count()
+    );
+    println!("on-disk generations:");
+    for g in index.generations() {
+        println!(
+            "  g{:<4} pins {:>3}{}",
+            g.number,
+            g.pins,
+            if g.current { "  (current)" } else { "" }
+        );
+    }
+    if snap.delta_graphs() > 0 || snap.removed_count() > 0 {
+        println!("run `tale-cli fold` to build these into a fresh generation");
+    }
+    Ok(())
+}
+
+/// Folds the in-memory delta and tombstone set into a new on-disk
+/// generation and atomically flips to it. Concurrent readers keep their
+/// pinned generation; the old one is deleted when its last pin drops.
+fn cmd_fold(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_args(args)?;
+    let [dir] = pos.as_slice() else {
+        return Err(format!("fold needs <index-dir>\n{USAGE}"));
+    };
+    let pool_pages = pool_pages_only(&flags, 256)?;
+    let tale = AnyDb::open(Path::new(dir), pool_pages)?;
+    let AnyDb::Single(t) = &tale else {
+        return Err("fold applies to the generational single-index layout only".into());
+    };
+    let start = std::time::Instant::now();
+    let report = t.fold().map_err(|e| e.to_string())?;
+    println!(
+        "folded {} insert(s) and {} removal(s) into g{} in {:.2}s",
+        report.folded_inserts,
+        report.folded_removes,
+        report.new_generation,
+        start.elapsed().as_secs_f64()
+    );
     Ok(())
 }
 

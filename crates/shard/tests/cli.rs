@@ -181,8 +181,9 @@ fn json_output_and_verify() {
     assert!(stdout.contains("index: ok"), "{stdout}");
     assert!(stdout.contains("ok:"), "{stdout}");
 
-    // verify must fail loudly on corruption
-    let blob = idx.join("nh.blobs");
+    // verify must fail loudly on corruption (the generational layout
+    // keeps a fresh build's index under gens/g0)
+    let blob = idx.join("gens").join("g0").join("nh.blobs");
     let mut bytes = std::fs::read(&blob).unwrap();
     for b in bytes.iter_mut().take(64) {
         *b ^= 0xFF;
@@ -192,6 +193,75 @@ fn json_output_and_verify() {
     assert!(!ok, "verify accepted a corrupted index");
     assert!(stdout.contains("CORRUPT"), "{stdout}");
     assert!(stderr.contains("corrupt"), "{stderr}");
+}
+
+#[test]
+fn generations_inspects_and_fold_flips_to_a_new_generation() {
+    let dir = tempfile::tempdir().unwrap();
+    let db_path = dir.path().join("db.txt");
+    let more_path = dir.path().join("more.txt");
+    let q_path = dir.path().join("q.txt");
+    let idx = dir.path().join("index");
+    std::fs::write(&db_path, DB_TXT).unwrap();
+    std::fs::write(
+        &more_path,
+        "graph complexB\nv kinase\nv ligase\nv channel\ne 0 1\ne 1 2\ne 0 2\n",
+    )
+    .unwrap();
+    std::fs::write(&q_path, QUERY_TXT).unwrap();
+    let (ok, _, _) = run(&["build", db_path.to_str().unwrap(), idx.to_str().unwrap()]);
+    assert!(ok);
+
+    let (ok, stdout, stderr) = run(&["generations", idx.to_str().unwrap()]);
+    assert!(ok, "generations failed: {stderr}");
+    assert!(stdout.contains("current generation: g0"), "{stdout}");
+    assert!(stdout.contains("0 unfolded insert(s)"), "{stdout}");
+
+    // an insert lands in the delta overlay, not a new generation
+    let (ok, _, stderr) = run(&["add", idx.to_str().unwrap(), more_path.to_str().unwrap()]);
+    assert!(ok, "add failed: {stderr}");
+    let (ok, stdout, _) = run(&["generations", idx.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("current generation: g0"), "{stdout}");
+    assert!(stdout.contains("1 unfolded insert(s)"), "{stdout}");
+    assert!(stdout.contains("run `tale-cli fold`"), "{stdout}");
+
+    // fold builds g1 and flips to it
+    let (ok, stdout, stderr) = run(&["fold", idx.to_str().unwrap()]);
+    assert!(ok, "fold failed: {stderr}");
+    assert!(stdout.contains("folded 1 insert(s)"), "{stdout}");
+    assert!(stdout.contains("into g1"), "{stdout}");
+    let (ok, stdout, _) = run(&["generations", idx.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("current generation: g1"), "{stdout}");
+    assert!(stdout.contains("0 unfolded insert(s)"), "{stdout}");
+
+    // the folded index still answers, including the folded insert
+    let (ok, stdout, _) = run(&[
+        "query",
+        idx.to_str().unwrap(),
+        q_path.to_str().unwrap(),
+        "--rho",
+        "0.0",
+        "--pimp",
+        "1.0",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("complexB"), "{stdout}");
+
+    // sharded layouts mutate in place and have no generations
+    let sharded = dir.path().join("sharded");
+    let (ok, _, _) = run(&[
+        "build",
+        db_path.to_str().unwrap(),
+        sharded.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]);
+    assert!(ok);
+    let (ok, _, stderr) = run(&["generations", sharded.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("no generational index"), "{stderr}");
 }
 
 #[test]

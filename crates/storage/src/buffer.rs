@@ -468,6 +468,17 @@ impl BufferPool {
         }
     }
 
+    /// Drops every staged and in-flight prefetched page image. Call on a
+    /// generation flip: the per-page invalidation hooks only cover writes
+    /// issued through *this* pool, while a fold rewrites the underlying
+    /// file wholesale — anything the staging area holds may belong to the
+    /// previous generation. A no-op without an attached prefetcher.
+    pub fn invalidate_prefetched(&self) {
+        if let Some(pf) = &*self.prefetcher.read() {
+            pf.invalidate_all();
+        }
+    }
+
     /// Readahead counters (zeros without an attached prefetcher).
     pub fn prefetch_stats(&self) -> PrefetchStats {
         self.prefetcher

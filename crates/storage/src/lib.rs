@@ -36,9 +36,15 @@
 //!   shim that fails the Nth I/O operation, driving the crash-torture
 //!   harness. Compiled out of release builds.
 //!
-//! There is no MVCC on purpose: mutations are single-writer and queries
-//! run against a committed index, which is also how the paper uses
-//! Postgres.
+//! This crate itself provides no versioning: pages are mutated in place
+//! under a single writer. MVCC lives one layer up — `tale-nhindex` builds
+//! immutable index *generations* out of these primitives (one page-file
+//! set per generation, committed by an atomic manifest flip) so readers
+//! pin a generation and never observe a writer. The only storage-level
+//! concession to that design is [`Prefetcher::invalidate_all`] /
+//! [`BufferPool::invalidate_prefetched`]: a generation flip rewrites
+//! files outside any pool's write path, so staged read-ahead images must
+//! be dropped wholesale on commit.
 
 pub mod atomic;
 pub mod blob;

@@ -150,12 +150,9 @@ impl Wal {
         body.extend_from_slice(&page_id.to_le_bytes());
         body.extend_from_slice(raw.as_slice());
         append_record(&mut inner, KIND_IMAGE, &body)?;
-        inner
-            .tx
-            .as_mut()
-            .expect("tx checked above")
-            .logged
-            .insert((tag, page_id));
+        if let Some(tx) = inner.tx.as_mut() {
+            tx.logged.insert((tag, page_id));
+        }
         Ok(())
     }
 
@@ -231,10 +228,85 @@ pub struct LoggedTx {
     pub committed: bool,
 }
 
+/// Reads a little-endian `u32` out of `bytes` at `at`, or `None` when the
+/// slice is too short — parsing never indexes unchecked.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
+}
+
+/// Little-endian `u64` counterpart of [`le_u32`].
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let raw: [u8; 8] = bytes.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(raw))
+}
+
+/// One structurally valid record body, already length- and tag-checked.
+enum ParsedRecord {
+    Begin {
+        generation: u64,
+        baseline_pages: [u64; WAL_FILES],
+    },
+    Image(PageImage),
+    Commit,
+}
+
+/// Validates and decodes one record body. `None` means the record is
+/// malformed (wrong body length, out-of-range file tag, unknown kind) —
+/// the caller treats it exactly like a torn tail and stops trusting the
+/// log there. No code path indexes past a checked bound, so corrupt
+/// bytes can never panic recovery.
+fn parse_record(kind: u8, body: &[u8]) -> Option<ParsedRecord> {
+    match kind {
+        KIND_BEGIN => {
+            if body.len() != 8 * (1 + WAL_FILES) {
+                return None;
+            }
+            let generation = le_u64(body, 0)?;
+            let mut baseline_pages = [0u64; WAL_FILES];
+            for (i, b) in baseline_pages.iter_mut().enumerate() {
+                *b = le_u64(body, 8 + 8 * i)?;
+            }
+            Some(ParsedRecord::Begin {
+                generation,
+                baseline_pages,
+            })
+        }
+        KIND_IMAGE => {
+            if body.len() != 1 + 8 + PAGE_SIZE {
+                return None;
+            }
+            let file_tag = *body.first()?;
+            if file_tag as usize >= WAL_FILES {
+                return None;
+            }
+            let page_id = le_u64(body, 1)?;
+            let raw = body.get(9..)?;
+            let mut data: Box<[u8; PAGE_SIZE]> = Box::new([0u8; PAGE_SIZE]);
+            data.copy_from_slice(raw);
+            Some(ParsedRecord::Image(PageImage {
+                file: file_tag,
+                page_id,
+                data,
+            }))
+        }
+        KIND_COMMIT => {
+            if !body.is_empty() {
+                return None;
+            }
+            Some(ParsedRecord::Commit)
+        }
+        _ => None,
+    }
+}
+
 /// Parses the log at `path`. Returns `None` when the file is missing,
 /// empty, or holds no complete `Begin` record. Reading stops at the first
-/// torn record (short read or CRC mismatch) — everything before it is
-/// trusted, everything after is discarded.
+/// torn or malformed record (short read, CRC mismatch, bad length, bad
+/// tag, protocol violation) — everything before it is trusted, everything
+/// after is discarded. Only a *real* I/O error (not end-of-file) surfaces
+/// as `Err`; corrupt bytes always resolve to a truncated-but-valid `Ok`,
+/// never a panic.
 pub fn read_log(path: &Path) -> Result<Option<LoggedTx>> {
     let mut file = match File::open(path) {
         Ok(f) => f,
@@ -246,32 +318,43 @@ pub fn read_log(path: &Path) -> Result<Option<LoggedTx>> {
         let mut hdr = [0u8; 8];
         match file.read_exact(&mut hdr) {
             Ok(()) => {}
-            Err(_) => break, // clean EOF or torn header — end of trusted log
+            // Clean EOF or torn header — end of trusted log.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
         }
-        let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        let (Some(len), Some(crc)) = (le_u32(&hdr, 0), le_u32(&hdr, 4)) else {
+            break;
+        };
+        let len = len as usize;
         if !(9..=9 + MAX_BODY).contains(&len) {
             break;
         }
         let mut rec = vec![0u8; len];
-        if file.read_exact(&mut rec).is_err() {
-            break; // torn tail
+        match file.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break, // torn tail
+            Err(e) => return Err(e.into()),
         }
         if crc32(&rec) != crc {
             break;
         }
-        let kind = rec[8];
-        let body = &rec[9..];
-        match (kind, &mut tx) {
-            (KIND_BEGIN, None) => {
-                if body.len() != 8 * (1 + WAL_FILES) {
-                    break;
-                }
-                let generation = u64::from_le_bytes(body[..8].try_into().unwrap());
-                let mut baseline_pages = [0u64; WAL_FILES];
-                for (i, b) in baseline_pages.iter_mut().enumerate() {
-                    *b = u64::from_le_bytes(body[8 + 8 * i..16 + 8 * i].try_into().unwrap());
-                }
+        let Some(&kind) = rec.get(8) else {
+            break;
+        };
+        let Some(body) = rec.get(9..) else {
+            break;
+        };
+        let Some(parsed) = parse_record(kind, body) else {
+            break;
+        };
+        match (parsed, &mut tx) {
+            (
+                ParsedRecord::Begin {
+                    generation,
+                    baseline_pages,
+                },
+                None,
+            ) => {
                 tx = Some(LoggedTx {
                     generation,
                     baseline_pages,
@@ -279,27 +362,10 @@ pub fn read_log(path: &Path) -> Result<Option<LoggedTx>> {
                     committed: false,
                 });
             }
-            (KIND_IMAGE, Some(t)) if !t.committed => {
-                if body.len() != 1 + 8 + PAGE_SIZE {
-                    break;
-                }
-                let file_tag = body[0];
-                if file_tag as usize >= WAL_FILES {
-                    break;
-                }
-                let page_id = u64::from_le_bytes(body[1..9].try_into().unwrap());
-                let data: Box<[u8; PAGE_SIZE]> = body[9..]
-                    .to_vec()
-                    .into_boxed_slice()
-                    .try_into()
-                    .expect("length checked");
-                t.images.push(PageImage {
-                    file: file_tag,
-                    page_id,
-                    data,
-                });
+            (ParsedRecord::Image(img), Some(t)) if !t.committed => {
+                t.images.push(img);
             }
-            (KIND_COMMIT, Some(t)) if !t.committed => {
+            (ParsedRecord::Commit, Some(t)) if !t.committed => {
                 t.committed = true;
             }
             // Anything out of protocol (records before Begin, a second
@@ -478,6 +544,96 @@ mod tests {
         assert_eq!(again.pages_restored, 1);
         assert_eq!(again.bytes_truncated, 0);
         assert_eq!(std::fs::read(&bt).unwrap(), vec![0x11u8; 2 * PAGE_SIZE]);
+    }
+
+    /// Writes a full begin + image + commit log and replays `read_log`
+    /// at *every* truncation point of the file. No prefix may panic or
+    /// error: a truncated tail must always parse as a (possibly shorter)
+    /// trusted prefix, and any recovered transaction must be usable by
+    /// [`rollback`].
+    #[test]
+    fn every_truncation_point_recovers_without_panic() {
+        let d = tempfile::tempdir().unwrap();
+        let p = d.path().join("t.wal");
+        let wal = Wal::open(&p).unwrap();
+        wal.begin(11, [1, 1]).unwrap();
+        wal.log_image(0, 0, &Box::new([0x5Au8; PAGE_SIZE])).unwrap();
+        wal.log_image(1, 0, &Box::new([0xA5u8; PAGE_SIZE])).unwrap();
+        wal.commit().unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let full = std::fs::read(&p).unwrap();
+
+        let bt = d.path().join("bt.pages");
+        let bl = d.path().join("bl.pages");
+        for cut in 0..=full.len() {
+            let q = d.path().join("cut.wal");
+            std::fs::write(&q, &full[..cut]).unwrap();
+            let tx = read_log(&q).unwrap(); // must never panic or Err
+            if let Some(tx) = tx {
+                assert_eq!(tx.generation, 11);
+                assert_eq!(tx.baseline_pages, [1, 1]);
+                assert!(tx.images.len() <= 2);
+                // A recovered prefix must drive rollback cleanly.
+                std::fs::write(&bt, vec![0u8; 2 * PAGE_SIZE]).unwrap();
+                std::fs::write(&bl, vec![0u8; 2 * PAGE_SIZE]).unwrap();
+                let stats = rollback(&tx, [&bt, &bl]).unwrap();
+                assert_eq!(stats.pages_restored, tx.images.len() as u64);
+            } else {
+                // Only prefixes too short for a complete Begin record
+                // (8-byte header + lsn + kind + body) may parse as "no
+                // transaction".
+                assert!(cut < 8 + 8 + 1 + 8 * (1 + WAL_FILES));
+            }
+        }
+    }
+
+    /// Corrupt bytes in the header or body must end the trusted prefix,
+    /// never panic: garbage lengths, bad kinds, bad file tags, and flipped
+    /// body bytes all resolve to a clean (possibly empty) parse.
+    #[test]
+    fn corrupt_records_end_the_trusted_prefix() {
+        let d = tempfile::tempdir().unwrap();
+        let p = d.path().join("t.wal");
+        let wal = Wal::open(&p).unwrap();
+        wal.begin(5, [1, 0]).unwrap();
+        wal.log_image(0, 0, &Box::new([1u8; PAGE_SIZE])).unwrap();
+        wal.commit().unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let full = std::fs::read(&p).unwrap();
+        let begin_len = 8 + 8 + 1 + 8 * (1 + WAL_FILES);
+
+        // Garbage length field on the very first record: nothing trusted.
+        let mut bad = full.clone();
+        bad[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let q = d.path().join("len.wal");
+        std::fs::write(&q, &bad).unwrap();
+        assert!(read_log(&q).unwrap().is_none());
+
+        // Flip a byte inside the image body: CRC rejects the record, the
+        // Begin before it survives.
+        let mut bad = full.clone();
+        bad[begin_len + 20] ^= 0xFF;
+        let q = d.path().join("body.wal");
+        std::fs::write(&q, &bad).unwrap();
+        let tx = read_log(&q).unwrap().expect("begin survives");
+        assert_eq!(tx.generation, 5);
+        assert!(tx.images.is_empty());
+        assert!(!tx.committed);
+
+        // A record whose CRC is valid but whose kind is unknown ends the
+        // prefix (hand-built: recompute the CRC after corrupting the kind).
+        let mut bad = full.clone();
+        bad[begin_len + 16] = 0xEE; // kind byte of the image record
+        let img_len =
+            u32::from_le_bytes(bad[begin_len..begin_len + 4].try_into().unwrap()) as usize;
+        let crc = crc32(&bad[begin_len + 8..begin_len + 8 + img_len]);
+        bad[begin_len + 4..begin_len + 8].copy_from_slice(&crc.to_le_bytes());
+        let q = d.path().join("kind.wal");
+        std::fs::write(&q, &bad).unwrap();
+        let tx = read_log(&q).unwrap().expect("begin survives");
+        assert!(tx.images.is_empty());
     }
 
     #[test]

@@ -1,5 +1,12 @@
-//! [`TaleDatabase`]: the indexed graph database, now a facade over the
-//! staged query engine in [`crate::engine`].
+//! [`TaleDatabase`]: the indexed graph database — MVCC reads over
+//! immutable index generations, served by the staged query engine in
+//! [`crate::engine`].
+//!
+//! Readers never block on writers: every query pins one immutable
+//! [`Snapshot`] (base generation + delta overlay + tombstones) and runs
+//! to completion against it, bit-identical to the database as it stood at
+//! pin time. Writers mutate through `&self` — they prepare off to the
+//! side and publish by atomic pointer swap (see [`tale_nhindex::mvcc`]).
 
 use crate::engine::cache::{CacheStats, ResultCache, DEFAULT_CACHE_ENTRIES};
 use crate::engine::exec;
@@ -9,47 +16,74 @@ use crate::params::{QueryOptions, TaleParams};
 use crate::result::QueryMatch;
 use crate::scratch::ScratchDir;
 use crate::Result;
+use parking_lot::{Mutex, RwLock};
 use std::path::Path;
+use std::sync::Arc;
+use tale_nhindex::{FoldReport, GenerationalNhIndex, IndexReader, NhIndexConfig};
+
 use tale_graph::{Graph, GraphDb, GraphId};
-use tale_nhindex::{NhIndex, NhIndexConfig};
 
 pub(crate) const DB_FILE: &str = "graphs.json";
 
 /// An indexed graph database ready for approximate subgraph queries.
 ///
-/// Owns the [`GraphDb`] (graphs + vocabularies + optional §IV-E group map),
-/// the disk-resident NH-Index built over it, and an LRU result cache
-/// shared by every query issued through this handle.
+/// Owns the [`GraphDb`] (graphs + vocabularies + optional §IV-E group
+/// map), the generational disk-resident NH-Index built over it, and two
+/// LRU result caches (base-generation and delta-overlay partials) shared
+/// by every query issued through this handle.
+///
+/// All mutation methods take `&self`: queries running concurrently with
+/// [`TaleDatabase::insert_graph`], [`TaleDatabase::remove_graph`] or
+/// [`TaleDatabase::fold`] keep the snapshot they pinned and are never
+/// blocked or perturbed by the writer.
 pub struct TaleDatabase {
-    db: GraphDb,
-    index: NhIndex,
+    /// The graph store. Writers publish a fresh `Arc` *before* the index
+    /// state; readers pin the index snapshot *first* — so a pinned
+    /// snapshot's graphs always exist in the db the reader sees.
+    db: RwLock<Arc<GraphDb>>,
+    index: GenerationalNhIndex,
+    /// Serializes mutations; never touched by queries.
+    writer: Mutex<()>,
+    /// Pre-rank partials derived from the base generation.
     cache: ResultCache,
+    /// Pre-rank partials derived from the delta overlay.
+    delta_cache: ResultCache,
     // Keeps the scratch directory alive for in-temp builds.
     _scratch: Option<ScratchDir>,
 }
 
+fn config_of(params: &TaleParams) -> NhIndexConfig {
+    NhIndexConfig {
+        sbit: params.sbit,
+        buffer_frames: params.buffer_frames,
+        parallel_build: params.parallel_build,
+        bloom_hashes: params.bloom_hashes,
+        use_edge_labels: params.use_edge_labels,
+        io_workers: params.io_workers,
+        prefetch_pages: params.prefetch_pages,
+    }
+}
+
 impl TaleDatabase {
-    /// Builds the NH-Index for `db` into `dir` and persists the graphs
-    /// alongside it, so [`TaleDatabase::open`] can restore everything.
+    fn assemble(db: GraphDb, index: GenerationalNhIndex, scratch: Option<ScratchDir>) -> Self {
+        TaleDatabase {
+            db: RwLock::new(Arc::new(db)),
+            index,
+            writer: Mutex::new(()),
+            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
+            delta_cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
+            _scratch: scratch,
+        }
+    }
+
+    /// Builds generation 0 of the NH-Index for `db` into `dir` and
+    /// persists the graphs alongside it, so [`TaleDatabase::open`] can
+    /// restore everything.
     pub fn build(db: GraphDb, dir: &Path, params: &TaleParams) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let config = NhIndexConfig {
-            sbit: params.sbit,
-            buffer_frames: params.buffer_frames,
-            parallel_build: params.parallel_build,
-            bloom_hashes: params.bloom_hashes,
-            use_edge_labels: params.use_edge_labels,
-            io_workers: params.io_workers,
-            prefetch_pages: params.prefetch_pages,
-        };
-        let index = NhIndex::build(dir, &db, &config)?;
+        let index = GenerationalNhIndex::build(dir, &db, &config_of(params))?;
         tale_graph::io::save_json(&db, &dir.join(DB_FILE))?;
-        Ok(TaleDatabase {
-            db,
-            index,
-            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
-            _scratch: None,
-        })
+        Ok(Self::assemble(db, index, None))
     }
 
     /// Builds into a self-cleaning scratch directory — convenient for
@@ -57,22 +91,8 @@ impl TaleDatabase {
     /// just lives in the OS temp dir for this process's lifetime.
     pub fn build_in_temp(db: GraphDb, params: &TaleParams) -> Result<Self> {
         let scratch = ScratchDir::new("tale-index")?;
-        let config = NhIndexConfig {
-            sbit: params.sbit,
-            buffer_frames: params.buffer_frames,
-            parallel_build: params.parallel_build,
-            bloom_hashes: params.bloom_hashes,
-            use_edge_labels: params.use_edge_labels,
-            io_workers: params.io_workers,
-            prefetch_pages: params.prefetch_pages,
-        };
-        let index = NhIndex::build(scratch.path(), &db, &config)?;
-        Ok(TaleDatabase {
-            db,
-            index,
-            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
-            _scratch: Some(scratch),
-        })
+        let index = GenerationalNhIndex::build(scratch.path(), &db, &config_of(params))?;
+        Ok(Self::assemble(db, index, Some(scratch)))
     }
 
     /// Reopens a database previously built with [`TaleDatabase::build`],
@@ -82,82 +102,103 @@ impl TaleDatabase {
         Ok(Self::open_with_recovery(dir, buffer_frames)?.0)
     }
 
-    /// Reopens a database, repairing any mutation interrupted by a crash:
-    /// first the index's own WAL recovery runs
-    /// ([`NhIndex::open_with_recovery`]), then the multi-file journal
-    /// reconciles `graphs.json` against the recovered index generation
-    /// ([`crate::journal`]) — so the pair can never be served out of sync.
+    /// Reopens a database, repairing any mutation interrupted by a crash.
+    /// The multi-file journal reconciles `graphs.json` against the
+    /// persisted logical mutation counter ([`crate::journal`]), then the
+    /// generational index opens against the recovered graph store —
+    /// running the current generation's (always-empty) WAL recovery,
+    /// sweeping orphaned generation directories from unfinished folds,
+    /// and re-deriving the in-memory delta overlay — so the pair can
+    /// never be served out of sync.
     pub fn open_with_recovery(dir: &Path, buffer_frames: usize) -> Result<(Self, DbRecovery)> {
-        let (index, nh_report) = NhIndex::open_with_recovery(dir, buffer_frames)?;
+        let logical = GenerationalNhIndex::peek_logical(dir)?;
         let journal = MutationJournal::new(dir);
-        let (journal_present, db_rolled_back) = journal.recover(index.generation())?;
+        let (journal_present, db_rolled_back) = journal.recover(logical)?;
         let db = tale_graph::io::load_json(&dir.join(DB_FILE))?;
-        let tale = TaleDatabase {
-            db,
-            index,
-            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
-            _scratch: None,
-        };
+        let (index, mvcc) = GenerationalNhIndex::open(dir, &db, buffer_frames)?;
         let report = DbRecovery {
-            index: nh_report,
+            index: mvcc.index,
             journal_present,
             db_rolled_back,
+            generations_swept: mvcc.swept.len(),
         };
-        Ok((tale, report))
+        Ok((Self::assemble(db, index, None), report))
     }
 
-    /// Adds a graph to the database and incrementally extends the
-    /// NH-Index (no rebuild) — the growing-database scenario the paper's
-    /// introduction motivates. The graph must use this database's label
-    /// vocabulary. Returns the new graph's id.
+    /// Adds a graph to the database — the growing-database scenario the
+    /// paper's introduction motivates. The graph lands in the in-memory
+    /// delta overlay (no on-disk index structure is touched) and is
+    /// immediately queryable; a later [`TaleDatabase::fold`] moves it
+    /// into the next on-disk generation. The graph must use this
+    /// database's label vocabulary. Returns the new graph's id.
+    ///
+    /// In-flight queries are unaffected: they keep the snapshot they
+    /// pinned. Cached results derived from the base generation remain
+    /// valid **and reachable** — inserting cannot change what the
+    /// immutable base answers, so only the delta's cache epoch rolls.
     ///
     /// For on-disk databases ([`TaleDatabase::build`]), the persisted
     /// graph set is updated too, so [`TaleDatabase::open`] sees the new
     /// graph after this call returns. The update is journaled
     /// ([`crate::journal`]): a crash anywhere inside this call leaves the
     /// directory recoverable to a consistent state — either both
-    /// `graphs.json` and the index reflect the insert, or neither does.
-    /// After an error, drop this handle and reopen.
-    pub fn insert_graph(&mut self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
-        self.cache.clear();
-        let gid = self.db.insert(name, g);
+    /// `graphs.json` and the index manifest reflect the insert, or
+    /// neither does. After an error, drop this handle and reopen.
+    pub fn insert_graph(&self, name: impl Into<String>, g: Graph) -> Result<GraphId> {
+        let _w = self.writer.lock();
+        let mut next = (**self.db.read()).clone();
+        let gid = next.insert(name, g);
+        let next = Arc::new(next);
         if self._scratch.is_none() {
-            // persistent build: stage → save graphs.json → commit the
-            // index (its generation bump is the overall commit point) →
+            // persistent build: stage → save graphs.json → publish the db
+            // → commit the index manifest (the overall commit point) →
             // clear the journal
-            let dir = self.index_dir().to_owned();
+            let dir = self.index.dir().to_owned();
             let journal = MutationJournal::new(&dir);
             journal.stage(
                 &dir.join(DB_FILE),
                 crate::journal::PendingMutation {
-                    pre_generation: self.index.generation(),
+                    pre_generation: self.index.logical_generation(),
                     shard: None,
                 },
             )?;
-            tale_graph::io::save_json(&self.db, &dir.join(DB_FILE))?;
-            self.index.insert_graph(&self.db, gid)?;
+            tale_graph::io::save_json(&next, &dir.join(DB_FILE))?;
+            *self.db.write() = Arc::clone(&next);
+            self.index.insert_graph(&next, gid)?;
             journal.clear()?;
         } else {
-            self.index.insert_graph(&self.db, gid)?;
+            *self.db.write() = Arc::clone(&next);
+            self.index.insert_graph(&next, gid)?;
         }
         Ok(gid)
     }
 
-    /// Logically removes a graph from query results (tombstone in the
-    /// index; space is reclaimed by rebuilding). The graph's id and data
-    /// remain readable through [`TaleDatabase::db`].
+    /// Logically removes a graph from query results (a tombstone in the
+    /// current MVCC state; space is reclaimed by [`TaleDatabase::fold`]).
+    /// The graph's id and data remain readable through
+    /// [`TaleDatabase::db`], and queries that already pinned a snapshot
+    /// keep seeing it — that is the MVCC contract.
     ///
-    /// Cache invalidation is scoped: removing a graph can only delete its
-    /// own matches, so only cached entries whose result set contains `id`
-    /// are evicted ([`ResultCache::evict_graph`]); disjoint entries stay
-    /// resident and exactly correct.
-    ///
-    /// [`ResultCache::evict_graph`]: crate::engine::cache::ResultCache::evict_graph
-    pub fn remove_graph(&mut self, id: GraphId) -> Result<()> {
-        self.cache.evict_graph(id);
-        self.index
-            .remove_graph(id, self.db.effective_vocab_size() as u64)?;
+    /// No cache entry is evicted: removal can only *delete* matches, and
+    /// the engine filters cached partial lists through the snapshot's
+    /// tombstone set at read time, so every entry stays warm and exactly
+    /// correct.
+    pub fn remove_graph(&self, id: GraphId) -> Result<()> {
+        let _w = self.writer.lock();
+        self.db.read().try_graph(id)?;
+        self.index.remove_graph(id)?;
         Ok(())
+    }
+
+    /// Folds the accumulated delta and tombstones into a new immutable
+    /// on-disk generation (see [`GenerationalNhIndex::fold`]). Queries
+    /// keep flowing throughout: the fold builds off to the side, commits
+    /// with one atomic manifest flip, and the old generation's files are
+    /// deleted only when the last query pinning them finishes.
+    pub fn fold(&self) -> Result<FoldReport> {
+        let _w = self.writer.lock();
+        let db = self.db.read().clone();
+        Ok(self.index.fold(&db)?)
     }
 
     /// Rebuilds the database without tombstoned graphs, reclaiming the
@@ -166,33 +207,36 @@ impl TaleDatabase {
     /// preserved. On-disk databases are rebuilt in place; in-temp
     /// databases get a fresh scratch directory.
     pub fn compact(self, params: &TaleParams) -> Result<TaleDatabase> {
+        let TaleDatabase {
+            db,
+            index,
+            _scratch,
+            ..
+        } = self;
+        let db = db.into_inner();
         let mut fresh = GraphDb::new();
-        for (_, name) in self.db.node_vocab().iter() {
+        for (_, name) in db.node_vocab().iter() {
             fresh.intern_node_label(name);
         }
-        for (_, name) in self.db.edge_vocab().iter() {
+        for (_, name) in db.edge_vocab().iter() {
             fresh.intern_edge_label(name);
         }
-        if let Some(groups) = self.db.group_map() {
+        if let Some(groups) = db.group_map() {
             fresh.set_group(groups.to_vec())?;
         }
-        for (id, name, g) in self.db.iter() {
-            if !self.index.is_removed(id) {
+        for (id, name, g) in db.iter() {
+            if !index.is_removed(id) {
                 fresh.insert(name.to_owned(), g.clone());
             }
         }
-        let in_temp = self._scratch.is_some();
-        let dir = self.index.dir().to_owned();
-        drop(self.index); // release page-file handles before truncating
+        let in_temp = _scratch.is_some();
+        let dir = index.dir().to_owned();
+        drop(index); // release page-file handles before truncating
         if in_temp {
             TaleDatabase::build_in_temp(fresh, params)
         } else {
             TaleDatabase::build(fresh, &dir, params)
         }
-    }
-
-    fn index_dir(&self) -> &Path {
-        self.index.dir()
     }
 
     /// Interns a node label name into the database vocabulary (for
@@ -202,20 +246,28 @@ impl TaleDatabase {
     /// build keeps the index *correct* (bit positions wrap, which can only
     /// add filter false positives, never false negatives) but a rebuild
     /// regains the Bloom regime's precision.
-    pub fn intern_node_label(&mut self, name: &str) -> tale_graph::NodeLabel {
-        // Conservative: a vocabulary change can alter effective labels,
-        // which the cache keys by.
-        self.cache.clear();
-        self.db.intern_node_label(name)
+    ///
+    /// Cached results stay valid: interning is append-only (existing
+    /// labels and effective mappings are untouched), and cache entries
+    /// verify the exact query representation on lookup anyway.
+    pub fn intern_node_label(&self, name: &str) -> tale_graph::NodeLabel {
+        let _w = self.writer.lock();
+        let mut next = (**self.db.read()).clone();
+        let label = next.intern_node_label(name);
+        *self.db.write() = Arc::new(next);
+        label
     }
 
-    /// The underlying graph database.
-    pub fn db(&self) -> &GraphDb {
-        &self.db
+    /// The underlying graph database (a cheap `Arc` clone of the current
+    /// published state; concurrent inserts publish fresh `Arc`s and never
+    /// mutate one you hold).
+    pub fn db(&self) -> Arc<GraphDb> {
+        self.db.read().clone()
     }
 
-    /// The NH-Index (for introspection: sizes, probe stats).
-    pub fn index(&self) -> &NhIndex {
+    /// The generational NH-Index (for introspection: sizes, probe stats,
+    /// live generations and their reader pins).
+    pub fn index(&self) -> &GenerationalNhIndex {
         &self.index
     }
 
@@ -229,10 +281,18 @@ impl TaleDatabase {
         queries: &[&Graph],
         opts: &QueryOptions,
     ) -> Result<(Vec<Vec<QueryMatch>>, BatchStats)> {
-        let caches = [&self.cache];
+        // Pin order matters: index snapshot first, then the db Arc.
+        // Writers publish the db first, so the db we read always covers
+        // every graph the snapshot can answer with.
+        let snap = self.index.snapshot();
+        let db = self.db.read().clone();
+        let base = snap.base_reader();
+        let delta = snap.delta_reader();
+        let shards: [&dyn IndexReader; 2] = [&base, &delta];
+        let caches = [&self.cache, &self.delta_cache];
         exec::run_batch(
-            &self.db,
-            &[&self.index],
+            &db,
+            &shards,
             opts.use_cache.then_some(&caches[..]),
             queries,
             opts,
@@ -284,15 +344,34 @@ impl TaleDatabase {
         self.run(queries, opts)
     }
 
-    /// Counter snapshot of the result cache (hits, misses, invalidations).
+    /// Combined counter snapshot of the base and delta result caches
+    /// (hits, misses, insertions). Each query consults both caches — one
+    /// per index reader — so a single fully-cached query counts two hits.
     pub fn result_cache_stats(&self) -> CacheStats {
+        let b = self.cache.stats();
+        let d = self.delta_cache.stats();
+        CacheStats {
+            entries: b.entries + d.entries,
+            capacity: b.capacity + d.capacity,
+            hits: b.hits + d.hits,
+            misses: b.misses + d.misses,
+            insertions: b.insertions + d.insertions,
+            invalidations: b.invalidations + d.invalidations,
+        }
+    }
+
+    /// Counter snapshot of the base-generation cache alone (whose entries
+    /// are the ones that survive inserts).
+    pub fn base_cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Drops every cached result (the engine does this automatically on
-    /// [`TaleDatabase::insert_graph`] / [`TaleDatabase::remove_graph`]).
+    /// Drops every cached result. No mutation path does this anymore —
+    /// invalidation is generation-keyed — but explicit maintenance may
+    /// still want a cold cache.
     pub fn clear_result_cache(&self) {
-        self.cache.clear()
+        self.cache.clear();
+        self.delta_cache.clear();
     }
 }
 
@@ -447,7 +526,7 @@ mod tests {
         let base = triangle_plus_tail(&mut db);
         db.insert("original", base.clone());
         let dir = tempfile::tempdir().unwrap();
-        let mut tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
+        let tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
         // a second copy arrives later
         let gid = tale.insert_graph("late-arrival", base.clone()).unwrap();
         assert_eq!(tale.db().len(), 2);
@@ -475,7 +554,7 @@ mod tests {
         let g = triangle_plus_tail(&mut db);
         db.insert("keep", g.clone());
         db.insert("drop", g.clone());
-        let mut tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+        let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
         let opts = QueryOptions {
             p_imp: 0.5,
             ..Default::default()
@@ -495,7 +574,7 @@ mod tests {
         db.insert("drop", g.clone());
         db.insert("keep2", g.clone());
         let dir = tempfile::tempdir().unwrap();
-        let mut tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
+        let tale = TaleDatabase::build(db, dir.path(), &TaleParams::default()).unwrap();
         let full_size = tale.index_size_bytes();
         tale.remove_graph(GraphId(1)).unwrap();
         let tale = tale.compact(&TaleParams::default()).unwrap();

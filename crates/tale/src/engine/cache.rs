@@ -33,14 +33,22 @@
 //! makes *scoped* invalidation sound under sharding: a mutation of shard
 //! `s` can only change shard `s`'s partial lists, never another shard's.
 //!
-//! ## Invalidation
+//! ## Invalidation: generation-keyed, not clear-on-write
 //!
-//! [`TaleDatabase::insert_graph`](crate::TaleDatabase::insert_graph) clears
-//! the mutated shard's cache (a new graph can enter any query's result
-//! set), while [`TaleDatabase::remove_graph`](crate::TaleDatabase::remove_graph)
-//! uses [`ResultCache::evict_graph`]: only entries whose stored partial
-//! list actually contains the removed graph are dropped — removing a graph
-//! cannot add matches, so disjoint entries stay exactly correct.
+//! Nothing ever clears the cache on a mutation. Each key carries the
+//! answering reader's [`cache_generation`] at lookup time; a mutation
+//! that could change a reader's answers moves that reader to a fresh
+//! generation, so its old entries simply become unreachable and age out
+//! through LRU. Crucially, an insert into the MVCC delta does **not**
+//! advance the base generation's epoch — every base-derived entry keeps
+//! its key and stays warm, which is the fix for the old
+//! "insert wholesale-clears the cache" bug (proven by the probe-counter
+//! test: a repeat query after an insert still answers with zero disk
+//! probes). [`ResultCache::evict_graph`] remains available for in-place
+//! removals on the sharded path: entries that never matched the removed
+//! graph stay exactly correct and resident.
+//!
+//! [`cache_generation`]: tale_nhindex::IndexReader::cache_generation
 //!
 //! Eviction is LRU over a fixed entry budget; the implementation is a
 //! plain map + monotonic ticks (no external LRU crate in the vendored
@@ -82,13 +90,21 @@ pub fn query_repr(db: &GraphDb, query: &Graph) -> QueryRepr {
     }
 }
 
-/// Cache key: canonical query signature × options fingerprint.
+/// Cache key: canonical query signature × options fingerprint × the
+/// reader's cache generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The relabeling-invariant 1-WL query signature.
     pub canonical: u64,
     /// The [`options_fingerprint`] of the query's options.
     pub options: u64,
+    /// The answering reader's
+    /// [`cache_generation`](tale_nhindex::IndexReader::cache_generation)
+    /// at lookup time. A mutation that could change the reader's answers
+    /// moves it to a fresh generation, so stale entries become
+    /// unreachable without any explicit invalidation — and entries for
+    /// readers the mutation did not touch keep their keys and stay warm.
+    pub generation: u64,
 }
 
 fn fnv(acc: u64, v: u64) -> u64 {
@@ -247,8 +263,10 @@ impl ResultCache {
         );
     }
 
-    /// Drops every entry (the insert-side invalidation: a new graph can
-    /// enter any query's result set, so nothing survives).
+    /// Drops every entry. No mutation path calls this anymore —
+    /// invalidation is generation-keyed (see the module docs) — but
+    /// explicit maintenance (compaction, tests) may still want a cold
+    /// cache.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("result cache poisoned");
         inner.map.clear();

@@ -31,7 +31,7 @@ use crate::result::QueryMatch;
 use crate::Result;
 use std::time::Instant;
 use tale_graph::{Graph, GraphDb};
-use tale_nhindex::NhIndex;
+use tale_nhindex::IndexReader;
 
 /// Per-unique-query index traffic, summed over the shards the query
 /// actually executed on (a standalone unsharded run reports the same
@@ -60,15 +60,20 @@ struct ShardOutcome {
 }
 
 /// Runs a batch of queries through the staged pipeline over one or more
-/// index shards. `shards` must be non-empty and every shard must have been
-/// built over the same database (disjoint graph ownership, shared
-/// neighbor-array scheme). Pass `caches: None` to bypass the result cache
-/// entirely; otherwise provide exactly one cache per shard (each holds
-/// that shard's pre-rank partial lists, so mutations of one shard leave
-/// the other shards' entries valid).
+/// index readers. `shards` must be non-empty and every reader must cover a
+/// set of graphs disjoint from every other reader's, under one shared
+/// neighbor-array scheme — true both for the sharded path (one [`NhIndex`]
+/// per shard) and for the MVCC path (base generation + delta overlay as
+/// two readers). Pass `caches: None` to bypass the result cache entirely;
+/// otherwise provide exactly one cache per reader. Cache keys fold in each
+/// reader's [`cache_generation`](IndexReader::cache_generation), so a
+/// mutated reader's old entries are unreachable while untouched readers'
+/// entries keep hitting.
+///
+/// [`NhIndex`]: tale_nhindex::NhIndex
 pub fn run_batch(
     db: &GraphDb,
-    shards: &[&NhIndex],
+    shards: &[&dyn IndexReader],
     caches: Option<&[&ResultCache]>,
     queries: &[&Graph],
     opts: &QueryOptions,
@@ -92,14 +97,15 @@ pub fn run_batch(
 
     // Exact-duplicate folding: `uniques` holds the input index of each
     // distinct query; `alias[i]` maps every input to its unique slot.
+    // Cache generations are sampled once per reader for the whole batch,
+    // so every lookup and store in this run agrees on the key space.
     let opt_fp = cache::options_fingerprint(opts);
-    let keys: Vec<CacheKey> = plans
-        .iter()
-        .map(|p| CacheKey {
-            canonical: p.canonical,
-            options: opt_fp,
-        })
-        .collect();
+    let generations: Vec<u64> = shards.iter().map(|s| s.cache_generation()).collect();
+    let key_for = |qi: usize, s: usize| CacheKey {
+        canonical: plans[qi].canonical,
+        options: opt_fp,
+        generation: generations[s],
+    };
     let mut alias: Vec<usize> = Vec::with_capacity(queries.len());
     let mut uniques: Vec<usize> = Vec::new();
     let mut first_of: std::collections::HashMap<&QueryRepr, usize> =
@@ -122,7 +128,13 @@ pub fn run_batch(
     if let Some(caches) = caches {
         for (u, &qi) in uniques.iter().enumerate() {
             for (s, c) in caches.iter().enumerate() {
-                partials[u][s] = c.get(&keys[qi], &reprs[qi]);
+                partials[u][s] = c.get(&key_for(qi, s), &reprs[qi]).map(|mut list| {
+                    // Tombstones that grew since this entry was stored can
+                    // only *delete* matches; reproduce the deletion here so
+                    // the entry stays exactly correct without eviction.
+                    list.retain(|m| shards[s].is_visible(m.graph.0));
+                    list
+                });
             }
         }
     }
@@ -242,7 +254,11 @@ pub fn run_batch(
         for (lu, &u) in need[s].iter().enumerate() {
             let list = std::mem::take(&mut out.partials[lu]);
             if let Some(caches) = caches {
-                caches[s].put(keys[uniques[u]], reprs[uniques[u]].clone(), list.clone());
+                caches[s].put(
+                    key_for(uniques[u], s),
+                    reprs[uniques[u]].clone(),
+                    list.clone(),
+                );
             }
             let t = &out.traffic[lu];
             let agg = &mut unique_traffic[u];

@@ -10,7 +10,7 @@
 use crate::params::QueryOptions;
 use tale_graph::centrality::select_important_covering;
 use tale_graph::{Graph, GraphDb, NodeId};
-use tale_nhindex::{NhIndex, QuerySignature};
+use tale_nhindex::{IndexReader, QuerySignature};
 
 /// Everything the engine derives from one query before touching the index.
 #[derive(Debug)]
@@ -27,7 +27,7 @@ pub struct QueryPlan {
 /// Runs the plan stage for one query.
 pub(crate) fn plan_query(
     db: &GraphDb,
-    index: &NhIndex,
+    index: &dyn IndexReader,
     query: &Graph,
     opts: &QueryOptions,
 ) -> QueryPlan {

@@ -13,7 +13,7 @@
 use crate::engine::plan::QueryPlan;
 use crate::Result;
 use std::collections::HashMap;
-use tale_nhindex::{node_match_quality, NhIndex, NodeCandidate, QuerySignature};
+use tale_nhindex::{node_match_quality, IndexReader, NodeCandidate, QuerySignature};
 
 /// Dedup key: the full signature content. Two query nodes with equal keys
 /// receive byte-identical probe answers and scores.
@@ -68,7 +68,7 @@ pub(crate) struct ProbeOutcome {
 /// order, making each graph's bucket byte-identical to a per-query serial
 /// probe loop.
 pub(crate) fn run_probe(
-    index: &NhIndex,
+    index: &dyn IndexReader,
     plans: &[&QueryPlan],
     rho: f64,
     threads: usize,

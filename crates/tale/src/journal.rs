@@ -11,9 +11,11 @@
 //! durable it *stages*: the current `graphs.json` is copied to a fsynced
 //! backup and a `pending.json` marker recording the index's pre-mutation
 //! generation is atomically written. Then the new `graphs.json` is saved,
-//! the index mutation runs (its own WAL transaction), and the journal is
-//! cleared. Recovery on open keys off the index generation — the *last*
-//! commit point in the sequence:
+//! the index mutation commits (the atomic manifest write bumping the
+//! logical counter for the generational index; a WAL transaction for the
+//! sharded in-place path), and the journal is cleared. Recovery on open
+//! keys off that generation counter — the *last* commit point in the
+//! sequence:
 //!
 //! * generation unchanged → the index mutation never committed (its WAL
 //!   already rolled the page files back); restore `graphs.json` from the
@@ -38,9 +40,11 @@ pub const DB_BACKUP_FILE: &str = "graphs.json.pre";
 /// Contents of the `pending.json` marker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PendingMutation {
-    /// Index generation observed *before* the mutation began. Recovery
-    /// compares it to the reopened index's generation to decide whether
-    /// the mutation committed.
+    /// Index generation observed *before* the mutation began — the
+    /// *logical* mutation counter for the generational single-index
+    /// database, the shard's in-place generation for sharded databases.
+    /// Recovery compares it to the reopened index's counter to decide
+    /// whether the mutation committed.
     pub pre_generation: u64,
     /// For sharded databases: the shard the mutation routed to (whose
     /// generation `pre_generation` refers to). `None` for the single-index
@@ -52,13 +56,17 @@ pub struct PendingMutation {
 /// What [`crate::TaleDatabase::open_with_recovery`] found and repaired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct DbRecovery {
-    /// The index's own WAL recovery outcome.
+    /// The current generation's own WAL recovery outcome (always a no-op
+    /// transaction-wise — generations are immutable once built).
     pub index: tale_nhindex::RecoveryReport,
     /// A `pending.json` marker was present (a multi-file mutation was in
     /// flight at crash time).
     pub journal_present: bool,
     /// `graphs.json` was restored from its pre-mutation backup.
     pub db_rolled_back: bool,
+    /// Orphaned generation directories swept from `gens/` — unfinished
+    /// folds, or retired generations whose GC never ran.
+    pub generations_swept: usize,
 }
 
 /// Handle to the journal files of one database directory.

@@ -1,7 +1,7 @@
 //! Behavior contracts of the staged query engine: canonical-signature
 //! invariance, result-cache correctness (bit-identical hits, zero index
-//! traffic, invalidation on mutation), and batch/sequential equivalence
-//! at every thread count.
+//! traffic, generation-keyed survival across mutations), and
+//! batch/sequential equivalence at every thread count.
 
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -204,11 +204,12 @@ fn batch_stats_expose_amortization() {
     }
 }
 
-/// Removal eviction is scoped: only cached entries whose result set
-/// contains the removed graph are dropped. Entries over disjoint label
-/// families survive and keep hitting without touching the index.
+/// Removal evicts nothing: every cached entry stays resident and keeps
+/// hitting with zero index traffic, because the engine filters cached
+/// lists through the snapshot's tombstone set at read time — removal can
+/// only delete matches, so the filtered entry is still exactly correct.
 #[test]
-fn remove_graph_evicts_only_intersecting_cache_entries() {
+fn remove_graph_keeps_cache_entries_and_filters_tombstones() {
     // two label families that can never match each other's queries
     // (condition IV.1 filters on exact effective labels)
     let mut db = GraphDb::new();
@@ -234,7 +235,7 @@ fn remove_graph_evicts_only_intersecting_cache_entries() {
     db.insert("a0", qa.clone());
     db.insert("a1", qa.clone());
     db.insert("b0", qb.clone());
-    let mut tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
     let opts = QueryOptions {
         p_imp: 0.5,
         ..Default::default()
@@ -244,13 +245,14 @@ fn remove_graph_evicts_only_intersecting_cache_entries() {
     assert!(cold_a.iter().any(|r| r.graph == GraphId(0)));
     let cold_b = tale.query(&qb, &opts).unwrap();
     assert!(!cold_b.is_empty() && cold_b.iter().all(|r| r.graph == GraphId(2)));
-    assert_eq!(tale.result_cache_stats().entries, 2);
+    // each query stores one partial list per reader (base + delta)
+    assert_eq!(tale.result_cache_stats().entries, 4);
 
     tale.remove_graph(GraphId(0)).unwrap();
     assert_eq!(
         tale.result_cache_stats().entries,
-        1,
-        "only the entry containing the removed graph may be evicted"
+        4,
+        "removal must not evict any cache entry"
     );
 
     // the disjoint entry still hits, with zero index traffic
@@ -260,21 +262,36 @@ fn remove_graph_evicts_only_intersecting_cache_entries() {
     assert_eq!(tale.index().counters().since(before).probes, 0);
     assert!(same_results(&cold_b, &warm_b));
 
-    // the intersecting entry re-runs and no longer lists the tombstone
+    // the intersecting entry ALSO still hits — the removed graph is
+    // filtered out of the cached list at lookup time, never served
+    let before = tale.index().counters();
     let (after_a, sa) = tale.query_with_stats(&qa, &opts).unwrap();
-    assert!(!sa.cache_hit);
+    assert!(
+        sa.cache_hit,
+        "the entry containing the removed graph serves filtered, not evicted"
+    );
+    assert_eq!(tale.index().counters().since(before).probes, 0);
     assert!(after_a.iter().all(|r| r.graph != GraphId(0)));
     assert!(after_a.iter().any(|r| r.graph == GraphId(1)));
+    // and the filtered hit equals the cold result minus the tombstone
+    let expect: Vec<QueryMatch> = cold_a
+        .iter()
+        .filter(|r| r.graph != GraphId(0))
+        .cloned()
+        .collect();
+    assert!(same_results(&expect, &after_a));
 }
 
-/// Mutating the database must never serve stale cached results: insert
-/// clears the (touched shard's) cache wholesale, remove evicts every
-/// entry containing the removed graph.
+/// The headline bugfix: mutations no longer clear the cache. Insert rolls
+/// only the delta reader's generation, so the base-generation entry keeps
+/// serving a repeat query with **zero on-disk probes** — only the
+/// in-memory delta overlay (which owns the new graph) re-runs. Removal
+/// rolls nothing; the tombstone is filtered at read time.
 #[test]
-fn cache_is_invalidated_by_insert_and_remove() {
+fn cache_entries_survive_insert_and_remove() {
     let (db, originals) = corpus(25, 4);
     let extra = originals[1].clone();
-    let mut tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
+    let tale = TaleDatabase::build_in_temp(db, &TaleParams::default()).unwrap();
     let opts = QueryOptions {
         p_imp: 0.25,
         ..Default::default()
@@ -282,16 +299,37 @@ fn cache_is_invalidated_by_insert_and_remove() {
     let q = &originals[0];
 
     let before_insert = tale.query(q, &opts).unwrap();
-    assert!(tale.result_cache_stats().entries > 0);
+    let resident = tale.result_cache_stats().entries;
+    assert!(resident > 0);
     tale.insert_graph("late", extra).unwrap();
     assert_eq!(
         tale.result_cache_stats().entries,
-        0,
-        "insert_graph must clear the cache"
+        resident,
+        "insert_graph must not clear the cache"
     );
-    let after_insert = tale.query(q, &opts).unwrap();
-    // the new graph may add a match; the point is the query re-ran
-    // against the current database rather than serving the stale entry
+
+    // Repeat query after the insert: the base entry answers from cache —
+    // the on-disk index sees zero probes — while the delta overlay runs
+    // under its fresh generation to cover the new graph.
+    let snap = tale.index().snapshot();
+    let disk_before = snap.base().counters();
+    let base_hits_before = tale.base_cache_stats().hits;
+    let (after_insert, s) = tale.query_with_stats(q, &opts).unwrap();
+    assert!(
+        !s.cache_hit,
+        "the delta generation rolled, so this is not a full hit"
+    );
+    assert_eq!(
+        snap.base().counters().since(disk_before).probes,
+        0,
+        "base entry must survive the insert: zero on-disk probes"
+    );
+    assert!(
+        tale.base_cache_stats().hits > base_hits_before,
+        "repeat query must be served by the base cache"
+    );
+    // the new graph may add a match; matches against pre-existing graphs
+    // are bit-stable because the cached base partial was reused
     let by_graph: HashMap<GraphId, usize> = after_insert
         .iter()
         .map(|r| (r.graph, r.matched_nodes))
@@ -300,16 +338,23 @@ fn cache_is_invalidated_by_insert_and_remove() {
         assert_eq!(by_graph.get(&r.graph), Some(&r.matched_nodes));
     }
 
+    let resident = tale.result_cache_stats().entries;
     tale.remove_graph(GraphId(0)).unwrap();
     assert_eq!(
         tale.result_cache_stats().entries,
-        0,
-        "the cached entry contains graph 0, so removal must evict it"
+        resident,
+        "remove_graph must not evict anything"
     );
-    let after_remove = tale.query(q, &opts).unwrap();
+    let before = tale.index().counters();
+    let (after_remove, s) = tale.query_with_stats(q, &opts).unwrap();
+    assert!(
+        s.cache_hit,
+        "removal keeps both generations, so the repeat query fully hits"
+    );
+    assert_eq!(tale.index().counters().since(before).probes, 0);
     assert!(
         after_remove.iter().all(|r| r.graph != GraphId(0)),
-        "stale cached result resurrected a removed graph"
+        "tombstoned graph must be filtered out of the cached result"
     );
 }
 

@@ -11,6 +11,7 @@ use rand_chacha::ChaCha8Rng;
 use tale::{TaleDatabase, TaleParams};
 use tale_graph::generate::preferential_attachment;
 use tale_graph::{GraphDb, NodeId};
+use tale_nhindex::IndexReader;
 
 fn main() {
     // Build a small database of power-law graphs over a 12-label alphabet.
@@ -32,14 +33,26 @@ fn main() {
     };
     let tale = TaleDatabase::build(db, &dir, &params).expect("build");
 
+    // The database directory holds the graph store, the MVCC manifest and
+    // one immutable generation directory per on-disk index version.
     println!("== index layout ({}) ==", dir.display());
-    for entry in std::fs::read_dir(&dir).expect("read dir") {
-        let e = entry.expect("entry");
-        println!(
-            "  {:14} {:>10} bytes",
-            e.file_name().to_string_lossy(),
-            e.metadata().map(|m| m.len()).unwrap_or(0)
-        );
+    let mut listing = Vec::new();
+    let mut walk = vec![dir.clone()];
+    while let Some(d) = walk.pop() {
+        for entry in std::fs::read_dir(&d).expect("read dir") {
+            let e = entry.expect("entry");
+            if e.file_type().expect("file type").is_dir() {
+                walk.push(e.path());
+            } else {
+                let rel = e.path().strip_prefix(&dir).expect("child").to_owned();
+                let len = e.metadata().map(|m| m.len()).unwrap_or(0);
+                listing.push((rel, len));
+            }
+        }
+    }
+    listing.sort();
+    for (rel, len) in listing {
+        println!("  {:24} {:>10} bytes", rel.display(), len);
     }
     let idx = tale.index();
     println!("\n== index statistics ==");
@@ -57,8 +70,9 @@ fn main() {
 
     // Probe a few nodes of graph 0 at different approximation levels and
     // show how the conditions prune.
-    let g0 = tale.db().graph(tale_graph::GraphId(0));
-    let label_of = |n: NodeId| tale.db().effective_label(tale_graph::GraphId(0), n);
+    let db = tale.db(); // Arc clone of the current published GraphDb
+    let g0 = db.graph(tale_graph::GraphId(0));
+    let label_of = |n: NodeId| db.effective_label(tale_graph::GraphId(0), n);
     // pick the highest-degree node (an "important" node) and a leaf
     let hub = g0
         .nodes()
@@ -76,10 +90,24 @@ fn main() {
         g0.degree(leaf)
     );
     println!("  node  rho  keys-scanned  postings  rows-examined  candidates");
+    // Queries pin an MVCC snapshot and probe its base generation plus the
+    // in-memory delta overlay (empty here — nothing inserted since build).
+    let snap = idx.snapshot();
     for (name, node) in [("hub ", hub), ("leaf", leaf)] {
         for rho in [0.0, 0.25, 0.5] {
             let sig = idx.signature(g0, node, &label_of);
-            let (hits, stats) = idx.probe_with_stats(&sig, rho).expect("probe");
+            let sigs = std::slice::from_ref(&sig);
+            let mut base = snap.base_reader().probe_batch(sigs, rho, 1).expect("probe");
+            let delta = snap
+                .delta_reader()
+                .probe_batch(sigs, rho, 1)
+                .expect("probe");
+            let (ref mut hits, ref mut stats) = base[0];
+            let (dh, ds) = &delta[0];
+            hits.extend(dh.iter().copied());
+            stats.keys_scanned += ds.keys_scanned;
+            stats.postings_fetched += ds.postings_fetched;
+            stats.rows_examined += ds.rows_examined;
             println!(
                 "  {}  {:.2}  {:12}  {:8}  {:13}  {:10}",
                 name,
