@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|cold|mvcc|all] [--threads N]
+//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|plan|cold|mvcc|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -17,6 +17,7 @@ use tale_bench::experiments::fig789::{default_sizes, run_fig789};
 use tale_bench::experiments::kegg::run_kegg;
 use tale_bench::experiments::mvcc::run_mvcc;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
+use tale_bench::experiments::plan::run_plan;
 use tale_bench::experiments::saga::run_saga;
 use tale_bench::experiments::shard::run_shard;
 use tale_bench::experiments::speedup::{run_batch_speedup, run_speedup};
@@ -56,6 +57,7 @@ fn main() {
             shard(scale);
         }
         "shard" => shard(scale),
+        "plan" => plan(scale),
         "cold" => cold(scale),
         "mvcc" => mvcc(scale),
         "crash" => crash(),
@@ -72,12 +74,13 @@ fn main() {
             pimp(scale);
             speedup(scale);
             shard(scale);
+            plan(scale);
             cold(scale);
             mvcc(scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|cold|mvcc|crash|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|plan|cold|mvcc|crash|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -255,6 +258,64 @@ fn shard(scale: Scale) {
     }
     if let Some(path) = shard_json_arg() {
         write_json(&path, &r, "shard report");
+    }
+}
+
+/// `--plan-json PATH` from argv: where to write `BENCH_plan.json`
+/// (`None` = don't).
+fn plan_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--plan-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn plan(scale: Scale) {
+    let threads = threads_arg();
+    println!("\n## E-PLAN — cost-based planning vs the fixed pipeline\n");
+    println!("skewed corpus of label domains with private vocabularies, 4 shards");
+    println!("under label-clustered placement; the same top-K workload runs twice");
+    println!("with the result cache off — fixed pipeline vs cost-based plans");
+    println!("(selectivity-ordered probes, readahead budgets, provably-safe shard");
+    println!("pruning). Answers are checked bit-identical; only traffic may change.\n");
+    let r = run_plan(seed(), scale, threads, 4);
+    println!(
+        "db: {} graphs in {} domains; {} queries; top-{}; {} shards; {} threads; {} cores\n",
+        r.graphs, r.domains, r.queries, r.top_k, r.shards, r.threads, r.cores
+    );
+    println!(
+        "| pass | probes | keys | postings | rows | shards pruned | reordered | wall (s) | identical |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for row in [&r.fixed, &r.cost] {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.3} | {} |",
+            row.mode,
+            row.probes_issued,
+            row.keys_scanned,
+            row.postings_fetched,
+            row.rows_examined,
+            row.shards_pruned,
+            row.probes_reordered,
+            row.wall_secs,
+            if r.identical { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nprobe traffic: {} → {} ({:.1}% saved); {} (query, shard) executions pruned",
+        r.fixed.probes_issued,
+        r.cost.probes_issued,
+        if r.fixed.probes_issued == 0 {
+            0.0
+        } else {
+            100.0 * (r.fixed.probes_issued - r.cost.probes_issued) as f64
+                / r.fixed.probes_issued as f64
+        },
+        r.cost.shards_pruned
+    );
+    if let Some(path) = plan_json_arg() {
+        write_json(&path, &r, "plan report");
     }
 }
 

@@ -11,6 +11,7 @@ pub mod fig789;
 pub mod kegg;
 pub mod mvcc;
 pub mod pimp;
+pub mod plan;
 pub mod saga;
 pub mod shard;
 pub mod speedup;

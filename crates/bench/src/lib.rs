@@ -17,6 +17,7 @@ pub use experiments::fig5::{run_fig5, Fig5Report};
 pub use experiments::fig789::{run_fig789, Fig789Row};
 pub use experiments::kegg::{run_kegg, KeggExpReport};
 pub use experiments::pimp::{run_pimp, PimpRow};
+pub use experiments::plan::{run_plan, PlanExpReport};
 pub use experiments::saga::{run_saga, SagaRow};
 pub use experiments::table1::{run_table1, Table1Row};
 pub use experiments::table2::{run_table2, Table2Row};

@@ -25,7 +25,9 @@ use crate::bitprobe::probe_bitsliced;
 use crate::index::{NodeCandidate, ProbeCounters, ProbeStats, QuerySignature};
 use crate::posting::Posting;
 use crate::scheme::NeighborArrayScheme;
+use crate::stats::{IndexStatistics, StatsBuilder};
 use crate::{NhIndex, Result};
+use std::sync::Arc;
 use tale_graph::{Graph, GraphDb, GraphId, NodeId};
 use tale_storage::CompositeKey;
 
@@ -45,6 +47,9 @@ pub struct DeltaOverlay {
     postings: Vec<(CompositeKey, Posting)>,
     node_count: u64,
     counters: AtomicProbeCounters,
+    /// Planner statistics over the overlay's postings — exact, because
+    /// every overlay is rebuilt from scratch on publish.
+    stats: Arc<IndexStatistics>,
 }
 
 impl DeltaOverlay {
@@ -58,9 +63,11 @@ impl DeltaOverlay {
         first_gid: u32,
         upto: u32,
     ) -> Result<Self> {
+        let mut stats_builder = StatsBuilder::new();
         let mut units = Vec::new();
         for gid in first_gid..upto {
             let g = db.try_graph(GraphId(gid))?;
+            stats_builder.record_graph(g.node_count() as u64, g.edge_count() as u64);
             NhIndex::extract_graph(db, gid, g, scheme, edge_labels, &mut units);
         }
         units.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.node.cmp(&b.node)));
@@ -77,6 +84,7 @@ impl DeltaOverlay {
             let group = &units[i..j];
             let refs = group.iter().map(|u| u.node).collect();
             let rows: Vec<Vec<u64>> = group.iter().map(|u| u.array.clone()).collect();
+            stats_builder.record_key(key.label, key.degree, group.len() as u64);
             postings.push((key, Posting::from_rows(refs, scheme.sbit, &rows)));
             i = j;
         }
@@ -88,7 +96,13 @@ impl DeltaOverlay {
             postings,
             node_count,
             counters: AtomicProbeCounters::default(),
+            stats: Arc::new(stats_builder.finish()),
         })
+    }
+
+    /// Exact planner statistics over the overlay's contents.
+    pub fn statistics(&self) -> Arc<IndexStatistics> {
+        Arc::clone(&self.stats)
     }
 
     /// First graph id the overlay covers (== the base generation's length).

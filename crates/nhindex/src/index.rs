@@ -20,6 +20,7 @@
 use crate::bitprobe::probe_bitsliced;
 use crate::posting::{NodeRef, Posting};
 use crate::scheme::NeighborArrayScheme;
+use crate::stats::{IndexStatistics, StatsBuilder, STATS_FILE, STATS_SCHEMA_VERSION};
 use crate::{NhError, Result};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -284,6 +285,10 @@ pub struct NhIndex {
     /// (`None` when prefetching is disabled). Shards of a sharded index
     /// all hold clones of one shared pool.
     io: Option<Arc<IoPool>>,
+    /// Planner statistics (see [`crate::stats`]): exact after build/fold,
+    /// merged conservatively by inserts, `None` for indexes persisted
+    /// before statistics existed.
+    stats: Option<Arc<IndexStatistics>>,
 }
 
 /// One extracted indexing unit (pre-grouping). Shared with the delta
@@ -314,8 +319,10 @@ impl NhIndex {
         config: &NhIndexConfig,
         graphs: &[tale_graph::GraphId],
     ) -> Result<Self> {
+        let mut stats_builder = StatsBuilder::new();
         for &gid in graphs {
-            db.try_graph(gid)?;
+            let g = db.try_graph(gid)?;
+            stats_builder.record_graph(g.node_count() as u64, g.edge_count() as u64);
         }
         std::fs::create_dir_all(dir)?;
         let scheme = if config.use_edge_labels {
@@ -379,6 +386,7 @@ impl NhIndex {
             let rows: Vec<Vec<u64>> = group.iter().map(|u| u.array.clone()).collect();
             let posting = Posting::from_rows(refs, scheme.sbit, &rows);
             let r = blobs.put(&posting.encode())?;
+            stats_builder.record_key(key.label, key.degree, group.len() as u64);
             pairs.push((key, r.pack()));
             i = j;
         }
@@ -398,6 +406,7 @@ impl NhIndex {
             wal,
             generation: 0,
             io,
+            stats: Some(Arc::new(stats_builder.finish())),
         };
         idx.flush(db.effective_vocab_size() as u64)?;
         Ok(idx)
@@ -434,7 +443,8 @@ impl NhIndex {
             }
             let group = &units[i..j];
             // merge with the existing posting for this key, if any
-            let (mut refs, mut rows) = match self.btree.get(key)? {
+            let existing = self.btree.get(key)?;
+            let (mut refs, mut rows) = match existing {
                 Some(packed) => {
                     let bytes = self.blobs.get(BlobRef::unpack(packed))?;
                     let posting = Posting::decode(&bytes)?;
@@ -451,11 +461,22 @@ impl NhIndex {
             }
             let posting = Posting::from_rows(refs, self.scheme.sbit, &rows);
             let r = self.blobs.put(&posting.encode())?;
-            if self.btree.get(key)?.is_none() {
+            if existing.is_none() {
                 self.key_count += 1;
+            }
+            if let Some(stats) = &mut self.stats {
+                Arc::make_mut(stats).merge_inserted_key(
+                    key.label,
+                    key.degree,
+                    group.len() as u64,
+                    existing.is_none(),
+                );
             }
             self.btree.insert(key, r.pack())?;
             i = j;
+        }
+        if let Some(stats) = &mut self.stats {
+            Arc::make_mut(stats).note_inserted_graph(g.node_count() as u64 + g.edge_count() as u64);
         }
         self.node_count += units.len() as u64;
         self.generation += 1;
@@ -570,6 +591,15 @@ impl NhIndex {
     /// still equals the one recorded at `begin`.
     fn flush(&self, vocab_size: u64) -> Result<()> {
         self.sync()?;
+        // Statistics land before the meta rename (the commit point): a
+        // crash between the two leaves stats that overestimate the
+        // rolled-back index, which is the safe direction (see
+        // `crate::stats`). WAL rollback never touches this file.
+        if let Some(stats) = &self.stats {
+            let json = serde_json::to_string_pretty(stats.as_ref())
+                .map_err(|e| NhError::Meta(format!("serialize stats: {e}")))?;
+            tale_storage::atomic::write_atomic(&self.dir.join(STATS_FILE), json.as_bytes())?;
+        }
         let mut tombstones: Vec<u32> = self.tombstones.iter().copied().collect();
         tombstones.sort_unstable();
         let meta = MetaFile {
@@ -690,6 +720,14 @@ impl NhIndex {
         } else {
             None
         };
+        // Statistics are best-effort on open: absent (pre-stats index),
+        // unparseable, or version-skewed files mean "no statistics" and
+        // the planner falls back to the fixed pipeline.
+        let stats = std::fs::read_to_string(dir.join(STATS_FILE))
+            .ok()
+            .and_then(|raw| serde_json::from_str::<IndexStatistics>(&raw).ok())
+            .filter(|s| s.schema_version == STATS_SCHEMA_VERSION)
+            .map(Arc::new);
         // Opening the WAL truncates it: recovery is complete, so the old
         // log must not be replayed against the repaired files again.
         let wal = Arc::new(Wal::open(&wal_path)?);
@@ -717,6 +755,7 @@ impl NhIndex {
             wal,
             generation: meta.generation,
             io,
+            stats,
         };
         Ok((idx, report))
     }
@@ -724,6 +763,12 @@ impl NhIndex {
     /// Committed mutation count (0 for a fresh build).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The planner statistics persisted with this index (`None` for
+    /// indexes built before statistics existed). Cheap — clones an `Arc`.
+    pub fn statistics(&self) -> Option<Arc<IndexStatistics>> {
+        self.stats.clone()
     }
 
     /// Deep integrity check: reads every page of both files through the
@@ -996,6 +1041,23 @@ impl NhIndex {
         rho: f64,
         threads: usize,
     ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        self.probe_batch_budgeted(sigs, rho, threads, None)
+    }
+
+    /// [`NhIndex::probe_batch`] with an explicit readahead budget: at most
+    /// `prefetch_cap` postings are queued for async readahead between the
+    /// phases (`None` = unbounded). The cap only shapes *readahead* — any
+    /// posting not staged is demand-read by phase 2 exactly as before, so
+    /// results are bit-identical for every budget. The planner sizes the
+    /// cap from its posting-count estimates so a tiny probe doesn't spin
+    /// up readahead it will never use.
+    pub fn probe_batch_budgeted(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+        threads: usize,
+        prefetch_cap: Option<u64>,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
         // phase-1 output per signature: scanned (key, posting ref) hits
         // plus the stats accumulated so far
         type Scanned = (Vec<(CompositeKey, BlobRef)>, ProbeStats);
@@ -1009,10 +1071,13 @@ impl NhIndex {
         .collect();
         let scanned = scanned?;
 
-        let all_refs: Vec<BlobRef> = scanned
+        let mut all_refs: Vec<BlobRef> = scanned
             .iter()
             .flat_map(|(hits, _)| hits.iter().map(|&(_, r)| r))
             .collect();
+        if let Some(cap) = prefetch_cap {
+            all_refs.truncate(cap.min(usize::MAX as u64) as usize);
+        }
         self.blobs.prefetch(&all_refs);
 
         tale_par::parallel_map(threads, sigs.len(), |i| {

@@ -27,6 +27,8 @@
 //! * [`delta`] — [`DeltaOverlay`]: in-memory postings for unfolded inserts.
 //! * [`mvcc`] — [`GenerationalNhIndex`]: immutable on-disk generations with
 //!   snapshot (pin) reads, delta/tombstone mutations and background folds.
+//! * [`stats`] — [`IndexStatistics`]: per-index planner statistics,
+//!   collected exactly at build/fold time and persisted atomically.
 
 pub mod bitprobe;
 pub mod delta;
@@ -36,6 +38,7 @@ pub mod posting;
 pub mod quality;
 pub mod reader;
 pub mod scheme;
+pub mod stats;
 
 pub use bitprobe::ColumnBitmap;
 pub use delta::DeltaOverlay;
@@ -48,6 +51,9 @@ pub use posting::{NodeRef, Posting};
 pub use quality::node_match_quality;
 pub use reader::IndexReader;
 pub use scheme::NeighborArrayScheme;
+pub use stats::{
+    IndexStatistics, LabelStats, SketchSummary, StatsBuilder, STATS_FILE, STATS_SCHEMA_VERSION,
+};
 
 /// Errors from index construction and probing.
 #[derive(Debug)]

@@ -246,6 +246,36 @@ impl IndexReader for BaseReader<'_> {
         Ok(out)
     }
 
+    fn probe_batch_budgeted(
+        &self,
+        sigs: &[crate::index::QuerySignature],
+        rho: f64,
+        threads: usize,
+        prefetch_cap: Option<u64>,
+    ) -> Result<Vec<(Vec<crate::index::NodeCandidate>, crate::index::ProbeStats)>> {
+        let mut out =
+            self.snap
+                .state
+                .base
+                .index
+                .probe_batch_budgeted(sigs, rho, threads, prefetch_cap)?;
+        let removed = &self.snap.state.removed;
+        if !removed.is_empty() {
+            for (cands, stats) in &mut out {
+                cands.retain(|c| !removed.contains(&c.node.graph));
+                stats.rows_returned = cands.len() as u64;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The base generation's statistics. Removed graphs are filtered at
+    /// read time, so these *overestimate* the snapshot's base answers —
+    /// exactly the direction the planner's conservatism invariant needs.
+    fn statistics(&self) -> Option<std::sync::Arc<crate::stats::IndexStatistics>> {
+        self.snap.state.base.index.statistics()
+    }
+
     fn counters(&self) -> ProbeCounters {
         self.snap.state.base.index.counters()
     }
@@ -296,6 +326,12 @@ impl IndexReader for DeltaReader<'_> {
             }
         }
         Ok(out)
+    }
+
+    /// The overlay's exact statistics (removed graphs filtered at read
+    /// time, so again an overestimate of the snapshot's answers).
+    fn statistics(&self) -> Option<std::sync::Arc<crate::stats::IndexStatistics>> {
+        Some(self.snap.state.delta.statistics())
     }
 
     fn counters(&self) -> ProbeCounters {

@@ -22,7 +22,9 @@
 //! for untouched readers stay warm.
 
 use crate::index::{NodeCandidate, ProbeCounters, ProbeStats, QuerySignature};
+use crate::stats::IndexStatistics;
 use crate::{NhIndex, Result};
+use std::sync::Arc;
 use tale_graph::{Graph, NodeId};
 use tale_storage::PoolStats;
 
@@ -50,6 +52,31 @@ pub trait IndexReader: Sync {
         rho: f64,
         threads: usize,
     ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>>;
+
+    /// [`probe_batch`](IndexReader::probe_batch) with a readahead budget:
+    /// stage at most `prefetch_cap` postings for async readahead (`None` =
+    /// unbounded). Purely a latency hint — results must be bit-identical
+    /// for every budget. Readers without readahead ignore it.
+    fn probe_batch_budgeted(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+        threads: usize,
+        prefetch_cap: Option<u64>,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        let _ = prefetch_cap;
+        self.probe_batch(sigs, rho, threads)
+    }
+
+    /// The planner statistics describing this reader's contents, if it
+    /// has any (see [`crate::stats`]). The default is `None`: the planner
+    /// then treats the reader as opaque — every probe feasible, no
+    /// selectivity ordering, no pruning. Implementations must uphold the
+    /// conservatism invariant: statistics may overestimate what the
+    /// reader can answer, never underestimate.
+    fn statistics(&self) -> Option<Arc<IndexStatistics>> {
+        None
+    }
 
     /// Lifetime probe tallies of this reader (diff two snapshots to
     /// attribute traffic to a span of work).
@@ -97,6 +124,20 @@ impl IndexReader for NhIndex {
         threads: usize,
     ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
         NhIndex::probe_batch(self, sigs, rho, threads)
+    }
+
+    fn probe_batch_budgeted(
+        &self,
+        sigs: &[QuerySignature],
+        rho: f64,
+        threads: usize,
+        prefetch_cap: Option<u64>,
+    ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        NhIndex::probe_batch_budgeted(self, sigs, rho, threads, prefetch_cap)
+    }
+
+    fn statistics(&self) -> Option<Arc<IndexStatistics>> {
+        NhIndex::statistics(self)
     }
 
     fn counters(&self) -> ProbeCounters {

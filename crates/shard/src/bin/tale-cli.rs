@@ -3,13 +3,15 @@
 //!
 //! ```text
 //! tale-cli build <graphs.(txt|json)> <index-dir> [--sbit N] [--frames N]
-//!          [--shards N] [--policy hash|size-balanced]
+//!          [--shards N] [--policy hash|size-balanced|label-clustered]
 //! tale-cli add   <index-dir> <graphs.(txt|json)>
-//! tale-cli stats <index-dir>
+//! tale-cli stats <index-dir> [--json]
+//! tale-cli explain <index-dir> <query.(txt|json)> [--plan fixed|cost] [--json]
 //! tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
 //!          [--top-k N] [--importance degree|closeness|betweenness|eigenvector|random]
 //!          [--hops N] [--similarity quality|nodes-edges|ctree] [--threads N]
-//!          [--format text|json] [--stats] [--no-cache] [--pool-pages N]
+//!          [--plan fixed|cost] [--explain] [--format text|json] [--stats]
+//!          [--no-cache] [--pool-pages N]
 //! tale-cli verify <index-dir>
 //! tale-cli recover <index-dir>
 //! ```
@@ -33,12 +35,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use tale::{
-    CTreeStyle, ImportanceMeasure, MatchedNodesEdges, QualitySum, QueryMatch, QueryOptions,
-    QueryStats, ShardStats, TaleDatabase, TaleParams,
+    CTreeStyle, ImportanceMeasure, MatchedNodesEdges, PlanMode, QualitySum, QueryMatch,
+    QueryOptions, QueryStats, ShardStats, TaleDatabase, TaleParams,
 };
 use tale_graph::labels::NodeLabel;
 use tale_graph::{Graph, GraphDb, GraphId, NodeId};
-use tale_nhindex::{IndexReader, NeighborArrayScheme, NodeCandidate, ProbeStats, QuerySignature};
+use tale_nhindex::{
+    IndexReader, IndexStatistics, NeighborArrayScheme, NodeCandidate, ProbeStats, QuerySignature,
+};
 use tale_shard::{policy_by_name, ShardManifest, ShardedTaleDatabase};
 
 fn main() -> ExitCode {
@@ -71,10 +75,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   tale-cli build <graphs.(txt|json)> <index-dir> [--sbit N] [--frames N]
-           [--shards N] [--policy hash|size-balanced]
+           [--shards N] [--policy hash|size-balanced|label-clustered]
   tale-cli add   <index-dir> <graphs.(txt|json)> [--pool-pages N]
-  tale-cli stats <index-dir> [--pool-pages N]
+  tale-cli stats <index-dir> [--json] [--pool-pages N]
   tale-cli explain <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
+           [--top-k N] [--similarity MODEL] [--plan fixed|cost] [--json]
            [--pool-pages N]
   tale-cli verify <index-dir> [--pool-pages N]
   tale-cli recover <index-dir> [--pool-pages N]
@@ -82,18 +87,26 @@ usage:
   tale-cli fold <index-dir> [--pool-pages N]
   tale-cli query <index-dir> <query.(txt|json)> [--rho F] [--pimp F]
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
-           [--threads N] [--format text|json] [--stats] [--no-cache]
-           [--pool-pages N]
+           [--threads N] [--plan fixed|cost] [--explain] [--format text|json]
+           [--stats] [--no-cache] [--pool-pages N]
 
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
 threads:  0 = one per core (default); 1 = serial; N = worker cap
 shards:   partition the index across N independent NH-Index shards;
           queries scatter/gather and return bit-identical results
+plan:     cost (default) plans from per-index statistics — selectivity-
+          ordered probes, readahead budgets, provably-safe shard pruning;
+          fixed runs the baseline pipeline. Results are bit-identical.
+explain:  (query) also print the chosen plan tree with cost annotations;
+          the explain subcommand prints the plan without executing
 stats:    print per-stage engine statistics (probe traffic, pool fetch
           taxonomy, per-shard traffic and skew, stage wall clock); with
           --format json, wraps the output as
           {\"matches\": [...], \"stats\": {...}, \"shards\": [...]}
+          (the stats subcommand prints index statistics instead:
+          vocabulary skew, posting-size percentiles, staleness; --json
+          dumps the full per-shard statistics)
 no-cache: bypass the query-result cache for this run
 pool-pages: buffer-pool frames per index page file (8 KiB each); small
           values exercise the larger-than-RAM read path. Results are
@@ -244,6 +257,41 @@ impl AnyDb {
         }
     }
 
+    /// The cost-based plan report for one query, without executing it.
+    fn explain(&self, query: &Graph, opts: &QueryOptions) -> tale::PlanReport {
+        match self {
+            AnyDb::Single(t) => t.explain(query, opts),
+            AnyDb::Sharded(t) => t.explain(query, opts),
+        }
+    }
+
+    /// Live per-unit index statistics: one entry per shard for the
+    /// sharded layout; the pinned base generation plus the delta overlay
+    /// for the generational one. `None` marks a unit whose index predates
+    /// the statistics file (the planner falls back to fixed behavior
+    /// there).
+    fn statistics_units(&self) -> Vec<(String, Option<Arc<IndexStatistics>>)> {
+        match self {
+            AnyDb::Single(t) => {
+                let snap = t.index().snapshot();
+                vec![
+                    (
+                        format!("g{}", t.index().current_generation()),
+                        snap.base_reader().statistics(),
+                    ),
+                    ("delta".to_owned(), snap.delta_reader().statistics()),
+                ]
+            }
+            AnyDb::Sharded(t) => t
+                .index()
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(s, idx)| (format!("shard {s}"), idx.statistics()))
+                .collect(),
+        }
+    }
+
     fn insert_graph(&mut self, name: String, g: Graph) -> Result<GraphId, String> {
         match self {
             AnyDb::Single(t) => t.insert_graph(name, g).map_err(|e| e.to_string()),
@@ -293,7 +341,7 @@ impl AnyDb {
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Flags that take no value; they parse as `(name, "")`.
-const BOOL_FLAGS: &[&str] = &["stats", "no-cache"];
+const BOOL_FLAGS: &[&str] = &["stats", "no-cache", "json", "explain"];
 
 /// Pulls `--flag value` pairs (and bare boolean flags) out of an argument
 /// list; returns (positional, flags).
@@ -465,13 +513,81 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Fraction of a unit's indexed nodes carrying its most frequent label —
+/// 1/|labels| for a uniform vocabulary, → 1.0 for a clustered shard.
+fn vocab_skew(st: &IndexStatistics) -> f64 {
+    let top = st.labels.iter().map(|l| l.nodes).max().unwrap_or(0);
+    if st.node_count == 0 {
+        0.0
+    } else {
+        top as f64 / st.node_count as f64
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_args(args)?;
     let [dir] = pos.as_slice() else {
         return Err(format!("stats needs <index-dir>\n{USAGE}"));
     };
-    let pool_pages = pool_pages_only(&flags, 1024)?;
+    let mut pool_pages = 1024usize;
+    let mut json = false;
+    for (name, v) in flags {
+        match name {
+            "pool-pages" => pool_pages = parse(name, v)?,
+            "json" => json = true,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
     let tale = AnyDb::open(Path::new(dir), pool_pages)?;
+    let units = tale.statistics_units();
+    if json {
+        #[derive(serde::Serialize)]
+        struct UnitDump {
+            name: String,
+            stats: Option<IndexStatistics>,
+        }
+        #[derive(serde::Serialize)]
+        struct StatsDump {
+            graphs: usize,
+            nodes: usize,
+            edges: usize,
+            node_labels: usize,
+            index_keys: u64,
+            index_bytes: u64,
+            shard_count: Option<u32>,
+            policy: Option<String>,
+            units: Vec<UnitDump>,
+        }
+        let (shard_count, policy) = match &tale {
+            AnyDb::Sharded(t) => {
+                let m = t.index().manifest();
+                (Some(m.shard_count), Some(m.policy.clone()))
+            }
+            AnyDb::Single(_) => (None, None),
+        };
+        let dump = StatsDump {
+            graphs: tale.db().len(),
+            nodes: tale.db().total_nodes(),
+            edges: tale.db().total_edges(),
+            node_labels: tale.db().node_vocab().len(),
+            index_keys: tale.key_count(),
+            index_bytes: tale.index_size_bytes(),
+            shard_count,
+            policy,
+            units: units
+                .iter()
+                .map(|(name, st)| UnitDump {
+                    name: name.clone(),
+                    stats: st.as_deref().cloned(),
+                })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
     println!("graphs           : {}", tale.db().len());
     println!("total nodes      : {}", tale.db().total_nodes());
     println!("total edges      : {}", tale.db().total_edges());
@@ -509,6 +625,32 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             "Bloom"
         }
     );
+    // Per-unit planner statistics (nh.stats.json): vocabulary skew,
+    // posting-row percentiles, and staleness (inserts merged since the
+    // last exact rebuild). A `-` row means that unit predates the
+    // statistics file; the planner treats it as unplannable.
+    println!("planner statistics:");
+    println!("  unit      graphs   nodes  labels  skew   post p50/p90/p99  maxdeg  stale");
+    for (name, st) in &units {
+        match st.as_deref() {
+            Some(st) => println!(
+                "  {:<8} {:>7} {:>7}  {:>6}  {:>4.2}  {:>6}/{:>3}/{:>3}  {:>6}  {:>5}",
+                name,
+                st.graph_count,
+                st.node_count,
+                st.labels.len(),
+                vocab_skew(st),
+                st.posting_rows.p50,
+                st.posting_rows.p90,
+                st.posting_rows.p99,
+                st.max_degree,
+                st.stale_inserts
+            ),
+            None => println!(
+                "  {name:<8}       -       -       -     -        -/  -/  -       -      -"
+            ),
+        }
+    }
     for (id, name, g) in tale.db().iter() {
         let _ = id;
         let st = tale_graph::stats::stats(g);
@@ -520,21 +662,45 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Shows, per important query node, how the index conditions prune —
-/// the §IV access-path story for one concrete query.
+/// Parses a `--similarity` value.
+fn parse_similarity(v: &str) -> Result<Arc<dyn tale::SimilarityModel>, String> {
+    match v {
+        "quality" => Ok(Arc::new(QualitySum)),
+        "nodes-edges" => Ok(Arc::new(MatchedNodesEdges)),
+        "ctree" => Ok(Arc::new(CTreeStyle)),
+        other => Err(format!("unknown similarity {other:?}")),
+    }
+}
+
+/// Parses a `--plan` value.
+fn parse_plan_mode(v: &str) -> Result<PlanMode, String> {
+    match v {
+        "fixed" => Ok(PlanMode::Fixed),
+        "cost" => Ok(PlanMode::Cost),
+        other => Err(format!("unknown plan mode {other:?} (fixed|cost)")),
+    }
+}
+
+/// Prints the plan tree the engine would execute for one query — probe
+/// order with selectivity estimates, readahead budget, and per-shard
+/// feasibility / score bounds — without running it.
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_args(args)?;
     let [dir, query_path] = pos.as_slice() else {
         return Err(format!("explain needs <index-dir> <query>\n{USAGE}"));
     };
-    let mut rho = 0.25f64;
-    let mut pimp = 0.15f64;
+    let mut opts = QueryOptions::default();
+    let mut json = false;
     let mut pool_pages = 4096usize;
     for (name, v) in flags {
         match name {
-            "rho" => rho = parse(name, v)?,
-            "pimp" => pimp = parse(name, v)?,
+            "rho" => opts.rho = parse(name, v)?,
+            "pimp" => opts.p_imp = parse(name, v)?,
+            "top-k" => opts.top_k = Some(parse(name, v)?),
+            "plan" => opts.plan = parse_plan_mode(v)?,
+            "json" => json = true,
             "pool-pages" => pool_pages = parse(name, v)?,
+            "similarity" => opts.similarity = parse_similarity(v)?,
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -544,46 +710,15 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         return Err("query file holds no graphs".into());
     }
     let query = remap_query(&qdb, &tale.db());
-    let important =
-        tale_graph::centrality::select_important(&query, ImportanceMeasure::Degree, pimp);
-    println!(
-        "query: {} nodes / {} edges; {} important nodes at Pimp={pimp}, rho={rho}\n",
-        query.node_count(),
-        query.edge_count(),
-        important.len()
-    );
-    println!("node  degree  nbconn  keys-scanned  postings  rows-examined  candidates");
-    let mut totals = (0u64, 0u64, 0u64, 0u64);
-    for &n in &important {
-        let sig = tale.signature(&query, n, &|x| tale.db().effective_of_raw(query.label(x)));
-        let (hits, st) = tale.probe_with_stats(&sig, rho)?;
+    let report = tale.explain(&query, &opts);
+    if json {
         println!(
-            "{:>4}  {:>6}  {:>6}  {:>12}  {:>8}  {:>13}  {:>10}",
-            n.0,
-            sig.degree,
-            sig.nb_connection,
-            st.keys_scanned,
-            st.postings_fetched,
-            st.rows_examined,
-            hits.len()
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
         );
-        totals.0 += st.keys_scanned;
-        totals.1 += st.postings_fetched;
-        totals.2 += st.rows_examined;
-        totals.3 += hits.len() as u64;
+    } else {
+        print!("{}", report.render());
     }
-    println!(
-        "\ntotals: {} keys scanned, {} postings, {} rows examined, {} anchor candidates",
-        totals.0, totals.1, totals.2, totals.3
-    );
-    println!(
-        "pruning: {:.1}% of examined rows survived condition IV.3",
-        if totals.2 == 0 {
-            0.0
-        } else {
-            100.0 * totals.3 as f64 / totals.2 as f64
-        }
-    );
     Ok(())
 }
 
@@ -595,10 +730,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut opts = QueryOptions::default();
     let mut json = false;
     let mut want_stats = false;
+    let mut want_explain = false;
     let mut pool_pages = 4096usize;
     for (name, v) in flags {
         match name {
             "stats" => want_stats = true,
+            "explain" => want_explain = true,
             "pool-pages" => pool_pages = parse(name, v)?,
             "no-cache" => opts.use_cache = false,
             "format" => {
@@ -613,6 +750,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "top-k" => opts.top_k = Some(parse(name, v)?),
             "hops" => opts.hops = parse(name, v)?,
             "threads" => opts.threads = parse(name, v)?,
+            "plan" => opts.plan = parse_plan_mode(v)?,
             "importance" => {
                 opts.importance = match v {
                     "degree" => ImportanceMeasure::Degree,
@@ -623,14 +761,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown importance {other:?}")),
                 }
             }
-            "similarity" => {
-                opts.similarity = match v {
-                    "quality" => Arc::new(QualitySum),
-                    "nodes-edges" => Arc::new(MatchedNodesEdges),
-                    "ctree" => Arc::new(CTreeStyle),
-                    other => return Err(format!("unknown similarity {other:?}")),
-                }
-            }
+            "similarity" => opts.similarity = parse_similarity(v)?,
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -641,6 +772,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Err("query file holds no graphs".into());
     }
     let query = remap_query(&qdb, &tale.db());
+    let plan_report = want_explain.then(|| tale.explain(&query, &opts));
 
     let start = std::time::Instant::now();
     let (results, stats, shard_stats, skew) = tale.query_with_stats(&query, &opts)?;
@@ -648,16 +780,18 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if json {
         #[derive(serde::Serialize)]
         struct WithStats {
+            plan: Option<tale::PlanReport>,
             matches: Vec<tale::QueryMatch>,
-            stats: tale::QueryStats,
+            stats: Option<tale::QueryStats>,
             shards: Vec<ShardStats>,
             shard_skew: f64,
         }
-        let out = if want_stats {
+        let out = if want_stats || want_explain {
             serde_json::to_string_pretty(&WithStats {
+                plan: plan_report,
                 matches: results,
-                stats,
-                shards: shard_stats,
+                stats: want_stats.then_some(stats),
+                shards: if want_stats { shard_stats } else { Vec::new() },
                 shard_skew: skew,
             })
         } else {
@@ -666,6 +800,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         println!("{out}");
         return Ok(());
+    }
+    if let Some(report) = &plan_report {
+        print!("{}", report.render());
+        println!();
     }
     println!(
         "query: {} nodes, {} edges → {} matches in {:.3}s (ρ={}, Pimp={})",
@@ -727,6 +865,16 @@ fn print_query_stats(s: &tale::QueryStats) {
         println!(
             "  candidates       : {} nodes across {} graphs",
             s.candidates, s.candidate_graphs
+        );
+        println!(
+            "  planner          : est {} rows, {} shard(s) pruned{}",
+            s.est_rows,
+            s.shards_pruned,
+            if s.probes_reordered {
+                ", probes reordered"
+            } else {
+                ""
+            }
         );
     }
     println!(

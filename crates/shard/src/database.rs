@@ -298,6 +298,21 @@ impl ShardedTaleDatabase {
         )?)
     }
 
+    /// Describes — without executing — the plan the engine would choose
+    /// for `query` under `opts`: probe order with row estimates, the
+    /// readahead budget, and per-shard feasibility and score bounds from
+    /// each shard's statistics. Render with
+    /// [`tale::PlanReport::render`] or serialize to JSON.
+    pub fn explain(&self, query: &Graph, opts: &QueryOptions) -> tale::PlanReport {
+        let shard_refs: Vec<&dyn IndexReader> = self
+            .index
+            .shards()
+            .iter()
+            .map(|s| s as &dyn IndexReader)
+            .collect();
+        tale::engine::plan::plan_report(&self.db, &shard_refs, query, opts)
+    }
+
     /// Runs an approximate subgraph query, scattered over the shards.
     /// Results are bit-identical to [`tale::TaleDatabase::query`] on the
     /// same graphs.

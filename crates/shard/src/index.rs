@@ -13,7 +13,9 @@
 //! the sort+merge step — serial in a single-file build even with
 //! `parallel_build` on — is itself partitioned N ways.
 
-use crate::manifest::{vocab_fingerprint, ShardManifest, MANIFEST_SCHEMA_VERSION};
+use crate::manifest::{
+    vocab_fingerprint, ShardManifest, ShardStatsSummary, MANIFEST_SCHEMA_VERSION,
+};
 use crate::policy::{policy_by_name, ShardPolicy};
 use crate::{Result, ShardError};
 use std::path::{Path, PathBuf};
@@ -54,6 +56,18 @@ impl ShardBuildStats {
             max / mean
         }
     }
+}
+
+/// Manifest-embedded digests of every shard's statistics (observability
+/// only — the planner reads the live per-shard statistics instead).
+fn summarize_shards(shards: &[NhIndex]) -> Vec<ShardStatsSummary> {
+    shards
+        .iter()
+        .map(|sh| match sh.statistics() {
+            Some(s) => ShardStatsSummary::from(s.as_ref()),
+            None => ShardStatsSummary::default(),
+        })
+        .collect()
 }
 
 /// A partitioned NH-Index: one independent index file set per shard plus
@@ -162,6 +176,7 @@ impl ShardedNhIndex {
             policy: policy.name().to_owned(),
             assignment,
             vocab_fingerprints: vec![fp; nshards],
+            shard_stats: summarize_shards(&shards),
         };
         manifest.save(dir)?;
 
@@ -340,6 +355,7 @@ impl ShardedNhIndex {
         // fingerprints must match what `open` will recompute.
         let fp = vocab_fingerprint(db);
         self.manifest.vocab_fingerprints = vec![fp; self.shards.len()];
+        self.manifest.shard_stats = summarize_shards(&self.shards);
         self.manifest.save(&self.dir)?;
         Ok(())
     }

@@ -24,9 +24,12 @@
 //!   [`tale::BatchStats::shards`] (see [`tale::ShardStats`]).
 //!
 //! Graph placement is pluggable via [`ShardPolicy`]: hash-by-id
-//! ([`HashPolicy`], the default) or size-balanced ([`SizeBalancedPolicy`]).
-//! The shard map is persisted in a `shards.json` manifest
-//! ([`ShardManifest`]) next to the `shard-NNN/` index directories.
+//! ([`HashPolicy`], the default), size-balanced ([`SizeBalancedPolicy`]),
+//! or label-clustered ([`LabelClusteredPolicy`] — the one that lets the
+//! cost-based planner prove whole shards prunable for a query). The shard
+//! map is persisted in a `shards.json` manifest ([`ShardManifest`]) next
+//! to the `shard-NNN/` index directories, along with per-shard statistics
+//! summaries ([`ShardStatsSummary`]) for `tale-cli stats`.
 
 mod database;
 mod index;
@@ -35,8 +38,12 @@ mod policy;
 
 pub use database::{ShardedRecovery, ShardedTaleDatabase};
 pub use index::{ShardBuildStats, ShardedNhIndex};
-pub use manifest::{vocab_fingerprint, ShardManifest, MANIFEST_FILE, MANIFEST_SCHEMA_VERSION};
-pub use policy::{policy_by_name, HashPolicy, ShardPolicy, SizeBalancedPolicy};
+pub use manifest::{
+    vocab_fingerprint, ShardManifest, ShardStatsSummary, MANIFEST_FILE, MANIFEST_SCHEMA_VERSION,
+};
+pub use policy::{
+    policy_by_name, HashPolicy, LabelClusteredPolicy, ShardPolicy, SizeBalancedPolicy,
+};
 
 /// Errors surfaced by the sharding layer.
 #[derive(Debug)]

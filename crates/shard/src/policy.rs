@@ -111,11 +111,59 @@ impl ShardPolicy for SizeBalancedPolicy {
     }
 }
 
+/// Label-clustered placement: graphs sharing a dominant effective label
+/// land on the same shard.
+///
+/// A graph's *dominant label* is its most frequent effective node label
+/// (ties toward the smallest label id; empty graphs use label 0); the
+/// shard is `FNV-1a(dominant) mod N`. Deterministic and insert-stable —
+/// routing depends only on the graph's own labels, never on current
+/// loads — so a late insert lands where a full rebuild would put it.
+///
+/// This is the policy that gives the cost-based planner teeth: clustering
+/// makes per-shard label vocabularies *narrow*, so shard statistics can
+/// prove whole shards infeasible for a query (its labels absent there) or
+/// bound their best score far below the leaders'. Under hash placement
+/// every shard holds a slice of everything and no shard is ever prunable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LabelClusteredPolicy;
+
+/// Most frequent effective label of `gid`'s graph (smallest id on ties).
+fn dominant_label(db: &GraphDb, gid: GraphId) -> u32 {
+    let g = db.graph(gid);
+    let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for n in g.nodes() {
+        *counts.entry(db.effective_of_raw(g.label(n))).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(l, _)| l)
+        .unwrap_or(0)
+}
+
+impl ShardPolicy for LabelClusteredPolicy {
+    fn name(&self) -> &'static str {
+        "label-clustered"
+    }
+
+    fn assign(&self, db: &GraphDb, nshards: usize) -> Vec<u32> {
+        db.iter()
+            .map(|(gid, _, _)| (fnv1a_u32(dominant_label(db, gid)) % nshards as u64) as u32)
+            .collect()
+    }
+
+    fn route(&self, db: &GraphDb, gid: GraphId, loads: &[u64]) -> u32 {
+        (fnv1a_u32(dominant_label(db, gid)) % loads.len() as u64) as u32
+    }
+}
+
 /// Resolves a policy from its manifest name ([`ShardPolicy::name`]).
 pub fn policy_by_name(name: &str) -> Option<Box<dyn ShardPolicy>> {
     match name {
         "hash" => Some(Box::new(HashPolicy)),
         "size-balanced" => Some(Box::new(SizeBalancedPolicy)),
+        "label-clustered" => Some(Box::new(LabelClusteredPolicy)),
         _ => None,
     }
 }
@@ -182,11 +230,52 @@ mod tests {
     }
 
     #[test]
+    fn label_clustered_groups_by_dominant_label_and_routes_consistently() {
+        let mut db = GraphDb::new();
+        let a = db.intern_node_label("A");
+        let b = db.intern_node_label("B");
+        // two graphs dominated by A (one with a minority of B), one by B
+        for (name, labels) in [
+            ("a0", vec![a, a, a]),
+            ("a1", vec![a, a, b]),
+            ("b0", vec![b, b]),
+        ] {
+            let mut g = Graph::new_undirected();
+            for l in labels {
+                g.add_node(l);
+            }
+            db.insert(name, g);
+        }
+        let assignment = LabelClusteredPolicy.assign(&db, 4);
+        assert_eq!(assignment.len(), 3);
+        assert_eq!(assignment[0], assignment[1], "same dominant label");
+        // route agrees with assign for every graph, regardless of loads
+        for gid in 0..3u32 {
+            assert_eq!(
+                LabelClusteredPolicy.route(&db, GraphId(gid), &[9, 0, 0, 0]),
+                assignment[gid as usize]
+            );
+        }
+        // ties break toward the smallest label id: a 1-A 1-B graph is
+        // dominated by A
+        let mut g = Graph::new_undirected();
+        g.add_node(a);
+        g.add_node(b);
+        let gid = db.insert("tie", g);
+        let all = LabelClusteredPolicy.assign(&db, 4);
+        assert_eq!(all[gid.idx()], assignment[0]);
+    }
+
+    #[test]
     fn policy_lookup_by_name() {
         assert_eq!(policy_by_name("hash").unwrap().name(), "hash");
         assert_eq!(
             policy_by_name("size-balanced").unwrap().name(),
             "size-balanced"
+        );
+        assert_eq!(
+            policy_by_name("label-clustered").unwrap().name(),
+            "label-clustered"
         );
         assert!(policy_by_name("nope").is_none());
     }

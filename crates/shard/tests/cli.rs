@@ -146,8 +146,9 @@ fn explain_reports_probe_stats() {
         "1.0",
     ]);
     assert!(ok, "explain failed: {stderr}");
-    assert!(stdout.contains("keys-scanned"), "{stdout}");
-    assert!(stdout.contains("totals:"), "{stdout}");
+    assert!(stdout.contains("plan mode=cost"), "{stdout}");
+    assert!(stdout.contains("probe [node="), "{stdout}");
+    assert!(stdout.contains("est_rows="), "{stdout}");
 }
 
 #[test]
@@ -367,7 +368,7 @@ fn sharded_build_roundtrip_matches_single_index() {
     assert!(stdout.contains("shard 0: ok"), "{stdout}");
     assert!(stdout.contains("shard 1: ok"), "{stdout}");
 
-    // explain merges probe traffic over shards
+    // explain renders one plan subtree per shard
     let (ok, stdout, stderr) = run(&[
         "explain",
         sharded.to_str().unwrap(),
@@ -376,7 +377,9 @@ fn sharded_build_roundtrip_matches_single_index() {
         "1.0",
     ]);
     assert!(ok, "explain failed: {stderr}");
-    assert!(stdout.contains("totals:"), "{stdout}");
+    assert!(stdout.contains("scatter [shards=2"), "{stdout}");
+    assert!(stdout.contains("shard [shard=0"), "{stdout}");
+    assert!(stdout.contains("shard [shard=1"), "{stdout}");
 
     // add routes through the placement policy and stays queryable
     let more_path = dir.path().join("more.txt");

@@ -299,6 +299,20 @@ impl TaleDatabase {
         )
     }
 
+    /// Describes — without executing — the plan the engine would choose
+    /// for `query` under `opts`: probe order with row estimates, the
+    /// readahead budget, and per-reader feasibility and score bounds.
+    /// Render with [`PlanReport::render`](crate::PlanReport::render) or
+    /// serialize to JSON.
+    pub fn explain(&self, query: &Graph, opts: &QueryOptions) -> crate::PlanReport {
+        let snap = self.index.snapshot();
+        let db = self.db.read().clone();
+        let base = snap.base_reader();
+        let delta = snap.delta_reader();
+        let shards: [&dyn IndexReader; 2] = [&base, &delta];
+        crate::engine::plan::plan_report(&db, &shards, query, opts)
+    }
+
     /// Runs an approximate subgraph query (the full §V pipeline, staged
     /// through [`crate::engine`]).
     ///

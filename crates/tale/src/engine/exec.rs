@@ -1,6 +1,7 @@
-//! The exec stage: orchestrates plan → cache → probe → anchor/grow →
-//! rank for a whole batch, scattering work across index shards and worker
-//! threads and gathering with a deterministic index-ordered merge.
+//! The exec stage: consumes each query's [`QueryPlan`] and orchestrates
+//! cache → probe → anchor/grow → rank for a whole batch, scattering work
+//! across index shards and worker threads and gathering with a
+//! deterministic index-ordered merge.
 //!
 //! Batch semantics are exact: the output of [`run_batch`] is bit-identical
 //! to running each query alone through the same pipeline, at every thread
@@ -21,12 +22,42 @@
 //! score descending, graph id ascending — is a total order over matches
 //! (graph ids are unique per query), so merging the shards' disjoint
 //! partial lists in *any* order sorts to the same ranked output.
+//!
+//! ## Why cost planning cannot change results
+//!
+//! In [`PlanMode::Cost`] the executor may skip a `(unique query, shard)`
+//! execution entirely, substituting an empty partial list. Both prunes
+//! carry a proof:
+//!
+//! * **Infeasible shards.** A probe's range scan only visits keys with
+//!   the signature's label and degree ≥ its IV.2 lower bound; the shard's
+//!   statistics track the exact per-label max degree (they only ever
+//!   overestimate — see `tale_nhindex::stats`). If no probe signature is
+//!   feasible, every probe answers empty, no match task is ever spawned,
+//!   and the shard's partial is empty by construction.
+//! * **Top-K threshold.** Shards are visited sequentially in descending
+//!   score-bound order. A shard is skipped for a query only once the
+//!   query has gathered ≥ K results and the shard's score bound — an
+//!   upper bound on *any* score it could contribute, from the
+//!   label-equality matched-pairs bound (`SimilarityModel::score_upper_bound`)
+//!   — is **strictly** below the K-th score seen so far. The K-th score
+//!   of a subset never exceeds the K-th score of the full multiset, so
+//!   every skipped match would have sorted strictly below rank K and been
+//!   truncated; strictness keeps equal-score candidates (which could win
+//!   the graph-id tiebreak) alive.
+//!
+//! An infeasible prune's empty list is the shard's *true* pre-rank
+//! partial, so it is written to the result cache like an executed one. A
+//! threshold prune's is not (the shard could hold sub-threshold matches),
+//! so threshold-pruned partials are **never** cached.
+//!
+//! [`PlanMode::Cost`]: crate::params::PlanMode::Cost
 
 use crate::engine::cache::{self, CacheKey, QueryRepr, ResultCache};
 use crate::engine::plan::{plan_query, QueryPlan};
 use crate::engine::stats::{BatchStats, QueryStats, ShardStats, StageTimes};
 use crate::engine::{grow, probe};
-use crate::params::QueryOptions;
+use crate::params::{PlanMode, QueryOptions};
 use crate::result::QueryMatch;
 use crate::Result;
 use std::time::Instant;
@@ -50,13 +81,120 @@ struct UniqueTraffic {
 /// One shard's contribution to the batch, computed inside the scatter
 /// phase on that shard's thread(s).
 struct ShardOutcome {
-    /// Pre-rank partial match lists, aligned with the shard's `need` list.
+    /// The unique slots this shard actually executed (cache misses minus
+    /// planner prunes), in ascending order.
+    sel: Vec<usize>,
+    /// Pre-rank partial match lists, aligned with `sel`.
     partials: Vec<Vec<QueryMatch>>,
-    /// Per-executed-unique traffic, aligned with `need`.
+    /// Per-executed-unique traffic, aligned with `sel`.
     traffic: Vec<UniqueTraffic>,
     probes_requested: u64,
     probes_issued: u64,
     stats: ShardStats,
+}
+
+/// Probes + grows one shard's selected uniques — the scatter body, shared
+/// by the parallel (fixed-shape) and sequential (top-K threshold) paths.
+#[allow(clippy::too_many_arguments)]
+fn exec_shard(
+    db: &GraphDb,
+    index: &dyn IndexReader,
+    s: usize,
+    sel: Vec<usize>,
+    uniques: &[usize],
+    plans: &[QueryPlan],
+    queries: &[&Graph],
+    opts: &QueryOptions,
+    inner_threads: usize,
+) -> Result<ShardOutcome> {
+    let t_shard = Instant::now();
+    let counters_before = index.counters();
+    let pool_before = index.pool_stats();
+    let shard_plans: Vec<&QueryPlan> = sel.iter().map(|&u| &plans[uniques[u]]).collect();
+    // Readahead budget: the summed posting estimates of the plans this
+    // shard executes, when every plan has one (a hint — identity-safe at
+    // any value).
+    let prefetch_cap = if opts.plan == PlanMode::Cost {
+        shard_plans.iter().try_fold(0u64, |acc, p| {
+            p.prefetch_hint.map(|h| acc.saturating_add(h))
+        })
+    } else {
+        None
+    };
+    let t = Instant::now();
+    let probed = probe::run_probe(index, &shard_plans, opts.rho, inner_threads, prefetch_cap)?;
+    let probe_secs = t.elapsed().as_secs_f64();
+
+    // Match: anchor + grow per (query, candidate graph), flattened
+    // across this shard's queries. `parallel_map` returns in item
+    // order and items are (unique, sorted gid), so the per-query
+    // gather below is byte-identical to a serial per-query loop.
+    let t = Instant::now();
+    let mut items: Vec<(usize, u32)> = Vec::new();
+    for (lu, p) in probed.per_query.iter().enumerate() {
+        let mut gids: Vec<u32> = p.per_graph.keys().copied().collect();
+        gids.sort_unstable();
+        items.extend(gids.into_iter().map(|g| (lu, g)));
+    }
+    let matched: Vec<Option<QueryMatch>> =
+        tale_par::parallel_map(inner_threads, items.len(), |i| {
+            let (lu, gid) = items[i];
+            let qi = uniques[sel[lu]];
+            grow::match_one_graph(
+                db,
+                queries[qi],
+                &plans[qi].important,
+                gid,
+                &probed.per_query[lu].per_graph[&gid],
+                opts,
+            )
+        });
+    let match_secs = t.elapsed().as_secs_f64();
+    let match_items = items.len();
+    let mut out: Vec<Vec<QueryMatch>> = vec![Vec::new(); sel.len()];
+    for ((lu, _), m) in items.into_iter().zip(matched) {
+        if let Some(m) = m {
+            out[lu].push(m);
+        }
+    }
+    let traffic: Vec<UniqueTraffic> = probed
+        .per_query
+        .iter()
+        .map(|p| UniqueTraffic {
+            probes: p.probes,
+            probes_shared: p.probes_shared,
+            keys_scanned: p.keys_scanned,
+            postings_fetched: p.postings_fetched,
+            rows_examined: p.rows_examined,
+            candidates: p.candidates,
+            candidate_graphs: p.per_graph.len(),
+        })
+        .collect();
+    let counters = index.counters().since(counters_before);
+    let matches = out.iter().map(Vec::len).sum();
+    Ok(ShardOutcome {
+        stats: ShardStats {
+            shard: s,
+            uniques_executed: sel.len(),
+            probes: counters.probes,
+            keys_scanned: counters.keys_scanned,
+            postings_fetched: counters.postings_fetched,
+            rows_examined: counters.rows_examined,
+            candidates: traffic.iter().map(|t| t.candidates).sum(),
+            match_items,
+            matches,
+            pruned_uniques: 0, // patched by the caller, which owns the grid
+            pool: index.pool_stats().since(pool_before).into(),
+            probe_secs,
+            match_secs,
+            wall_secs: t_shard.elapsed().as_secs_f64(),
+        },
+        sel,
+        partials: out,
+        traffic,
+        probes_requested: probed.probes_requested,
+        probes_issued: probed.probes_issued,
+    })
 }
 
 /// Runs a batch of queries through the staged pipeline over one or more
@@ -85,12 +223,14 @@ pub fn run_batch(
         assert_eq!(c.len(), nshards, "one result cache per shard");
     }
     let threads = tale_par::effective_threads(opts.threads);
+    let cost = opts.plan == PlanMode::Cost;
 
-    // Plan: importance + signatures + canonical signature, per query. All
-    // shards share one scheme, so planning against shard 0 is exact.
+    // Plan: importance + signatures + canonical signature, plus — in cost
+    // mode — probe order, readahead budget, and per-shard feasibility and
+    // score bounds from the readers' statistics.
     let t = Instant::now();
     let plans: Vec<QueryPlan> = tale_par::parallel_map(threads, queries.len(), |i| {
-        plan_query(db, shards[0], queries[i], opts)
+        plan_query(db, shards, queries[i], opts)
     });
     let reprs: Vec<QueryRepr> = queries.iter().map(|q| cache::query_repr(db, q)).collect();
     let plan_secs = t.elapsed().as_secs_f64();
@@ -143,9 +283,35 @@ pub fn run_batch(
         .map(|p| p.iter().all(Option::is_some))
         .collect();
 
+    // Planner prune #1 — infeasible shards: statistics prove every probe
+    // of this unique answers empty on this shard, so its partial is
+    // empty without probing (see the module doc for the proof). Unlike a
+    // threshold prune, the empty list here *is* the shard's true pre-rank
+    // partial, so it may be cached — repeat queries then fully hit.
+    let mut pruned: Vec<Vec<bool>> = uniques.iter().map(|_| vec![false; nshards]).collect();
+    let mut shards_pruned = 0u64;
+    if cost {
+        for (u, &qi) in uniques.iter().enumerate() {
+            for s in 0..nshards {
+                if partials[u][s].is_none() {
+                    if let Some(sp) = plans[qi].shard_plans.get(s) {
+                        if sp.has_stats && sp.feasible_probes == 0 {
+                            if let Some(caches) = caches {
+                                caches[s].put(key_for(qi, s), reprs[qi].clone(), Vec::new());
+                            }
+                            partials[u][s] = Some(Vec::new());
+                            pruned[u][s] = true;
+                            shards_pruned += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     // Scatter: each shard probes + grows the uniques that missed its
     // cache, on its own slice of the thread budget. Per-shard traffic is
-    // exact — a shard's index is only touched by its own closure here.
+    // exact — a shard's index is only touched by its own execution here.
     let need: Vec<Vec<usize>> = (0..nshards)
         .map(|s| {
             (0..uniques.len())
@@ -153,105 +319,131 @@ pub fn run_batch(
                 .collect()
         })
         .collect();
-    let inner_threads = if nshards == 1 {
-        threads
-    } else {
-        (threads / nshards).max(1)
-    };
-    let outer_threads = threads.min(nshards).max(1);
-    let shard_runs: Vec<Result<ShardOutcome>> =
-        tale_par::parallel_map(outer_threads, nshards, |s| {
-            let t_shard = Instant::now();
-            let index = shards[s];
-            let counters_before = index.counters();
-            let pool_before = index.pool_stats();
-            let sel = &need[s];
-            let shard_plans: Vec<&QueryPlan> = sel.iter().map(|&u| &plans[uniques[u]]).collect();
-            let t = Instant::now();
-            let probed = probe::run_probe(index, &shard_plans, opts.rho, inner_threads)?;
-            let probe_secs = t.elapsed().as_secs_f64();
 
-            // Match: anchor + grow per (query, candidate graph), flattened
-            // across this shard's queries. `parallel_map` returns in item
-            // order and items are (unique, sorted gid), so the per-query
-            // gather below is byte-identical to a serial per-query loop.
-            let t = Instant::now();
-            let mut items: Vec<(usize, u32)> = Vec::new();
-            for (lu, p) in probed.per_query.iter().enumerate() {
-                let mut gids: Vec<u32> = p.per_graph.keys().copied().collect();
-                gids.sort_unstable();
-                items.extend(gids.into_iter().map(|g| (lu, g)));
+    // Planner prune #2 — the top-K threshold — needs shards visited
+    // sequentially (each visit tightens the thresholds for the next), so
+    // cost mode with a K and multiple shards trades scatter parallelism
+    // for pruning and gives each visit the full thread budget instead.
+    let threshold_k = match opts.top_k {
+        Some(k) if cost && nshards > 1 => Some(k),
+        _ => None,
+    };
+    let mut shard_outcomes: Vec<ShardOutcome>;
+    if let Some(k) = threshold_k {
+        let bound = |u: usize, s: usize| -> Option<f64> {
+            plans[uniques[u]]
+                .shard_plans
+                .get(s)
+                .and_then(|p| p.score_bound)
+        };
+        // Visit order: descending best-case bound over the shard's needed
+        // uniques (unbounded first), ties by shard index. Purely a
+        // heuristic — correctness only needs the strict-threshold rule.
+        let shard_key = |s: usize| -> f64 {
+            need[s]
+                .iter()
+                .map(|&u| bound(u, s).unwrap_or(f64::INFINITY))
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let mut order: Vec<usize> = (0..nshards).collect();
+        order.sort_by(|&a, &b| {
+            shard_key(b)
+                .partial_cmp(&shard_key(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        // Scores gathered so far per unique, seeded from cached and
+        // infeasible-pruned partials.
+        let mut scores: Vec<Vec<f64>> = partials
+            .iter()
+            .map(|per_shard| {
+                per_shard
+                    .iter()
+                    .flatten()
+                    .flat_map(|list| list.iter().map(|m| m.score))
+                    .collect()
+            })
+            .collect();
+        let kth = |v: &mut Vec<f64>| -> Option<f64> {
+            if k == 0 {
+                return Some(f64::INFINITY); // top-0: everything truncates
             }
-            let matched: Vec<Option<QueryMatch>> =
-                tale_par::parallel_map(inner_threads, items.len(), |i| {
-                    let (lu, gid) = items[i];
-                    let qi = uniques[sel[lu]];
-                    grow::match_one_graph(
-                        db,
-                        queries[qi],
-                        &plans[qi].important,
-                        gid,
-                        &probed.per_query[lu].per_graph[&gid],
-                        opts,
-                    )
-                });
-            let match_secs = t.elapsed().as_secs_f64();
-            let match_items = items.len();
-            let mut out: Vec<Vec<QueryMatch>> = vec![Vec::new(); sel.len()];
-            for ((lu, _), m) in items.into_iter().zip(matched) {
-                if let Some(m) = m {
-                    out[lu].push(m);
+            if v.len() < k {
+                return None;
+            }
+            v.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            Some(v[k - 1])
+        };
+        let mut outcomes: Vec<Option<ShardOutcome>> = (0..nshards).map(|_| None).collect();
+        for &s in &order {
+            let mut sel = Vec::with_capacity(need[s].len());
+            for &u in &need[s] {
+                let skip = match (kth(&mut scores[u]), bound(u, s)) {
+                    (Some(kth_score), Some(b)) => b < kth_score,
+                    _ => false,
+                };
+                if skip {
+                    partials[u][s] = Some(Vec::new());
+                    pruned[u][s] = true;
+                    shards_pruned += 1;
+                } else {
+                    sel.push(u);
                 }
             }
-            let traffic: Vec<UniqueTraffic> = probed
-                .per_query
-                .iter()
-                .map(|p| UniqueTraffic {
-                    probes: p.probes,
-                    probes_shared: p.probes_shared,
-                    keys_scanned: p.keys_scanned,
-                    postings_fetched: p.postings_fetched,
-                    rows_examined: p.rows_examined,
-                    candidates: p.candidates,
-                    candidate_graphs: p.per_graph.len(),
-                })
-                .collect();
-            let counters = index.counters().since(counters_before);
-            let matches = out.iter().map(Vec::len).sum();
-            Ok(ShardOutcome {
-                stats: ShardStats {
-                    shard: s,
-                    uniques_executed: sel.len(),
-                    probes: counters.probes,
-                    keys_scanned: counters.keys_scanned,
-                    postings_fetched: counters.postings_fetched,
-                    rows_examined: counters.rows_examined,
-                    candidates: traffic.iter().map(|t| t.candidates).sum(),
-                    match_items,
-                    matches,
-                    pool: index.pool_stats().since(pool_before).into(),
-                    probe_secs,
-                    match_secs,
-                    wall_secs: t_shard.elapsed().as_secs_f64(),
-                },
-                partials: out,
-                traffic,
-                probes_requested: probed.probes_requested,
-                probes_issued: probed.probes_issued,
-            })
-        });
-    let mut shard_outcomes: Vec<ShardOutcome> = Vec::with_capacity(nshards);
-    for r in shard_runs {
-        shard_outcomes.push(r?);
+            let outcome = exec_shard(
+                db, shards[s], s, sel, &uniques, &plans, queries, opts, threads,
+            )?;
+            for (lu, &u) in outcome.sel.iter().enumerate() {
+                scores[u].extend(outcome.partials[lu].iter().map(|m| m.score));
+            }
+            outcomes[s] = Some(outcome);
+        }
+        shard_outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard visited"))
+            .collect();
+    } else {
+        let inner_threads = if nshards == 1 {
+            threads
+        } else {
+            (threads / nshards).max(1)
+        };
+        let outer_threads = threads.min(nshards).max(1);
+        let shard_runs: Vec<Result<ShardOutcome>> =
+            tale_par::parallel_map(outer_threads, nshards, |s| {
+                exec_shard(
+                    db,
+                    shards[s],
+                    s,
+                    need[s].clone(),
+                    &uniques,
+                    &plans,
+                    queries,
+                    opts,
+                    inner_threads,
+                )
+            });
+        shard_outcomes = Vec::with_capacity(nshards);
+        for r in shard_runs {
+            shard_outcomes.push(r?);
+        }
+    }
+    for (s, o) in shard_outcomes.iter_mut().enumerate() {
+        o.stats.pruned_uniques = pruned.iter().filter(|p| p[s]).count();
     }
 
     // Gather + rank: store fresh partials, merge each unique's disjoint
     // shard lists, sort by (score desc, graph id asc) — a total order, so
-    // merge order is irrelevant — and truncate to top_k.
+    // merge order is irrelevant — and truncate to top_k. Only genuinely
+    // executed partials are cached (a pruned substitute is not the
+    // shard's true pre-rank list).
     let t = Instant::now();
     let mut unique_traffic: Vec<UniqueTraffic> = vec![UniqueTraffic::default(); uniques.len()];
+    let mut executed_any: Vec<bool> = vec![false; uniques.len()];
     for (s, out) in shard_outcomes.iter_mut().enumerate() {
-        for (lu, &u) in need[s].iter().enumerate() {
+        let sel = std::mem::take(&mut out.sel);
+        for (lu, &u) in sel.iter().enumerate() {
+            executed_any[u] = true;
             let list = std::mem::take(&mut out.partials[lu]);
             if let Some(caches) = caches {
                 caches[s].put(
@@ -271,12 +463,13 @@ pub fn run_batch(
             agg.candidate_graphs += t.candidate_graphs;
             partials[u][s] = Some(list);
         }
+        out.sel = sel;
     }
     let mut unique_results: Vec<Vec<QueryMatch>> = Vec::with_capacity(uniques.len());
     for per_shard in partials {
         let mut all: Vec<QueryMatch> = Vec::new();
         for p in per_shard {
-            all.extend(p.expect("every shard answered or was cached"));
+            all.extend(p.expect("every shard answered, was cached, or was pruned"));
         }
         all.sort_by(|a, b| {
             b.score
@@ -343,18 +536,28 @@ pub fn run_batch(
             candidate_graphs: tr.candidate_graphs,
             matches: results.len(),
             cache_hit: hit,
+            est_rows: plans[i].total_est_rows(),
+            shards_pruned: pruned[u].iter().filter(|&&p| p).count(),
+            probes_reordered: plans[i].is_reordered(),
             stages,
             pool,
         });
         outputs.push(results);
     }
 
+    let probes_reordered = uniques
+        .iter()
+        .enumerate()
+        .filter(|&(u, &qi)| executed_any[u] && plans[qi].is_reordered())
+        .count() as u64;
     let batch = BatchStats {
         queries: queries.len(),
         cache_hits,
         unique_queries: fully_cached.iter().filter(|&&h| !h).count(),
         probes_requested: shard_outcomes.iter().map(|o| o.probes_requested).sum(),
         probes_issued: shard_outcomes.iter().map(|o| o.probes_issued).sum(),
+        shards_pruned,
+        probes_reordered,
         stages,
         pool,
         shards: shard_stats,

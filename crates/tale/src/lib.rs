@@ -42,11 +42,11 @@ mod result;
 mod scratch;
 
 pub use database::TaleDatabase;
-pub use engine::cache::{options_fingerprint, CacheStats, DEFAULT_CACHE_ENTRIES};
-pub use engine::plan::canonical_signature;
+pub use engine::cache::{options_fingerprint, CacheStats, DEFAULT_CACHE_ENTRIES, PLAN_VERSION};
+pub use engine::plan::{canonical_signature, PlanNode, PlanReport, ProbeReport, ShardPlan};
 pub use engine::stats::{BatchStats, PoolDelta, QueryStats, ShardStats, StageTimes};
 pub use journal::DbRecovery;
-pub use params::{QueryOptions, TaleParams};
+pub use params::{PlanMode, QueryOptions, TaleParams};
 pub use result::QueryMatch;
 pub use scratch::ScratchDir;
 pub use tale_graph::centrality::ImportanceMeasure;
