@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|plan|cold|mvcc|all] [--threads N]
+//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|serve|plan|cold|mvcc|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -19,6 +19,7 @@ use tale_bench::experiments::mvcc::run_mvcc;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
 use tale_bench::experiments::plan::run_plan;
 use tale_bench::experiments::saga::run_saga;
+use tale_bench::experiments::serve::run_serve;
 use tale_bench::experiments::shard::run_shard;
 use tale_bench::experiments::speedup::{run_batch_speedup, run_speedup};
 use tale_bench::experiments::table1::run_table1;
@@ -57,6 +58,7 @@ fn main() {
             shard(scale);
         }
         "shard" => shard(scale),
+        "serve" => serve_exp(scale),
         "plan" => plan(scale),
         "cold" => cold(scale),
         "mvcc" => mvcc(scale),
@@ -74,13 +76,14 @@ fn main() {
             pimp(scale);
             speedup(scale);
             shard(scale);
+            serve_exp(scale);
             plan(scale);
             cold(scale);
             mvcc(scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|plan|cold|mvcc|crash|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|serve|plan|cold|mvcc|crash|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -258,6 +261,82 @@ fn shard(scale: Scale) {
     }
     if let Some(path) = shard_json_arg() {
         write_json(&path, &r, "shard report");
+    }
+}
+
+/// `--serve-json PATH` from argv: where to write `BENCH_serve.json`
+/// (`None` = don't).
+fn serve_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--serve-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// `--qps F` / `--requests N` from argv: the offered load for E-SERVE.
+fn load_args() -> (f64, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let qps = args
+        .iter()
+        .position(|a| a == "--qps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let requests = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    (qps, requests)
+}
+
+fn serve_exp(scale: Scale) {
+    let (qps, requests) = load_args();
+    println!("\n## E-SERVE — the networked service under open-loop Poisson load\n");
+    println!("real loopback deployment: one tale-server worker per shard plus a");
+    println!("scatter/gather frontend, all over the versioned TCP wire protocol.");
+    println!("Arrivals are open-loop Poisson (`--qps F`, `--requests N`), so");
+    println!("queueing shows up in the latency tail instead of throttling the");
+    println!("generator. Served answers are checked bit-identical to the");
+    println!("in-process sharded database; sheds are explicit `overloaded`");
+    println!("refusals, never silent drops.\n");
+    let r = run_serve(seed(), scale, 2, qps, requests);
+    println!(
+        "db: {} graphs on {} shards; {} distinct queries; {} cores\n",
+        r.graphs, r.shards, r.queries, r.cores
+    );
+    println!("| offered qps | achieved qps | ok | shed | failed | p50 (ms) | p99 (ms) | max (ms) | identical |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| {:.1} | {:.1} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {} |",
+        r.target_qps,
+        r.achieved_qps,
+        r.ok,
+        r.shed,
+        r.failed,
+        r.p50_ms,
+        r.p99_ms,
+        r.max_ms,
+        if r.identical { "yes" } else { "NO" }
+    );
+    println!(
+        "\nfrontend: {} conns accepted, {} requests shed, queue HWM {}, {} B in / {} B out",
+        r.frontend.conns_accepted,
+        r.frontend.requests_shed,
+        r.frontend.queue_depth_hwm,
+        r.frontend.bytes_in,
+        r.frontend.bytes_out
+    );
+    for (i, w) in r.workers.iter().enumerate() {
+        println!(
+            "worker {i}: {} queries, inflight HWM {}, {} B in / {} B out",
+            w.requests_query, w.inflight_hwm, w.bytes_in, w.bytes_out
+        );
+    }
+    if let Some(path) = serve_json_arg() {
+        write_json(&path, &r, "serve report");
     }
 }
 

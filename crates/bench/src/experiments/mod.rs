@@ -13,6 +13,7 @@ pub mod mvcc;
 pub mod pimp;
 pub mod plan;
 pub mod saga;
+pub mod serve;
 pub mod shard;
 pub mod speedup;
 pub mod table1;

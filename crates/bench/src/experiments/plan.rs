@@ -196,7 +196,7 @@ pub fn run_plan(seed: u64, scale: Scale, threads: usize, nshards: usize) -> Plan
     // queries at the BIND default Pimp=0.15 select a single important
     // node, so raise the fraction to two.
     base_opts.p_imp = 0.3;
-    let mut pass = |mode: PlanMode| {
+    let pass = |mode: PlanMode| {
         let opts = base_opts.clone().with_plan(mode);
         let ((results, stats), wall_secs) = timed(|| {
             sharded

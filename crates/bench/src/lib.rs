@@ -19,6 +19,7 @@ pub use experiments::kegg::{run_kegg, KeggExpReport};
 pub use experiments::pimp::{run_pimp, PimpRow};
 pub use experiments::plan::{run_plan, PlanExpReport};
 pub use experiments::saga::{run_saga, SagaRow};
+pub use experiments::serve::{run_serve, ServeReport};
 pub use experiments::table1::{run_table1, Table1Row};
 pub use experiments::table2::{run_table2, Table2Row};
 pub use experiments::table3::{run_table3_fig6, Fig6Cell, Table3Fig6Report, Table3Row};

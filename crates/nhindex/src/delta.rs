@@ -4,7 +4,7 @@
 //! Under MVCC (see [`crate::mvcc`]) the on-disk generation is immutable;
 //! graphs inserted since it was built live here instead. The overlay is
 //! extracted with the *same* code path as the disk index
-//! ([`NhIndex::extract_graph`] under the base generation's scheme) and
+//! (`NhIndex::extract_graph` under the base generation's scheme) and
 //! grouped into the same [`Posting`] structure, but the postings stay in
 //! a sorted in-memory vector instead of B+-tree-addressed blobs. Probing
 //! replicates the disk probe exactly — range scan over composite keys

@@ -18,7 +18,7 @@
 //!
 //! ## Readers never block on writers
 //!
-//! All shared state lives in one immutable [`MvccState`] behind an
+//! All shared state lives in one immutable `MvccState` behind an
 //! `RwLock<Arc<_>>` that is only ever held for the duration of a pointer
 //! clone/swap. A reader entering a query takes a [`Snapshot`] (one Arc
 //! clone) and runs to completion against it: the base generation it pins
@@ -143,7 +143,7 @@ struct MvccState {
     delta_epoch: u64,
 }
 
-/// A reader's pin on one [`MvccState`]. Cheap to clone (Arc). Queries
+/// A reader's pin on one `MvccState`. Cheap to clone (Arc). Queries
 /// hold one for their whole run; the pinned generation and overlay are
 /// immutable, so answers are bit-identical to the database as it stood
 /// at pin time regardless of concurrent writers.

@@ -73,7 +73,7 @@ pub struct LabelStats {
     /// Largest unit degree seen for this label — the feasibility bound.
     pub max_degree: u32,
     /// Log₂ degree histogram: `degree_buckets[i]` counts units whose
-    /// degree falls in bucket `i` (see [`bucket_hi`]).
+    /// degree falls in bucket `i` (see `bucket_hi`).
     pub degree_buckets: Vec<u64>,
 }
 
@@ -389,7 +389,7 @@ mod tests {
         assert_eq!(s.estimate_rows(0, 0), 3);
         // deg_min 3 excludes at least the degree-1 bucket
         let est3 = s.estimate_rows(0, 3);
-        assert!(est3 >= 2 && est3 <= 3);
+        assert!((2..=3).contains(&est3));
         assert_eq!(s.estimate_rows(7, 0), 0);
         assert!(s.estimate_postings(0, 0) >= 1);
     }

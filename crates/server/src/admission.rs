@@ -1,0 +1,294 @@
+//! Admission control: a bounded in-flight gate with a bounded wait
+//! queue and explicit load shedding.
+//!
+//! The state machine a request walks through:
+//!
+//! ```text
+//!            arrive
+//!              │
+//!        inflight < max? ──yes──► EXECUTE (holds a Permit)
+//!              │no
+//!        queued < max_queue? ──no──► SHED (Overloaded response)
+//!              │yes
+//!            WAIT (condvar, bounded by the request deadline)
+//!              │
+//!       permit freed before deadline? ──no──► DEADLINE_EXCEEDED
+//!              │yes
+//!           EXECUTE
+//! ```
+//!
+//! Shedding is always an explicit typed refusal — the caller turns
+//! [`AdmissionOutcome::Overloaded`] into a wire `Overloaded` response —
+//! never a silent drop or an unbounded queue. `max_inflight` is sized
+//! against the I/O pool feeding the index (see
+//! [`GateConfig::for_io_workers`]): admitting more concurrent batches
+//! than the pool has workers only grows queueing *inside* the engine,
+//! where the wait can't be bounded or shed.
+
+use crate::counters::ServerCounters;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gate sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Requests allowed to execute simultaneously.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a permit; arrivals beyond this shed.
+    pub max_queue: usize,
+}
+
+impl GateConfig {
+    /// Sizes the gate against the index's I/O pool: as many concurrent
+    /// batches as there are I/O workers (min 2 so a slow batch can't
+    /// serialize the server), and a wait queue twice as deep.
+    pub fn for_io_workers(io_workers: usize) -> GateConfig {
+        let max_inflight = io_workers.max(2);
+        GateConfig {
+            max_inflight,
+            max_queue: max_inflight * 2,
+        }
+    }
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig::for_io_workers(4)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// The gate. Clone-cheap via `Arc` at the call sites that need it.
+pub struct AdmissionGate {
+    cfg: GateConfig,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+/// What happened to an arrival.
+pub enum AdmissionOutcome {
+    /// Admitted; the permit returns its slot on drop.
+    Admitted(Permit),
+    /// Shed: queue full. The message names the limits for the client.
+    Overloaded(String),
+    /// The request's deadline expired while waiting for a permit.
+    DeadlineExceeded,
+}
+
+/// RAII execution slot. Dropping it frees the slot and wakes one waiter.
+pub struct Permit {
+    gate: Arc<AdmissionGate>,
+    counters: Arc<ServerCounters>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock();
+        st.inflight -= 1;
+        self.gate.freed.notify_one();
+        drop(st);
+        self.counters.exit_inflight();
+    }
+}
+
+impl AdmissionGate {
+    /// Builds a gate with the given limits.
+    pub fn new(cfg: GateConfig) -> Arc<AdmissionGate> {
+        Arc::new(AdmissionGate {
+            cfg,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> GateConfig {
+        self.cfg
+    }
+
+    /// Current queue depth (for health reporting).
+    pub fn queued(&self) -> usize {
+        self.state.lock().queued
+    }
+
+    /// Tries to admit a request, waiting at most until `deadline` (or
+    /// indefinitely if `None`) when the gate is full but the queue has
+    /// room. Updates shed/queue/inflight counters on `counters`.
+    pub fn admit(
+        self: &Arc<Self>,
+        deadline: Option<Instant>,
+        counters: &Arc<ServerCounters>,
+    ) -> AdmissionOutcome {
+        let mut st = self.state.lock();
+        if st.inflight < self.cfg.max_inflight {
+            st.inflight += 1;
+            drop(st);
+            counters.enter_inflight();
+            return AdmissionOutcome::Admitted(Permit {
+                gate: Arc::clone(self),
+                counters: Arc::clone(counters),
+            });
+        }
+        if st.queued >= self.cfg.max_queue {
+            drop(st);
+            counters
+                .requests_shed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return AdmissionOutcome::Overloaded(format!(
+                "{} in flight, {} queued (limits: {} in flight, {} queued)",
+                self.cfg.max_inflight,
+                self.cfg.max_queue,
+                self.cfg.max_inflight,
+                self.cfg.max_queue
+            ));
+        }
+        st.queued += 1;
+        counters.enter_queue();
+        let admitted = loop {
+            if st.inflight < self.cfg.max_inflight {
+                break true;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break false;
+                    }
+                    if self.freed.wait_for(&mut st, d - now).timed_out()
+                        && st.inflight >= self.cfg.max_inflight
+                    {
+                        break false;
+                    }
+                }
+                None => self.freed.wait(&mut st),
+            }
+        };
+        st.queued -= 1;
+        if admitted {
+            st.inflight += 1;
+        } else {
+            // Someone else may still be waiting on a slot we were
+            // notified about but couldn't use in time.
+            self.freed.notify_one();
+        }
+        drop(st);
+        counters.exit_queue();
+        if admitted {
+            counters.enter_inflight();
+            AdmissionOutcome::Admitted(Permit {
+                gate: Arc::clone(self),
+                counters: Arc::clone(counters),
+            })
+        } else {
+            counters
+                .requests_deadline_exceeded
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            AdmissionOutcome::DeadlineExceeded
+        }
+    }
+}
+
+/// Remaining time budget, as an absolute deadline, from a wire
+/// `deadline_ms` field decoded at `received`.
+pub fn deadline_from_ms(received: Instant, deadline_ms: Option<u64>) -> Option<Instant> {
+    deadline_ms.map(|ms| received + Duration::from_millis(ms))
+}
+
+/// Converts an absolute deadline back into a forwardable `deadline_ms`
+/// budget. `Some(0)` means "already expired" — the receiver will refuse.
+pub fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
+    deadline.map(|d| {
+        let now = Instant::now();
+        if d <= now {
+            0
+        } else {
+            (d - now).as_millis() as u64
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> Arc<ServerCounters> {
+        Arc::new(ServerCounters::new())
+    }
+
+    #[test]
+    fn admits_up_to_max_then_sheds_past_queue() {
+        let gate = AdmissionGate::new(GateConfig {
+            max_inflight: 2,
+            max_queue: 0,
+        });
+        let c = counters();
+        let p1 = match gate.admit(None, &c) {
+            AdmissionOutcome::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        let _p2 = match gate.admit(None, &c) {
+            AdmissionOutcome::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        // full + zero queue ⇒ immediate shed
+        assert!(matches!(
+            gate.admit(Some(Instant::now()), &c),
+            AdmissionOutcome::Overloaded(_)
+        ));
+        assert_eq!(c.snapshot().requests_shed, 1);
+        drop(p1);
+        assert!(matches!(
+            gate.admit(None, &c),
+            AdmissionOutcome::Admitted(_)
+        ));
+    }
+
+    #[test]
+    fn queued_request_times_out_at_deadline() {
+        let gate = AdmissionGate::new(GateConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let c = counters();
+        let _held = match gate.admit(None, &c) {
+            AdmissionOutcome::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        let t0 = Instant::now();
+        let out = gate.admit(Some(t0 + Duration::from_millis(30)), &c);
+        assert!(matches!(out, AdmissionOutcome::DeadlineExceeded));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(c.snapshot().requests_deadline_exceeded, 1);
+        assert_eq!(c.snapshot().queue_depth_hwm, 1);
+    }
+
+    #[test]
+    fn queued_request_admitted_when_slot_frees() {
+        let gate = AdmissionGate::new(GateConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let c = counters();
+        let held = match gate.admit(None, &c) {
+            AdmissionOutcome::Admitted(p) => p,
+            _ => panic!("expected admit"),
+        };
+        let gate2 = Arc::clone(&gate);
+        let c2 = Arc::clone(&c);
+        let waiter = std::thread::spawn(move || {
+            matches!(
+                gate2.admit(Some(Instant::now() + Duration::from_secs(5)), &c2),
+                AdmissionOutcome::Admitted(_)
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -14,6 +14,7 @@
 //!          [--no-cache] [--pool-pages N]
 //! tale-cli verify <index-dir>
 //! tale-cli recover <index-dir>
+//! tale-cli server-stats <host:port> [--json]
 //! ```
 //!
 //! Every command that opens an existing index accepts `--pool-pages N`
@@ -43,6 +44,7 @@ use tale_graph::{Graph, GraphDb, GraphId, NodeId};
 use tale_nhindex::{
     IndexReader, IndexStatistics, NeighborArrayScheme, NodeCandidate, ProbeStats, QuerySignature,
 };
+use tale_server::wire;
 use tale_shard::{policy_by_name, ShardManifest, ShardedTaleDatabase};
 
 fn main() -> ExitCode {
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
         Some("generations") => cmd_generations(&args[1..]),
         Some("fold") => cmd_fold(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("server-stats") => cmd_server_stats(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -89,6 +92,7 @@ usage:
            [--top-k N] [--importance MEASURE] [--hops N] [--similarity MODEL]
            [--threads N] [--plan fixed|cost] [--explain] [--format text|json]
            [--stats] [--no-cache] [--pool-pages N]
+  tale-cli server-stats <host:port> [--json]
 
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
@@ -115,6 +119,9 @@ generations: show the generational index's on-disk generations, pinned
           readers, unfolded delta size and tombstone count
 fold:     build the in-memory delta + tombstones into a fresh on-disk
           generation and atomically flip to it (readers never block)
+server-stats: fetch a running tale-server's counters (worker or
+          frontend) over the wire and pretty-print them; --json dumps
+          the raw snapshot
 ";
 
 /// A database handle that is either a single-index [`TaleDatabase`] or a
@@ -1101,6 +1108,80 @@ fn cmd_fold(args: &[String]) -> Result<(), String> {
         report.new_generation,
         start.elapsed().as_secs_f64()
     );
+    Ok(())
+}
+
+fn cmd_server_stats(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_args(args)?;
+    let [addr] = pos.as_slice() else {
+        return Err(format!("server-stats needs <host:port>\n{USAGE}"));
+    };
+    let mut json = false;
+    for (name, _) in &flags {
+        match *name {
+            "json" => json = true,
+            other => return Err(format!("unknown flag --{other}\n{USAGE}")),
+        }
+    }
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad server address {addr:?}"))?;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    wire::write_request(
+        &mut stream,
+        &wire::Request::Stats(wire::StatsRequest { reserved: false }),
+    )
+    .map_err(|e| format!("sending stats request: {e}"))?;
+    let s = match wire::read_response(&mut stream) {
+        Ok(Some((wire::Response::Stats(s), _))) => s.server,
+        Ok(Some((wire::Response::Error(e), _))) => {
+            return Err(format!("server error [{}]: {}", e.code, e.message))
+        }
+        Ok(other) => return Err(format!("unexpected answer: {other:?}")),
+        Err(e) => return Err(format!("reading stats response: {e}")),
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("server {addr} (up {:.1}s)", s.uptime_secs);
+    println!("connections:");
+    println!("  accepted             {:>12}", s.conns_accepted);
+    println!("  active               {:>12}", s.conns_active);
+    println!("  shed (budget full)   {:>12}", s.conns_shed);
+    println!("admission:");
+    println!("  requests shed        {:>12}", s.requests_shed);
+    println!(
+        "  deadline exceeded    {:>12}",
+        s.requests_deadline_exceeded
+    );
+    println!("  in flight now        {:>12}", s.requests_inflight);
+    println!("  queued now           {:>12}", s.requests_queued);
+    println!("  in-flight high-water {:>12}", s.inflight_hwm);
+    println!("  queue-depth high-water {:>10}", s.queue_depth_hwm);
+    println!("traffic:");
+    println!("  bytes in             {:>12}", s.bytes_in);
+    println!("  bytes out            {:>12}", s.bytes_out);
+    println!("requests by endpoint:");
+    for (name, n) in [
+        ("hello", s.requests_hello),
+        ("query", s.requests_query),
+        ("insert", s.requests_insert),
+        ("remove", s.requests_remove),
+        ("fold", s.requests_fold),
+        ("stats", s.requests_stats),
+        ("health", s.requests_health),
+        ("explain", s.requests_explain),
+    ] {
+        println!("  {name:<8} {:>12}", n);
+    }
     Ok(())
 }
 

@@ -1,0 +1,182 @@
+//! `tale-server` — serve an NH-indexed graph database over TCP.
+//!
+//! ```text
+//! tale-server shard --dir <index-dir> --shard N [--addr HOST:PORT]
+//!             [--frames N] [--io-workers N] [--prefetch N]
+//!             [--max-connections N] [--max-inflight N] [--max-queue N]
+//! tale-server frontend --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!             [--max-inflight N] [--max-queue N]
+//! ```
+//!
+//! A **shard worker** serves one `shard-NNN/` of a database built with
+//! `tale-cli build --shards N`: `--dir` is the database root (the
+//! directory holding `graphs.json` and `shards.json`), `--shard` the
+//! ordinal to serve. A **frontend** fans client batches out to the
+//! listed workers — one address per shard, in shard order — and merges
+//! their partials bit-identically to in-process execution.
+//!
+//! Both print the bound address on the first stdout line (`listening
+//! HOST:PORT`) so scripts can pass `--addr 127.0.0.1:0` and read the
+//! chosen port. See DESIGN.md §15 and the README's "Running as a
+//! service" for a loopback quick-start.
+
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use tale_server::admission::GateConfig;
+use tale_server::engine::{EngineConfig, ShardEngine};
+use tale_server::transport::{RemoteConfig, RemoteTransport, ShardTransport};
+use tale_server::worker::{serve, serve_shard, WorkerConfig};
+use tale_server::{Frontend, FrontendConfig};
+
+const USAGE: &str = "usage:
+  tale-server shard --dir <index-dir> --shard N [--addr HOST:PORT]
+              [--frames N] [--io-workers N] [--prefetch N]
+              [--max-connections N] [--max-inflight N] [--max-queue N]
+  tale-server frontend --shards HOST:PORT,... [--addr HOST:PORT]
+              [--max-inflight N] [--max-queue N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("frontend") => cmd_frontend(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tale-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flags_of(args: &[String]) -> Result<Vec<(&str, &str)>, String> {
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let name = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}\n{USAGE}", args[i]))?;
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.push((name, v.as_str()));
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("bad value {v:?} for --{name}"))
+}
+
+fn gate_of(
+    max_inflight: Option<usize>,
+    max_queue: Option<usize>,
+    default: GateConfig,
+) -> GateConfig {
+    let max_inflight = max_inflight.unwrap_or(default.max_inflight);
+    GateConfig {
+        max_inflight,
+        max_queue: max_queue.unwrap_or(max_inflight * 2),
+    }
+}
+
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut shard: Option<u32> = None;
+    let mut addr: SocketAddr = "127.0.0.1:7411".parse().expect("literal addr");
+    let mut engine_cfg = EngineConfig::default();
+    let mut max_connections = WorkerConfig::default().max_connections;
+    let mut max_inflight = None;
+    let mut max_queue = None;
+    for (name, v) in flags_of(args)? {
+        match name {
+            "dir" => dir = Some(v.to_owned()),
+            "shard" => shard = Some(parse(name, v)?),
+            "addr" => addr = parse(name, v)?,
+            "frames" => engine_cfg.buffer_frames = parse(name, v)?,
+            "io-workers" => engine_cfg.io_workers = parse(name, v)?,
+            "prefetch" => engine_cfg.prefetch_pages = parse(name, v)?,
+            "max-connections" => max_connections = parse(name, v)?,
+            "max-inflight" => max_inflight = Some(parse(name, v)?),
+            "max-queue" => max_queue = Some(parse(name, v)?),
+            other => return Err(format!("unknown flag --{other}\n{USAGE}")),
+        }
+    }
+    let dir = dir.ok_or_else(|| format!("shard needs --dir\n{USAGE}"))?;
+    let shard = shard.ok_or_else(|| format!("shard needs --shard\n{USAGE}"))?;
+    let io_workers = engine_cfg.io_workers;
+    let engine = ShardEngine::open(Path::new(&dir), shard, engine_cfg)
+        .map_err(|e| format!("opening shard {shard} of {dir}: {e}"))?;
+    let cfg = WorkerConfig {
+        max_connections,
+        gate: gate_of(
+            max_inflight,
+            max_queue,
+            GateConfig::for_io_workers(io_workers),
+        ),
+    };
+    let mut handle =
+        serve_shard(Arc::new(engine), addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("listening {}", handle.addr());
+    eprintln!(
+        "serving shard {shard} of {dir} ({} in flight, {} queued, {} connections)",
+        cfg.gate.max_inflight, cfg.gate.max_queue, cfg.max_connections
+    );
+    handle.wait();
+    Ok(())
+}
+
+fn cmd_frontend(args: &[String]) -> Result<(), String> {
+    let mut shards: Option<String> = None;
+    let mut addr: SocketAddr = "127.0.0.1:7410".parse().expect("literal addr");
+    let mut max_inflight = None;
+    let mut max_queue = None;
+    for (name, v) in flags_of(args)? {
+        match name {
+            "shards" => shards = Some(v.to_owned()),
+            "addr" => addr = parse(name, v)?,
+            "max-inflight" => max_inflight = Some(parse(name, v)?),
+            "max-queue" => max_queue = Some(parse(name, v)?),
+            other => return Err(format!("unknown flag --{other}\n{USAGE}")),
+        }
+    }
+    let shards = shards.ok_or_else(|| format!("frontend needs --shards\n{USAGE}"))?;
+    let mut transports: Vec<Arc<dyn ShardTransport>> = Vec::new();
+    for (i, part) in shards.split(',').enumerate() {
+        let worker_addr: SocketAddr = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard address {part:?}"))?;
+        transports.push(RemoteTransport::new(
+            worker_addr,
+            i as u32,
+            RemoteConfig::default(),
+        ));
+    }
+    let cfg = FrontendConfig {
+        gate: gate_of(max_inflight, max_queue, GateConfig::default()),
+        ..FrontendConfig::default()
+    };
+    let nshards = transports.len();
+    let frontend =
+        Frontend::new(transports, cfg).map_err(|e| format!("connecting to workers: {e}"))?;
+    let mut handle = serve(Arc::new(frontend), addr, WorkerConfig::default())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("listening {}", handle.addr());
+    eprintln!(
+        "frontend over {nshards} shard(s) ({} in flight, {} queued)",
+        cfg.gate.max_inflight, cfg.gate.max_queue
+    );
+    handle.wait();
+    Ok(())
+}

@@ -1,0 +1,340 @@
+//! [`ShardEngine`]: one shard's slice of a sharded TALE database,
+//! wrapped for serving.
+//!
+//! A worker process owns exactly one shard of a database built by
+//! `ShardedTaleDatabase::build` (or `tale-cli build --shards N`): the
+//! shared `graphs.json` + `shards.json` at the root, and its own
+//! `shard-NNN/` NH-Index directory. Queries run the *complete* engine
+//! pipeline via `exec::run_batch` with a single reader — the N=1 case of
+//! the scatter/gather the in-process sharded database uses — so each
+//! worker's partials are ranked exactly as a local run would rank that
+//! shard's contribution. The frontend's re-rank of concatenated partials
+//! is then bit-identical to local execution (see `exec::rank_matches`).
+//!
+//! Mutations are served at the worker level with the same journaling
+//! discipline as [`tale_shard::ShardedTaleDatabase::insert_graph`]:
+//! journal → `graphs.json` → WAL-protected index commit → manifest →
+//! journal clear. A `fold` rebuilds the shard's postings from its live
+//! graphs ([`tale_nhindex::NhIndex::build_subset`] into a temp dir +
+//! atomic rename swap) and re-applies the tombstone *markers* — dead
+//! graphs still hold ids in the shared database, so the markers persist
+//! while their postings are reclaimed, matching the MVCC fold semantics.
+
+use crate::wire::{
+    ExplainRequest, FoldRequest, InsertRequest, QueryBatchRequest, RemoveRequest, WireExecStats,
+    WireMatch, WireMatches,
+};
+use crate::{Result, ServerError};
+use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
+use tale::engine::cache::{ResultCache, DEFAULT_CACHE_ENTRIES};
+use tale::engine::exec;
+use tale::journal::{MutationJournal, PendingMutation};
+use tale::BatchStats;
+use tale_graph::{Graph, GraphDb, GraphId};
+use tale_nhindex::{IndexReader, NhIndex, NhIndexConfig};
+use tale_shard::{vocab_fingerprint, ShardManifest};
+
+const DB_FILE: &str = "graphs.json";
+
+/// Page-cache / I/O sizing for a worker's index.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Buffer-pool frames for this shard's page files.
+    pub buffer_frames: usize,
+    /// Async read-path worker threads (0 = no prefetching).
+    pub io_workers: usize,
+    /// Prefetch staging capacity in pages.
+    pub prefetch_pages: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            buffer_frames: 4096,
+            io_workers: tale_nhindex::DEFAULT_IO_WORKERS,
+            prefetch_pages: tale_nhindex::DEFAULT_PREFETCH_PAGES,
+        }
+    }
+}
+
+struct EngineState {
+    db: GraphDb,
+    index: NhIndex,
+    manifest: ShardManifest,
+}
+
+/// One shard's database + index + result cache, behind an RwLock so
+/// concurrent connection handlers can query in parallel while mutations
+/// serialize.
+pub struct ShardEngine {
+    root: PathBuf,
+    shard: u32,
+    cfg: EngineConfig,
+    state: RwLock<EngineState>,
+    cache: ResultCache,
+}
+
+impl ShardEngine {
+    /// Opens shard `shard` of the sharded database rooted at `root`
+    /// (the directory holding `graphs.json` and `shards.json`), running
+    /// the shard's own WAL recovery if needed.
+    pub fn open(root: &Path, shard: u32, cfg: EngineConfig) -> Result<ShardEngine> {
+        let manifest = ShardManifest::load(root)?;
+        if shard >= manifest.shard_count {
+            return Err(ServerError::BadRequest(format!(
+                "shard {shard} out of range: manifest has {} shards",
+                manifest.shard_count
+            )));
+        }
+        let db: GraphDb =
+            tale_graph::io::load_json(&root.join(DB_FILE)).map_err(tale_shard::ShardError::from)?;
+        let fp = vocab_fingerprint(&db);
+        if let Some(&recorded) = manifest.vocab_fingerprints.get(shard as usize) {
+            if recorded != fp {
+                return Err(ServerError::Handshake(format!(
+                    "vocabulary fingerprint mismatch: graphs.json has {fp:#018x}, \
+                     manifest recorded {recorded:#018x} for shard {shard}"
+                )));
+            }
+        }
+        let shard_dir = ShardManifest::shard_dir(root, shard);
+        let (index, _recovery) = NhIndex::open_with_recovery_io(
+            &shard_dir,
+            cfg.buffer_frames,
+            cfg.io_workers,
+            cfg.prefetch_pages,
+        )
+        .map_err(|source| tale_shard::ShardError::Shard { shard, source })?;
+        Ok(ShardEngine {
+            root: root.to_owned(),
+            shard,
+            cfg,
+            state: RwLock::new(EngineState {
+                db,
+                index,
+                manifest,
+            }),
+            cache: ResultCache::new(DEFAULT_CACHE_ENTRIES),
+        })
+    }
+
+    /// The shard this engine serves.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Shards in the layout this engine belongs to.
+    pub fn shard_count(&self) -> u32 {
+        self.state.read().manifest.shard_count
+    }
+
+    /// Graphs in the shared database (all shards).
+    pub fn graphs(&self) -> u64 {
+        self.state.read().db.len() as u64
+    }
+
+    /// FNV-64 fingerprint of the database's label vocabulary.
+    pub fn vocab_fingerprint(&self) -> u64 {
+        vocab_fingerprint(&self.state.read().db)
+    }
+
+    /// Runs a wire batch through the full engine pipeline on this one
+    /// shard and returns ranked, top-K-truncated partials.
+    pub fn query_batch(
+        &self,
+        req: &QueryBatchRequest,
+    ) -> Result<(Vec<WireMatches>, WireExecStats)> {
+        let opts = req.options.to_options()?;
+        let st = self.state.read();
+        let queries: Vec<Graph> = req
+            .queries
+            .iter()
+            .map(|w| w.to_query_graph(&st.db))
+            .collect::<Result<_>>()?;
+        let query_refs: Vec<&Graph> = queries.iter().collect();
+        let readers: [&dyn IndexReader; 1] = [&st.index];
+        let caches = [&self.cache];
+        let (outputs, batch) = exec::run_batch(
+            &st.db,
+            &readers,
+            opts.use_cache.then_some(&caches[..]),
+            &query_refs,
+            &opts,
+        )
+        .map_err(tale_shard::ShardError::from)?;
+        let stats = exec_stats_of(&batch);
+        let results = outputs
+            .into_iter()
+            .map(|ms| WireMatches {
+                matches: ms.iter().map(WireMatch::from_match).collect(),
+            })
+            .collect();
+        Ok((results, stats))
+    }
+
+    /// Renders the plan this shard's engine would choose.
+    pub fn explain(&self, req: &ExplainRequest) -> Result<String> {
+        let opts = req.options.to_options()?;
+        let st = self.state.read();
+        let query = req.query.to_query_graph(&st.db)?;
+        let readers: [&dyn IndexReader; 1] = [&st.index];
+        Ok(tale::engine::plan::plan_report(&st.db, &readers, &query, &opts).render())
+    }
+
+    /// Inserts a graph into this shard, journaled exactly like the
+    /// in-process sharded database: stage → `graphs.json` → WAL-protected
+    /// index commit → manifest rewrite → clear. Returns the new id.
+    ///
+    /// Only meaningful while this worker is the sole writer of the
+    /// database root (the frontend enforces this by refusing to forward
+    /// mutations in multi-shard deployments).
+    pub fn insert(&self, req: &InsertRequest) -> Result<GraphId> {
+        let mut st = self.state.write();
+        let st = &mut *st;
+        let g = req.graph.to_inserted_graph(&mut st.db)?;
+        let gid = st.db.insert(req.name.clone(), g);
+        if gid.idx() != st.manifest.assignment.len() {
+            return Err(ServerError::BadRequest(format!(
+                "insert of graph {} but manifest maps {} graphs",
+                gid.0,
+                st.manifest.assignment.len()
+            )));
+        }
+        let journal = MutationJournal::new(&self.root);
+        let stage = |st: &mut EngineState| -> tale_shard::Result<()> {
+            journal.stage(
+                &self.root.join(DB_FILE),
+                PendingMutation {
+                    pre_generation: st.index.generation(),
+                    shard: Some(self.shard),
+                },
+            )?;
+            tale_graph::io::save_json(&st.db, &self.root.join(DB_FILE))?;
+            st.index.insert_graph(&st.db, gid)?;
+            st.manifest.assignment.push(self.shard);
+            let fp = vocab_fingerprint(&st.db);
+            st.manifest.vocab_fingerprints = vec![fp; st.manifest.shard_count as usize];
+            st.manifest.save(&self.root)?;
+            journal.clear()?;
+            Ok(())
+        };
+        stage(st)?;
+        Ok(gid)
+    }
+
+    /// Tombstones a graph this shard owns. Returns the owning shard in
+    /// `Err` position semantics: `Ok(None)` = removed here, `Ok(Some(s))`
+    /// = refused, shard `s` owns it (the caller reports the owner).
+    pub fn remove(&self, req: &RemoveRequest) -> Result<Option<u32>> {
+        let mut st = self.state.write();
+        let st = &mut *st;
+        let gid = GraphId(req.graph);
+        match st.manifest.shard_of(gid) {
+            None => Err(ServerError::BadRequest(format!(
+                "graph {} is not in the shard map",
+                req.graph
+            ))),
+            Some(s) if s != self.shard => Ok(Some(s)),
+            Some(_) => {
+                st.index
+                    .remove_graph(gid, st.db.effective_vocab_size() as u64)
+                    .map_err(|source| tale_shard::ShardError::Shard {
+                        shard: self.shard,
+                        source,
+                    })?;
+                self.cache.evict_graph(gid);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Compacts this shard: rebuilds its postings from the live (not
+    /// tombstoned) graphs into a temp directory, swaps it in with atomic
+    /// renames, reopens, and re-applies the tombstone markers (the dead
+    /// graphs still hold ids in the shared database). Returns
+    /// `(live_graphs, tombstones_whose_postings_were_dropped)`.
+    pub fn fold(&self, _req: &FoldRequest) -> Result<(u64, u64)> {
+        let mut st = self.state.write();
+        let st = &mut *st;
+        let owned = st.manifest.graphs_of(self.shard);
+        let (live, dead): (Vec<GraphId>, Vec<GraphId>) =
+            owned.into_iter().partition(|&g| !st.index.is_removed(g));
+        let config = NhIndexConfig {
+            sbit: st.index.scheme().sbit,
+            buffer_frames: self.cfg.buffer_frames,
+            parallel_build: true,
+            bloom_hashes: st.index.scheme().hashes,
+            use_edge_labels: st.index.edge_labels(),
+            io_workers: self.cfg.io_workers,
+            prefetch_pages: self.cfg.prefetch_pages,
+        };
+        let shard_dir = ShardManifest::shard_dir(&self.root, self.shard);
+        let tmp = shard_dir.with_extension("fold-tmp");
+        let old = shard_dir.with_extension("fold-old");
+        for leftover in [&tmp, &old] {
+            if leftover.exists() {
+                std::fs::remove_dir_all(leftover).map_err(tale_shard::ShardError::from)?;
+            }
+        }
+        let built = NhIndex::build_subset(&tmp, &st.db, &config, &live).map_err(|source| {
+            let _ = std::fs::remove_dir_all(&tmp);
+            tale_shard::ShardError::Shard {
+                shard: self.shard,
+                source,
+            }
+        })?;
+        drop(built); // close the freshly built files before the swap
+                     // Swap: old dir aside, new dir in. The open index's fds keep
+                     // working across the rename (same inodes); it is replaced below.
+        std::fs::rename(&shard_dir, &old).map_err(tale_shard::ShardError::from)?;
+        std::fs::rename(&tmp, &shard_dir).map_err(tale_shard::ShardError::from)?;
+        let (mut index, _recovery) = NhIndex::open_with_recovery_io(
+            &shard_dir,
+            self.cfg.buffer_frames,
+            self.cfg.io_workers,
+            self.cfg.prefetch_pages,
+        )
+        .map_err(|source| tale_shard::ShardError::Shard {
+            shard: self.shard,
+            source,
+        })?;
+        // Re-apply tombstone markers: their postings are gone, but the
+        // ids remain dead in the shared database (MVCC fold semantics —
+        // repeated folds keep reporting them until ids are compacted).
+        let vocab = st.db.effective_vocab_size() as u64;
+        for gid in &dead {
+            index
+                .remove_graph(*gid, vocab)
+                .map_err(|source| tale_shard::ShardError::Shard {
+                    shard: self.shard,
+                    source,
+                })?;
+        }
+        st.index = index; // drops the pre-fold index, closing old fds
+        std::fs::remove_dir_all(&old).map_err(tale_shard::ShardError::from)?;
+        // The rebuilt index restarts its generation counter, which could
+        // collide with keys cached under the old counter — drop them all.
+        self.cache.clear();
+        Ok((live.len() as u64, dead.len() as u64))
+    }
+}
+
+/// Flattens the engine's batch statistics into the wire form.
+fn exec_stats_of(batch: &BatchStats) -> WireExecStats {
+    let mut s = WireExecStats {
+        probes: batch.probes_issued,
+        shards_pruned: batch.shards_pruned,
+        wall_secs: batch.stages.total_secs,
+        ..WireExecStats::default()
+    };
+    for q in &batch.per_query {
+        s.keys_scanned += q.keys_scanned;
+        s.postings_fetched += q.postings_fetched;
+        s.rows_examined += q.rows_examined;
+        s.candidates += q.candidates;
+        s.matches += q.matches as u64;
+        s.cache_hits += q.cache_hit as u64;
+    }
+    s
+}

@@ -1,0 +1,393 @@
+//! The shard worker: a TCP serve loop around one [`ShardEngine`].
+//!
+//! One handler thread per connection, with a **bounded connection
+//! budget**: a connection arriving past the budget is accepted, told
+//! `overloaded` explicitly, and closed — never silently dropped on an
+//! unbounded accept queue. Each handler reads framed requests, pushes
+//! heavy work (query/mutate) through the worker's own
+//! [`AdmissionGate`], and writes framed responses. Per-request
+//! deadlines (propagated by the frontend) bound both the wait at the
+//! gate and admission itself — a request whose budget expired before a
+//! permit freed is refused with `deadline_exceeded`.
+//!
+//! The dispatch function [`handle_request`] is shared verbatim with
+//! [`crate::transport::LocalTransport`], so the in-process transport is
+//! the same code path as a worker minus the socket.
+
+use crate::admission::{deadline_from_ms, AdmissionGate, AdmissionOutcome, GateConfig};
+use crate::counters::ServerCounters;
+use crate::engine::ShardEngine;
+use crate::wire::{
+    self, HealthResponse, HelloResponse, MutateResponse, QueryBatchResponse, Request, Response,
+    StatsResponse,
+};
+use crate::{Result, ServerError};
+use parking_lot::Mutex;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker serve-loop sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// Simultaneous connections served; arrivals past this get an
+    /// explicit `overloaded` response and a close.
+    pub max_connections: usize,
+    /// Admission gate limits for heavy requests on this worker.
+    pub gate: GateConfig,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            max_connections: 64,
+            gate: GateConfig::default(),
+        }
+    }
+}
+
+/// Anything that can answer protocol requests. The TCP serve loop
+/// ([`serve`]) is generic over this, so the shard worker and the
+/// frontend share one loop; [`crate::transport::LocalTransport`]
+/// dispatches into the same trait without a socket.
+pub trait Service: Send + Sync {
+    /// Answers one request. `received` is when it was decoded; deadline
+    /// budgets count from there. Must always return a response —
+    /// failures map to typed error responses, never a dropped request.
+    fn handle(&self, req: &Request, received: Instant) -> Response;
+    /// The service's observability counters (byte counters are bumped
+    /// by the serve loop).
+    fn counters(&self) -> &Arc<ServerCounters>;
+}
+
+/// Everything a shard worker's connection handler needs; shared with
+/// the local transport so both paths dispatch identically.
+pub struct ServerContext {
+    /// The engine serving this shard.
+    pub engine: Arc<ShardEngine>,
+    /// Admission gate for heavy requests.
+    pub gate: Arc<AdmissionGate>,
+    /// Observability counters.
+    pub counters: Arc<ServerCounters>,
+}
+
+impl Service for ServerContext {
+    fn handle(&self, req: &Request, received: Instant) -> Response {
+        handle_request(self, req, received)
+    }
+    fn counters(&self) -> &Arc<ServerCounters> {
+        &self.counters
+    }
+}
+
+/// Dispatches one request to the engine, applying admission control and
+/// deadline checks for heavy endpoints. `received` is when the request
+/// was decoded — the deadline budget counts from there. Always returns
+/// a response; failures map to typed error responses.
+pub fn handle_request(ctx: &ServerContext, req: &Request, received: Instant) -> Response {
+    ctx.counters.count_endpoint(req.endpoint());
+    match req {
+        Request::Hello(h) => {
+            if h.protocol != wire::PROTOCOL_VERSION {
+                return error_of(&ServerError::Handshake(format!(
+                    "protocol skew: client v{}, server v{}",
+                    h.protocol,
+                    wire::PROTOCOL_VERSION
+                )));
+            }
+            Response::Hello(HelloResponse {
+                protocol: wire::PROTOCOL_VERSION,
+                shard: ctx.engine.shard(),
+                shard_count: ctx.engine.shard_count(),
+                graphs: ctx.engine.graphs(),
+                vocab_fingerprint: ctx.engine.vocab_fingerprint(),
+            })
+        }
+        Request::QueryBatch(q) => {
+            let deadline = deadline_from_ms(received, q.deadline_ms);
+            let _permit = match admit(ctx, deadline) {
+                Ok(p) => p,
+                Err(resp) => return *resp,
+            };
+            match ctx.engine.query_batch(q) {
+                Ok((results, stats)) => Response::QueryBatch(QueryBatchResponse { results, stats }),
+                Err(e) => error_of(&e),
+            }
+        }
+        Request::Insert(i) => {
+            let _permit = match admit(ctx, None) {
+                Ok(p) => p,
+                Err(resp) => return *resp,
+            };
+            match ctx.engine.insert(i) {
+                Ok(gid) => Response::Mutate(MutateResponse {
+                    applied: true,
+                    owner: Some(ctx.engine.shard()),
+                    graph: Some(gid.0),
+                    folded_graphs: None,
+                    dropped_tombstones: None,
+                }),
+                Err(e) => error_of(&e),
+            }
+        }
+        Request::Remove(r) => {
+            let _permit = match admit(ctx, None) {
+                Ok(p) => p,
+                Err(resp) => return *resp,
+            };
+            match ctx.engine.remove(r) {
+                Ok(None) => Response::Mutate(MutateResponse {
+                    applied: true,
+                    owner: Some(ctx.engine.shard()),
+                    graph: Some(r.graph),
+                    folded_graphs: None,
+                    dropped_tombstones: None,
+                }),
+                Ok(Some(owner)) => Response::Mutate(MutateResponse {
+                    applied: false,
+                    owner: Some(owner),
+                    graph: Some(r.graph),
+                    folded_graphs: None,
+                    dropped_tombstones: None,
+                }),
+                Err(e) => error_of(&e),
+            }
+        }
+        Request::Fold(f) => {
+            if !f.confirm {
+                return error_of(&ServerError::BadRequest(
+                    "fold requires confirm: true".into(),
+                ));
+            }
+            let _permit = match admit(ctx, None) {
+                Ok(p) => p,
+                Err(resp) => return *resp,
+            };
+            match ctx.engine.fold(f) {
+                Ok((live, dropped)) => Response::Mutate(MutateResponse {
+                    applied: true,
+                    owner: Some(ctx.engine.shard()),
+                    graph: None,
+                    folded_graphs: Some(live),
+                    dropped_tombstones: Some(dropped),
+                }),
+                Err(e) => error_of(&e),
+            }
+        }
+        Request::Stats(_) => Response::Stats(StatsResponse {
+            server: ctx.counters.snapshot(),
+        }),
+        Request::Health(_) => Response::Health(HealthResponse {
+            ok: true,
+            uptime_secs: ctx.counters.uptime_secs(),
+            inflight: ctx.counters.requests_inflight.load(Ordering::Relaxed),
+            queued: ctx.gate.queued() as u64,
+        }),
+        Request::Explain(e) => match ctx.engine.explain(e) {
+            Ok(rendered) => Response::Explain(wire::ExplainResponse { rendered }),
+            Err(err) => error_of(&err),
+        },
+    }
+}
+
+fn error_of(e: &ServerError) -> Response {
+    Response::Error(e.to_error_response())
+}
+
+fn admit(
+    ctx: &ServerContext,
+    deadline: Option<Instant>,
+) -> std::result::Result<crate::admission::Permit, Box<Response>> {
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            ctx.counters
+                .requests_deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Box::new(error_of(&ServerError::DeadlineExceeded)));
+        }
+    }
+    match ctx.gate.admit(deadline, &ctx.counters) {
+        AdmissionOutcome::Admitted(p) => Ok(p),
+        AdmissionOutcome::Overloaded(m) => Err(Box::new(error_of(&ServerError::Overloaded(m)))),
+        AdmissionOutcome::DeadlineExceeded => {
+            Err(Box::new(error_of(&ServerError::DeadlineExceeded)))
+        }
+    }
+}
+
+/// A running serve loop. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's counters.
+    pub fn counters(&self) -> &Arc<ServerCounters> {
+        &self.counters
+    }
+
+    /// Blocks until the serve loop exits (it doesn't, short of
+    /// [`ServerHandle::shutdown`] from another thread or a listener
+    /// error) — what the `tale-server` binary's main thread does.
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting, severs every live connection (peers see a reset
+    /// or EOF — how a worker death looks from the frontend), and joins
+    /// the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for (_, c) in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builds the worker service for `engine` and serves it on `addr` until
+/// the handle is shut down.
+pub fn serve_shard(
+    engine: Arc<ShardEngine>,
+    addr: SocketAddr,
+    cfg: WorkerConfig,
+) -> Result<ServerHandle> {
+    let ctx = Arc::new(ServerContext {
+        engine,
+        gate: AdmissionGate::new(cfg.gate),
+        counters: Arc::new(ServerCounters::new()),
+    });
+    serve(ctx, addr, cfg)
+}
+
+/// Binds `addr` and serves `service` until the handle is shut down.
+/// Handler threads are detached; [`ServerHandle::shutdown`] severs
+/// their sockets, which ends their read loops.
+pub fn serve(
+    service: Arc<dyn Service>,
+    addr: SocketAddr,
+    cfg: WorkerConfig,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let counters = Arc::clone(service.counters());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let counters = Arc::clone(&counters);
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            let mut next_conn_id = 0u64;
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mut stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                let active = counters.conns_active.load(Ordering::Relaxed);
+                if active >= cfg.max_connections as u64 {
+                    // Explicit refusal, never a silent drop.
+                    counters.conns_shed.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::Error(wire::ErrorResponse {
+                        code: wire::codes::OVERLOADED.to_owned(),
+                        message: format!("connection budget full ({} active)", cfg.max_connections),
+                    });
+                    let _ = wire::write_response(&mut stream, &resp);
+                    continue;
+                }
+                counters.conns_active.fetch_add(1, Ordering::Relaxed);
+                // Register a duplicate handle so shutdown can sever the
+                // connection; the handler deregisters it when it ends,
+                // so the list holds only live sockets.
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(dup) = stream.try_clone() {
+                    conns.lock().push((conn_id, dup));
+                }
+                let service = Arc::clone(&service);
+                let counters_done = Arc::clone(&counters);
+                let conns_done = Arc::clone(&conns);
+                std::thread::spawn(move || {
+                    serve_connection(service.as_ref(), stream);
+                    conns_done.lock().retain(|(id, _)| *id != conn_id);
+                    counters_done.conns_active.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: bound,
+        shutdown,
+        accept_thread: Some(accept),
+        conns,
+        counters,
+    })
+}
+
+/// Reads framed requests off one connection until it closes or a frame
+/// is malformed; malformed frames get a typed error response before the
+/// close (best effort), never a hang.
+fn serve_connection(service: &dyn Service, stream: TcpStream) {
+    let mut reader = stream;
+    let writer = match reader.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(writer);
+    loop {
+        match wire::read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some((req, nbytes))) => {
+                let received = Instant::now();
+                let counters = service.counters();
+                counters
+                    .bytes_in
+                    .fetch_add(nbytes as u64, Ordering::Relaxed);
+                let resp = service.handle(&req, received);
+                match wire::write_response(&mut writer, &resp) {
+                    Ok(out) => {
+                        counters.bytes_out.fetch_add(out as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => return, // peer gone mid-write
+                }
+            }
+            Err(e) => {
+                let resp = Response::Error(wire::ErrorResponse {
+                    code: wire::codes::BAD_REQUEST.to_owned(),
+                    message: format!("frame error: {e}"),
+                });
+                let _ = wire::write_response(&mut writer, &resp);
+                return;
+            }
+        }
+    }
+}

@@ -69,6 +69,17 @@ pub enum ShardError {
     Manifest(String),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// A shard became unreachable on the networked path (`tale-server`):
+    /// connection refused or reset, handshake failure, or a worker that
+    /// died mid-batch. The frontend fails the whole batch with this —
+    /// deterministically, never a partial merge — so callers can retry
+    /// against a reconnected worker.
+    Transport {
+        /// The shard whose worker failed.
+        shard: u32,
+        /// The underlying transport failure.
+        source: Box<dyn std::error::Error + Send + Sync>,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -80,6 +91,9 @@ impl std::fmt::Display for ShardError {
             ShardError::Graph(e) => write!(f, "graph: {e}"),
             ShardError::Manifest(m) => write!(f, "manifest: {m}"),
             ShardError::Io(e) => write!(f, "io: {e}"),
+            ShardError::Transport { shard, source } => {
+                write!(f, "shard {shard} transport: {source}")
+            }
         }
     }
 }
@@ -93,6 +107,7 @@ impl std::error::Error for ShardError {
             ShardError::Graph(e) => Some(e),
             ShardError::Manifest(_) => None,
             ShardError::Io(e) => Some(e),
+            ShardError::Transport { source, .. } => Some(source.as_ref()),
         }
     }
 }

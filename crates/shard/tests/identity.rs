@@ -112,7 +112,7 @@ fn sharded_equals_unsharded_after_interleaved_insert_remove() {
     let extras: Vec<Graph> = (0..3).map(|_| gnm(&mut rng, 30, 60, LABELS)).collect();
 
     for &nshards in SHARD_COUNTS {
-        let mut single = TaleDatabase::build_in_temp(db.clone(), &params).unwrap();
+        let single = TaleDatabase::build_in_temp(db.clone(), &params).unwrap();
         let dir = tempfile::tempdir().unwrap();
         let mut sharded =
             ShardedTaleDatabase::build(db.clone(), dir.path(), &params, nshards, &HashPolicy)

@@ -262,9 +262,7 @@ mod prop {
     use proptest::prelude::*;
 
     proptest! {
-        #![proptest_config(ProptestConfig {
-            cases: 6, ..ProptestConfig::default()
-        })]
+        #![proptest_config(ProptestConfig { cases: 6 })]
 
         /// Random corpora, shard counts, thread counts, and K: the two
         /// plan modes must agree bit-for-bit on every draw.

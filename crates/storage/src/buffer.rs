@@ -11,7 +11,7 @@
 //!
 //! # No I/O under the pool mutex
 //!
-//! Each frame is `Empty`, `Loading`, or `Resident` ([`FrameState`]). A
+//! Each frame is `Empty`, `Loading`, or `Resident` (`FrameState`). A
 //! miss claims a victim under the mutex, binds it to the wanted page in
 //! the `Loading` state, *releases the mutex*, performs the read, then
 //! re-locks briefly to publish `Resident`. Concurrent fetches of the

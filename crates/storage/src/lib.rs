@@ -32,7 +32,7 @@
 //!   read path never touches the log.
 //! * [`atomic`]: write-temp + fsync + rename whole-file persistence for
 //!   manifests and reports.
-//! * [`faults`] (behind the `failpoints` cargo feature): a fault-injection
+//! * `faults` (behind the `failpoints` cargo feature): a fault-injection
 //!   shim that fails the Nth I/O operation, driving the crash-torture
 //!   harness. Compiled out of release builds.
 //!

@@ -51,7 +51,7 @@ impl Page {
         &self.buf[HEADER_LEN..]
     }
 
-    /// Payload bytes (write). Call [`Page::seal`] before flushing to disk.
+    /// Payload bytes (write). Call [`Page::seal_for`] before flushing to disk.
     #[inline]
     pub fn payload_mut(&mut self) -> &mut [u8] {
         &mut self.buf[HEADER_LEN..]

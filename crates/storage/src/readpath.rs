@@ -374,7 +374,7 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let mut got = 0;
         while got < 8 && std::time::Instant::now() < deadline {
-            got = ids.iter().filter(|&&id| pf.take(id).is_some()).count() + got;
+            got += ids.iter().filter(|&&id| pf.take(id).is_some()).count();
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(got, 8, "all prefetched pages become takeable");

@@ -9,7 +9,7 @@
 //!
 //! ## Key scheme
 //!
-//! * The *canonical signature* ([`plan::canonical_signature`]) is a 1-WL
+//! * The *canonical signature* ([`super::plan::canonical_signature`]) is a 1-WL
 //!   hash over effective labels, invariant under query-node relabeling, so
 //!   renumbered copies of one pattern land on the same key.
 //! * The *options fingerprint* ([`options_fingerprint`]) folds every

@@ -197,6 +197,34 @@ fn exec_shard(
     })
 }
 
+/// The engine's deterministic gather: sorts a merged multiset of
+/// per-shard partial matches into rank order — score descending, graph id
+/// ascending — and truncates to `top_k`.
+///
+/// The comparator is a total order over any one query's matches (every
+/// database graph belongs to exactly one shard, so graph ids are unique
+/// across the merged partials), which is why the shards' disjoint lists
+/// can be concatenated in *any* order and still sort to the same ranked
+/// output. Truncation composes: a shard's own top-K (under this same
+/// order) always contains that shard's contribution to the global top-K,
+/// so merging per-shard **ranked, truncated** lists and re-ranking here is
+/// bit-identical to ranking the untruncated union. [`run_batch`] uses
+/// this for its in-process gather; the networked frontend
+/// (`tale-server`) uses it to merge partial result lists fetched from
+/// remote shard workers.
+pub fn rank_matches(mut all: Vec<QueryMatch>, top_k: Option<usize>) -> Vec<QueryMatch> {
+    all.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.graph.cmp(&b.graph))
+    });
+    if let Some(k) = top_k {
+        all.truncate(k);
+    }
+    all
+}
+
 /// Runs a batch of queries through the staged pipeline over one or more
 /// index readers. `shards` must be non-empty and every reader must cover a
 /// set of graphs disjoint from every other reader's, under one shared
@@ -471,16 +499,7 @@ pub fn run_batch(
         for p in per_shard {
             all.extend(p.expect("every shard answered, was cached, or was pruned"));
         }
-        all.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.graph.cmp(&b.graph))
-        });
-        if let Some(k) = opts.top_k {
-            all.truncate(k);
-        }
-        unique_results.push(all);
+        unique_results.push(rank_matches(all, opts.top_k));
     }
     let rank_secs = t.elapsed().as_secs_f64();
 

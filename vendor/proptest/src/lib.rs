@@ -276,7 +276,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Element-count specification for [`vec`]: an exact count or a range.
+    /// Element-count specification for [`vec()`]: an exact count or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
