@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|serve|plan|cold|mvcc|all] [--threads N]
+//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|serve|chaos|plan|cold|mvcc|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -11,6 +11,7 @@
 
 use tale_bench::experiments::ablation::{paper_measures, run_ablation};
 use tale_bench::experiments::alg1::run_alg1;
+use tale_bench::experiments::chaos::run_chaos;
 use tale_bench::experiments::cold::run_cold;
 use tale_bench::experiments::fig5::run_fig5;
 use tale_bench::experiments::fig789::{default_sizes, run_fig789};
@@ -59,6 +60,7 @@ fn main() {
         }
         "shard" => shard(scale),
         "serve" => serve_exp(scale),
+        "chaos" => chaos_exp(scale),
         "plan" => plan(scale),
         "cold" => cold(scale),
         "mvcc" => mvcc(scale),
@@ -77,13 +79,14 @@ fn main() {
             speedup(scale);
             shard(scale);
             serve_exp(scale);
+            chaos_exp(scale);
             plan(scale);
             cold(scale);
             mvcc(scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|serve|plan|cold|mvcc|crash|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|serve|chaos|plan|cold|mvcc|crash|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -337,6 +340,92 @@ fn serve_exp(scale: Scale) {
     }
     if let Some(path) = serve_json_arg() {
         write_json(&path, &r, "serve report");
+    }
+}
+
+/// `--chaos-json PATH` from argv: where to write `BENCH_chaos.json`
+/// (`None` = don't).
+fn chaos_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--chaos-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// `--fault-rate F` / `--requests N` from argv: the injected weather
+/// and the load for E-CHAOS.
+fn chaos_args() -> (f64, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let rate = args
+        .iter()
+        .position(|a| a == "--fault-rate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let requests = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    (rate, requests)
+}
+
+fn chaos_exp(scale: Scale) {
+    let (rate, requests) = chaos_args();
+    println!("\n## E-CHAOS — availability under injected network faults\n");
+    println!("same loopback deployment as E-SERVE but with two replica workers per");
+    println!(
+        "shard, every replica behind a TCP chaos proxy that faults {:.0}% of",
+        rate * 100.0
+    );
+    println!("connections (refuse / black-hole / delay / kill mid-frame / truncate /");
+    println!("corrupt; `--fault-rate F`, `--requests N`). Transports pool nothing, so");
+    println!("the rate is per call. The replica sets must mask every fault by retry,");
+    println!("failover, or hedging: surviving answers are checked bit-identical to");
+    println!("the in-process database, failures must be typed errors, and a wrong");
+    println!("answer counts as worse than an error.\n");
+    let r = run_chaos(seed(), scale, 2, 2, rate, requests);
+    println!(
+        "db: {} graphs on {} shards x {} replicas; {} distinct queries\n",
+        r.graphs, r.shards, r.replicas_per_shard, r.queries
+    );
+    println!("| fault rate | requests | ok | typed errors | unclassified | wrong | availability | p50 (ms) | p99 (ms) | max (ms) | identical |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    let typed: usize = r.errors.iter().map(|e| e.count).sum();
+    println!(
+        "| {:.1}% | {} | {} | {} | {} | {} | {:.2}% | {:.2} | {:.2} | {:.2} | {} |",
+        r.fault_rate * 100.0,
+        r.requests,
+        r.ok,
+        typed,
+        r.unclassified,
+        r.wrong_answers,
+        r.availability * 100.0,
+        r.p50_ms,
+        r.p99_ms,
+        r.max_ms,
+        if r.identical { "yes" } else { "NO" }
+    );
+    println!(
+        "\nweather: {} faults injected over {} proxied connections",
+        r.faults_injected, r.proxy_connections
+    );
+    println!(
+        "masking: {} retries, {} hedges fired ({} won), {} failovers, {} replica failures, {} breaker opens",
+        r.frontend.retries,
+        r.frontend.hedges_fired,
+        r.frontend.hedges_won,
+        r.frontend.failovers,
+        r.frontend.replica_failures,
+        r.frontend.breaker_opened
+    );
+    for e in &r.errors {
+        println!("typed `{}`: {}", e.code, e.count);
+    }
+    if let Some(path) = chaos_json_arg() {
+        write_json(&path, &r, "chaos report");
     }
 }
 

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod alg1;
+pub mod chaos;
 pub mod cold;
 #[cfg(feature = "failpoints")]
 pub mod crash;

@@ -226,6 +226,7 @@ pub fn run_serve(
             queries: wire_queries(&corpus.db, &queries),
             options: wire_opts.clone(),
             deadline_ms: None,
+            allow_partial: false,
         });
         let mut stream = TcpStream::connect(front_addr).expect("identity connect");
         wire::write_request(&mut stream, &req).expect("identity request");
@@ -246,6 +247,7 @@ pub fn run_serve(
                 queries: vec![WireGraph::from_graph(&corpus.db, g)],
                 options: wire_opts.clone(),
                 deadline_ms: None,
+                allow_partial: false,
             }))
         })
         .collect();

@@ -15,6 +15,7 @@
 //! tale-cli verify <index-dir>
 //! tale-cli recover <index-dir>
 //! tale-cli server-stats <host:port> [--json]
+//! tale-cli health <host:port> [--json]
 //! ```
 //!
 //! Every command that opens an existing index accepts `--pool-pages N`
@@ -60,6 +61,7 @@ fn main() -> ExitCode {
         Some("fold") => cmd_fold(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("server-stats") => cmd_server_stats(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -93,6 +95,7 @@ usage:
            [--threads N] [--plan fixed|cost] [--explain] [--format text|json]
            [--stats] [--no-cache] [--pool-pages N]
   tale-cli server-stats <host:port> [--json]
+  tale-cli health <host:port> [--json]
 
 measures: degree (default) | closeness | betweenness | eigenvector | random
 models:   quality (default) | nodes-edges | ctree
@@ -122,6 +125,9 @@ fold:     build the in-memory delta + tombstones into a fresh on-disk
 server-stats: fetch a running tale-server's counters (worker or
           frontend) over the wire and pretty-print them; --json dumps
           the raw snapshot
+health:   fetch a running tale-server's health view — liveness, load,
+          and (on a frontend with replica groups) every replica's
+          circuit-breaker state; --json dumps the raw response
 ";
 
 /// A database handle that is either a single-index [`TaleDatabase`] or a
@@ -1166,6 +1172,14 @@ fn cmd_server_stats(args: &[String]) -> Result<(), String> {
     println!("  queued now           {:>12}", s.requests_queued);
     println!("  in-flight high-water {:>12}", s.inflight_hwm);
     println!("  queue-depth high-water {:>10}", s.queue_depth_hwm);
+    println!("fault handling:");
+    println!("  retries              {:>12}", s.retries);
+    println!("  hedges fired         {:>12}", s.hedges_fired);
+    println!("  hedges won           {:>12}", s.hedges_won);
+    println!("  failovers            {:>12}", s.failovers);
+    println!("  replica failures     {:>12}", s.replica_failures);
+    println!("  breaker opened       {:>12}", s.breaker_opened);
+    println!("  responses degraded   {:>12}", s.responses_degraded);
     println!("traffic:");
     println!("  bytes in             {:>12}", s.bytes_in);
     println!("  bytes out            {:>12}", s.bytes_out);
@@ -1181,6 +1195,70 @@ fn cmd_server_stats(args: &[String]) -> Result<(), String> {
         ("explain", s.requests_explain),
     ] {
         println!("  {name:<8} {:>12}", n);
+    }
+    Ok(())
+}
+
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_args(args)?;
+    let [addr] = pos.as_slice() else {
+        return Err(format!("health needs <host:port>\n{USAGE}"));
+    };
+    let mut json = false;
+    for (name, _) in &flags {
+        match *name {
+            "json" => json = true,
+            other => return Err(format!("unknown flag --{other}\n{USAGE}")),
+        }
+    }
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad server address {addr:?}"))?;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    wire::write_request(
+        &mut stream,
+        &wire::Request::Health(wire::HealthRequest { reserved: false }),
+    )
+    .map_err(|e| format!("sending health request: {e}"))?;
+    let h = match wire::read_response(&mut stream) {
+        Ok(Some((wire::Response::Health(h), _))) => h,
+        Ok(Some((wire::Response::Error(e), _))) => {
+            return Err(format!("server error [{}]: {}", e.code, e.message))
+        }
+        Ok(other) => return Err(format!("unexpected answer: {other:?}")),
+        Err(e) => return Err(format!("reading health response: {e}")),
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&h).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "server {addr}: {} (up {:.1}s, {} in flight, {} queued)",
+        if h.ok { "ok" } else { "not ok" },
+        h.uptime_secs,
+        h.inflight,
+        h.queued
+    );
+    if h.replicas.is_empty() {
+        println!("replicas: none (no replica groups behind this server)");
+        return Ok(());
+    }
+    println!(
+        "{:>5} {:>7}  {:<10} {:>10} {:>10} {:>13}  address",
+        "shard", "replica", "breaker", "successes", "failures", "consec.fails"
+    );
+    for r in &h.replicas {
+        println!(
+            "{:>5} {:>7}  {:<10} {:>10} {:>10} {:>13}  {}",
+            r.shard, r.replica, r.state, r.successes, r.failures, r.consecutive_failures, r.address
+        );
     }
     Ok(())
 }

@@ -4,38 +4,80 @@
 //! tale-server shard --dir <index-dir> --shard N [--addr HOST:PORT]
 //!             [--frames N] [--io-workers N] [--prefetch N]
 //!             [--max-connections N] [--max-inflight N] [--max-queue N]
-//! tale-server frontend --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
-//!             [--max-inflight N] [--max-queue N]
+//!             [--drain-ms N]
+//! tale-server frontend --shards SHARD,SHARD,... [--addr HOST:PORT]
+//!             [--max-inflight N] [--max-queue N] [--drain-ms N]
+//!             [--retries N] [--hedge-ms N] [--breaker-failures N]
+//!             [--breaker-cooldown-ms N] [--probe-ms N]
 //! ```
 //!
 //! A **shard worker** serves one `shard-NNN/` of a database built with
 //! `tale-cli build --shards N`: `--dir` is the database root (the
 //! directory holding `graphs.json` and `shards.json`), `--shard` the
 //! ordinal to serve. A **frontend** fans client batches out to the
-//! listed workers — one address per shard, in shard order — and merges
-//! their partials bit-identically to in-process execution.
+//! listed workers — one `SHARD` entry per shard, in shard order — and
+//! merges their partials bit-identically to in-process execution.
+//!
+//! Each `SHARD` entry is one address, or a `|`-separated **replica
+//! group** (`a1:port|a2:port`) of workers all serving the same shard
+//! directory: the frontend verifies their fingerprints agree, fails
+//! over on transport errors, retries idempotent requests with jittered
+//! backoff, hedges slow requests at the observed p95, and circuit-
+//! breaks dead replicas (probed in the background until they recover).
+//!
+//! Both commands drain gracefully on SIGTERM/ctrl-c: stop accepting,
+//! finish requests already read (bounded by `--drain-ms`, default
+//! 5000), then exit 0.
 //!
 //! Both print the bound address on the first stdout line (`listening
 //! HOST:PORT`) so scripts can pass `--addr 127.0.0.1:0` and read the
-//! chosen port. See DESIGN.md §15 and the README's "Running as a
+//! chosen port. See DESIGN.md §15–§16 and the README's "Running as a
 //! service" for a loopback quick-start.
 
 use std::net::SocketAddr;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tale_server::admission::GateConfig;
 use tale_server::engine::{EngineConfig, ShardEngine};
+use tale_server::replica::{ReplicaConfig, ReplicaSet};
 use tale_server::transport::{RemoteConfig, RemoteTransport, ShardTransport};
-use tale_server::worker::{serve, serve_shard, WorkerConfig};
+use tale_server::worker::{serve, serve_shard, ServerHandle, WorkerConfig};
 use tale_server::{Frontend, FrontendConfig};
 
 const USAGE: &str = "usage:
   tale-server shard --dir <index-dir> --shard N [--addr HOST:PORT]
               [--frames N] [--io-workers N] [--prefetch N]
               [--max-connections N] [--max-inflight N] [--max-queue N]
-  tale-server frontend --shards HOST:PORT,... [--addr HOST:PORT]
-              [--max-inflight N] [--max-queue N]";
+              [--drain-ms N]
+  tale-server frontend --shards SHARD,... [--addr HOST:PORT]
+              [--max-inflight N] [--max-queue N] [--drain-ms N]
+              [--retries N] [--hedge-ms N] [--breaker-failures N]
+              [--breaker-cooldown-ms N] [--probe-ms N]
+  (each SHARD is HOST:PORT or a replica group HOST:PORT|HOST:PORT|...)";
+
+/// Set by the SIGINT/SIGTERM handler; the serve loops poll it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs the drain-on-signal handler for SIGINT (2) and SIGTERM
+/// (15). Raw `signal(2)` keeps this free of any FFI crate; storing to a
+/// static `AtomicBool` is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(2, handler); // SIGINT
+        signal(15, handler); // SIGTERM
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +132,21 @@ fn gate_of(
     }
 }
 
+/// Serves until a signal arrives, then drains within `drain` and exits
+/// 0 (with a note on stderr when stragglers had to be cut off).
+fn run_until_signal(mut handle: ServerHandle, drain: Duration) {
+    install_signal_handlers();
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("draining (up to {} ms)...", drain.as_millis());
+    if handle.drain(drain) {
+        eprintln!("drained clean");
+    } else {
+        eprintln!("drain deadline hit; severed remaining connections");
+    }
+}
+
 fn cmd_shard(args: &[String]) -> Result<(), String> {
     let mut dir: Option<String> = None;
     let mut shard: Option<u32> = None;
@@ -98,6 +155,7 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
     let mut max_connections = WorkerConfig::default().max_connections;
     let mut max_inflight = None;
     let mut max_queue = None;
+    let mut drain_ms: u64 = 5000;
     for (name, v) in flags_of(args)? {
         match name {
             "dir" => dir = Some(v.to_owned()),
@@ -109,6 +167,7 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
             "max-connections" => max_connections = parse(name, v)?,
             "max-inflight" => max_inflight = Some(parse(name, v)?),
             "max-queue" => max_queue = Some(parse(name, v)?),
+            "drain-ms" => drain_ms = parse(name, v)?,
             other => return Err(format!("unknown flag --{other}\n{USAGE}")),
         }
     }
@@ -125,14 +184,14 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
             GateConfig::for_io_workers(io_workers),
         ),
     };
-    let mut handle =
+    let handle =
         serve_shard(Arc::new(engine), addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     println!("listening {}", handle.addr());
     eprintln!(
         "serving shard {shard} of {dir} ({} in flight, {} queued, {} connections)",
         cfg.gate.max_inflight, cfg.gate.max_queue, cfg.max_connections
     );
-    handle.wait();
+    run_until_signal(handle, Duration::from_millis(drain_ms));
     Ok(())
 }
 
@@ -141,27 +200,54 @@ fn cmd_frontend(args: &[String]) -> Result<(), String> {
     let mut addr: SocketAddr = "127.0.0.1:7410".parse().expect("literal addr");
     let mut max_inflight = None;
     let mut max_queue = None;
+    let mut drain_ms: u64 = 5000;
+    let mut replica_cfg = ReplicaConfig::default();
     for (name, v) in flags_of(args)? {
         match name {
             "shards" => shards = Some(v.to_owned()),
             "addr" => addr = parse(name, v)?,
             "max-inflight" => max_inflight = Some(parse(name, v)?),
             "max-queue" => max_queue = Some(parse(name, v)?),
+            "drain-ms" => drain_ms = parse(name, v)?,
+            "retries" => replica_cfg.retries = parse(name, v)?,
+            "hedge-ms" => {
+                // 0 = p95-driven (the default); otherwise a fixed trigger.
+                let ms: u64 = parse(name, v)?;
+                replica_cfg.hedge_after = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "breaker-failures" => replica_cfg.failure_threshold = parse(name, v)?,
+            "breaker-cooldown-ms" => {
+                replica_cfg.open_cooldown = Duration::from_millis(parse(name, v)?)
+            }
+            "probe-ms" => replica_cfg.probe_interval = Duration::from_millis(parse(name, v)?),
             other => return Err(format!("unknown flag --{other}\n{USAGE}")),
         }
     }
     let shards = shards.ok_or_else(|| format!("frontend needs --shards\n{USAGE}"))?;
     let mut transports: Vec<Arc<dyn ShardTransport>> = Vec::new();
-    for (i, part) in shards.split(',').enumerate() {
-        let worker_addr: SocketAddr = part
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad shard address {part:?}"))?;
-        transports.push(RemoteTransport::new(
-            worker_addr,
-            i as u32,
-            RemoteConfig::default(),
-        ));
+    let mut replica_total = 0usize;
+    for (i, group) in shards.split(',').enumerate() {
+        let mut members: Vec<Arc<dyn ShardTransport>> = Vec::new();
+        for part in group.split('|') {
+            let worker_addr: SocketAddr = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad shard address {part:?}"))?;
+            members.push(RemoteTransport::new(
+                worker_addr,
+                i as u32,
+                RemoteConfig::default(),
+            ));
+        }
+        if members.is_empty() {
+            return Err(format!("shard {i} has no addresses"));
+        }
+        replica_total += members.len();
+        if members.len() == 1 {
+            transports.push(members.pop().expect("one member"));
+        } else {
+            transports.push(ReplicaSet::new(i as u32, members, replica_cfg));
+        }
     }
     let cfg = FrontendConfig {
         gate: gate_of(max_inflight, max_queue, GateConfig::default()),
@@ -170,13 +256,14 @@ fn cmd_frontend(args: &[String]) -> Result<(), String> {
     let nshards = transports.len();
     let frontend =
         Frontend::new(transports, cfg).map_err(|e| format!("connecting to workers: {e}"))?;
-    let mut handle = serve(Arc::new(frontend), addr, WorkerConfig::default())
+    let handle = serve(Arc::new(frontend), addr, WorkerConfig::default())
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!("listening {}", handle.addr());
     eprintln!(
-        "frontend over {nshards} shard(s) ({} in flight, {} queued)",
+        "frontend over {nshards} shard(s), {replica_total} replica(s) \
+         ({} in flight, {} queued)",
         cfg.gate.max_inflight, cfg.gate.max_queue
     );
-    handle.wait();
+    run_until_signal(handle, Duration::from_millis(drain_ms));
     Ok(())
 }

@@ -26,6 +26,9 @@ pub struct ServerCounters {
     pub requests_deadline_exceeded: AtomicU64,
     /// Requests currently executing (admitted, not yet replied).
     pub requests_inflight: AtomicU64,
+    /// Frames a connection handler is currently decoding/serving/writing
+    /// — the gauge graceful drain waits on (`ServerHandle::drain`).
+    pub requests_serving: AtomicU64,
     /// Requests currently waiting at the admission gate.
     pub requests_queued: AtomicU64,
     /// Highest simultaneous in-flight count observed.
@@ -52,6 +55,25 @@ pub struct ServerCounters {
     pub health: AtomicU64,
     /// `explain` endpoint requests.
     pub explain: AtomicU64,
+    /// Idempotent requests resent after a transient transport failure
+    /// (same replica or the next one — every extra attempt counts).
+    pub retries: AtomicU64,
+    /// Hedged probes fired at a second replica because the first
+    /// response was slower than the hedge trigger.
+    pub hedges_fired: AtomicU64,
+    /// Hedged probes whose answer arrived before the original's.
+    pub hedges_won: AtomicU64,
+    /// Requests answered by a different replica after the first-choice
+    /// replica failed at the transport layer.
+    pub failovers: AtomicU64,
+    /// Transport-layer failures observed against individual replicas
+    /// (each feeds that replica's circuit breaker).
+    pub replica_failures: AtomicU64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opened: AtomicU64,
+    /// `allow_partial` responses served with a non-empty `degraded`
+    /// shard list — explicit partial answers, never silent ones.
+    pub responses_degraded: AtomicU64,
 }
 
 impl Default for ServerCounters {
@@ -82,6 +104,7 @@ impl ServerCounters {
             requests_shed: AtomicU64::new(0),
             requests_deadline_exceeded: AtomicU64::new(0),
             requests_inflight: AtomicU64::new(0),
+            requests_serving: AtomicU64::new(0),
             requests_queued: AtomicU64::new(0),
             inflight_hwm: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
@@ -95,6 +118,13 @@ impl ServerCounters {
             stats: AtomicU64::new(0),
             health: AtomicU64::new(0),
             explain: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            replica_failures: AtomicU64::new(0),
+            breaker_opened: AtomicU64::new(0),
+            responses_degraded: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +184,7 @@ impl ServerCounters {
             requests_shed: ld(&self.requests_shed),
             requests_deadline_exceeded: ld(&self.requests_deadline_exceeded),
             requests_inflight: ld(&self.requests_inflight),
+            requests_serving: ld(&self.requests_serving),
             requests_queued: ld(&self.requests_queued),
             inflight_hwm: ld(&self.inflight_hwm),
             queue_depth_hwm: ld(&self.queue_depth_hwm),
@@ -167,6 +198,13 @@ impl ServerCounters {
             requests_stats: ld(&self.stats),
             requests_health: ld(&self.health),
             requests_explain: ld(&self.explain),
+            retries: ld(&self.retries),
+            hedges_fired: ld(&self.hedges_fired),
+            hedges_won: ld(&self.hedges_won),
+            failovers: ld(&self.failovers),
+            replica_failures: ld(&self.replica_failures),
+            breaker_opened: ld(&self.breaker_opened),
+            responses_degraded: ld(&self.responses_degraded),
         }
     }
 }
@@ -189,6 +227,10 @@ pub struct ServerStatsSnapshot {
     pub requests_deadline_exceeded: u64,
     /// Requests executing right now.
     pub requests_inflight: u64,
+    /// Frames being decoded/served/written by connection handlers right
+    /// now (the gauge graceful drain waits on).
+    #[serde(default)]
+    pub requests_serving: u64,
     /// Requests waiting at the admission gate right now.
     pub requests_queued: u64,
     /// In-flight high-water mark.
@@ -215,6 +257,27 @@ pub struct ServerStatsSnapshot {
     pub requests_health: u64,
     /// `explain` requests served.
     pub requests_explain: u64,
+    /// Idempotent request resends after transient transport failures.
+    #[serde(default)]
+    pub retries: u64,
+    /// Hedged second-replica probes fired.
+    #[serde(default)]
+    pub hedges_fired: u64,
+    /// Hedged probes that answered first.
+    #[serde(default)]
+    pub hedges_won: u64,
+    /// Requests answered via failover to another replica.
+    #[serde(default)]
+    pub failovers: u64,
+    /// Per-replica transport failures observed.
+    #[serde(default)]
+    pub replica_failures: u64,
+    /// Circuit-breaker open transitions.
+    #[serde(default)]
+    pub breaker_opened: u64,
+    /// Explicit degraded (partial) responses served.
+    #[serde(default)]
+    pub responses_degraded: u64,
 }
 
 #[cfg(test)]

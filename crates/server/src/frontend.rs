@@ -18,6 +18,15 @@
 //! `deadline_exceeded` from a worker likewise fails the batch with that
 //! same typed error, so the client can distinguish shed from broken.)
 //!
+//! The one exception is **opt-in**: a request with `allow_partial:
+//! true` tolerates shards whose transports are exhausted (every replica
+//! down) by answering from the shards that responded and naming the
+//! missing ones in the response's `degraded` list — an explicit partial
+//! answer, never a silent one. Worker-typed refusals (`overloaded`,
+//! `deadline_exceeded`) still fail the batch even under `allow_partial`:
+//! those workers are alive and shedding, and masking a shed as a
+//! partial answer would hide backpressure from the client.
+//!
 //! Mutations (`insert`/`remove`/`fold`) are forwarded only in
 //! single-shard deployments, where the one worker is the sole writer of
 //! the database root. In multi-shard deployments they are refused with
@@ -71,10 +80,25 @@ impl Frontend {
     /// count matching the transport list, and one shared vocabulary
     /// fingerprint across all workers. Fails fast on any mismatch.
     pub fn new(transports: Vec<Arc<dyn ShardTransport>>, cfg: FrontendConfig) -> Result<Frontend> {
+        Frontend::with_counters(transports, cfg, Arc::new(ServerCounters::new()))
+    }
+
+    /// [`Frontend::new`] with caller-provided counters, so the
+    /// fault-handling counters the transports bump (retries, hedges,
+    /// failovers, breaker transitions) land in the same snapshot the
+    /// frontend's `stats` endpoint serves.
+    pub fn with_counters(
+        transports: Vec<Arc<dyn ShardTransport>>,
+        cfg: FrontendConfig,
+        counters: Arc<ServerCounters>,
+    ) -> Result<Frontend> {
         if transports.is_empty() {
             return Err(ServerError::BadRequest(
                 "frontend needs at least one shard".into(),
             ));
+        }
+        for t in &transports {
+            t.attach_counters(&counters);
         }
         let hello = Request::Hello(wire::HelloRequest {
             protocol: wire::PROTOCOL_VERSION,
@@ -82,7 +106,7 @@ impl Frontend {
         let mut graphs = 0u64;
         let mut fingerprint: Option<u64> = None;
         for (i, t) in transports.iter().enumerate() {
-            let h = match t.call(&hello)? {
+            let h = match t.call(&hello, None)? {
                 Response::Hello(h) => h,
                 Response::Error(e) => return Err(ServerError::from_error_response(&e)),
                 _ => {
@@ -122,10 +146,17 @@ impl Frontend {
             // Workers report the shared database's graph count; all agree.
             graphs = h.graphs;
         }
+        // Pin the agreed fingerprint everywhere, so a replica that was
+        // unreachable at startup is still verified when it comes back.
+        if let Some(fp) = fingerprint {
+            for t in &transports {
+                t.pin_fingerprint(fp);
+            }
+        }
         Ok(Frontend {
             transports,
             gate: AdmissionGate::new(cfg.gate),
-            counters: Arc::new(ServerCounters::new()),
+            counters,
             cfg,
             graphs,
             vocab_fingerprint: fingerprint.unwrap_or(0),
@@ -172,7 +203,10 @@ impl Frontend {
     }
 
     /// Scatters `req` to every shard and merges the partials. Fails the
-    /// whole batch on any shard failure — never a partial merge.
+    /// whole batch on any shard failure — never a partial merge — with
+    /// the `allow_partial` exception documented at module level:
+    /// transport-exhausted shards may be dropped *explicitly*, named in
+    /// the response's `degraded` list.
     fn scatter_gather(
         &self,
         req: &QueryBatchRequest,
@@ -187,18 +221,27 @@ impl Frontend {
             self.cfg.scatter_threads
         };
         // One forwarded request per shard, deadline budget recomputed at
-        // scatter time so workers see the time actually remaining.
+        // scatter time so workers see the time actually remaining. A
+        // worker serves exactly its shard, so `allow_partial` is a
+        // frontend-only concern and is not forwarded.
         let forwarded = Request::QueryBatch(QueryBatchRequest {
             queries: req.queries.clone(),
             options: req.options.clone(),
             deadline_ms: remaining_ms(deadline),
+            allow_partial: false,
         });
-        let answers: Vec<Result<Response>> =
-            tale_par::parallel_map(threads, nshards, |i| self.transports[i].call(&forwarded));
+        let answers: Vec<Result<Response>> = tale_par::parallel_map(threads, nshards, |i| {
+            self.transports[i].call(&forwarded, deadline)
+        });
 
         // Deterministic failure: scan in shard order, surface the first
         // failure; worker-typed errors keep their type across the hop.
+        // Under `allow_partial`, a transport-exhausted shard (`Err` —
+        // every replica down) degrades instead; a *worker-typed* error
+        // is an answer from a live worker and still fails the batch.
         let mut partials: Vec<QueryBatchResponse> = Vec::with_capacity(nshards);
+        let mut degraded: Vec<u32> = Vec::new();
+        let mut first_transport_err: Option<ServerError> = None;
         for (i, ans) in answers.into_iter().enumerate() {
             match ans {
                 Ok(Response::QueryBatch(p)) => partials.push(p),
@@ -218,13 +261,35 @@ impl Frontend {
                         )),
                     ))
                 }
-                Err(e) => return Err(transport_error(i as u32, e)),
+                Err(e) => {
+                    if req.allow_partial {
+                        degraded.push(i as u32);
+                        if first_transport_err.is_none() {
+                            first_transport_err = Some(transport_error(i as u32, e));
+                        }
+                    } else {
+                        return Err(transport_error(i as u32, e));
+                    }
+                }
             }
+        }
+        if partials.is_empty() {
+            // Every shard exhausted: there is nothing to answer from,
+            // partial or otherwise. Fail, even under allow_partial.
+            return Err(first_transport_err.unwrap_or_else(|| {
+                transport_error(0, ServerError::BadRequest("no shards".into()))
+            }));
+        }
+        if !degraded.is_empty() {
+            self.counters
+                .responses_degraded
+                .fetch_add(1, Ordering::Relaxed);
         }
 
         // Gather: per query, concatenate per-shard partials and re-rank
         // with the engine's comparator. Shards hold disjoint graph sets,
-        // so this reproduces the in-process merge bit-for-bit.
+        // so this reproduces the in-process merge bit-for-bit (over the
+        // shards that answered).
         let top_k = req.options.top_k.map(|k| k as usize);
         let nqueries = req.queries.len();
         let mut results = Vec::with_capacity(nqueries);
@@ -260,7 +325,11 @@ impl Frontend {
             stats.shards_pruned += p.stats.shards_pruned;
         }
         stats.wall_secs = t0.elapsed().as_secs_f64();
-        Ok(QueryBatchResponse { results, stats })
+        Ok(QueryBatchResponse {
+            results,
+            stats,
+            degraded,
+        })
     }
 
     /// Forwards a mutation in a single-shard deployment; refuses it with
@@ -276,7 +345,7 @@ impl Frontend {
                 ),
             });
         }
-        match self.transports[0].call(req) {
+        match self.transports[0].call(req, None) {
             Ok(resp) => resp,
             Err(e) => Response::Error(transport_error(0, e).to_error_response()),
         }
@@ -324,18 +393,29 @@ impl Service for Frontend {
             Request::Stats(_) => Response::Stats(StatsResponse {
                 server: self.counters.snapshot(),
             }),
-            Request::Health(_) => Response::Health(HealthResponse {
-                ok: true,
-                uptime_secs: self.counters.uptime_secs(),
-                inflight: self.counters.requests_inflight.load(Ordering::Relaxed),
-                queued: self.gate.queued() as u64,
-            }),
+            Request::Health(_) => {
+                // Aggregate per-replica breaker states from every
+                // transport that fronts a replica group.
+                let mut replicas = Vec::new();
+                for t in &self.transports {
+                    if let Some(mut infos) = t.replica_health() {
+                        replicas.append(&mut infos);
+                    }
+                }
+                Response::Health(HealthResponse {
+                    ok: true,
+                    uptime_secs: self.counters.uptime_secs(),
+                    inflight: self.counters.requests_inflight.load(Ordering::Relaxed),
+                    queued: self.gate.queued() as u64,
+                    replicas,
+                })
+            }
             Request::Explain(_) => {
                 // Per-shard plans, labeled, in shard order.
                 let mut rendered = String::new();
                 for (i, t) in self.transports.iter().enumerate() {
                     rendered.push_str(&format!("== shard {i} ==\n"));
-                    match t.call(req) {
+                    match t.call(req, None) {
                         Ok(Response::Explain(e)) => rendered.push_str(&e.rendered),
                         Ok(Response::Error(e)) => {
                             return Response::Error(e);

@@ -19,8 +19,17 @@
 //!   connection budget.
 //! * [`transport`] — the [`ShardTransport`] seam: [`LocalTransport`]
 //!   (in-process, the N=1/loopback case) and [`RemoteTransport`]
-//!   (pooled persistent connections, handshake verification, reconnect
-//!   with backoff).
+//!   (pooled persistent connections, handshake verification,
+//!   deadline-capped reconnect with decorrelated-jitter backoff).
+//! * [`replica`] — [`ReplicaSet`]: N transports serving one shard
+//!   behind a single [`ShardTransport`], with per-replica circuit
+//!   breakers fed by request outcomes and a background prober, bounded
+//!   retries + failover for idempotent requests, and p95-triggered
+//!   hedging. Mutations go to the primary exactly once.
+//! * [`chaos`] — fault injection: a deterministic [`FaultyTransport`]
+//!   and a TCP [`ChaosProxy`] (refuse/black-hole/delay/kill-mid-frame/
+//!   truncate/corrupt) driving the chaos test sweep and
+//!   `experiments chaos`.
 //! * [`frontend`] — `tale-server frontend`: fans a client batch out to
 //!   one transport per shard, re-ranks the per-shard partials through
 //!   the engine's own comparator (`exec::rank_matches`), and applies
@@ -44,17 +53,22 @@
 //! across shard counts, thread counts, and plan modes.
 
 pub mod admission;
+pub mod backoff;
+pub mod chaos;
 pub mod counters;
 pub mod engine;
 pub mod frontend;
+pub mod replica;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
 pub use admission::{AdmissionGate, AdmissionOutcome, GateConfig};
+pub use chaos::{ChaosProxy, Fault, FaultyTransport};
 pub use counters::{ServerCounters, ServerStatsSnapshot};
 pub use engine::ShardEngine;
 pub use frontend::{Frontend, FrontendConfig};
+pub use replica::{ReplicaConfig, ReplicaSet};
 pub use transport::{LocalTransport, RemoteConfig, RemoteTransport, ShardTransport};
 pub use wire::{Request, Response, WireError, WireGraph, WireOptions, PROTOCOL_VERSION};
 pub use worker::{serve_shard, ServerHandle, WorkerConfig};

@@ -11,12 +11,15 @@
 //! to `ShardError::Transport` — the whole batch fails deterministically,
 //! never a partial merge.
 
+use crate::backoff::{sleep_capped, Jitter};
+use crate::counters::ServerCounters;
 use crate::wire::{self, HelloRequest, Request, Response};
 use crate::worker::Service;
 use crate::{Result, ServerError};
 use parking_lot::Mutex;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,10 +30,26 @@ pub trait ShardTransport: Send + Sync {
     fn shard(&self) -> u32;
     /// Round-trips one request. Implementations must either return the
     /// peer's response (including typed error responses) or fail with a
-    /// transport-level [`ServerError`].
-    fn call(&self, req: &Request) -> Result<Response>;
+    /// transport-level [`ServerError`]. `deadline` bounds everything the
+    /// transport does on the caller's behalf — dial backoff, socket
+    /// waits, retries, hedges; `None` means the implementation's own
+    /// idle timeouts are the only bound.
+    fn call(&self, req: &Request, deadline: Option<Instant>) -> Result<Response>;
     /// Human-oriented endpoint description (for error messages).
     fn describe(&self) -> String;
+    /// Pins the vocabulary fingerprint the peer(s) must report on every
+    /// future handshake. Default no-op: in-process transports share the
+    /// frontend's address space and can't disagree with themselves.
+    fn pin_fingerprint(&self, _fp: u64) {}
+    /// Per-replica breaker health, when this transport fronts a replica
+    /// group ([`crate::replica::ReplicaSet`]). `None` = not replicated.
+    fn replica_health(&self) -> Option<Vec<wire::ReplicaHealthInfo>> {
+        None
+    }
+    /// Routes fault-handling counters (retries, failovers, hedges) to
+    /// the serving process's [`ServerCounters`]. Default no-op for
+    /// transports that never retry.
+    fn attach_counters(&self, _counters: &Arc<ServerCounters>) {}
 }
 
 /// In-process transport: the frontend and the "worker" share an address
@@ -52,7 +71,9 @@ impl ShardTransport for LocalTransport {
     fn shard(&self) -> u32 {
         self.shard
     }
-    fn call(&self, req: &Request) -> Result<Response> {
+    fn call(&self, req: &Request, _deadline: Option<Instant>) -> Result<Response> {
+        // The engine's own deadline handling sees `req.deadline_ms`;
+        // there is no transport wait to bound in-process.
         Ok(self.ctx.handle(req, Instant::now()))
     }
     fn describe(&self) -> String {
@@ -65,13 +86,22 @@ impl ShardTransport for LocalTransport {
 pub struct RemoteConfig {
     /// Dial attempts before a connect error surfaces.
     pub connect_attempts: u32,
-    /// First-retry backoff; doubles per attempt.
+    /// Base retry/reconnect backoff. Actual delays are
+    /// decorrelated-jitter draws from `[backoff, prev * 3]` so a fleet
+    /// of frontends doesn't re-dial a restarted worker in lockstep.
     pub backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub backoff_cap: Duration,
     /// Idle connections kept pooled per transport.
     pub pool_size: usize,
     /// Round-trip retries for idempotent requests on a dead pooled
     /// connection (mutations are never resent after a send).
     pub retries: u32,
+    /// Socket read/write timeout when the request carries no deadline;
+    /// with a deadline, the effective timeout is the remaining budget
+    /// (capped by this). `None` = block forever — only sensible on a
+    /// trusted loopback.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for RemoteConfig {
@@ -79,8 +109,10 @@ impl Default for RemoteConfig {
         RemoteConfig {
             connect_attempts: 5,
             backoff: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
             pool_size: 4,
             retries: 2,
+            io_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -100,6 +132,8 @@ pub struct RemoteTransport {
     /// slices of the same database). `None` = accept and record.
     expected_fingerprint: Mutex<Option<u64>>,
     idle: Mutex<Vec<Conn>>,
+    jitter: Mutex<Jitter>,
+    counters: Mutex<Option<Arc<ServerCounters>>>,
 }
 
 impl RemoteTransport {
@@ -112,6 +146,8 @@ impl RemoteTransport {
             cfg,
             expected_fingerprint: Mutex::new(None),
             idle: Mutex::new(Vec::new()),
+            jitter: Mutex::new(Jitter::new()),
+            counters: Mutex::new(None),
         })
     }
 
@@ -119,7 +155,8 @@ impl RemoteTransport {
     /// Useful at frontend startup to fail fast on a misconfigured shard
     /// list.
     pub fn handshake(&self) -> Result<wire::HelloResponse> {
-        let mut conn = self.dial()?;
+        let mut conn = self.dial(None)?;
+        self.arm_io_timeout(&conn, None)?;
         let hello = self.verify(&mut conn)?;
         self.check_in(conn);
         Ok(hello)
@@ -131,13 +168,21 @@ impl RemoteTransport {
         *self.expected_fingerprint.lock() = Some(fp);
     }
 
-    fn dial(&self) -> Result<Conn> {
+    /// Dials with decorrelated-jitter backoff between attempts. Total
+    /// reconnect wait is capped by `deadline`: once the request's budget
+    /// is spent, the dial loop stops instead of sleeping past it.
+    fn dial(&self, deadline: Option<Instant>) -> Result<Conn> {
         let mut delay = self.cfg.backoff;
         let mut last: Option<std::io::Error> = None;
         for attempt in 0..self.cfg.connect_attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2);
+                delay =
+                    self.jitter
+                        .lock()
+                        .decorrelated(self.cfg.backoff, delay, self.cfg.backoff_cap);
+                if !sleep_capped(delay, deadline) {
+                    break; // deadline spent mid-backoff
+                }
             }
             match TcpStream::connect(self.addr) {
                 Ok(stream) => {
@@ -152,7 +197,10 @@ impl RemoteTransport {
             }
         }
         Err(ServerError::Io(last.unwrap_or_else(|| {
-            std::io::Error::other("no connect attempts configured")
+            std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline spent before a connection could be dialed",
+            )
         })))
     }
 
@@ -199,13 +247,36 @@ impl RemoteTransport {
         Ok(h)
     }
 
-    fn check_out(&self) -> Result<Conn> {
+    fn check_out(&self, deadline: Option<Instant>) -> Result<Conn> {
         if let Some(conn) = self.idle.lock().pop() {
             return Ok(conn);
         }
-        let mut conn = self.dial()?;
+        let mut conn = self.dial(deadline)?;
+        // Timeout armed before the handshake too: a peer that accepts
+        // and then black-holes must not hang the verify read.
+        self.arm_io_timeout(&conn, deadline)?;
         self.verify(&mut conn)?;
         Ok(conn)
+    }
+
+    /// Bounds the next socket waits: the remaining deadline budget,
+    /// capped by the configured idle timeout. A request with no deadline
+    /// gets the idle timeout alone.
+    fn arm_io_timeout(&self, conn: &Conn, deadline: Option<Instant>) -> Result<()> {
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        if remaining == Some(Duration::ZERO) {
+            return Err(ServerError::DeadlineExceeded);
+        }
+        let effective = match (remaining, self.cfg.io_timeout) {
+            (Some(r), Some(idle)) => Some(r.min(idle)),
+            (Some(r), None) => Some(r),
+            (None, idle) => idle,
+        };
+        // A zero Duration means "no timeout" to the socket API; the
+        // ZERO check above already refused that case.
+        conn.reader.set_read_timeout(effective)?;
+        conn.reader.set_write_timeout(effective)?;
+        Ok(())
     }
 
     fn check_in(&self, conn: Conn) {
@@ -225,7 +296,9 @@ fn roundtrip(conn: &mut Conn, req: &Request) -> Result<Response> {
 }
 
 /// Requests that are safe to resend after a connection died mid-flight.
-fn idempotent(req: &Request) -> bool {
+/// Mutations are **never** resent: a worker may have applied one whose
+/// acknowledgement was lost, and resending would apply it twice.
+pub(crate) fn idempotent(req: &Request) -> bool {
     !matches!(
         req,
         Request::Insert(_) | Request::Remove(_) | Request::Fold(_)
@@ -237,22 +310,23 @@ impl ShardTransport for RemoteTransport {
         self.shard
     }
 
-    fn call(&self, req: &Request) -> Result<Response> {
+    fn call(&self, req: &Request, deadline: Option<Instant>) -> Result<Response> {
         let retries = if idempotent(req) { self.cfg.retries } else { 0 };
         let mut delay = self.cfg.backoff;
         let mut attempt = 0;
         loop {
             // A connection that fails mid-request is dropped, not pooled:
             // its stream state is unknowable.
-            let result = self
-                .check_out()
-                .and_then(|mut conn| match roundtrip(&mut conn, req) {
+            let result = self.check_out(deadline).and_then(|mut conn| {
+                self.arm_io_timeout(&conn, deadline)?;
+                match roundtrip(&mut conn, req) {
                     Ok(resp) => {
                         self.check_in(conn);
                         Ok(resp)
                     }
                     Err(e) => Err(e),
-                });
+                }
+            });
             match result {
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
@@ -263,8 +337,17 @@ impl ShardTransport for RemoteTransport {
                         return Err(e);
                     }
                     attempt += 1;
-                    std::thread::sleep(delay);
-                    delay = delay.saturating_mul(2);
+                    if let Some(c) = self.counters.lock().as_ref() {
+                        c.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    delay = self.jitter.lock().decorrelated(
+                        self.cfg.backoff,
+                        delay,
+                        self.cfg.backoff_cap,
+                    );
+                    if !sleep_capped(delay, deadline) {
+                        return Err(e); // budget spent; surface the last failure
+                    }
                 }
             }
         }
@@ -272,5 +355,13 @@ impl ShardTransport for RemoteTransport {
 
     fn describe(&self) -> String {
         format!("shard {} at {}", self.shard, self.addr)
+    }
+
+    fn pin_fingerprint(&self, fp: u64) {
+        self.expect_fingerprint(fp);
+    }
+
+    fn attach_counters(&self, counters: &Arc<ServerCounters>) {
+        *self.counters.lock() = Some(Arc::clone(counters));
     }
 }

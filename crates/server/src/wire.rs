@@ -6,7 +6,8 @@
 //! Every frame is
 //!
 //! ```text
-//! [magic u32 BE = "TALE"] [version u16 BE] [kind u16 BE] [len u32 BE] [payload: len bytes]
+//! [magic u32 BE = "TALE"] [version u16 BE] [kind u16 BE] [len u32 BE]
+//! [crc32 u32 BE] [payload: len bytes]
 //! ```
 //!
 //! The magic + version header is checked on **every** frame, so a peer
@@ -14,7 +15,13 @@
 //! is refused with a clean [`WireError`] instead of a hang, a panic, or a
 //! misparse. `len` is capped at [`MAX_FRAME_LEN`]; a header announcing
 //! more is rejected before any allocation. A stream that ends mid-frame
-//! surfaces as [`WireError::Truncated`].
+//! surfaces as [`WireError::Truncated`]. The `crc32` covers the payload:
+//! a flipped bit anywhere in transit — even one that would still parse as
+//! valid JSON with a *different* score — is refused as
+//! [`WireError::Corrupt`] instead of being served as a wrong answer. The
+//! chaos harness (`crate::chaos`) depends on this: its corrupt-one-byte
+//! fault must always classify as a typed error, never a silent
+//! divergence.
 //!
 //! `kind` says how to parse the payload: [`KIND_REQUEST`] frames carry a
 //! [`Request`], [`KIND_RESPONSE`] frames a [`Response`] (both externally
@@ -48,8 +55,9 @@ pub const MAGIC: u32 = 0x5441_4C45;
 
 /// Protocol revision. Bumped on any incompatible change to the framing
 /// or the message schema; peers with a different version refuse each
-/// other at the first frame.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// other at the first frame. v2 added the payload CRC to the frame
+/// header (and the replica/degraded message fields).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on a frame's payload length (64 MiB). A header announcing
 /// more is treated as garbage, not an allocation request.
@@ -60,8 +68,10 @@ pub const KIND_REQUEST: u16 = 1;
 /// Frame kind: payload parses as a [`Response`].
 pub const KIND_RESPONSE: u16 = 2;
 
-/// Fixed frame header size in bytes.
-pub const HEADER_LEN: usize = 12;
+/// Fixed frame header size in bytes. The CRC sits in the last four so
+/// the magic/version/kind/len offsets are unchanged from v1 — a v1 peer
+/// still gets a clean `VersionSkew`, not garbage.
+pub const HEADER_LEN: usize = 16;
 
 /// Framing-layer failures. Every variant is a clean, typed refusal —
 /// malformed input never hangs or panics the reader.
@@ -84,6 +94,14 @@ pub enum WireError {
     Oversize(u32),
     /// The stream ended mid-frame.
     Truncated,
+    /// The payload failed its header checksum: bytes were damaged in
+    /// transit. Refused before any parse attempt.
+    Corrupt {
+        /// CRC the header announced.
+        expected: u32,
+        /// CRC of the bytes actually received.
+        got: u32,
+    },
     /// Payload was not valid JSON for the announced kind.
     Malformed(String),
 }
@@ -104,6 +122,12 @@ impl std::fmt::Display for WireError {
                 write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
             }
             WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "payload checksum mismatch: header says {expected:#010x}, bytes hash to {got:#010x}"
+                )
+            }
             WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
         }
     }
@@ -138,6 +162,7 @@ pub fn write_frame(
     header[4..6].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
     header[6..8].copy_from_slice(&kind.to_be_bytes());
     header[8..12].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[12..16].copy_from_slice(&tale_storage::wal::crc32(payload).to_be_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()?;
@@ -182,6 +207,7 @@ pub fn read_frame(
     if len > MAX_FRAME_LEN {
         return Err(WireError::Oversize(len));
     }
+    let crc = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
     let mut payload = vec![0u8; len as usize];
     let mut got = 0usize;
     while got < payload.len() {
@@ -190,6 +216,13 @@ pub fn read_frame(
             return Err(WireError::Truncated);
         }
         got += n;
+    }
+    let actual = tale_storage::wal::crc32(&payload);
+    if actual != crc {
+        return Err(WireError::Corrupt {
+            expected: crc,
+            got: actual,
+        });
     }
     Ok(Some((kind, payload, HEADER_LEN + len as usize)))
 }
@@ -615,6 +648,14 @@ pub struct QueryBatchRequest {
     /// frontend to workers; a request whose budget is exhausted before
     /// execution starts is refused with `deadline_exceeded`.
     pub deadline_ms: Option<u64>,
+    /// Opt-in graceful degradation: when `true`, a frontend whose
+    /// replicas for some shard are all unreachable answers from the
+    /// shards it *can* reach and lists the missing shards in
+    /// [`QueryBatchResponse::degraded`] — explicitly, never silently.
+    /// The default (`false`) keeps the fail-closed contract: any
+    /// unreachable shard fails the whole batch with a typed error.
+    #[serde(default)]
+    pub allow_partial: bool,
 }
 
 /// Insert a graph into the serving shard.
@@ -728,6 +769,13 @@ pub struct QueryBatchResponse {
     pub results: Vec<WireMatches>,
     /// Worker/frontend execution counters for this request.
     pub stats: WireExecStats,
+    /// Shards whose results are **missing** from this answer because
+    /// every replica was unreachable and the request opted into
+    /// [`QueryBatchRequest::allow_partial`]. Empty on any complete
+    /// answer; a non-empty list is the explicit "this is partial"
+    /// marker — a client that did not opt in never sees one.
+    #[serde(default)]
+    pub degraded: Vec<u32>,
 }
 
 /// Mutation reply.
@@ -752,6 +800,26 @@ pub struct StatsResponse {
     pub server: crate::counters::ServerStatsSnapshot,
 }
 
+/// One replica's health as seen by a frontend's circuit breakers
+/// (embedded in [`HealthResponse::replicas`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaHealthInfo {
+    /// Shard this replica serves.
+    pub shard: u32,
+    /// Replica ordinal within its shard's group (0 = primary).
+    pub replica: u32,
+    /// Transport description (address for a remote, `local:N` in-proc).
+    pub address: String,
+    /// Breaker state: `closed`, `open`, or `half-open`.
+    pub state: String,
+    /// Consecutive failures feeding the breaker.
+    pub consecutive_failures: u64,
+    /// Requests this replica has served successfully.
+    pub successes: u64,
+    /// Requests this replica has failed at the transport layer.
+    pub failures: u64,
+}
+
 /// Liveness reply.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HealthResponse {
@@ -763,6 +831,10 @@ pub struct HealthResponse {
     pub inflight: u64,
     /// Requests currently queued at the admission gate.
     pub queued: u64,
+    /// Per-replica breaker states, present when the answering endpoint
+    /// is a frontend with replica groups (empty from a plain worker).
+    #[serde(default)]
+    pub replicas: Vec<ReplicaHealthInfo>,
 }
 
 /// Plan-rendering reply.
@@ -865,6 +937,32 @@ mod tests {
             read_frame(&mut cut.as_slice()),
             Err(WireError::Truncated)
         ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_refused() {
+        // Every single-byte flip — payload or the CRC field itself —
+        // must be a typed Corrupt refusal, never a parse of damaged
+        // bytes. `{"k":3}` would still be valid JSON with the 3 flipped
+        // to a 7; the checksum is what catches that class.
+        let mut good = Vec::new();
+        write_frame(&mut good, KIND_REQUEST, br#"{"k":3}"#).unwrap();
+        for i in 12..good.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = good.clone();
+                bad[i] ^= bit;
+                assert!(
+                    matches!(
+                        read_frame(&mut bad.as_slice()),
+                        Err(WireError::Corrupt { .. })
+                    ),
+                    "flip at byte {i} was not refused"
+                );
+            }
+        }
+        // the pristine frame still reads
+        let (_, payload, _) = read_frame(&mut good.as_slice()).unwrap().unwrap();
+        assert_eq!(payload, br#"{"k":3}"#);
     }
 
     #[test]

@@ -112,7 +112,11 @@ pub fn handle_request(ctx: &ServerContext, req: &Request, received: Instant) -> 
                 Err(resp) => return *resp,
             };
             match ctx.engine.query_batch(q) {
-                Ok((results, stats)) => Response::QueryBatch(QueryBatchResponse { results, stats }),
+                Ok((results, stats)) => Response::QueryBatch(QueryBatchResponse {
+                    results,
+                    stats,
+                    degraded: Vec::new(),
+                }),
                 Err(e) => error_of(&e),
             }
         }
@@ -184,6 +188,7 @@ pub fn handle_request(ctx: &ServerContext, req: &Request, received: Instant) -> 
             uptime_secs: ctx.counters.uptime_secs(),
             inflight: ctx.counters.requests_inflight.load(Ordering::Relaxed),
             queued: ctx.gate.queued() as u64,
+            replicas: Vec::new(),
         }),
         Request::Explain(e) => match ctx.engine.explain(e) {
             Ok(rendered) => Response::Explain(wire::ExplainResponse { rendered }),
@@ -259,6 +264,43 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+    }
+
+    /// Graceful drain: stop accepting new connections, let every
+    /// request the server has already read finish and flush its
+    /// response, then sever what's left (idle connections, and — past
+    /// `limit` — stragglers). Returns `true` if all in-flight work
+    /// completed within the drain deadline.
+    ///
+    /// "Accepted request" means a frame the server fully read: those
+    /// are never dropped by a clean drain. Bytes a client sent after
+    /// the drain began may be answered or may see a closed connection —
+    /// exactly what a crashed worker would look like, which the
+    /// client-side retry/failover layer already handles.
+    pub fn drain(&mut self, limit: std::time::Duration) -> bool {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock accept
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let gone = Instant::now() + limit;
+        let mut clean = false;
+        while Instant::now() < gone {
+            if self.counters.requests_serving.load(Ordering::SeqCst) == 0 {
+                // Settle check: catch a frame decoded between the load
+                // and the sever below.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                if self.counters.requests_serving.load(Ordering::SeqCst) == 0 {
+                    clean = true;
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for (_, c) in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        clean
     }
 }
 
@@ -369,11 +411,17 @@ fn serve_connection(service: &dyn Service, stream: TcpStream) {
             Ok(Some((req, nbytes))) => {
                 let received = Instant::now();
                 let counters = service.counters();
+                // Serving gauge: covers dispatch + response write, so
+                // graceful drain can wait for accepted requests to
+                // finish flushing before severing sockets.
+                counters.requests_serving.fetch_add(1, Ordering::SeqCst);
                 counters
                     .bytes_in
                     .fetch_add(nbytes as u64, Ordering::Relaxed);
                 let resp = service.handle(&req, received);
-                match wire::write_response(&mut writer, &resp) {
+                let wrote = wire::write_response(&mut writer, &resp);
+                counters.requests_serving.fetch_sub(1, Ordering::SeqCst);
+                match wrote {
                     Ok(out) => {
                         counters.bytes_out.fetch_add(out as u64, Ordering::Relaxed);
                     }

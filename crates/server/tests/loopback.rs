@@ -104,6 +104,7 @@ fn wire_batch(db: &GraphDb, queries: &[Graph], opts: &QueryOptions) -> QueryBatc
             .collect(),
         options: WireOptions::from_options(opts),
         deadline_ms: None,
+        allow_partial: false,
     }
 }
 
@@ -253,7 +254,7 @@ impl ShardTransport for SlowTransport {
     fn shard(&self) -> u32 {
         0
     }
-    fn call(&self, req: &Request) -> tale_server::Result<Response> {
+    fn call(&self, req: &Request, _deadline: Option<Instant>) -> tale_server::Result<Response> {
         match req {
             Request::Hello(_) => Ok(Response::Hello(HelloResponse {
                 protocol: PROTOCOL_VERSION,
@@ -267,6 +268,7 @@ impl ShardTransport for SlowTransport {
                 Ok(Response::QueryBatch(QueryBatchResponse {
                     results: Vec::new(),
                     stats: WireExecStats::default(),
+                    degraded: Vec::new(),
                 }))
             }
         }
@@ -300,6 +302,7 @@ fn saturation_sheds_with_explicit_overloaded() {
         queries: Vec::new(),
         options: WireOptions::from_options(&QueryOptions::default()),
         deadline_ms: None,
+        allow_partial: false,
     };
 
     const CLIENTS: usize = 8;

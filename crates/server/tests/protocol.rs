@@ -159,7 +159,7 @@ fn garbage_frames_are_refused_cleanly() {
     let mut header = Vec::new();
     write_frame(&mut header, KIND_REQUEST, b"x").unwrap();
     header[8..12].copy_from_slice(&(MAX_FRAME_LEN + 7).to_be_bytes());
-    stream.write_all(&header[..12]).unwrap();
+    stream.write_all(&header[..wire::HEADER_LEN]).unwrap();
     expect_error_code(&mut stream, wire::codes::BAD_REQUEST, "oversize header");
 
     // The server is still healthy after all that abuse.
@@ -195,6 +195,7 @@ fn exhausted_deadline_is_refused() {
         queries: vec![query],
         options: WireOptions::from_options(&tale::QueryOptions::default()),
         deadline_ms: Some(0),
+        allow_partial: false,
     });
     wire::write_request(&mut stream, &req).unwrap();
     expect_error_code(
