@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|serve|chaos|plan|cold|mvcc|all] [--threads N]
+//! experiments [alg1|probe|table1|table2|table3|fig5|fig6|fig789|ablation|speedup|shard|serve|chaos|plan|cold|mvcc|all] [--threads N]
 //! ```
 //!
 //! Scaling: set `TALE_SCALE` (0.001..1.0, default 0.12) to size the
@@ -19,6 +19,7 @@ use tale_bench::experiments::kegg::run_kegg;
 use tale_bench::experiments::mvcc::run_mvcc;
 use tale_bench::experiments::pimp::{default_fractions, run_pimp};
 use tale_bench::experiments::plan::run_plan;
+use tale_bench::experiments::probe::run_probe;
 use tale_bench::experiments::saga::run_saga;
 use tale_bench::experiments::serve::run_serve;
 use tale_bench::experiments::shard::run_shard;
@@ -57,7 +58,9 @@ fn main() {
         "speedup" => {
             speedup(scale);
             shard(scale);
+            probe(scale);
         }
+        "probe" => probe(scale),
         "shard" => shard(scale),
         "serve" => serve_exp(scale),
         "chaos" => chaos_exp(scale),
@@ -67,6 +70,7 @@ fn main() {
         "crash" => crash(),
         "all" => {
             alg1();
+            probe(scale);
             table1(scale);
             table2(scale);
             table3_fig6(scale);
@@ -86,7 +90,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [alg1|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|serve|chaos|plan|cold|mvcc|crash|all] [--threads N]");
+            eprintln!("usage: experiments [alg1|probe|table1|table2|table3|fig5|fig6|fig789|ablation|saga|kegg|pimp|speedup|shard|serve|chaos|plan|cold|mvcc|crash|all] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -648,6 +652,78 @@ fn crash() {
         "rebuild with: cargo run -p tale-bench --features failpoints --bin experiments -- crash"
     );
     std::process::exit(2);
+}
+
+/// `--probe-json PATH` from argv: where to write `BENCH_probe.json`
+/// (`None` = don't).
+fn probe_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--probe-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn probe(scale: Scale) {
+    println!("\n## E-PROBE — SIMD probe kernel + label-pair pre-filter\n");
+    println!("kernel grid: Algorithm 1 on random bitmaps, every available kernel");
+    println!("vs the naive per-row scan, every timed query first checked identical");
+    println!("across all of them. Filter: every node of a skewed domain corpus");
+    println!("probes itself back at each rho, once with the label-pair pre-filter");
+    println!("on (the default) and once off; skips happen before any blob fetch");
+    println!("and may change traffic, never answers.\n");
+    let r = run_probe(seed(), scale);
+    println!(
+        "kernels: {} (active: {}); all identical to oracle: {}\n",
+        r.kernels.join(", "),
+        r.active_kernel,
+        if r.kernels_identical { "yes" } else { "NO" }
+    );
+    println!("| bitmap rows | kernel | probe (ns) | naive (ns) | speedup |");
+    println!("|---|---|---|---|---|");
+    for k in &r.kernel_rows {
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.1}x |",
+            k.rows, k.kernel, k.ns, k.naive_ns, k.speedup_vs_naive
+        );
+    }
+    match r.simd_vs_scalar {
+        Some(s) => println!(
+            "\nat 32768 rows: SIMD beats scalar {s:.2}x, bit-sliced beats naive {:.1}x",
+            r.bitsliced_vs_naive
+        ),
+        None => println!(
+            "\nno SIMD kernel on this host; bit-sliced beats naive {:.1}x",
+            r.bitsliced_vs_naive
+        ),
+    }
+    println!(
+        "\nfilter corpus: {} graphs in {} domains; {} signatures x rho {:?}\n",
+        r.graphs, r.domains, r.queries, r.rhos
+    );
+    println!(
+        "| pass | keys | postings fetched | postings filtered | rows | wall (s) | identical |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for row in [&r.filter_on, &r.filter_off] {
+        println!(
+            "| filter {} | {} | {} | {} | {} | {:.3} | {} |",
+            if row.filter { "on " } else { "off" },
+            row.keys_scanned,
+            row.postings_fetched,
+            row.postings_filtered,
+            row.rows_examined,
+            row.wall_secs,
+            if r.identical { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nskip fraction: {:.1}% of surviving-key postings never fetched",
+        r.skip_fraction * 100.0
+    );
+    if let Some(path) = probe_json_arg() {
+        write_json(&path, &r, "probe report");
+    }
 }
 
 fn alg1() {

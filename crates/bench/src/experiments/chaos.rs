@@ -231,16 +231,13 @@ pub fn run_chaos(
             )
             .expect("serve shard");
             let proxy = ChaosProxy::new(handle.addr()).expect("chaos proxy");
-            members.push(
-                RemoteTransport::new(proxy.addr(), s as u32, remote_cfg)
-                    as Arc<dyn ShardTransport>,
-            );
+            members
+                .push(RemoteTransport::new(proxy.addr(), s as u32, remote_cfg)
+                    as Arc<dyn ShardTransport>);
             worker_handles.push(handle);
             proxies.push(proxy);
         }
-        sets.push(
-            ReplicaSet::new(s as u32, members, replica_cfg) as Arc<dyn ShardTransport>
-        );
+        sets.push(ReplicaSet::new(s as u32, members, replica_cfg) as Arc<dyn ShardTransport>);
     }
 
     let frontend =

@@ -13,6 +13,7 @@ pub mod kegg;
 pub mod mvcc;
 pub mod pimp;
 pub mod plan;
+pub mod probe;
 pub mod saga;
 pub mod serve;
 pub mod shard;

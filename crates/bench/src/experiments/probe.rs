@@ -1,0 +1,374 @@
+//! E-PROBE — probe-path raw speed: the SIMD bit-sliced kernel vs the
+//! scalar kernel vs the naive row scan, and the label-pair pre-filter's
+//! skip rate on a skewed-label corpus.
+//!
+//! Two claims, both checked bit-identical inside the run:
+//!
+//! 1. **Kernel**: on wide bitmaps the explicit-SIMD Algorithm 1 kernel
+//!    beats the portable scalar kernel, and both beat the naive per-row
+//!    scan. Every timed query is first verified to produce identical
+//!    hits on every available kernel *and* the naive oracle.
+//! 2. **Filter**: on a corpus of label domains with private
+//!    vocabularies, the per-key neighboring-label summaries skip a
+//!    meaningful fraction of postings before any blob fetch, with the
+//!    filter-on and filter-off passes answering identically.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tale_graph::{Graph, GraphDb, GraphId, NodeId};
+use tale_nhindex::bitprobe::{available_kernels, probe_bitsliced_with, probe_naive, ProbeKernel};
+use tale_nhindex::{NhIndex, NhIndexConfig, NodeCandidate};
+
+use crate::Scale;
+
+/// Bump when the JSON layout of [`ProbeExpReport`] changes.
+pub const PROBE_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// One (bitmap size, kernel) timing cell of the kernel microbench.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct KernelRow {
+    /// Rows in the bitmap (database nodes sharing the key).
+    pub rows: usize,
+    /// Kernel name (`"avx2"`, `"scalar"`).
+    pub kernel: String,
+    /// Mean probe time (ns) over the query set.
+    pub ns: f64,
+    /// Mean naive per-row scan time (ns) on the same bitmap.
+    pub naive_ns: f64,
+    /// `naive / ns`.
+    pub speedup_vs_naive: f64,
+}
+
+/// One filter pass (on or off) over the skewed-corpus workload.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FilterPassRow {
+    /// Whether the label-pair pre-filter was consulted.
+    pub filter: bool,
+    /// B+-tree keys the range scans visited.
+    pub keys_scanned: u64,
+    /// Postings decoded from the blob store.
+    pub postings_fetched: u64,
+    /// Postings the pre-filter skipped before any blob fetch.
+    pub postings_filtered: u64,
+    /// Bitmap rows the probe kernels examined.
+    pub rows_examined: u64,
+    /// Wall-clock for the whole pass.
+    pub wall_secs: f64,
+}
+
+/// The whole E-PROBE run, serialized to `BENCH_probe.json` by CI.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ProbeExpReport {
+    /// See [`PROBE_REPORT_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Workload scale used.
+    pub scale: f64,
+    /// Signature width of the kernel microbench bitmaps.
+    pub sbit: u32,
+    /// Kernels the host can run (scalar fallback first, best last).
+    pub kernels: Vec<String>,
+    /// The kernel the dispatcher picked for this process.
+    pub active_kernel: String,
+    /// Timing grid: every available kernel at every bitmap size.
+    pub kernel_rows: Vec<KernelRow>,
+    /// Whether every timed query produced identical hits on every
+    /// kernel and the naive oracle.
+    pub kernels_identical: bool,
+    /// At the largest bitmap: `scalar_ns / simd_ns` (`None` when the
+    /// host has no SIMD kernel).
+    pub simd_vs_scalar: Option<f64>,
+    /// At the largest bitmap: `naive_ns / best_kernel_ns`.
+    pub bitsliced_vs_naive: f64,
+    /// Graphs in the skewed filter corpus.
+    pub graphs: usize,
+    /// Label domains the corpus is split into.
+    pub domains: usize,
+    /// Probe signatures in the filter workload (each run at every rho).
+    pub queries: usize,
+    /// Approximation ratios each signature was probed at.
+    pub rhos: Vec<f64>,
+    /// The filter-on pass (the default configuration).
+    pub filter_on: FilterPassRow,
+    /// The filter-off pass (same workload, filter disabled).
+    pub filter_off: FilterPassRow,
+    /// `postings_filtered / (postings_filtered + postings_fetched)` on
+    /// the filter-on pass.
+    pub skip_fraction: f64,
+    /// Whether the on and off passes' answers matched bit for bit.
+    pub identical: bool,
+}
+
+/// Labels per domain; label 0 of each domain is its *hot* label.
+const LABELS_PER_DOMAIN: usize = 5;
+/// Label domains with private vocabularies (mirrors E-PLAN's corpus).
+const DOMAINS: usize = 6;
+
+/// Times one closure, returning mean ns per call over `reps` calls.
+fn mean_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Runs the kernel microbench: random bitmaps of increasing size, 50
+/// random queries, every available kernel vs the naive oracle.
+fn kernel_bench(
+    seed: u64,
+    sbit: u32,
+    n_queries: usize,
+) -> (Vec<KernelRow>, bool, Option<f64>, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5052_4f42); // "PROB"
+    let sizes = [256usize, 4096, 32768];
+    let queries: Vec<Vec<u64>> = (0..n_queries)
+        .map(|_| super::alg1::random_query(&mut rng, sbit))
+        .collect();
+    let kernels = available_kernels();
+    let nbmiss = 2u32;
+    let mut rows_out = Vec::new();
+    let mut identical = true;
+    for &rows in &sizes {
+        let bm = super::alg1::random_bitmap(&mut rng, rows, sbit);
+        // warm up + verify: every kernel must agree with the oracle
+        for q in &queries {
+            let oracle = probe_naive(&bm, q, nbmiss);
+            for &k in &kernels {
+                let got = probe_bitsliced_with(k, &bm, q, nbmiss);
+                identical &= got.rows == oracle.rows && got.misses == oracle.misses;
+            }
+        }
+        // interleaved min-of-passes: each pass times every contender in
+        // the same window, so machine-load drift can't favor whichever
+        // kernel happened to run first
+        const PASSES: usize = 5;
+        let reps = (200_000 / rows).clamp(3, 2000);
+        let mut naive_ns = f64::INFINITY;
+        let mut kernel_ns = vec![f64::INFINITY; kernels.len()];
+        for _ in 0..PASSES {
+            let t = mean_ns(reps, || {
+                for q in &queries {
+                    std::hint::black_box(probe_naive(&bm, q, nbmiss));
+                }
+            }) / n_queries as f64;
+            naive_ns = naive_ns.min(t);
+            for (i, &k) in kernels.iter().enumerate() {
+                let t = mean_ns(reps, || {
+                    for q in &queries {
+                        std::hint::black_box(probe_bitsliced_with(k, &bm, q, nbmiss));
+                    }
+                }) / n_queries as f64;
+                kernel_ns[i] = kernel_ns[i].min(t);
+            }
+        }
+        for (i, &k) in kernels.iter().enumerate() {
+            rows_out.push(KernelRow {
+                rows,
+                kernel: k.name().to_owned(),
+                ns: kernel_ns[i],
+                naive_ns,
+                speedup_vs_naive: naive_ns / kernel_ns[i],
+            });
+        }
+    }
+    let largest = sizes[sizes.len() - 1];
+    let at = |k: ProbeKernel| {
+        rows_out
+            .iter()
+            .find(|r| r.rows == largest && r.kernel == k.name())
+            .map(|r| r.ns)
+    };
+    let scalar_ns = at(ProbeKernel::Scalar).expect("scalar kernel always available");
+    // `available_kernels()` lists the scalar fallback first; the best
+    // kernel is the last entry (AVX2 when the CPU has it).
+    let best = *kernels.last().expect("at least the scalar kernel");
+    let best_ns = at(best).expect("best kernel timed");
+    let simd_vs_scalar = if best == ProbeKernel::Scalar {
+        None
+    } else {
+        Some(scalar_ns / best_ns)
+    };
+    let naive_ns = rows_out
+        .iter()
+        .find(|r| r.rows == largest)
+        .map(|r| r.naive_ns)
+        .expect("largest size timed");
+    (rows_out, identical, simd_vs_scalar, naive_ns / best_ns)
+}
+
+/// Draws a domain-confined label id: the hot label half the time, a
+/// uniform rare one otherwise.
+fn domain_label(rng: &mut ChaCha8Rng, base: u32) -> u32 {
+    if rng.gen_bool(0.5) {
+        base
+    } else {
+        base + 1 + rng.gen_range(0..LABELS_PER_DOMAIN as u32 - 1)
+    }
+}
+
+/// A connected simple graph of `n` nodes over one domain's labels: a
+/// ring plus a few random chords (the E-PLAN corpus shape).
+fn domain_graph(rng: &mut ChaCha8Rng, base: u32, n: usize) -> Graph {
+    let mut g = Graph::new_undirected();
+    for _ in 0..n {
+        g.add_node(tale_graph::labels::NodeLabel(domain_label(rng, base)));
+    }
+    let mut edges: std::collections::BTreeSet<(u32, u32)> = (1..n as u32)
+        .map(|j| (j - 1, j))
+        .chain(std::iter::once((0, n as u32 - 1)))
+        .collect();
+    while edges.len() < n + n / 3 {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            edges.insert((a.min(b), a.max(b)));
+        }
+    }
+    for (a, b) in edges {
+        g.add_edge(tale_graph::NodeId(a), tale_graph::NodeId(b))
+            .expect("deduplicated simple edges");
+    }
+    g
+}
+
+/// Runs E-PROBE: the kernel microbench plus the filter on/off
+/// comparison on a skewed domain corpus.
+pub fn run_probe(seed: u64, scale: Scale) -> ProbeExpReport {
+    let sbit = 32u32;
+    let (kernel_rows, kernels_identical, simd_vs_scalar, bitsliced_vs_naive) =
+        kernel_bench(seed, sbit, 50);
+
+    // -- filter corpus: domains with private label subspaces ------------
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4c50_4631); // "LPF1"
+    let per_domain = ((60.0 * scale.0).round() as usize).max(4);
+    let mut db = GraphDb::new();
+    for d in 0..DOMAINS {
+        for j in 0..LABELS_PER_DOMAIN {
+            db.intern_node_label(&format!("d{d}-l{j}"));
+        }
+    }
+    for d in 0..DOMAINS {
+        let base = (d * LABELS_PER_DOMAIN) as u32;
+        for i in 0..per_domain {
+            let n = rng.gen_range(8..16);
+            db.insert(format!("d{d}g{i}"), domain_graph(&mut rng, base, n));
+        }
+    }
+    let graphs = db.len();
+
+    let dir = tempfile::tempdir().expect("tempdir");
+    let config = NhIndexConfig {
+        sbit: 64,
+        buffer_frames: 256,
+        ..NhIndexConfig::default()
+    };
+    let idx = NhIndex::build(dir.path(), &db, &config).expect("index build");
+
+    // every database node probes back at rho 0 and 0.25 — real
+    // signatures, so hits are nonzero and identity is meaningful
+    let rhos = vec![0.0, 0.25];
+    let mut sigs = Vec::new();
+    for gi in 0..graphs {
+        let gid = GraphId(gi as u32);
+        let g = db.graph(gid);
+        let label_of = |x: NodeId| db.effective_label(gid, x);
+        for node in g.nodes() {
+            sigs.push(idx.signature(g, node, &label_of));
+        }
+    }
+
+    let pass = |enabled: bool| {
+        idx.set_filter_enabled(enabled);
+        let before = idx.counters();
+        let t0 = std::time::Instant::now();
+        let mut answers: Vec<Vec<NodeCandidate>> = Vec::with_capacity(sigs.len() * rhos.len());
+        for sig in &sigs {
+            for &rho in &rhos {
+                answers.push(idx.probe(sig, rho).expect("probe"));
+            }
+        }
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let d = idx.counters().since(before);
+        let row = FilterPassRow {
+            filter: enabled,
+            keys_scanned: d.keys_scanned,
+            postings_fetched: d.postings_fetched,
+            postings_filtered: d.postings_filtered,
+            rows_examined: d.rows_examined,
+            wall_secs,
+        };
+        (answers, row)
+    };
+    let (on_answers, filter_on) = pass(true);
+    let (off_answers, filter_off) = pass(false);
+    idx.set_filter_enabled(true);
+
+    let skipped = filter_on.postings_filtered;
+    let seen = skipped + filter_on.postings_fetched;
+    ProbeExpReport {
+        schema_version: PROBE_REPORT_SCHEMA_VERSION,
+        seed,
+        scale: scale.0,
+        sbit,
+        kernels: available_kernels()
+            .iter()
+            .map(|k| k.name().to_owned())
+            .collect(),
+        active_kernel: tale_nhindex::bitprobe::active_kernel().name().to_owned(),
+        kernel_rows,
+        kernels_identical,
+        simd_vs_scalar,
+        bitsliced_vs_naive,
+        graphs,
+        domains: DOMAINS,
+        queries: sigs.len(),
+        rhos,
+        filter_on,
+        filter_off,
+        skip_fraction: if seen == 0 {
+            0.0
+        } else {
+            skipped as f64 / seen as f64
+        },
+        identical: on_answers == off_answers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed-artifact contract CI re-checks: kernels agree with
+    /// the oracle, the filter skips a nonzero fraction of postings
+    /// before any fetch, and disabling it changes traffic but never
+    /// answers.
+    #[test]
+    fn probe_report_is_identical_and_skips() {
+        let r = run_probe(7, Scale(0.02));
+        assert_eq!(r.schema_version, PROBE_REPORT_SCHEMA_VERSION);
+        assert!(r.kernels_identical, "a kernel diverged from the oracle");
+        assert!(r.kernels.contains(&"scalar".to_owned()));
+        assert!(r.identical, "filter on/off answers diverged");
+        assert!(
+            r.filter_on.postings_filtered > 0,
+            "the pre-filter never skipped a posting: {:?}",
+            r.filter_on
+        );
+        assert_eq!(r.filter_off.postings_filtered, 0, "{:?}", r.filter_off);
+        assert!(
+            r.filter_on.postings_fetched < r.filter_off.postings_fetched,
+            "skips must reduce fetches ({} vs {})",
+            r.filter_on.postings_fetched,
+            r.filter_off.postings_fetched
+        );
+        assert!(r.skip_fraction > 0.0 && r.skip_fraction < 1.0);
+        // rows examined shrink with the skipped postings' rows
+        assert!(r.filter_on.rows_examined <= r.filter_off.rows_examined);
+        // the kernel grid covers every size × every available kernel
+        assert_eq!(r.kernel_rows.len(), 3 * r.kernels.len());
+        // hosts with a SIMD kernel must report the simd-vs-scalar ratio
+        assert_eq!(r.simd_vs_scalar.is_some(), r.kernels.len() > 1);
+    }
+}

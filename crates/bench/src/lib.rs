@@ -18,6 +18,7 @@ pub use experiments::fig789::{run_fig789, Fig789Row};
 pub use experiments::kegg::{run_kegg, KeggExpReport};
 pub use experiments::pimp::{run_pimp, PimpRow};
 pub use experiments::plan::{run_plan, PlanExpReport};
+pub use experiments::probe::{run_probe, ProbeExpReport};
 pub use experiments::saga::{run_saga, SagaRow};
 pub use experiments::serve::{run_serve, ServeReport};
 pub use experiments::table1::{run_table1, Table1Row};

@@ -18,7 +18,41 @@
 //! The paper's complexity: `O(Sbit × log(ρ·d))` bitwise vector operations.
 //! [`probe_naive`] is the baseline §IV-D simulates against (a per-row,
 //! per-bit scan), reported there as 2×–12× slower; `cargo bench -p
-//! tale-bench --bench bitprobe` regenerates that comparison.
+//! tale-bench --bench bitprobe` and `experiments probe` regenerate that
+//! comparison.
+//!
+//! ## Kernels and dispatch
+//!
+//! Both steps are pure bitwise vector arithmetic over `ceil(n/64)`-word
+//! columns, so they vectorize mechanically. Two kernels implement the
+//! identical algorithm:
+//!
+//! * [`ProbeKernel::Scalar`] — portable word-at-a-time Rust (the original
+//!   implementation, and the reference the SIMD kernel is property-tested
+//!   against).
+//! * [`ProbeKernel::Avx2`] — explicit `std::arch` AVX2 intrinsics
+//!   (x86_64 only): 256-bit lanes carry four counter words at once through
+//!   Step 1's ripple-carry and Step 2's threshold compare, with the carry
+//!   kept in a register across the whole slice ripple. All `unsafe` is
+//!   confined to this module's `avx2` submodule.
+//!
+//! [`probe_bitsliced`] picks a kernel once per process: AVX2 when the CPU
+//! reports it (`is_x86_feature_detected!`), scalar otherwise. Setting the
+//! environment variable `TALE_PROBE_KERNEL=scalar` forces the scalar
+//! kernel (the CI fallback leg uses this so both dispatch arms stay
+//! green); any other value keeps auto-detection.
+//!
+//! ## Width contract
+//!
+//! Every probe takes the query as `ceil(sbit/64)` words with no bits set
+//! at or above `sbit`. The contract is asserted **unconditionally** (not
+//! `debug_assert!`): a wider query word would silently drop the extra
+//! words (under-counting misses — the base/delta sbit-skew hazard after
+//! vocabulary growth), and stray high bits would probe columns that do
+//! not exist. Release builds must fail loudly, for the same reason
+//! [`ColumnBitmap::from_words`] checks unconditionally. Callers that can
+//! see width skew (the index probe boundary) validate first and surface a
+//! typed error instead of this panic.
 
 /// A column-major bit matrix: `sbit` columns over `n` rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +150,21 @@ impl ColumnBitmap {
         }
         out
     }
+
+    /// Folds every column's occupancy into one 64-bit summary: bit
+    /// `j % 64` is set iff column `j` has any set row. Because the layout
+    /// maps array bit `j` to bit `j % 64` of word `j / 64`, this is just
+    /// the OR of all row words — the label-pair pre-filter
+    /// ([`crate::filter`]) builds its per-key summaries from this.
+    pub fn fold_columns(&self) -> u64 {
+        let mut folded = 0u64;
+        for j in 0..self.sbit {
+            if self.column(j).iter().any(|&w| w != 0) {
+                folded |= 1u64 << (j % 64);
+            }
+        }
+        folded
+    }
 }
 
 /// Result of a probe: the qualifying rows and their exact miss counts.
@@ -127,26 +176,203 @@ pub struct ProbeHits {
     pub misses: Vec<u32>,
 }
 
-/// Algorithm 1. Returns the rows of `bitmap` whose neighbor arrays miss at
-/// most `nbmiss` of the set bits in `query` (given as `ceil(sbit/64)`
-/// words), along with each row's exact miss count (needed by the quality
-/// function, Eq. IV.5).
-pub fn probe_bitsliced(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
-    let n = bitmap.rows();
-    if n == 0 {
-        return ProbeHits {
+impl ProbeHits {
+    fn empty() -> Self {
+        ProbeHits {
             rows: Vec::new(),
             misses: Vec::new(),
-        };
+        }
     }
-    let wpc = bitmap.wpc;
-    // countSize = ⌊log2(nbmiss)⌋ + 1 (line 3); nbmiss = 0 still needs one
-    // digit to detect any miss.
-    let count_size = if nbmiss == 0 {
+}
+
+/// One of the interchangeable Algorithm-1 kernel implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKernel {
+    /// Portable word-parallel Rust.
+    Scalar,
+    /// Explicit AVX2 intrinsics (x86_64 with runtime feature detection).
+    Avx2,
+}
+
+impl ProbeKernel {
+    /// Kernel name as reported in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKernel::Scalar => "scalar",
+            ProbeKernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The kernels runnable on this machine (scalar always; AVX2 when the CPU
+/// reports it). Property tests probe every available kernel so both
+/// dispatch arms stay covered wherever they can execute.
+pub fn available_kernels() -> Vec<ProbeKernel> {
+    let mut out = vec![ProbeKernel::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        out.push(ProbeKernel::Avx2);
+    }
+    out
+}
+
+/// The kernel [`probe_bitsliced`] dispatches to: AVX2 when available
+/// unless `TALE_PROBE_KERNEL=scalar` forces the fallback. Resolved once
+/// per process.
+pub fn active_kernel() -> ProbeKernel {
+    static ACTIVE: std::sync::OnceLock<ProbeKernel> = std::sync::OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let forced_scalar = std::env::var("TALE_PROBE_KERNEL")
+            .map(|v| v.eq_ignore_ascii_case("scalar"))
+            .unwrap_or(false);
+        if !forced_scalar && available_kernels().contains(&ProbeKernel::Avx2) {
+            ProbeKernel::Avx2
+        } else {
+            ProbeKernel::Scalar
+        }
+    })
+}
+
+/// `countSize` (line 3): `⌊log2(nbmiss)⌋ + 1` counter digits; `nbmiss = 0`
+/// still needs one digit to detect any miss.
+fn count_size_for(nbmiss: u32) -> usize {
+    if nbmiss == 0 {
         1
     } else {
         (32 - nbmiss.leading_zeros()) as usize
-    };
+    }
+}
+
+/// The unconditional probe width contract (see the module docs): `query`
+/// must span exactly `ceil(sbit/64)` words with no bits at or above
+/// `sbit`.
+fn assert_query_width(who: &str, sbit: u32, query: &[u64]) {
+    let words = (sbit as usize).div_ceil(64);
+    assert_eq!(
+        query.len(),
+        words,
+        "{who}: query has {} words but sbit {sbit} needs {words} — \
+         signature built under a different array width?",
+        query.len(),
+    );
+    if sbit % 64 != 0 {
+        let stray = query[words - 1] & !((1u64 << (sbit % 64)) - 1);
+        assert_eq!(
+            stray, 0,
+            "{who}: query sets bits at or above sbit {sbit} (stray mask {stray:#x}) — \
+             those columns do not exist and their misses would be dropped",
+        );
+    }
+}
+
+/// Walks `Result_lt | Result_eq`, masking rows past `n`, and reconstructs
+/// each qualifying row's exact miss count from the counter slices
+/// (`count_word(k, w)` reads digit-slice `k`, word `w`). Shared by both
+/// kernels so extraction is bit-identical by construction.
+fn collect_hits(
+    n: usize,
+    wpc: usize,
+    result_lt: &[u64],
+    result_eq: &[u64],
+    slices: usize,
+    count_word: impl Fn(usize, usize) -> u64,
+) -> ProbeHits {
+    let mut rows = Vec::new();
+    let mut misses = Vec::new();
+    for w in 0..wpc {
+        let mut word = result_lt[w] | result_eq[w];
+        // mask rows beyond n in the last word
+        if w == wpc - 1 && n % 64 != 0 {
+            word &= (1u64 << (n % 64)) - 1;
+        }
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            let row = w * 64 + bit;
+            word &= word - 1;
+            let mut m = 0u32;
+            for k in 0..slices {
+                if count_word(k, w) >> bit & 1 == 1 {
+                    m |= 1 << k;
+                }
+            }
+            rows.push(row as u32);
+            misses.push(m);
+        }
+    }
+    ProbeHits { rows, misses }
+}
+
+/// Algorithm 1. Returns the rows of `bitmap` whose neighbor arrays miss at
+/// most `nbmiss` of the set bits in `query` (given as `ceil(sbit/64)`
+/// words), along with each row's exact miss count (needed by the quality
+/// function, Eq. IV.5). Dispatches to the [`active_kernel`].
+///
+/// # Panics
+///
+/// Panics when `query` violates the width contract (see the module docs).
+pub fn probe_bitsliced(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
+    assert_query_width("probe_bitsliced", bitmap.sbit(), query);
+    if bitmap.rows() == 0 {
+        return ProbeHits::empty();
+    }
+    match active_kernel() {
+        ProbeKernel::Scalar => scalar_probe(bitmap, query, nbmiss),
+        #[cfg(target_arch = "x86_64")]
+        ProbeKernel::Avx2 => avx2::probe(bitmap, query, nbmiss),
+        #[cfg(not(target_arch = "x86_64"))]
+        ProbeKernel::Avx2 => unreachable!("AVX2 kernel selected off x86_64"),
+    }
+}
+
+/// [`probe_bitsliced`] through an explicit kernel (benchmarks and the
+/// dual-arm property tests; normal callers use the dispatcher).
+///
+/// # Panics
+///
+/// Panics on a width-contract violation, or when `kernel` is not in
+/// [`available_kernels`] on this machine.
+pub fn probe_bitsliced_with(
+    kernel: ProbeKernel,
+    bitmap: &ColumnBitmap,
+    query: &[u64],
+    nbmiss: u32,
+) -> ProbeHits {
+    assert_query_width("probe_bitsliced_with", bitmap.sbit(), query);
+    if bitmap.rows() == 0 {
+        return ProbeHits::empty();
+    }
+    match kernel {
+        ProbeKernel::Scalar => scalar_probe(bitmap, query, nbmiss),
+        ProbeKernel::Avx2 => {
+            assert!(
+                available_kernels().contains(&ProbeKernel::Avx2),
+                "AVX2 kernel requested but not available on this CPU"
+            );
+            #[cfg(target_arch = "x86_64")]
+            {
+                avx2::probe(bitmap, query, nbmiss)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("AVX2 kernel is never available off x86_64")
+        }
+    }
+}
+
+/// The portable scalar kernel (the original word-parallel implementation).
+/// Public so benchmarks can pin it regardless of dispatch.
+pub fn probe_bitsliced_scalar(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
+    assert_query_width("probe_bitsliced_scalar", bitmap.sbit(), query);
+    if bitmap.rows() == 0 {
+        return ProbeHits::empty();
+    }
+    scalar_probe(bitmap, query, nbmiss)
+}
+
+/// Scalar Algorithm 1 body (width checked, `n > 0`).
+fn scalar_probe(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
+    let n = bitmap.rows();
+    let wpc = bitmap.wpc;
+    let count_size = count_size_for(nbmiss);
     // Count[0..=count_size]: bit-sliced counters (line 4–6).
     let mut count: Vec<Vec<u64>> = vec![vec![0u64; wpc]; count_size + 1];
     let mut carries = vec![0u64; wpc];
@@ -178,7 +404,7 @@ pub fn probe_bitsliced(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> Pro
     let mut result_lt = vec![0u64; wpc];
     let mut result_eq = vec![u64::MAX; wpc];
     for k in (0..=count_size).rev() {
-        if nbmiss >> k & 1 == 1 {
+        if (nbmiss as u64) >> k & 1 == 1 {
             for w in 0..wpc {
                 result_lt[w] |= result_eq[w] & !count[k][w];
                 result_eq[w] &= count[k][w];
@@ -190,37 +416,143 @@ pub fn probe_bitsliced(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> Pro
         }
     }
 
-    let mut rows = Vec::new();
-    let mut misses = Vec::new();
-    for w in 0..wpc {
-        let mut word = result_lt[w] | result_eq[w];
-        // mask rows beyond n in the last word
-        if w == wpc - 1 && n % 64 != 0 {
-            word &= (1u64 << (n % 64)) - 1;
-        }
-        while word != 0 {
-            let bit = word.trailing_zeros() as usize;
-            let row = w * 64 + bit;
-            word &= word - 1;
-            // reconstruct the exact miss count from the counter slices
-            let mut m = 0u32;
-            for (k, slice) in count.iter().enumerate() {
-                if slice[w] >> bit & 1 == 1 {
-                    m |= 1 << k;
-                }
+    collect_hits(n, wpc, &result_lt, &result_eq, count_size + 1, |k, w| {
+        count[k][w]
+    })
+}
+
+/// The AVX2 kernel: identical algorithm, 256-bit lanes. All `unsafe`
+/// lives here; the sole entry point is safe and assumes dispatch already
+/// verified CPU support.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{collect_hits, count_size_for, ColumnBitmap, ProbeHits};
+    use std::arch::x86_64::*;
+
+    /// AVX2 lanes per iteration (4 × u64 = 256 bits).
+    const LANES: usize = 4;
+
+    /// Runs Algorithm 1 with AVX2 intrinsics. The caller (kernel
+    /// dispatch) must have verified `is_x86_feature_detected!("avx2")`.
+    pub(super) fn probe(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
+        // SAFETY: every dispatch path guards this call behind a runtime
+        // AVX2 feature check (`available_kernels`/`active_kernel`).
+        unsafe { probe_impl(bitmap, query, nbmiss) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn probe_impl(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
+        let n = bitmap.rows();
+        let wpc = bitmap.wpc;
+        let count_size = count_size_for(nbmiss);
+        // Flat slice-major counter buffer: digit-slice `k` occupies
+        // `count[k*wpc .. (k+1)*wpc]` (contiguous for the lane loads).
+        let mut count = vec![0u64; (count_size + 1) * wpc];
+
+        // Step 1: add NOT B_j for each set query bit. The ripple keeps
+        // the carry in a register across all count_size slices.
+        let sbit = bitmap.sbit();
+        for j in 0..sbit {
+            if query[(j / 64) as usize] >> (j % 64) & 1 == 0 {
+                continue;
             }
-            rows.push(row as u32);
-            misses.push(m);
+            ripple_add_not(bitmap.column(j), &mut count, count_size, wpc);
+        }
+
+        // Step 2: threshold compare against nbmiss.
+        let mut result_lt = vec![0u64; wpc];
+        let mut result_eq = vec![u64::MAX; wpc];
+        for k in (0..=count_size).rev() {
+            let slice = &count[k * wpc..(k + 1) * wpc];
+            compare_digit(
+                slice,
+                (nbmiss as u64) >> k & 1 == 1,
+                &mut result_lt,
+                &mut result_eq,
+            );
+        }
+
+        collect_hits(n, wpc, &result_lt, &result_eq, count_size + 1, |k, w| {
+            count[k * wpc + w]
+        })
+    }
+
+    /// `Count += NOT col` in bit-sliced form, sticky overflow in the last
+    /// slice. Lane part first, scalar tail for `wpc % 4` words.
+    #[target_feature(enable = "avx2")]
+    unsafe fn ripple_add_not(col: &[u64], count: &mut [u64], count_size: usize, wpc: usize) {
+        let ones = _mm256_set1_epi64x(-1);
+        let mut w = 0usize;
+        while w + LANES <= wpc {
+            let c = _mm256_loadu_si256(col.as_ptr().add(w) as *const __m256i);
+            let mut carry = _mm256_xor_si256(c, ones); // NOT col
+            for k in 0..count_size {
+                let p = count.as_mut_ptr().add(k * wpc + w) as *mut __m256i;
+                let digit = _mm256_loadu_si256(p as *const __m256i);
+                let next = _mm256_and_si256(digit, carry);
+                _mm256_storeu_si256(p, _mm256_xor_si256(digit, carry));
+                carry = next;
+            }
+            let p = count.as_mut_ptr().add(count_size * wpc + w) as *mut __m256i;
+            let overflow = _mm256_loadu_si256(p as *const __m256i);
+            _mm256_storeu_si256(p, _mm256_or_si256(overflow, carry));
+            w += LANES;
+        }
+        while w < wpc {
+            let mut carry = !col[w];
+            for k in 0..count_size {
+                let digit = count[k * wpc + w];
+                count[k * wpc + w] = digit ^ carry;
+                carry &= digit;
+            }
+            count[count_size * wpc + w] |= carry;
+            w += 1;
         }
     }
-    ProbeHits { rows, misses }
+
+    /// One Step-2 digit: when the nbmiss bit is set,
+    /// `lt |= eq & !digit; eq &= digit`; otherwise `eq &= !digit`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn compare_digit(digit: &[u64], bit_set: bool, lt: &mut [u64], eq: &mut [u64]) {
+        let wpc = digit.len();
+        let mut w = 0usize;
+        while w + LANES <= wpc {
+            let d = _mm256_loadu_si256(digit.as_ptr().add(w) as *const __m256i);
+            let pe = eq.as_mut_ptr().add(w) as *mut __m256i;
+            let e = _mm256_loadu_si256(pe as *const __m256i);
+            if bit_set {
+                let pl = lt.as_mut_ptr().add(w) as *mut __m256i;
+                let l = _mm256_loadu_si256(pl as *const __m256i);
+                // eq & !digit == andnot(digit, eq)
+                _mm256_storeu_si256(pl, _mm256_or_si256(l, _mm256_andnot_si256(d, e)));
+                _mm256_storeu_si256(pe, _mm256_and_si256(e, d));
+            } else {
+                _mm256_storeu_si256(pe, _mm256_andnot_si256(d, e));
+            }
+            w += LANES;
+        }
+        while w < wpc {
+            if bit_set {
+                lt[w] |= eq[w] & !digit[w];
+                eq[w] &= digit[w];
+            } else {
+                eq[w] &= !digit[w];
+            }
+            w += 1;
+        }
+    }
 }
 
 /// The naive probe §IV-D compares against: visit every row, walk the query
 /// bits one by one, count misses, keep the row if within threshold. Per-bit
 /// (not word-parallel) on purpose — it models scanning each stored neighbor
 /// array and evaluating condition IV.3 directly.
+///
+/// # Panics
+///
+/// Panics when `query` violates the width contract (see the module docs).
 pub fn probe_naive(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHits {
+    assert_query_width("probe_naive", bitmap.sbit(), query);
     let mut rows = Vec::new();
     let mut misses = Vec::new();
     let sbit = bitmap.sbit();
@@ -244,10 +576,26 @@ pub fn probe_naive(bitmap: &ColumnBitmap, query: &[u64], nbmiss: u32) -> ProbeHi
 /// Word-parallel row scan: an intermediate design point (popcount per row)
 /// used as an extra ablation in the benches. Requires row-major access, so
 /// it pays the row-extraction cost when data is stored column-major.
+///
+/// # Panics
+///
+/// Panics when any row's word length differs from the query's. The check
+/// is unconditional for the same reason as [`ColumnBitmap::from_words`]:
+/// `zip` would silently truncate the longer side and under-count misses —
+/// exactly the release-mode failure class the width contract exists to
+/// catch.
 pub fn probe_rowscan(rows_major: &[Vec<u64>], query: &[u64], nbmiss: u32) -> ProbeHits {
     let mut rows = Vec::new();
     let mut misses = Vec::new();
     for (r, row) in rows_major.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            query.len(),
+            "probe_rowscan: row {r} has {} words but the query has {} — \
+             zipping would silently truncate and under-count misses",
+            row.len(),
+            query.len(),
+        );
         let m: u32 = query
             .iter()
             .zip(row.iter())
@@ -297,9 +645,11 @@ mod tests {
         // n3 = 11111: all → 0 ✓
         let bm = bitmap_from_rows(&rows, sbit);
         let q = vec![0b11011u64];
-        let hits = probe_bitsliced(&bm, &q, 1);
-        assert_eq!(hits.rows, vec![0, 3]);
-        assert_eq!(hits.misses, vec![1, 0]);
+        for kernel in available_kernels() {
+            let hits = probe_bitsliced_with(kernel, &bm, &q, 1);
+            assert_eq!(hits.rows, vec![0, 3], "{kernel:?}");
+            assert_eq!(hits.misses, vec![1, 0], "{kernel:?}");
+        }
     }
 
     #[test]
@@ -317,7 +667,7 @@ mod tests {
     #[test]
     fn empty_bitmap() {
         let bm = ColumnBitmap::new(0, 32);
-        let hits = probe_bitsliced(&bm, &[u64::MAX], 5);
+        let hits = probe_bitsliced(&bm, &[0xFFFF_FFFF], 5);
         assert!(hits.rows.is_empty());
     }
 
@@ -338,17 +688,31 @@ mod tests {
             .map(|i| vec![if i % 7 == 0 { 0b1u64 } else { 0 }])
             .collect();
         let bm = bitmap_from_rows(&rows, sbit);
-        let hits = probe_bitsliced(&bm, &[0b1u64], 0);
-        let expect: Vec<u32> = (0..100).filter(|i| i % 7 == 0).collect();
-        assert_eq!(hits.rows, expect);
+        for kernel in available_kernels() {
+            let hits = probe_bitsliced_with(kernel, &bm, &[0b1u64], 0);
+            let expect: Vec<u32> = (0..100).filter(|i| i % 7 == 0).collect();
+            assert_eq!(hits.rows, expect, "{kernel:?}");
+        }
     }
 
+    /// One random corpus drives every probe implementation and every
+    /// available kernel; the naive per-row scan is the oracle.
+    ///
+    /// Coverage (the regression spread that caught the old gaps):
+    /// * `sbit` at, below, and beyond one word — 16..256 including the
+    ///   exact word boundaries 64/128/192/256;
+    /// * `nbmiss` up to the full `sbit` (the old corpus stopped at 9, so
+    ///   high counter digits and the overflow slice went unexercised);
+    /// * all-ones and all-zeros columns (carry chains that saturate or
+    ///   never fire).
     #[test]
     fn agrees_with_naive_random() {
+        let kernels = available_kernels();
         let mut rng = ChaCha8Rng::seed_from_u64(99);
-        for trial in 0..50 {
+        let widths = [16u32, 32, 64, 96, 128, 192, 256];
+        for trial in 0..140 {
             let n = rng.gen_range(1..300);
-            let sbit = *[16u32, 32, 96, 128].get(trial % 4).unwrap();
+            let sbit = widths[trial % widths.len()];
             let words = (sbit as usize).div_ceil(64);
             let mask: u64 = if sbit % 64 == 0 {
                 u64::MAX
@@ -367,20 +731,45 @@ mod tests {
                     })
                     .collect()
             };
-            let rows: Vec<Vec<u64>> = (0..n).map(|_| gen_row(&mut rng)).collect();
+            let mut rows: Vec<Vec<u64>> = (0..n).map(|_| gen_row(&mut rng)).collect();
+            // Degenerate columns: force column 0 all-ones and (when wide
+            // enough) column sbit-1 all-zeros across every row.
+            for row in &mut rows {
+                row[0] |= 1;
+                if sbit > 1 {
+                    row[(sbit as usize - 1) / 64] &= !(1u64 << ((sbit - 1) % 64));
+                }
+            }
             let bm = bitmap_from_rows(&rows, sbit);
-            let q = gen_row(&mut rng);
-            let nbmiss = rng.gen_range(0..10);
-            let a = probe_bitsliced(&bm, &q, nbmiss);
-            let b = probe_naive(&bm, &q, nbmiss);
-            assert_eq!(
-                a.rows, b.rows,
-                "trial {trial} n={n} sbit={sbit} nbmiss={nbmiss}"
-            );
-            assert_eq!(a.misses, b.misses, "trial {trial}");
+            let mut q = gen_row(&mut rng);
+            // All-zeros and all-ones queries every few trials; otherwise
+            // make sure the degenerate columns participate.
+            match trial % 5 {
+                0 => q.iter_mut().for_each(|w| *w = 0),
+                1 => {
+                    for (w, word) in q.iter_mut().enumerate() {
+                        *word = if w == words - 1 { mask } else { u64::MAX };
+                    }
+                }
+                _ => q[0] |= 1,
+            }
+            // nbmiss spans the whole budget range, not just tiny values.
+            let nbmiss = rng.gen_range(0..=sbit);
+            let oracle = probe_naive(&bm, &q, nbmiss);
+            for &kernel in &kernels {
+                let got = probe_bitsliced_with(kernel, &bm, &q, nbmiss);
+                assert_eq!(
+                    got.rows, oracle.rows,
+                    "{kernel:?} trial {trial} n={n} sbit={sbit} nbmiss={nbmiss}"
+                );
+                assert_eq!(got.misses, oracle.misses, "{kernel:?} trial {trial}");
+            }
+            let dispatched = probe_bitsliced(&bm, &q, nbmiss);
+            assert_eq!(dispatched.rows, oracle.rows, "dispatch trial {trial}");
+            assert_eq!(dispatched.misses, oracle.misses, "dispatch trial {trial}");
             let c = probe_rowscan(&rows, &q, nbmiss);
-            assert_eq!(a.rows, c.rows);
-            assert_eq!(a.misses, c.misses);
+            assert_eq!(c.rows, oracle.rows, "rowscan trial {trial}");
+            assert_eq!(c.misses, oracle.misses, "rowscan trial {trial}");
         }
     }
 
@@ -391,13 +780,15 @@ mod tests {
         let rows = vec![vec![0u64]; 70];
         let bm = bitmap_from_rows(&rows, 40);
         let q = vec![(1u64 << 40) - 1];
-        for nbmiss in [0u32, 1, 3, 7] {
-            let hits = probe_bitsliced(&bm, &q, nbmiss);
-            assert!(hits.rows.is_empty(), "nbmiss={nbmiss}");
+        for kernel in available_kernels() {
+            for nbmiss in [0u32, 1, 3, 7] {
+                let hits = probe_bitsliced_with(kernel, &bm, &q, nbmiss);
+                assert!(hits.rows.is_empty(), "{kernel:?} nbmiss={nbmiss}");
+            }
+            let hits = probe_bitsliced_with(kernel, &bm, &q, 40);
+            assert_eq!(hits.rows.len(), 70, "{kernel:?}");
+            assert!(hits.misses.iter().all(|&m| m == 40), "{kernel:?}");
         }
-        let hits = probe_bitsliced(&bm, &q, 40);
-        assert_eq!(hits.rows.len(), 70);
-        assert!(hits.misses.iter().all(|&m| m == 40));
     }
 
     #[test]
@@ -426,5 +817,66 @@ mod tests {
         // a short word vector and failed later (out-of-bounds column
         // slicing) or not at all. The length check must be unconditional.
         ColumnBitmap::from_words(70, 3, vec![0u64; 5]); // needs 6
+    }
+
+    #[test]
+    fn fold_columns_records_nonempty_columns() {
+        let mut bm = ColumnBitmap::new(3, 130);
+        bm.set(0, 0); // slot 0
+        bm.set(2, 65); // slot 1
+        bm.set(1, 129); // slot 1 (129 % 64)
+        assert_eq!(bm.fold_columns(), 0b11);
+        assert_eq!(ColumnBitmap::new(5, 32).fold_columns(), 0);
+    }
+
+    // --- width-contract regressions -------------------------------------
+
+    #[test]
+    #[should_panic(expected = "probe_rowscan: row 1 has 1 words but the query has 2")]
+    fn rowscan_rejects_width_mismatch() {
+        // Regression: zip silently truncated the longer side, so a short
+        // row (or short query) under-counted misses and admitted rows that
+        // should have been rejected. Now an unconditional panic.
+        let rows = vec![vec![0u64, 0u64], vec![0u64]];
+        probe_rowscan(&rows, &[u64::MAX, u64::MAX], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe_rowscan")]
+    fn rowscan_rejects_short_query() {
+        probe_rowscan(&[vec![0u64, 0u64]], &[u64::MAX], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query has 2 words but sbit 32 needs 1")]
+    fn bitsliced_rejects_wide_query() {
+        // Regression: a query built under a wider scheme (base/delta sbit
+        // skew) used to have its extra words silently ignored.
+        let bm = ColumnBitmap::new(4, 32);
+        probe_bitsliced(&bm, &[u64::MAX, u64::MAX], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets bits at or above sbit")]
+    fn bitsliced_rejects_stray_high_bits() {
+        let bm = ColumnBitmap::new(4, 40);
+        // bit 63 is past sbit 40 — its miss would silently vanish
+        probe_bitsliced(&bm, &[1u64 << 63], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe_naive")]
+    fn naive_rejects_short_query() {
+        let bm = ColumnBitmap::new(4, 96);
+        probe_naive(&bm, &[0u64], 1);
+    }
+
+    #[test]
+    fn kernel_dispatch_reports_consistent_state() {
+        let kernels = available_kernels();
+        assert!(kernels.contains(&ProbeKernel::Scalar));
+        assert!(kernels.contains(&active_kernel()));
+        assert_eq!(ProbeKernel::Scalar.name(), "scalar");
+        assert_eq!(ProbeKernel::Avx2.name(), "avx2");
     }
 }

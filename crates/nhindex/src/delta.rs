@@ -22,10 +22,12 @@
 //! operations.
 
 use crate::bitprobe::probe_bitsliced;
+use crate::filter;
 use crate::index::{NodeCandidate, ProbeCounters, ProbeStats, QuerySignature};
 use crate::posting::Posting;
 use crate::scheme::NeighborArrayScheme;
 use crate::stats::{IndexStatistics, StatsBuilder};
+use crate::NhError;
 use crate::{NhIndex, Result};
 use std::sync::Arc;
 use tale_graph::{Graph, GraphDb, GraphId, NodeId};
@@ -41,10 +43,12 @@ pub struct DeltaOverlay {
     /// Covered graph-id range: `[first_gid, upto)`.
     first_gid: u32,
     upto: u32,
-    /// `(key, posting)` pairs sorted by key — the leaf level of the disk
-    /// index, without the tree above it (binary search replaces the
-    /// descent).
-    postings: Vec<(CompositeKey, Posting)>,
+    /// `(key, posting, label-pair summary)` sorted by key — the leaf
+    /// level of the disk index, without the tree above it (binary search
+    /// replaces the descent). The summary is the same fold the disk
+    /// index persists in its sidecar (see [`crate::filter`]), computed
+    /// inline since the overlay is rebuilt from scratch on publish.
+    postings: Vec<(CompositeKey, Posting, u64)>,
     node_count: u64,
     counters: AtomicProbeCounters,
     /// Planner statistics over the overlay's postings — exact, because
@@ -85,7 +89,8 @@ impl DeltaOverlay {
             let refs = group.iter().map(|u| u.node).collect();
             let rows: Vec<Vec<u64>> = group.iter().map(|u| u.array.clone()).collect();
             stats_builder.record_key(key.label, key.degree, group.len() as u64);
-            postings.push((key, Posting::from_rows(refs, scheme.sbit, &rows)));
+            let summary = filter::summary_of_rows(&rows);
+            postings.push((key, Posting::from_rows(refs, scheme.sbit, &rows), summary));
             i = j;
         }
         Ok(DeltaOverlay {
@@ -186,14 +191,28 @@ impl DeltaOverlay {
             self.scheme.hashes.max(1) as u32
         };
         let mut out = Vec::new();
-        let start = self.postings.partition_point(|(key, _)| *key < lo);
-        for (key, posting) in &self.postings[start..] {
+        let start = self.postings.partition_point(|(key, _, _)| *key < lo);
+        for (key, posting, summary) in &self.postings[start..] {
             // hi is (label, MAX, MAX): the range ends with the label.
             if key.label != sig.label {
                 break;
             }
             stats.keys_scanned += 1;
             if key.nb_connection < nbc_min {
+                continue;
+            }
+            // The label-pair pre-filter, mirroring the disk probe: a
+            // posting whose guaranteed miss bound exceeds the budget
+            // can't hold a qualifying row (safety argument in
+            // `crate::filter`), so Algorithm 1 never runs on it.
+            if filter::guaranteed_misses(&sig.nb_array, *summary) > bit_budget {
+                stats.postings_filtered += 1;
+                debug_assert!(
+                    probe_bitsliced(&posting.bitmap, &sig.nb_array, bit_budget)
+                        .rows
+                        .is_empty(),
+                    "label-pair filter skipped a delta posting with qualifying rows",
+                );
                 continue;
             }
             stats.postings_fetched += 1;
@@ -218,11 +237,22 @@ impl DeltaOverlay {
     /// Batch probe, answer order = signature order. The overlay is small
     /// and purely in-memory, so the batch runs serially regardless of
     /// `threads` — results are element-wise identical either way.
+    ///
+    /// Signatures violating the scheme's width contract (base/delta sbit
+    /// skew) surface as a typed error here, matching the disk index's
+    /// probe boundary; the infallible
+    /// [`DeltaOverlay::probe_with_stats`] would panic in the kernel
+    /// instead.
     pub fn probe_batch(
         &self,
         sigs: &[QuerySignature],
         rho: f64,
     ) -> Result<Vec<(Vec<NodeCandidate>, ProbeStats)>> {
+        for sig in sigs {
+            self.scheme
+                .check_query_width(&sig.nb_array)
+                .map_err(NhError::Meta)?;
+        }
         Ok(sigs.iter().map(|s| self.probe_with_stats(s, rho)).collect())
     }
 
@@ -290,6 +320,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The overlay applies the same label-pair pre-filter as the disk
+    /// probe: a query bit no delta posting covers skips the posting
+    /// (counted, not fetched), with the identical (empty) answer.
+    #[test]
+    fn overlay_filter_skips_uncoverable_postings() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        let config = NhIndexConfig {
+            sbit: 32,
+            buffer_frames: 64,
+            parallel_build: false,
+            ..NhIndexConfig::default()
+        };
+        let full = NhIndex::build(dir.path(), &db, &config).unwrap();
+        let overlay = DeltaOverlay::build(&db, full.scheme(), false, 0, db.len() as u32).unwrap();
+        // vocab is {A,B,C} = {0,1,2}; neighbor label 3 is in no posting
+        let sig = QuerySignature {
+            label: 0,
+            degree: 1,
+            nb_connection: 0,
+            nb_array: full.scheme().array_of([3u32]),
+        };
+        let (hits, stats) = overlay.probe_with_stats(&sig, 0.0);
+        assert!(hits.is_empty());
+        assert!(stats.postings_filtered > 0, "{stats:?}");
+        assert_eq!(stats.postings_fetched, 0, "{stats:?}");
+        assert!(overlay.counters().postings_filtered > 0);
+    }
+
+    /// The width contract at the overlay's `probe_batch` boundary —
+    /// mirrors `NhIndex`: sbit skew is a typed error, not a silent
+    /// under-count.
+    #[test]
+    fn overlay_probe_batch_rejects_width_skew() {
+        let db = sample_db();
+        let dir = tempfile::tempdir().unwrap();
+        let config = NhIndexConfig {
+            sbit: 32,
+            buffer_frames: 64,
+            parallel_build: false,
+            ..NhIndexConfig::default()
+        };
+        let full = NhIndex::build(dir.path(), &db, &config).unwrap();
+        let overlay = DeltaOverlay::build(&db, full.scheme(), false, 1, db.len() as u32).unwrap();
+        let g = db.graph(GraphId(0));
+        let label_of = |x: NodeId| db.effective_label(GraphId(0), x);
+        let good = overlay.signature(g, g.nodes().next().unwrap(), &label_of);
+
+        let mut wide = good.clone();
+        wide.nb_array.push(0);
+        assert!(overlay.probe_batch(&[wide], 0.5).is_err());
+
+        let mut stray = good.clone();
+        stray.nb_array[0] |= 1u64 << 40; // sbit 32: bit 40 is out of range
+        assert!(overlay.probe_batch(&[stray], 0.5).is_err());
+
+        assert!(overlay.probe_batch(&[good], 0.5).is_ok());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! condition IV.3.
 
 use crate::bitprobe::probe_bitsliced;
+use crate::filter::{self, LabelPairFilter, FILTER_FILE, FILTER_SCHEMA_VERSION};
 use crate::posting::{NodeRef, Posting};
 use crate::scheme::NeighborArrayScheme;
 use crate::stats::{IndexStatistics, StatsBuilder, STATS_FILE, STATS_SCHEMA_VERSION};
@@ -113,6 +114,12 @@ struct MetaFile {
     /// indexes persisted before the WAL existed.
     #[serde(default)]
     generation: u64,
+    /// Label-pair filter sidecar version (`nh.lpf`, see [`crate::filter`]):
+    /// 0 (or absent — indexes persisted before the filter existed) means no
+    /// sidecar; [`FILTER_SCHEMA_VERSION`] means one was written alongside
+    /// this meta. Open degrades to "no filter" on any mismatch.
+    #[serde(default)]
+    label_filter: u32,
 }
 
 /// What [`NhIndex::open_with_recovery`] found and did with the write-ahead
@@ -191,6 +198,10 @@ pub struct ProbeStats {
     pub keys_scanned: u64,
     /// Keys surviving the neighbor-connection filter (postings fetched).
     pub postings_fetched: u64,
+    /// Postings skipped by the label-pair pre-filter before any blob
+    /// prefetch (their guaranteed miss bound already exceeded the bit
+    /// budget — see [`crate::filter`]).
+    pub postings_filtered: u64,
     /// Bitmap rows examined by Algorithm 1.
     pub rows_examined: u64,
     /// Candidates returned.
@@ -209,6 +220,8 @@ pub struct ProbeCounters {
     pub keys_scanned: u64,
     /// Postings fetched across all probes.
     pub postings_fetched: u64,
+    /// Postings skipped by the label-pair pre-filter across all probes.
+    pub postings_filtered: u64,
     /// Bitmap rows examined across all probes.
     pub rows_examined: u64,
 }
@@ -222,6 +235,9 @@ impl ProbeCounters {
             postings_fetched: self
                 .postings_fetched
                 .saturating_sub(earlier.postings_fetched),
+            postings_filtered: self
+                .postings_filtered
+                .saturating_sub(earlier.postings_filtered),
             rows_examined: self.rows_examined.saturating_sub(earlier.rows_examined),
         }
     }
@@ -235,6 +251,7 @@ pub(crate) struct AtomicProbeCounters {
     probes: std::sync::atomic::AtomicU64,
     keys_scanned: std::sync::atomic::AtomicU64,
     postings_fetched: std::sync::atomic::AtomicU64,
+    postings_filtered: std::sync::atomic::AtomicU64,
     rows_examined: std::sync::atomic::AtomicU64,
 }
 
@@ -245,6 +262,8 @@ impl AtomicProbeCounters {
         self.keys_scanned.fetch_add(stats.keys_scanned, Relaxed);
         self.postings_fetched
             .fetch_add(stats.postings_fetched, Relaxed);
+        self.postings_filtered
+            .fetch_add(stats.postings_filtered, Relaxed);
         self.rows_examined.fetch_add(stats.rows_examined, Relaxed);
     }
 
@@ -254,6 +273,7 @@ impl AtomicProbeCounters {
             probes: self.probes.load(Relaxed),
             keys_scanned: self.keys_scanned.load(Relaxed),
             postings_fetched: self.postings_fetched.load(Relaxed),
+            postings_filtered: self.postings_filtered.load(Relaxed),
             rows_examined: self.rows_examined.load(Relaxed),
         }
     }
@@ -289,6 +309,15 @@ pub struct NhIndex {
     /// merged conservatively by inserts, `None` for indexes persisted
     /// before statistics existed.
     stats: Option<Arc<IndexStatistics>>,
+    /// Label-pair pre-filter (see [`crate::filter`]): per-key summaries
+    /// consulted by the probe's key scan to skip postings before blob
+    /// prefetch. `None` for indexes persisted before the filter existed
+    /// (or with an unreadable sidecar) — probing works, just without
+    /// skips.
+    filter: Option<LabelPairFilter>,
+    /// Runtime toggle for the pre-filter (default on). Benchmarks flip it
+    /// off to prove bit-identity of the filtered path.
+    filter_enabled: std::sync::atomic::AtomicBool,
 }
 
 /// One extracted indexing unit (pre-grouping). Shared with the delta
@@ -374,6 +403,7 @@ impl NhIndex {
         blob_disk.attach_wal(Arc::clone(&wal), TAG_BLOB);
 
         let mut pairs: Vec<(CompositeKey, u64)> = Vec::new();
+        let mut summaries: Vec<(CompositeKey, u64)> = Vec::new();
         let mut i = 0;
         while i < units.len() {
             let key = units[i].key;
@@ -384,6 +414,7 @@ impl NhIndex {
             let group = &units[i..j];
             let refs: Vec<NodeRef> = group.iter().map(|u| u.node).collect();
             let rows: Vec<Vec<u64>> = group.iter().map(|u| u.array.clone()).collect();
+            summaries.push((key, filter::summary_of_rows(&rows)));
             let posting = Posting::from_rows(refs, scheme.sbit, &rows);
             let r = blobs.put(&posting.encode())?;
             stats_builder.record_key(key.label, key.degree, group.len() as u64);
@@ -407,6 +438,8 @@ impl NhIndex {
             generation: 0,
             io,
             stats: Some(Arc::new(stats_builder.finish())),
+            filter: Some(LabelPairFilter::from_entries(summaries)),
+            filter_enabled: std::sync::atomic::AtomicBool::new(true),
         };
         idx.flush(db.effective_vocab_size() as u64)?;
         Ok(idx)
@@ -458,6 +491,13 @@ impl NhIndex {
             for u in group {
                 refs.push(u.node);
                 rows.push(u.array.clone());
+            }
+            // The merged posting's summary is recomputed exactly (a crash
+            // before commit leaves the old filter, whose summaries are a
+            // subset of the rolled-forward one — the fail-to-skip, safe
+            // direction either way).
+            if let Some(f) = &mut self.filter {
+                f.set(key, filter::summary_of_rows(&rows));
             }
             let posting = Posting::from_rows(refs, self.scheme.sbit, &rows);
             let r = self.blobs.put(&posting.encode())?;
@@ -600,6 +640,13 @@ impl NhIndex {
                 .map_err(|e| NhError::Meta(format!("serialize stats: {e}")))?;
             tale_storage::atomic::write_atomic(&self.dir.join(STATS_FILE), json.as_bytes())?;
         }
+        // Same ordering contract as the stats file: the filter sidecar
+        // lands before the meta rename, and a crash between the two leaves
+        // a sidecar whose summaries cover a superset of the rolled-back
+        // postings — supersets only fail to skip (see `crate::filter`).
+        if let Some(f) = &self.filter {
+            tale_storage::atomic::write_atomic(&self.dir.join(FILTER_FILE), &f.encode())?;
+        }
         let mut tombstones: Vec<u32> = self.tombstones.iter().copied().collect();
         tombstones.sort_unstable();
         let meta = MetaFile {
@@ -615,6 +662,11 @@ impl NhIndex {
             vocab_size,
             tombstones,
             generation: self.generation,
+            label_filter: if self.filter.is_some() {
+                FILTER_SCHEMA_VERSION
+            } else {
+                0
+            },
         };
         let json = serde_json::to_string_pretty(&meta)
             .map_err(|e| NhError::Meta(format!("serialize: {e}")))?;
@@ -728,6 +780,17 @@ impl NhIndex {
             .and_then(|raw| serde_json::from_str::<IndexStatistics>(&raw).ok())
             .filter(|s| s.schema_version == STATS_SCHEMA_VERSION)
             .map(Arc::new);
+        // The label-pair filter is likewise best-effort: only attempted
+        // when this meta generation says a sidecar was written, and any
+        // read/parse failure degrades to "no filter" (no skips) rather
+        // than refusing to open.
+        let lp_filter = if meta.label_filter == FILTER_SCHEMA_VERSION {
+            std::fs::read(dir.join(FILTER_FILE))
+                .ok()
+                .and_then(|raw| LabelPairFilter::decode(&raw).ok())
+        } else {
+            None
+        };
         // Opening the WAL truncates it: recovery is complete, so the old
         // log must not be replayed against the repaired files again.
         let wal = Arc::new(Wal::open(&wal_path)?);
@@ -756,6 +819,8 @@ impl NhIndex {
             generation: meta.generation,
             io,
             stats,
+            filter: lp_filter,
+            filter_enabled: std::sync::atomic::AtomicBool::new(true),
         };
         Ok((idx, report))
     }
@@ -940,22 +1005,88 @@ impl NhIndex {
         rho: f64,
         stats: &mut ProbeStats,
     ) -> Result<Vec<(CompositeKey, BlobRef)>> {
+        // The probe-width contract, enforced here as a typed error: a
+        // signature built under a different generation's scheme (base vs
+        // delta sbit skew after vocabulary growth) must fail loudly, not
+        // silently under-count misses in the kernels below.
+        self.scheme
+            .check_query_width(&sig.nb_array)
+            .map_err(NhError::Meta)?;
         let (nbmiss, nbcmiss) = Self::miss_budgets(sig.degree, rho);
         let deg_min = sig.degree - nbmiss; // condition IV.2
         let nbc_min = sig.nb_connection.saturating_sub(nbcmiss); // IV.4
+        let bit_budget = self.scheme.bit_budget(nbmiss); // IV.3, bit space
+        let lp_filter = if self.filter_enabled() {
+            self.filter.as_ref()
+        } else {
+            None
+        };
 
         let lo = CompositeKey::new(sig.label, deg_min, 0);
         let hi = CompositeKey::new(sig.label, u32::MAX, u32::MAX);
         let mut hits: Vec<(CompositeKey, BlobRef)> = Vec::new();
+        // Postings the pre-filter skipped, re-checked below in debug
+        // builds (outside the scan — blob reads must not run under the
+        // B+-tree page latch).
+        #[cfg(debug_assertions)]
+        let mut skipped: Vec<BlobRef> = Vec::new();
         self.btree.range_with(lo, hi, |k, v| {
             stats.keys_scanned += 1;
             if k.nb_connection >= nbc_min {
+                // The label-pair pre-filter (condition IV.3's cheap
+                // bound): skipped postings never reach the prefetch list,
+                // let alone bitmap decode.
+                if lp_filter.is_some_and(|f| f.can_skip(k, &sig.nb_array, bit_budget)) {
+                    stats.postings_filtered += 1;
+                    #[cfg(debug_assertions)]
+                    skipped.push(BlobRef::unpack(v));
+                    return true;
+                }
                 stats.postings_fetched += 1;
                 hits.push((k, BlobRef::unpack(v)));
             }
             true
         })?;
+        // Verify mode: every skip must be provably safe — the real
+        // Algorithm-1 probe over the skipped posting finds nothing.
+        #[cfg(debug_assertions)]
+        for r in skipped {
+            let bytes = self.blobs.get(r)?;
+            let posting = Posting::decode(&bytes)?;
+            let ph = probe_bitsliced(&posting.bitmap, &sig.nb_array, bit_budget);
+            debug_assert!(
+                ph.rows.is_empty(),
+                "label-pair filter skipped a posting with {} qualifying rows \
+                 (bit_budget {bit_budget}) — the guaranteed-miss bound is unsound",
+                ph.rows.len(),
+            );
+        }
         Ok(hits)
+    }
+
+    /// Whether the label-pair pre-filter is consulted (true unless turned
+    /// off via [`NhIndex::set_filter_enabled`], or the index has no
+    /// persisted filter).
+    pub fn filter_enabled(&self) -> bool {
+        self.filter.is_some()
+            && self
+                .filter_enabled
+                .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Turns the label-pair pre-filter on or off at runtime. Answers are
+    /// bit-identical either way (the filter only skips postings that can
+    /// prove no row qualifies); benchmarks flip it to measure the skip
+    /// fraction and verify identity.
+    pub fn set_filter_enabled(&self, enabled: bool) {
+        self.filter_enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of keys carrying a label-pair summary (0 when the index has
+    /// no filter).
+    pub fn filter_keys(&self) -> u64 {
+        self.filter.as_ref().map_or(0, |f| f.len() as u64)
     }
 
     /// Probe phase 2: fetch each surviving posting and run the bitmap
@@ -1571,5 +1702,172 @@ mod tests {
             nb_array: vec![0u64; idx.scheme().words()],
         };
         assert!(idx.probe(&sig, 0.5).unwrap().is_empty());
+    }
+
+    /// A query whose neighbor bit no posting covers: under ρ = 0 the
+    /// label-pair filter must skip every range-scanned posting before the
+    /// blob store is touched, and the answer must equal the unfiltered
+    /// path's (empty here).
+    fn skipping_signature(idx: &NhIndex, db: &GraphDb) -> QuerySignature {
+        // label A (deterministic scheme, vocab {A,B,C}); neighbor label 3
+        // is outside the vocabulary, so no summary has its bit.
+        let a = 0;
+        let _ = db;
+        QuerySignature {
+            label: a,
+            degree: 3,
+            nb_connection: 0,
+            nb_array: idx.scheme().array_of([3u32]),
+        }
+    }
+
+    #[test]
+    fn filter_skips_postings_before_fetch() {
+        let (_d, db, idx) = build_sample(&cfg());
+        assert!(idx.scheme().deterministic);
+        assert!(idx.filter_enabled());
+        assert!(idx.filter_keys() > 0);
+        let sig = skipping_signature(&idx, &db);
+        let (hits, stats) = idx.probe_with_stats(&sig, 0.0).unwrap();
+        assert!(hits.is_empty());
+        assert!(stats.postings_filtered > 0, "expected skips, got {stats:?}");
+        assert_eq!(
+            stats.postings_fetched, 0,
+            "every surviving key should have been filtered: {stats:?}"
+        );
+
+        // identity against the unfiltered path, and the counter taxonomy
+        // flips back to fetches
+        idx.set_filter_enabled(false);
+        assert!(!idx.filter_enabled());
+        let (hits_off, stats_off) = idx.probe_with_stats(&sig, 0.0).unwrap();
+        assert_eq!(hits_off, hits);
+        assert_eq!(stats_off.postings_filtered, 0);
+        assert!(stats_off.postings_fetched > 0);
+
+        // lifetime counters carried the skip
+        idx.set_filter_enabled(true);
+        assert!(idx.counters().postings_filtered > 0);
+    }
+
+    #[test]
+    fn filter_on_off_answers_identically() {
+        let (_d, db, idx) = build_sample(&cfg());
+        for gid in [tale_graph::GraphId(0), tale_graph::GraphId(1)] {
+            let g = db.graph(gid);
+            for n in g.nodes() {
+                let sig = idx.signature(g, n, &|x| db.effective_label(gid, x));
+                for rho in [0.0, 0.25, 0.5, 1.0] {
+                    idx.set_filter_enabled(true);
+                    let on = idx.probe(&sig, rho).unwrap();
+                    idx.set_filter_enabled(false);
+                    let off = idx.probe(&sig, rho).unwrap();
+                    assert_eq!(on, off, "gid={gid:?} n={n:?} rho={rho}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_survives_reopen_and_insert() {
+        let (dir, mut db, idx) = build_sample(&cfg());
+        drop(idx);
+        let mut idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert!(idx.filter_keys() > 0, "sidecar should reload on open");
+        let sig = skipping_signature(&idx, &db);
+        let (_, stats) = idx.probe_with_stats(&sig, 0.0).unwrap();
+        assert!(stats.postings_filtered > 0);
+
+        // inserts keep the filter exact: the new graph's postings get
+        // summaries, and probes stay identical with the filter on or off
+        let mut g2 = Graph::new_undirected();
+        let a = tale_graph::NodeLabel(0);
+        let b = tale_graph::NodeLabel(1);
+        let p0 = g2.add_node(a);
+        let p1 = g2.add_node(b);
+        let p2 = g2.add_node(b);
+        g2.add_edge(p0, p1).unwrap();
+        g2.add_edge(p0, p2).unwrap();
+        let gid = db.insert("g2", g2);
+        idx.insert_graph(&db, gid).unwrap();
+        let g = db.graph(gid);
+        let probe_sig = idx.signature(g, NodeId(0), &|x| db.effective_label(gid, x));
+        let on = idx.probe(&probe_sig, 0.25).unwrap();
+        idx.set_filter_enabled(false);
+        let off = idx.probe(&probe_sig, 0.25).unwrap();
+        assert_eq!(on, off);
+        assert!(on.iter().any(|h| h.node.graph == gid.0));
+
+        // and the updated sidecar persists
+        drop(idx);
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert!(idx.filter_keys() > 0);
+        let again = idx.probe(&probe_sig, 0.25).unwrap();
+        assert_eq!(again, on);
+    }
+
+    #[test]
+    fn missing_or_stale_sidecar_degrades_to_no_filter() {
+        let (dir, db, idx) = build_sample(&cfg());
+        let sig = skipping_signature(&idx, &db);
+        let want = idx.probe(&sig, 0.0).unwrap();
+        drop(idx);
+
+        // sidecar deleted: the index opens and answers identically, with
+        // no skips
+        std::fs::remove_file(dir.path().join(FILTER_FILE)).unwrap();
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert_eq!(idx.filter_keys(), 0);
+        assert!(!idx.filter_enabled());
+        let (got, stats) = idx.probe_with_stats(&sig, 0.0).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.postings_filtered, 0);
+        drop(idx);
+
+        // meta recording no filter (the absent-field default is also 0):
+        // a sidecar present on disk is ignored
+        let meta_path = dir.path().join(META_FILE);
+        let meta = std::fs::read_to_string(&meta_path).unwrap();
+        assert!(meta.contains("\"label_filter\": 1"));
+        std::fs::write(
+            &meta_path,
+            meta.replace("\"label_filter\": 1", "\"label_filter\": 0"),
+        )
+        .unwrap();
+        let idx = NhIndex::open(dir.path(), 64).unwrap();
+        assert_eq!(idx.filter_keys(), 0);
+        assert_eq!(idx.probe(&sig, 0.0).unwrap(), want);
+    }
+
+    /// The probe-width contract at the `IndexReader` boundary: a signature
+    /// built under a different generation's scheme (sbit skew after
+    /// vocabulary growth) must surface a typed error, not silently
+    /// under-count misses.
+    #[test]
+    fn probe_rejects_width_skew_via_reader() {
+        use crate::reader::IndexReader;
+        let (_d, db, idx) = build_sample(&cfg());
+        let g1 = db.graph(tale_graph::GraphId(1));
+        let good = idx.signature(g1, NodeId(0), &|n| {
+            db.effective_label(tale_graph::GraphId(1), n)
+        });
+        let reader: &dyn IndexReader = &idx;
+
+        // one word too many (signature from a wider-vocabulary scheme)
+        let mut wide = good.clone();
+        wide.nb_array.push(0);
+        let err = reader.probe_batch(&[wide], 0.5, 1).unwrap_err();
+        assert!(matches!(err, NhError::Meta(_)), "{err}");
+        assert!(err.to_string().contains("words"), "{err}");
+
+        // right word count, but bits at/above sbit 32
+        let mut stray = good.clone();
+        stray.nb_array[0] |= 1u64 << 40;
+        let err = reader.probe_batch(&[stray], 0.5, 1).unwrap_err();
+        assert!(matches!(err, NhError::Meta(_)), "{err}");
+        assert!(err.to_string().contains("stray"), "{err}");
+
+        // the good signature still works after the rejections
+        assert!(reader.probe_batch(&[good], 0.5, 1).is_ok());
     }
 }

@@ -19,8 +19,12 @@
 //!   Bloom-filter hashing for large `Σv` (§IV-A).
 //! * [`posting`] — the second-level blob layout (node refs + column-major
 //!   bitmap).
-//! * [`bitprobe`] — Algorithm 1 (bit-sliced counting probe) and the naive
-//!   scan it is benchmarked against in §IV-D.
+//! * [`bitprobe`] — Algorithm 1 (bit-sliced counting probe, scalar + AVX2
+//!   kernels behind runtime dispatch) and the naive scan it is benchmarked
+//!   against in §IV-D.
+//! * [`filter`] — [`LabelPairFilter`]: per-key neighboring-label summaries
+//!   that skip postings before blob prefetch (the l2Match-style pre-probe
+//!   level).
 //! * [`quality`] — the node-match quality `w` of Eq. IV.5.
 //! * [`index`] — [`NhIndex`]: build, persist, reopen and probe.
 //! * [`reader`] — [`IndexReader`]: the probe seam the engine runs against.
@@ -32,6 +36,7 @@
 
 pub mod bitprobe;
 pub mod delta;
+pub mod filter;
 pub mod index;
 pub mod mvcc;
 pub mod posting;
@@ -40,8 +45,9 @@ pub mod reader;
 pub mod scheme;
 pub mod stats;
 
-pub use bitprobe::ColumnBitmap;
+pub use bitprobe::{ColumnBitmap, ProbeKernel};
 pub use delta::DeltaOverlay;
+pub use filter::{LabelPairFilter, FILTER_FILE, FILTER_SCHEMA_VERSION};
 pub use index::{
     IntegrityReport, NhIndex, NhIndexConfig, NodeCandidate, ProbeCounters, ProbeStats,
     QuerySignature, RecoveryReport, DEFAULT_IO_WORKERS, DEFAULT_PREFETCH_PAGES,

@@ -876,6 +876,7 @@ impl GenerationalNhIndex {
             probes: b.probes + d.probes,
             keys_scanned: b.keys_scanned + d.keys_scanned,
             postings_fetched: b.postings_fetched + d.postings_fetched,
+            postings_filtered: b.postings_filtered + d.postings_filtered,
             rows_examined: b.rows_examined + d.rows_examined,
         }
     }

@@ -137,6 +137,35 @@ impl NeighborArrayScheme {
         words
     }
 
+    /// Validates a query neighbor array against this scheme's width
+    /// contract: exactly [`NeighborArrayScheme::words`] words, no bits at
+    /// or above `sbit`. The probe kernels assert the same contract and
+    /// panic; boundaries that can legitimately see skew — a signature
+    /// built under a different generation's scheme after vocabulary
+    /// growth — call this first and surface a typed error instead.
+    pub fn check_query_width(&self, nb_array: &[u64]) -> std::result::Result<(), String> {
+        let words = self.words();
+        if nb_array.len() != words {
+            return Err(format!(
+                "query neighbor array has {} words but the index scheme (sbit {}) needs {} — \
+                 signature built under a different array width?",
+                nb_array.len(),
+                self.sbit,
+                words,
+            ));
+        }
+        if self.sbit % 64 != 0 {
+            let stray = nb_array[words - 1] & !((1u64 << (self.sbit % 64)) - 1);
+            if stray != 0 {
+                return Err(format!(
+                    "query neighbor array sets bits at or above sbit {} (stray mask {stray:#x})",
+                    self.sbit,
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Counts query bits missing from the database array — the sum in
     /// condition IV.3: positions set in `query` but clear in `db`.
     pub fn count_misses(query: &[u64], db: &[u64]) -> u32 {

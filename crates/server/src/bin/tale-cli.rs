@@ -174,6 +174,7 @@ fn probe_readers(
         hits.extend(h);
         total.keys_scanned += st.keys_scanned;
         total.postings_fetched += st.postings_fetched;
+        total.postings_filtered += st.postings_filtered;
         total.rows_examined += st.rows_examined;
         total.rows_returned += st.rows_returned;
     }
@@ -874,6 +875,7 @@ fn print_query_stats(s: &tale::QueryStats) {
         );
         println!("  keys scanned     : {}", s.keys_scanned);
         println!("  postings fetched : {}", s.postings_fetched);
+        println!("  postings filtered: {}", s.postings_filtered);
         println!("  rows examined    : {}", s.rows_examined);
         println!(
             "  candidates       : {} nodes across {} graphs",

@@ -331,6 +331,7 @@ fn exec_stats_of(batch: &BatchStats) -> WireExecStats {
     for q in &batch.per_query {
         s.keys_scanned += q.keys_scanned;
         s.postings_fetched += q.postings_fetched;
+        s.postings_filtered += q.postings_filtered;
         s.rows_examined += q.rows_examined;
         s.candidates += q.candidates;
         s.matches += q.matches as u64;

@@ -318,6 +318,7 @@ impl Frontend {
             stats.probes += p.stats.probes;
             stats.keys_scanned += p.stats.keys_scanned;
             stats.postings_fetched += p.stats.postings_fetched;
+            stats.postings_filtered += p.stats.postings_filtered;
             stats.rows_examined += p.stats.rows_examined;
             stats.candidates += p.stats.candidates;
             stats.matches += p.stats.matches;

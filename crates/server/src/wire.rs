@@ -608,6 +608,11 @@ pub struct WireExecStats {
     pub keys_scanned: u64,
     /// Posting lists fetched.
     pub postings_fetched: u64,
+    /// Postings skipped by the label-pair pre-filter. `serde(default)`
+    /// keeps the frame decodable against workers serialized before the
+    /// counter existed.
+    #[serde(default)]
+    pub postings_filtered: u64,
     /// Posting rows examined.
     pub rows_examined: u64,
     /// Candidate (query node, db node) pairs scored.

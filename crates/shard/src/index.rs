@@ -386,6 +386,7 @@ impl ShardedNhIndex {
             total.probes += c.probes;
             total.keys_scanned += c.keys_scanned;
             total.postings_fetched += c.postings_fetched;
+            total.postings_filtered += c.postings_filtered;
             total.rows_examined += c.rows_examined;
         }
         total

@@ -73,6 +73,7 @@ struct UniqueTraffic {
     probes_shared: u64,
     keys_scanned: u64,
     postings_fetched: u64,
+    postings_filtered: u64,
     rows_examined: u64,
     candidates: u64,
     candidate_graphs: usize,
@@ -165,6 +166,7 @@ fn exec_shard(
             probes_shared: p.probes_shared,
             keys_scanned: p.keys_scanned,
             postings_fetched: p.postings_fetched,
+            postings_filtered: p.postings_filtered,
             rows_examined: p.rows_examined,
             candidates: p.candidates,
             candidate_graphs: p.per_graph.len(),
@@ -179,6 +181,7 @@ fn exec_shard(
             probes: counters.probes,
             keys_scanned: counters.keys_scanned,
             postings_fetched: counters.postings_fetched,
+            postings_filtered: counters.postings_filtered,
             rows_examined: counters.rows_examined,
             candidates: traffic.iter().map(|t| t.candidates).sum(),
             match_items,
@@ -486,6 +489,7 @@ pub fn run_batch(
             agg.probes_shared += t.probes_shared;
             agg.keys_scanned += t.keys_scanned;
             agg.postings_fetched += t.postings_fetched;
+            agg.postings_filtered += t.postings_filtered;
             agg.rows_examined += t.rows_examined;
             agg.candidates += t.candidates;
             agg.candidate_graphs += t.candidate_graphs;
@@ -550,6 +554,7 @@ pub fn run_batch(
             probes_shared: tr.probes_shared,
             keys_scanned: tr.keys_scanned,
             postings_fetched: tr.postings_fetched,
+            postings_filtered: tr.postings_filtered,
             rows_examined: tr.rows_examined,
             candidates: tr.candidates,
             candidate_graphs: tr.candidate_graphs,

@@ -48,6 +48,7 @@ pub(crate) struct PerQueryProbe {
     pub probes_shared: u64,
     pub keys_scanned: u64,
     pub postings_fetched: u64,
+    pub postings_filtered: u64,
     pub rows_examined: u64,
     /// Candidate node matches across all of this query's signatures.
     pub candidates: u64,
@@ -146,6 +147,7 @@ pub(crate) fn run_probe(
                 probes_shared: 0,
                 keys_scanned: 0,
                 postings_fetched: 0,
+                postings_filtered: 0,
                 rows_examined: 0,
                 candidates: 0,
             };
@@ -156,6 +158,7 @@ pub(crate) fn run_probe(
                 }
                 p.keys_scanned += stats.keys_scanned;
                 p.postings_fetched += stats.postings_fetched;
+                p.postings_filtered += stats.postings_filtered;
                 p.rows_examined += stats.rows_examined;
                 p.candidates += hits.len() as u64;
                 for &(graph, node, w) in hits {

@@ -91,6 +91,9 @@ pub struct QueryStats {
     pub keys_scanned: u64,
     /// Postings fetched on this query's behalf.
     pub postings_fetched: u64,
+    /// Postings the label-pair pre-filter skipped on this query's behalf
+    /// before any blob prefetch (see `tale_nhindex::filter`).
+    pub postings_filtered: u64,
     /// Bitmap rows examined by Algorithm 1 on this query's behalf.
     pub rows_examined: u64,
     /// Candidate node matches surviving conditions IV.1–IV.4.
@@ -138,6 +141,8 @@ pub struct ShardStats {
     pub keys_scanned: u64,
     /// Postings fetched from this shard.
     pub postings_fetched: u64,
+    /// Postings the label-pair pre-filter skipped on this shard.
+    pub postings_filtered: u64,
     /// Bitmap rows examined on this shard.
     pub rows_examined: u64,
     /// Candidate node matches this shard's probes returned.

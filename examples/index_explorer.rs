@@ -107,6 +107,7 @@ fn main() {
             hits.extend(dh.iter().copied());
             stats.keys_scanned += ds.keys_scanned;
             stats.postings_fetched += ds.postings_fetched;
+            stats.postings_filtered += ds.postings_filtered;
             stats.rows_examined += ds.rows_examined;
             println!(
                 "  {}  {:.2}  {:12}  {:8}  {:13}  {:10}",
